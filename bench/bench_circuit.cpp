@@ -1,0 +1,180 @@
+// SUB2 — substrate performance: the MNA circuit engine with JA-core
+// devices, i.e. the SPICE/SABER usage context the paper's introduction
+// motivates. Reports steps and Newton iterations per simulated cycle, and
+// times representative circuits.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "ckt/engine.hpp"
+#include "ckt/ja_inductor.hpp"
+#include "ckt/netlist.hpp"
+#include "ckt/rlc.hpp"
+#include "ckt/sources.hpp"
+#include "ckt/transformer.hpp"
+#include "wave/standard.hpp"
+
+namespace {
+
+using namespace ferro;
+
+mag::CoreGeometry demo_core() {
+  mag::CoreGeometry geom;
+  geom.area = 1e-4;
+  geom.path_length = 0.1;
+  geom.turns = 100;
+  return geom;
+}
+
+void build_ja_circuit(ckt::Circuit& ckt_out) {
+  const auto in = ckt_out.node("in");
+  const auto out = ckt_out.node("out");
+  ckt_out.add<ckt::VoltageSource>("V", in, ckt::kGround,
+                                  std::make_shared<wave::Sine>(7.0, 50.0));
+  ckt_out.add<ckt::Resistor>("R", in, out, 1.0);
+  mag::TimelessConfig cfg;
+  cfg.dhmax = 5.0;
+  ckt_out.add<ckt::JaInductor>("Lcore", out, ckt::kGround, demo_core(),
+                               mag::paper_parameters(), cfg);
+}
+
+void build_transformer_circuit(ckt::Circuit& ckt_out) {
+  const auto p = ckt_out.node("p");
+  const auto s = ckt_out.node("s");
+  ckt_out.add<ckt::VoltageSource>("V", p, ckt::kGround,
+                                  std::make_shared<wave::Sine>(1.5, 50.0));
+  mag::TimelessConfig cfg;
+  cfg.dhmax = 0.5;
+  ckt_out.add<ckt::JaTransformer>(
+      "T", p, ckt::kGround, s, ckt::kGround, demo_core(), 50,
+      mag::find_material("grain-oriented-si")->params, cfg);
+  ckt_out.add<ckt::Resistor>("Rload", s, ckt::kGround, 100.0);
+}
+
+void build_rc_ladder(ckt::Circuit& ckt_out, int stages) {
+  auto prev = ckt_out.node("in");
+  ckt_out.add<ckt::VoltageSource>("V", prev, ckt::kGround,
+                                  std::make_shared<wave::Sine>(1.0, 1e3));
+  for (int i = 0; i < stages; ++i) {
+    const auto next = ckt_out.node("n" + std::to_string(i));
+    ckt_out.add<ckt::Resistor>("R" + std::to_string(i), prev, next, 1000.0);
+    ckt_out.add<ckt::Capacitor>("C" + std::to_string(i), next, ckt::kGround,
+                                1e-7);
+    prev = next;
+  }
+}
+
+void report() {
+  benchutil::header("SUB2", "MNA circuit engine with hysteretic cores");
+
+  std::printf("  %-24s %10s %10s %10s %12s\n", "circuit", "steps", "rejected",
+              "NR iters", "iters/step");
+  {
+    ckt::Circuit c;
+    build_ja_circuit(c);
+    ckt::TransientOptions options;
+    options.t_end = 0.04;
+    options.dt_initial = 1e-6;
+    options.dt_max = 2e-5;
+    ckt::CircuitStats stats;
+    ckt::transient(c, options, {}, &stats);
+    std::printf("  %-24s %10llu %10llu %10llu %12.2f\n",
+                "sine + R + JA inductor",
+                static_cast<unsigned long long>(stats.steps_accepted),
+                static_cast<unsigned long long>(stats.steps_rejected),
+                static_cast<unsigned long long>(stats.newton_iterations),
+                static_cast<double>(stats.newton_iterations) /
+                    static_cast<double>(stats.steps_accepted));
+  }
+  {
+    ckt::Circuit c;
+    build_transformer_circuit(c);
+    ckt::TransientOptions options;
+    options.t_end = 0.04;
+    options.dt_initial = 1e-6;
+    options.dt_max = 2e-5;
+    ckt::CircuitStats stats;
+    ckt::transient(c, options, {}, &stats);
+    std::printf("  %-24s %10llu %10llu %10llu %12.2f\n",
+                "JA transformer + load",
+                static_cast<unsigned long long>(stats.steps_accepted),
+                static_cast<unsigned long long>(stats.steps_rejected),
+                static_cast<unsigned long long>(stats.newton_iterations),
+                static_cast<double>(stats.newton_iterations) /
+                    static_cast<double>(stats.steps_accepted));
+  }
+  {
+    ckt::Circuit c;
+    build_rc_ladder(c, 16);
+    ckt::TransientOptions options;
+    options.t_end = 4e-3;
+    options.dt_initial = 1e-7;
+    options.dt_max = 2e-6;
+    ckt::CircuitStats stats;
+    ckt::transient(c, options, {}, &stats);
+    std::printf("  %-24s %10llu %10llu %10llu %12.2f\n", "16-stage RC ladder",
+                static_cast<unsigned long long>(stats.steps_accepted),
+                static_cast<unsigned long long>(stats.steps_rejected),
+                static_cast<unsigned long long>(stats.newton_iterations),
+                static_cast<double>(stats.newton_iterations) /
+                    static_cast<double>(stats.steps_accepted));
+  }
+  benchutil::footnote(
+      "hysteretic devices converge in a handful of iterations per step "
+      "because the companion model linearises around the committed state.");
+}
+
+void bm_ja_inductor_cycle(benchmark::State& state) {
+  for (auto _ : state) {
+    ckt::Circuit c;
+    build_ja_circuit(c);
+    ckt::TransientOptions options;
+    options.t_end = 0.02;
+    options.dt_initial = 1e-6;
+    options.dt_max = 2e-5;
+    ckt::transient(c, options, {});
+  }
+}
+BENCHMARK(bm_ja_inductor_cycle)->Unit(benchmark::kMillisecond);
+
+void bm_transformer_cycle(benchmark::State& state) {
+  for (auto _ : state) {
+    ckt::Circuit c;
+    build_transformer_circuit(c);
+    ckt::TransientOptions options;
+    options.t_end = 0.02;
+    options.dt_initial = 1e-6;
+    options.dt_max = 2e-5;
+    ckt::transient(c, options, {});
+  }
+}
+BENCHMARK(bm_transformer_cycle)->Unit(benchmark::kMillisecond);
+
+void bm_rc_ladder(benchmark::State& state) {
+  const int stages = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ckt::Circuit c;
+    build_rc_ladder(c, stages);
+    ckt::TransientOptions options;
+    options.t_end = 1e-3;
+    options.dt_initial = 1e-7;
+    options.dt_max = 2e-6;
+    ckt::transient(c, options, {});
+  }
+}
+BENCHMARK(bm_rc_ladder)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void bm_dc_operating_point(benchmark::State& state) {
+  ckt::Circuit c;
+  build_transformer_circuit(c);
+  std::vector<double> x;
+  for (auto _ : state) {
+    ckt::dc_operating_point(c, x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(bm_dc_operating_point);
+
+}  // namespace
+
+FERRO_BENCH_MAIN(report)

@@ -1,0 +1,31 @@
+// Shared helpers for the bench binaries: every bench prints the table rows
+// of the paper artefact it regenerates (see DESIGN.md experiment index),
+// then runs google-benchmark timings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+namespace ferro::benchutil {
+
+inline void header(const char* experiment_id, const char* title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s — %s\n", experiment_id, title);
+  std::printf("==============================================================\n");
+}
+
+inline void footnote(const char* text) { std::printf("  note: %s\n", text); }
+
+}  // namespace ferro::benchutil
+
+/// Every bench uses the same main: report first, timings second.
+#define FERRO_BENCH_MAIN(report_fn)                         \
+  int main(int argc, char** argv) {                         \
+    report_fn();                                            \
+    ::benchmark::Initialize(&argc, argv);                   \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                  \
+    ::benchmark::Shutdown();                                \
+    return 0;                                               \
+  }

@@ -1,0 +1,121 @@
+// FIG1 — regenerates the paper's Figure 1: "SystemC BH simulation", a
+// decaying triangular DC sweep producing the major loop (+/-10 kA/m,
+// B ~ +/-1.7...2 T) with nested non-biased minor loops.
+//
+// Prints the loop metrics per excitation amplitude (the measurable content
+// of the figure), writes the full B-H series to fig1_bh.csv, and times the
+// sweep on both the direct and the SystemC-style frontends.
+#include <cstdio>
+
+#include "analysis/loop_metrics.hpp"
+#include "analysis/stability.hpp"
+#include "bench_common.hpp"
+#include "core/dc_sweep.hpp"
+#include "core/systemc_ja.hpp"
+#include "mag/timeless_ja.hpp"
+#include "wave/sweep.hpp"
+
+namespace {
+
+using namespace ferro;
+
+constexpr double kDhmax = 25.0;
+constexpr double kStep = 10.0;
+
+mag::JaParameters fig1_params() { return mag::paper_parameters_dual(); }
+
+void report() {
+  benchutil::header("FIG1", "BH curve with non-biased minor loops (paper Fig. 1)");
+
+  const wave::HSweep sweep = core::fig1_sweep(kStep);
+  mag::TimelessConfig cfg;
+  cfg.dhmax = kDhmax;
+  const auto result = core::run_dc_sweep(fig1_params(), cfg, sweep);
+
+  result.curve.write_csv("fig1_bh.csv");
+  std::printf("  wrote fig1_bh.csv (%zu samples, plot b vs h to compare "
+              "with the paper)\n\n",
+              result.curve.size());
+
+  // Per-amplitude loop metrics: each decaying_cycles amplitude contributes
+  // one full non-biased cycle [+A ... -A ... +A]. The builder pushes exact
+  // endpoint values, so equality scans are safe.
+  std::printf("  %-12s %10s %10s %12s %14s\n", "loop", "Hpeak", "Bpeak",
+              "Br [T]", "Hc [A/m]");
+  const auto& h = sweep.h;
+  std::size_t search_from = 0;
+  for (std::size_t ai = 0; ai < core::fig1_amplitudes().size(); ++ai) {
+    const double amp = core::fig1_amplitudes()[ai];
+    std::size_t first = 0, last = 0;
+    bool found_first = false;
+    for (std::size_t i = search_from; i < h.size(); ++i) {
+      if (h[i] == +amp) {
+        if (!found_first) {
+          first = i;
+          found_first = true;
+        } else {
+          last = i;
+        }
+      }
+    }
+    if (!found_first || last <= first) continue;
+    const auto metrics = analysis::analyze_loop(result.curve, first, last);
+    std::printf("  %-12s %7.1f kA/m %7.3f T %9.3f %11.1f\n",
+                ai == 0 ? "major" : "minor", metrics.h_peak / 1e3,
+                metrics.b_peak, metrics.remanence, metrics.coercivity);
+    search_from = last;
+  }
+
+  const auto slopes = analysis::scan_slopes(result.curve);
+  std::printf("\n  physicality: %zu negative-slope segments (paper: clamped "
+              "to zero)\n",
+              static_cast<std::size_t>(slopes.negative_segments));
+  std::printf("  model interventions: %llu slope clamps, %llu field events, "
+              "0 solver failures (no solver involved)\n",
+              static_cast<unsigned long long>(result.stats.slope_clamps),
+              static_cast<unsigned long long>(result.stats.field_events));
+  benchutil::footnote(
+      "paper reports B in [-2,2] T over H in [-10,10] kA/m; shapes and "
+      "orderings are the reproduction target, not 2006 wall-clocks.");
+}
+
+void bm_fig1_direct(benchmark::State& state) {
+  const wave::HSweep sweep = core::fig1_sweep(kStep);
+  mag::TimelessConfig cfg;
+  cfg.dhmax = kDhmax;
+  for (auto _ : state) {
+    auto result = core::run_dc_sweep(fig1_params(), cfg, sweep);
+    benchmark::DoNotOptimize(result.curve);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sweep.h.size()));
+}
+BENCHMARK(bm_fig1_direct);
+
+void bm_fig1_systemc(benchmark::State& state) {
+  const wave::HSweep sweep = core::fig1_sweep(kStep);
+  for (auto _ : state) {
+    auto result = core::run_systemc_sweep(fig1_params(), kDhmax, sweep);
+    benchmark::DoNotOptimize(result.curve);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sweep.h.size()));
+}
+BENCHMARK(bm_fig1_systemc);
+
+void bm_fig1_sample_step(benchmark::State& state) {
+  // Sensitivity of the figure's cost to the excitation sampling.
+  const double step = static_cast<double>(state.range(0));
+  const wave::HSweep sweep = core::fig1_sweep(step);
+  mag::TimelessConfig cfg;
+  cfg.dhmax = kDhmax;
+  for (auto _ : state) {
+    auto result = core::run_dc_sweep(fig1_params(), cfg, sweep);
+    benchmark::DoNotOptimize(result.curve);
+  }
+}
+BENCHMARK(bm_fig1_sample_step)->Arg(5)->Arg(10)->Arg(25)->Arg(50);
+
+}  // namespace
+
+FERRO_BENCH_MAIN(report)

@@ -1,0 +1,83 @@
+// CLM4 — "both implementations produce virtually identical results":
+// the SystemC-style process network, the VHDL-AMS-style solver frontend and
+// the direct object API run the same excitation; the table reports the
+// pairwise deviations, the timing section the per-frontend cost.
+#include <cstdio>
+
+#include "analysis/curve_compare.hpp"
+#include "bench_common.hpp"
+#include "core/facade.hpp"
+
+namespace {
+
+using namespace ferro;
+
+constexpr double kDhmax = 25.0;
+
+wave::HSweep excitation() {
+  return wave::SweepBuilder(10.0).cycles(10e3, 2).build();
+}
+
+void report() {
+  benchutil::header("CLM4", "frontend equivalence (SystemC / VHDL-AMS / direct)");
+
+  const core::JaFacade facade(mag::paper_parameters(), {kDhmax});
+  const wave::HSweep sweep = excitation();
+
+  const mag::BhCurve direct = facade.run(sweep, core::Frontend::kDirect);
+  const mag::BhCurve systemc = facade.run(sweep, core::Frontend::kSystemC);
+  const mag::BhCurve ams = facade.run(sweep, core::Frontend::kAms);
+
+  const auto d_sc = analysis::compare_pointwise(direct, systemc);
+  const auto d_ams = analysis::compare_by_arc(direct, ams);
+  const auto d_sc_ams = analysis::compare_by_arc(systemc, ams);
+
+  std::printf("  %-28s %14s %14s\n", "pair", "rms dB [T]", "max dB [T]");
+  std::printf("  %-28s %14.3e %14.3e\n", "direct vs systemc (pointwise)",
+              d_sc.rms_b, d_sc.max_b);
+  std::printf("  %-28s %14.3e %14.3e\n", "direct vs ams (arc)", d_ams.rms_b,
+              d_ams.max_b);
+  std::printf("  %-28s %14.3e %14.3e\n", "systemc vs ams (arc)",
+              d_sc_ams.rms_b, d_sc_ams.max_b);
+  benchutil::footnote(
+      "direct vs systemc is bit-exact (same arithmetic sequence); the ams "
+      "frontend differs only through the solver's step placement.");
+}
+
+void bm_frontend_direct(benchmark::State& state) {
+  const core::JaFacade facade(mag::paper_parameters(), {kDhmax});
+  const wave::HSweep sweep = excitation();
+  for (auto _ : state) {
+    auto curve = facade.run(sweep, core::Frontend::kDirect);
+    benchmark::DoNotOptimize(curve);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sweep.h.size()));
+}
+BENCHMARK(bm_frontend_direct)->Unit(benchmark::kMillisecond);
+
+void bm_frontend_systemc(benchmark::State& state) {
+  const core::JaFacade facade(mag::paper_parameters(), {kDhmax});
+  const wave::HSweep sweep = excitation();
+  for (auto _ : state) {
+    auto curve = facade.run(sweep, core::Frontend::kSystemC);
+    benchmark::DoNotOptimize(curve);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sweep.h.size()));
+}
+BENCHMARK(bm_frontend_systemc)->Unit(benchmark::kMillisecond);
+
+void bm_frontend_ams(benchmark::State& state) {
+  const core::JaFacade facade(mag::paper_parameters(), {kDhmax});
+  const wave::HSweep sweep = excitation();
+  for (auto _ : state) {
+    auto curve = facade.run(sweep, core::Frontend::kAms);
+    benchmark::DoNotOptimize(curve);
+  }
+}
+BENCHMARK(bm_frontend_ams)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+FERRO_BENCH_MAIN(report)

@@ -1,0 +1,53 @@
+// Minor loops "at various sizes and in different positions" (the paper's
+// robustness claim): after saturating the core, ride minor loops of three
+// sizes at three bias points and write each trajectory to CSV.
+#include <cstdio>
+#include <string>
+
+#include "analysis/loop_metrics.hpp"
+#include "core/dc_sweep.hpp"
+#include "mag/timeless_ja.hpp"
+#include "wave/sweep.hpp"
+
+int main() {
+  using namespace ferro;
+
+  const mag::JaParameters params = mag::paper_parameters();
+  mag::TimelessConfig config;
+  config.dhmax = 10.0;
+
+  const wave::HSweep major = wave::SweepBuilder(5.0).cycles(10e3, 2).build();
+
+  std::printf("%-10s %-10s %10s %12s %12s\n", "bias", "halfwidth", "Bmid [T]",
+              "dB/cycle[T]", "file");
+  for (const double bias : {-4000.0, 0.0, 4000.0}) {
+    for (const double hw : {500.0, 1500.0, 3000.0}) {
+      mag::TimelessJa ja(params, config);
+      for (const double h : major.h) ja.apply(h);
+
+      wave::SweepBuilder builder(5.0, 10e3);
+      builder.to(bias + hw);
+      builder.minor_loop(bias, hw, 5);
+      const mag::BhCurve curve = mag::run_sweep(ja, builder.build());
+
+      // Mean B over the last cycle and drift across the final two visits
+      // of the loop top.
+      std::vector<double> tops;
+      for (const auto& p : curve.points()) {
+        if (p.h == bias + hw) tops.push_back(p.b);
+      }
+      const double drift = tops.size() >= 2
+                               ? tops.back() - tops[tops.size() - 2]
+                               : 0.0;
+      const std::string file = "minor_b" + std::to_string(static_cast<int>(bias)) +
+                               "_w" + std::to_string(static_cast<int>(hw)) +
+                               ".csv";
+      curve.write_csv(file);
+      std::printf("%-10.0f %-10.0f %10.3f %12.5f %12s\n", bias, hw,
+                  tops.empty() ? 0.0 : tops.back(), drift, file.c_str());
+    }
+  }
+  std::printf("\nplot any CSV (b vs h) to see the loop nested in the major "
+              "envelope; drift/cycle shrinks as the loop accommodates.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// AC demagnetisation demo: saturate a core, then unwind it with a decaying
+// alternating field. Shows the spiral BH trajectory and the soft-vs-hard
+// material contrast documented in core/demag.hpp.
+//
+// Output: demag_<material>.csv per material.
+#include <cstdio>
+#include <string>
+
+#include "core/demag.hpp"
+#include "wave/sweep.hpp"
+
+int main() {
+  using namespace ferro;
+
+  std::printf("%-20s %14s %14s %10s %10s\n", "material", "Mr before [A/m]",
+              "|M| after", "after/Ms", "cycles");
+  for (const char* name :
+       {"grain-oriented-si", "soft-ferrite", "paper-2006", "hard-steel"}) {
+    const mag::JaParameters params = mag::find_material(name)->params;
+    const double amp = 5.0 * (params.a + params.k);
+
+    mag::TimelessConfig cfg;
+    cfg.dhmax = (params.a + params.k) / 600.0;
+    mag::TimelessJa ja(params, cfg);
+
+    // Saturate and return to zero field: the remanent state.
+    const wave::HSweep sat =
+        wave::SweepBuilder(amp / 2000.0).to(amp).to(0.0).build();
+    for (const double h : sat.h) ja.apply(h);
+    const double m_before = ja.magnetisation();
+
+    core::DemagConfig config;
+    config.start_amplitude = amp;
+    config.stop_amplitude = amp / 1000.0;
+    config.sample_step = amp / 2000.0;
+    const core::DemagResult result = core::demagnetise(ja, config);
+
+    const std::string file = std::string("demag_") + name + ".csv";
+    result.curve.write_csv(file);
+    std::printf("%-20s %14.0f %14.0f %10.3f %10d\n", name, m_before,
+                result.residual_m, result.residual_m / params.ms,
+                result.cycles);
+  }
+  std::printf("\nweakly coupled cores (alpha*Ms << k) demagnetise almost "
+              "completely; the paper's strongly coupled set (alpha*Ms/k = "
+              "1.2) retains a self-consistent remanent equilibrium — a known "
+              "Jiles-Atherton property. Plot any demag_*.csv (b vs h) for "
+              "the spiral.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// The paper's CLM4 claim, reproduced end to end: the SystemC-style process
+// network, the VHDL-AMS-style solver frontend and the plain C++ object run
+// the same excitation and agree — the first two bit-exactly, the third
+// within solver tolerance.
+#include <cstdio>
+
+#include "analysis/curve_compare.hpp"
+#include "core/facade.hpp"
+
+int main() {
+  using namespace ferro;
+
+  const core::JaFacade facade(mag::paper_parameters(), {/*dhmax=*/25.0});
+  const wave::HSweep sweep = wave::SweepBuilder(10.0).cycles(10e3, 2).build();
+
+  std::printf("running three frontends over a %zu-sample major-loop sweep\n",
+              sweep.h.size());
+
+  const mag::BhCurve direct = facade.run(sweep, core::Frontend::kDirect);
+  const mag::BhCurve systemc = facade.run(sweep, core::Frontend::kSystemC);
+  const mag::BhCurve ams = facade.run(sweep, core::Frontend::kAms);
+
+  direct.write_csv("frontend_direct.csv");
+  systemc.write_csv("frontend_systemc.csv");
+  ams.write_csv("frontend_ams.csv");
+
+  const auto d_sc = analysis::compare_pointwise(direct, systemc);
+  const auto d_ams = analysis::compare_by_arc(direct, ams);
+
+  std::printf("  direct vs systemc : rms dB = %.3e T, max dB = %.3e T%s\n",
+              d_sc.rms_b, d_sc.max_b,
+              d_sc.max_b == 0.0 ? "  (bit-exact)" : "");
+  std::printf("  direct vs ams     : rms dB = %.3e T, max dB = %.3e T\n",
+              d_ams.rms_b, d_ams.max_b);
+  std::printf("  (paper: \"both implementations produce virtually identical "
+              "results\")\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Circuit demo: the SPICE/SABER usage the paper's introduction motivates.
+// A 50 Hz source energises a JA-core inductor through a small resistor at
+// the worst switching instant (voltage zero crossing): the core walks into
+// saturation and draws a classic asymmetric inrush current.
+//
+// Output: inrush.csv (t, v_src, v_core, i, h, b).
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "ckt/engine.hpp"
+#include "ckt/ja_inductor.hpp"
+#include "ckt/netlist.hpp"
+#include "ckt/rlc.hpp"
+#include "ckt/sources.hpp"
+#include "util/csv.hpp"
+#include "wave/standard.hpp"
+
+int main() {
+  using namespace ferro;
+
+  ckt::Circuit circuit;
+  const auto in = circuit.node("in");
+  const auto out = circuit.node("out");
+
+  // Zero-phase sine = switching at the voltage zero crossing, the worst
+  // case for inrush (the volt-second integral is maximal over the first
+  // half cycle).
+  circuit.add<ckt::VoltageSource>("V", in, ckt::kGround,
+                                  std::make_shared<wave::Sine>(8.0, 50.0));
+  circuit.add<ckt::Resistor>("R", in, out, 0.8);
+
+  mag::CoreGeometry geom;
+  geom.area = 1e-4;
+  geom.path_length = 0.1;
+  geom.turns = 100;
+  mag::TimelessConfig config;
+  config.dhmax = 5.0;
+  auto& core = circuit.add<ckt::JaInductor>(
+      "Lcore", out, ckt::kGround, geom, mag::paper_parameters(), config);
+
+  ckt::TransientOptions options;
+  options.t_end = 0.1;  // five cycles
+  options.dt_initial = 1e-6;
+  options.dt_max = 2e-5;
+
+  util::CsvWriter csv("inrush.csv", {"t", "v_src", "v_core", "i", "h", "b"});
+  double first_peak = 0.0, last_peak = 0.0, cycle_peak = 0.0;
+  int cycle = 0;
+  ckt::CircuitStats stats;
+  const bool ok = ckt::transient(
+      circuit, options,
+      [&](const ckt::Solution& sol) {
+        const double i = sol.branch_current(1);
+        csv.row({sol.t, sol.v(in), sol.v(out), i, core.field(),
+                 core.flux_density()});
+        const int this_cycle = static_cast<int>(sol.t / 0.02);
+        if (this_cycle != cycle) {
+          if (cycle == 0) first_peak = cycle_peak;
+          last_peak = cycle_peak;
+          cycle_peak = 0.0;
+          cycle = this_cycle;
+        }
+        cycle_peak = std::max(cycle_peak, std::fabs(i));
+      },
+      &stats);
+
+  std::printf("inrush demo (%s, %llu steps, %llu Newton iterations)\n",
+              ok ? "completed" : "with warnings",
+              static_cast<unsigned long long>(stats.steps_accepted),
+              static_cast<unsigned long long>(stats.newton_iterations));
+  std::printf("  first-cycle current peak : %7.3f A\n", first_peak);
+  std::printf("  settled current peak     : %7.3f A\n", last_peak);
+  std::printf("  inrush ratio             : %7.2f x\n",
+              last_peak > 0.0 ? first_peak / last_peak : 0.0);
+  std::printf("  wrote inrush.csv (t,v_src,v_core,i,h,b)\n");
+  return ok ? 0 : 1;
+}

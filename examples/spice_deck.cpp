@@ -1,0 +1,70 @@
+// Runs a SPICE-style text deck through the netlist parser and the transient
+// engine — the workflow the paper's introduction assumes (JA core models
+// living inside a circuit simulator).
+//
+// The deck is a half-wave rectifier charging a capacitor through a
+// JA-core inductor: diode, hysteretic core and storage element in one run.
+#include <cmath>
+#include <cstdio>
+
+#include "ckt/engine.hpp"
+#include "ckt/netlist_parser.hpp"
+#include "util/csv.hpp"
+
+int main() {
+  using namespace ferro;
+
+  static constexpr const char* kDeck = R"(
+* half-wave rectifier with a hysteretic series inductor
+V1 ac 0 SIN(0 6 50)
+R1 ac lin 0.5
+Y1 lin rect area=1e-4 path=0.1 turns=60 material=grain-oriented-si dhmax=1
+D1 rect out is=1e-12
+C1 out 0 200u ic=0
+R2 out 0 200
+.tran 50u 0.1
+.end
+)";
+
+  auto parsed = ckt::parse_netlist(kDeck);
+  if (!parsed.ok()) {
+    for (const auto& e : parsed.errors) {
+      std::fprintf(stderr, "deck line %zu: %s\n", e.line, e.message.c_str());
+    }
+    return 1;
+  }
+
+  ckt::TransientOptions options;
+  options.t_end = parsed.netlist->tran->t_end;
+  options.dt_max = parsed.netlist->tran->dt_max;
+  options.dt_initial = 1e-6;
+
+  auto& circuit = parsed.netlist->circuit;
+  const auto out = circuit.node("out");
+  const auto ac = circuit.node("ac");
+
+  util::CsvWriter csv("rectifier.csv", {"t", "v_ac", "v_out", "i_core"});
+  double v_final = 0.0, ripple_min = 1e30, ripple_max = -1e30;
+  ckt::CircuitStats stats;
+  const bool ok = ckt::transient(
+      circuit, options,
+      [&](const ckt::Solution& sol) {
+        const double i = sol.branch_current(1);
+        csv.row({sol.t, sol.v(ac), sol.v(out), i});
+        v_final = sol.v(out);
+        if (sol.t > 0.06) {  // settled ripple window
+          ripple_min = std::min(ripple_min, sol.v(out));
+          ripple_max = std::max(ripple_max, sol.v(out));
+        }
+      },
+      &stats);
+
+  std::printf("spice-deck rectifier (%s, %llu steps)\n",
+              ok ? "completed" : "with warnings",
+              static_cast<unsigned long long>(stats.steps_accepted));
+  std::printf("  devices parsed  : %zu\n", parsed.netlist->device_names.size());
+  std::printf("  dc output       : %.3f V\n", v_final);
+  std::printf("  settled ripple  : %.3f V\n", ripple_max - ripple_min);
+  std::printf("  wrote rectifier.csv (t,v_ac,v_out,i_core)\n");
+  return ok ? 0 : 1;
+}

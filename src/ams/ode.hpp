@@ -1,0 +1,33 @@
+// ODE system interface consumed by the transient engine.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace ferro::ams {
+
+/// A first-order system y' = f(t, y).
+///
+/// Implementations must be re-evaluable at arbitrary (t, y): the adaptive
+/// engine retries rejected steps and Newton probes trial states. Models with
+/// internal discrete state (like the `'INTEG`-style JA baseline) must keep
+/// that state out of derivative() and update it only in on_step_accepted().
+class OdeSystem {
+ public:
+  virtual ~OdeSystem() = default;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Initial condition at t_start.
+  virtual void initial(std::span<double> y0) const = 0;
+
+  /// Writes f(t, y) into dydt.
+  virtual void derivative(double t, std::span<const double> y,
+                          std::span<double> dydt) const = 0;
+
+  /// Hook invoked after each *accepted* step (discrete state updates,
+  /// tracing). Default: nothing.
+  virtual void on_step_accepted(double t, std::span<const double> y);
+};
+
+}  // namespace ferro::ams

@@ -1,0 +1,69 @@
+#include "analysis/curve_compare.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/interp.hpp"
+#include "util/stats.hpp"
+
+namespace ferro::analysis {
+
+namespace {
+
+/// Normalised cumulative |dH| positions of a trajectory, in [0, 1].
+std::vector<double> arc_positions(const mag::BhCurve& curve) {
+  const auto& pts = curve.points();
+  std::vector<double> s(pts.size(), 0.0);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    s[i] = s[i - 1] + std::fabs(pts[i].h - pts[i - 1].h);
+  }
+  const double total = s.empty() ? 0.0 : s.back();
+  if (total > 0.0) {
+    for (double& v : s) v /= total;
+  }
+  // Strictly increasing axis for interpolation: nudge repeated positions.
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (s[i] <= s[i - 1]) s[i] = s[i - 1] + 1e-15;
+  }
+  return s;
+}
+
+}  // namespace
+
+CurveDelta compare_pointwise(const mag::BhCurve& a, const mag::BhCurve& b) {
+  assert(a.size() == b.size());
+  CurveDelta delta;
+  if (a.empty()) return delta;
+  const std::vector<double> ba = a.b_values();
+  const std::vector<double> bb = b.b_values();
+  const std::vector<double> ma = a.m_values();
+  const std::vector<double> mb = b.m_values();
+  delta.rms_b = util::rms_diff(ba, bb);
+  delta.max_b = util::max_abs_diff(ba, bb);
+  delta.rms_m = util::rms_diff(ma, mb);
+  delta.max_m = util::max_abs_diff(ma, mb);
+  return delta;
+}
+
+CurveDelta compare_by_arc(const mag::BhCurve& a, const mag::BhCurve& b,
+                          std::size_t n) {
+  CurveDelta delta;
+  if (a.size() < 2 || b.size() < 2) return delta;
+
+  const std::vector<double> sa = arc_positions(a);
+  const std::vector<double> sb = arc_positions(b);
+  const std::vector<double> grid = util::linspace(0.0, 1.0, n);
+
+  const std::vector<double> ba = util::resample(sa, a.b_values(), grid);
+  const std::vector<double> bb = util::resample(sb, b.b_values(), grid);
+  const std::vector<double> ma = util::resample(sa, a.m_values(), grid);
+  const std::vector<double> mb = util::resample(sb, b.m_values(), grid);
+
+  delta.rms_b = util::rms_diff(ba, bb);
+  delta.max_b = util::max_abs_diff(ba, bb);
+  delta.rms_m = util::rms_diff(ma, mb);
+  delta.max_m = util::max_abs_diff(ma, mb);
+  return delta;
+}
+
+}  // namespace ferro::analysis

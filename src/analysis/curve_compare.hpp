@@ -1,0 +1,33 @@
+// Comparing BH trajectories produced by different frontends/solvers.
+//
+// Frontends over the same timeless sweep share the H sequence, so B can be
+// compared pointwise. The AMS frontend picks its own solver steps, so its
+// trajectory is first resampled by *arc position* (cumulative |dH|), which
+// is a monotone axis even though H itself reverses.
+#pragma once
+
+#include <cstddef>
+
+#include "mag/bh.hpp"
+
+namespace ferro::analysis {
+
+struct CurveDelta {
+  double rms_b = 0.0;   ///< RMS of delta B [T]
+  double max_b = 0.0;   ///< max |delta B| [T]
+  double rms_m = 0.0;   ///< RMS of delta M [A/m]
+  double max_m = 0.0;   ///< max |delta M| [A/m]
+};
+
+/// Pointwise comparison; curves must have the same length (same sweep).
+[[nodiscard]] CurveDelta compare_pointwise(const mag::BhCurve& a,
+                                           const mag::BhCurve& b);
+
+/// Arc-position comparison for trajectories over the same excitation but
+/// different sampling: both are resampled at `n` positions of normalised
+/// cumulative |dH| in [0, 1].
+[[nodiscard]] CurveDelta compare_by_arc(const mag::BhCurve& a,
+                                        const mag::BhCurve& b,
+                                        std::size_t n = 2048);
+
+}  // namespace ferro::analysis

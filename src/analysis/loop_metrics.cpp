@@ -1,0 +1,109 @@
+#include "analysis/loop_metrics.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ferro::analysis {
+
+double enclosed_area(std::span<const double> h, std::span<const double> b) {
+  assert(h.size() == b.size());
+  if (h.size() < 3) return 0.0;
+  // Shoelace over the closed polygon (h_i, b_i), implicitly closing the
+  // last point back to the first.
+  double twice_area = 0.0;
+  const std::size_t n = h.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = (i + 1) % n;
+    twice_area += h[i] * b[j] - h[j] * b[i];
+  }
+  return 0.5 * twice_area;
+}
+
+std::vector<double> values_at_zero_of(std::span<const double> x,
+                                      std::span<const double> y) {
+  assert(x.size() == y.size());
+  std::vector<double> out;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if (x[i - 1] == 0.0) {
+      out.push_back(y[i - 1]);
+      continue;
+    }
+    if ((x[i - 1] < 0.0 && x[i] > 0.0) || (x[i - 1] > 0.0 && x[i] < 0.0)) {
+      const double t = -x[i - 1] / (x[i] - x[i - 1]);
+      out.push_back(y[i - 1] + t * (y[i] - y[i - 1]));
+    }
+  }
+  if (!x.empty() && x.back() == 0.0) out.push_back(y.back());
+  return out;
+}
+
+LoopMetrics analyze_loop(const mag::BhCurve& curve, std::size_t begin,
+                         std::size_t end) {
+  LoopMetrics metrics;
+  if (curve.empty() || end >= curve.size() || begin > end) return metrics;
+
+  const auto& pts = curve.points();
+  std::vector<double> h, b;
+  h.reserve(end - begin + 1);
+  b.reserve(end - begin + 1);
+  for (std::size_t i = begin; i <= end; ++i) {
+    h.push_back(pts[i].h);
+    b.push_back(pts[i].b);
+    metrics.h_peak = std::max(metrics.h_peak, std::fabs(pts[i].h));
+    metrics.b_peak = std::max(metrics.b_peak, std::fabs(pts[i].b));
+  }
+  metrics.points = h.size();
+  metrics.area = std::fabs(enclosed_area(h, b));
+
+  double acc = 0.0;
+  const std::vector<double> remanences = values_at_zero_of(h, b);
+  for (const double r : remanences) acc += std::fabs(r);
+  if (!remanences.empty()) {
+    metrics.remanence = acc / static_cast<double>(remanences.size());
+  }
+
+  acc = 0.0;
+  const std::vector<double> coercivities = values_at_zero_of(b, h);
+  for (const double hc : coercivities) acc += std::fabs(hc);
+  if (!coercivities.empty()) {
+    metrics.coercivity = acc / static_cast<double>(coercivities.size());
+  }
+  return metrics;
+}
+
+LoopMetrics analyze_loop(const mag::BhCurve& curve) {
+  if (curve.empty()) return {};
+  return analyze_loop(curve, 0, curve.size() - 1);
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> monotone_branches(
+    const mag::BhCurve& curve) {
+  std::vector<std::pair<std::size_t, std::size_t>> branches;
+  const auto& pts = curve.points();
+  if (pts.size() < 2) return branches;
+
+  std::size_t start = 0;
+  double dir = 0.0;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const double dh = pts[i].h - pts[i - 1].h;
+    if (dh == 0.0) continue;
+    const double d = dh > 0.0 ? 1.0 : -1.0;
+    if (dir == 0.0) {
+      dir = d;
+    } else if (d != dir) {
+      branches.emplace_back(start, i - 1);
+      start = i - 1;
+      dir = d;
+    }
+  }
+  branches.emplace_back(start, pts.size() - 1);
+  return branches;
+}
+
+double closure_error(const mag::BhCurve& curve, std::size_t begin,
+                     std::size_t end) {
+  if (curve.empty() || end >= curve.size() || begin > end) return 0.0;
+  return std::fabs(curve.points()[end].b - curve.points()[begin].b);
+}
+
+}  // namespace ferro::analysis

@@ -1,0 +1,52 @@
+// Hysteresis-loop metrics: the numbers Fig. 1 lets a reader measure —
+// saturation flux density, remanence, coercivity, loop area (core loss per
+// cycle and unit volume).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "mag/bh.hpp"
+
+namespace ferro::analysis {
+
+/// Scalar characterisation of a (closed) BH loop.
+struct LoopMetrics {
+  double h_peak = 0.0;       ///< max |H| [A/m]
+  double b_peak = 0.0;       ///< max |B| [T]
+  double remanence = 0.0;    ///< mean |B at H = 0| over the two crossings [T]
+  double coercivity = 0.0;   ///< mean |H at B = 0| over the two crossings [A/m]
+  double area = 0.0;         ///< |enclosed area| = core loss per cycle [J/m^3]
+  std::size_t points = 0;
+};
+
+/// Signed enclosed area of the (h, b) polygon via the shoelace rule
+/// (counter-clockwise positive). For a physical hysteresis loop traversed
+/// with rising H on the lower branch the area is positive.
+[[nodiscard]] double enclosed_area(std::span<const double> h,
+                                   std::span<const double> b);
+
+/// Values of `y` (linearly interpolated) at each sign change of `x`.
+[[nodiscard]] std::vector<double> values_at_zero_of(std::span<const double> x,
+                                                    std::span<const double> y);
+
+/// Metrics of the closed loop between curve indices [begin, end].
+[[nodiscard]] LoopMetrics analyze_loop(const mag::BhCurve& curve,
+                                       std::size_t begin, std::size_t end);
+
+/// Metrics of the whole curve (use when the curve is exactly one loop).
+[[nodiscard]] LoopMetrics analyze_loop(const mag::BhCurve& curve);
+
+/// Splits the curve into maximal monotone-H branches: (first, last) index
+/// pairs. Zero-dH runs attach to the current branch.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> monotone_branches(
+    const mag::BhCurve& curve);
+
+/// |B(end) - B(begin)| — how well a nominally closed excursion returns to
+/// its starting flux density (the minor-loop closure observable of CLM1).
+[[nodiscard]] double closure_error(const mag::BhCurve& curve, std::size_t begin,
+                                   std::size_t end);
+
+}  // namespace ferro::analysis

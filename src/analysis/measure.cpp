@@ -1,0 +1,123 @@
+#include "analysis/measure.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/constants.hpp"
+#include "util/interp.hpp"
+
+namespace ferro::analysis {
+
+namespace {
+
+/// Integrates f(v) dt over [t0, t1] with trapezoids on the (irregular)
+/// sample grid, splitting the boundary intervals by interpolation.
+template <typename F>
+double integrate_window(const Trace& trace, double t0, double t1, F&& f) {
+  assert(t1 > t0);
+  double acc = 0.0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    double ta = trace.t[i - 1];
+    double tb = trace.t[i];
+    if (tb <= t0 || ta >= t1) continue;
+    double va = trace.v[i - 1];
+    double vb = trace.v[i];
+    if (ta < t0) {
+      const double f0 = (t0 - ta) / (tb - ta);
+      va = va + f0 * (vb - va);
+      ta = t0;
+    }
+    if (tb > t1) {
+      const double f1 = (t1 - trace.t[i - 1]) / (tb - trace.t[i - 1]);
+      vb = trace.v[i - 1] + f1 * (trace.v[i] - trace.v[i - 1]);
+      tb = t1;
+    }
+    acc += 0.5 * (f(va) + f(vb)) * (tb - ta);
+  }
+  return acc;
+}
+
+}  // namespace
+
+double average(const Trace& trace, double t0, double t1) {
+  if (trace.size() < 2 || t1 <= t0) return 0.0;
+  return integrate_window(trace, t0, t1, [](double v) { return v; }) /
+         (t1 - t0);
+}
+
+double rms(const Trace& trace, double t0, double t1) {
+  if (trace.size() < 2 || t1 <= t0) return 0.0;
+  const double mean_sq =
+      integrate_window(trace, t0, t1, [](double v) { return v * v; }) /
+      (t1 - t0);
+  return std::sqrt(std::max(0.0, mean_sq));
+}
+
+double peak(const Trace& trace, double t0, double t1) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace.t[i] < t0 || trace.t[i] > t1) continue;
+    worst = std::max(worst, std::fabs(trace.v[i]));
+  }
+  return worst;
+}
+
+double cross_time(const Trace& trace, double level) {
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    if (trace.v[i - 1] < level && trace.v[i] >= level) {
+      const double frac =
+          (level - trace.v[i - 1]) / (trace.v[i] - trace.v[i - 1]);
+      return trace.t[i - 1] + frac * (trace.t[i] - trace.t[i - 1]);
+    }
+  }
+  return -1.0;
+}
+
+double rise_time(const Trace& trace, double v_final) {
+  const double t10 = cross_time(trace, 0.1 * v_final);
+  const double t90 = cross_time(trace, 0.9 * v_final);
+  if (t10 < 0.0 || t90 < 0.0 || t90 < t10) return -1.0;
+  return t90 - t10;
+}
+
+double thd(const Trace& trace, double t0, double period, int cycles,
+           int harmonics) {
+  if (trace.size() < 8 || period <= 0.0 || cycles < 1) return 0.0;
+  const double t1 = t0 + period * cycles;
+
+  // Uniform resample of the window (the recorded grid is irregular).
+  constexpr std::size_t kSamples = 2048;
+  std::vector<double> ts = util::linspace(t0, t1, kSamples);
+  std::vector<double> vs = util::resample(trace.t, trace.v, ts);
+
+  // Remove DC, then project onto each harmonic of the fundamental.
+  double dc = 0.0;
+  for (const double v : vs) dc += v;
+  dc /= static_cast<double>(vs.size());
+
+  const double w0 = 2.0 * util::kPi / period;
+  double fundamental_sq = 0.0;
+  double harmonics_sq = 0.0;
+  for (int h = 1; h <= harmonics; ++h) {
+    double re = 0.0, im = 0.0;
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      const double phase = w0 * static_cast<double>(h) * (ts[i] - t0);
+      const double centred = vs[i] - dc;
+      re += centred * std::cos(phase);
+      im += centred * std::sin(phase);
+    }
+    const double amp_sq =
+        (re * re + im * im) / (static_cast<double>(vs.size()) *
+                               static_cast<double>(vs.size()) / 4.0);
+    if (h == 1) {
+      fundamental_sq = amp_sq;
+    } else {
+      harmonics_sq += amp_sq;
+    }
+  }
+  if (fundamental_sq <= 0.0) return 0.0;
+  return std::sqrt(harmonics_sq / fundamental_sq);
+}
+
+}  // namespace ferro::analysis

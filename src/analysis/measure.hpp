@@ -1,0 +1,47 @@
+// Waveform measurements over recorded transients — the `.meas` toolbox:
+// windowed RMS/average/peak, rise time, settling detection, THD estimate.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ferro::analysis {
+
+/// A recorded scalar trace: times and values of equal length.
+struct Trace {
+  std::vector<double> t;
+  std::vector<double> v;
+
+  void append(double time, double value) {
+    t.push_back(time);
+    v.push_back(value);
+  }
+  [[nodiscard]] std::size_t size() const { return t.size(); }
+};
+
+/// Time-weighted average of v over [t0, t1] (trapezoidal).
+[[nodiscard]] double average(const Trace& trace, double t0, double t1);
+
+/// Time-weighted RMS of v over [t0, t1].
+[[nodiscard]] double rms(const Trace& trace, double t0, double t1);
+
+/// Largest |v| over [t0, t1].
+[[nodiscard]] double peak(const Trace& trace, double t0, double t1);
+
+/// First time v crosses `level` rising (linear interpolation between
+/// samples); negative if never.
+[[nodiscard]] double cross_time(const Trace& trace, double level);
+
+/// 10%-90% rise time of a step response settling to `v_final`;
+/// negative when the thresholds are never crossed.
+[[nodiscard]] double rise_time(const Trace& trace, double v_final);
+
+/// Total harmonic distortion estimate of a periodic signal over an integer
+/// number of periods [t0, t0 + n*period]: ratio of non-fundamental to
+/// fundamental RMS, via direct Fourier projection on a uniform resample.
+/// `harmonics` is the highest harmonic included in the numerator.
+[[nodiscard]] double thd(const Trace& trace, double t0, double period,
+                         int cycles = 1, int harmonics = 15);
+
+}  // namespace ferro::analysis

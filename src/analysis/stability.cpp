@@ -1,0 +1,101 @@
+#include "analysis/stability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "analysis/loop_metrics.hpp"
+#include "util/interp.hpp"
+
+namespace ferro::analysis {
+
+SlopeReport scan_slopes(const mag::BhCurve& curve, double tol, double min_dh) {
+  SlopeReport report;
+  const auto& pts = curve.points();
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const double dh = pts[i].h - pts[i - 1].h;
+    if (std::fabs(dh) < min_dh) continue;
+    ++report.segments;
+    const double slope = (pts[i].b - pts[i - 1].b) / dh;
+    if (slope < -tol) {
+      ++report.negative_segments;
+      report.most_negative = std::min(report.most_negative, slope);
+    }
+  }
+  return report;
+}
+
+namespace {
+
+/// Extracts one monotone branch as (h ascending, b) ready for interpolation.
+void branch_as_table(const mag::BhCurve& curve, std::size_t first,
+                     std::size_t last, std::vector<double>& h,
+                     std::vector<double>& b) {
+  h.clear();
+  b.clear();
+  const auto& pts = curve.points();
+  const bool ascending = pts[last].h >= pts[first].h;
+  if (ascending) {
+    for (std::size_t i = first; i <= last; ++i) {
+      h.push_back(pts[i].h);
+      b.push_back(pts[i].b);
+    }
+  } else {
+    for (std::size_t i = last + 1; i-- > first;) {
+      h.push_back(pts[i].h);
+      b.push_back(pts[i].b);
+    }
+  }
+  // Deduplicate non-increasing H for a valid interpolation table.
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    if (w == 0 || h[i] > h[w - 1]) {
+      h[w] = h[i];
+      b[w] = b[i];
+      ++w;
+    }
+  }
+  h.resize(w);
+  b.resize(w);
+}
+
+}  // namespace
+
+bool within_major_envelope(const mag::BhCurve& minor, const mag::BhCurve& major,
+                           double tol_b) {
+  const auto branches = monotone_branches(major);
+  if (branches.empty()) return false;
+
+  // The longest descending branch is the upper envelope, the longest
+  // ascending one the lower envelope (saturation-to-saturation sweeps).
+  std::vector<double> up_h, up_b, lo_h, lo_b;
+  std::size_t best_up = 0, best_lo = 0;
+  for (const auto& [first, last] : branches) {
+    const auto& pts = major.points();
+    const std::size_t len = last - first;
+    // ">=" so that among equal-length branches the *latest* wins — later
+    // cycles are the converged ones (the first traverse still carries
+    // virgin-curve history).
+    if (pts[last].h < pts[first].h) {
+      if (len >= best_up) {
+        best_up = len;
+        branch_as_table(major, first, last, up_h, up_b);
+      }
+    } else {
+      if (len >= best_lo) {
+        best_lo = len;
+        branch_as_table(major, first, last, lo_h, lo_b);
+      }
+    }
+  }
+  if (up_h.empty() || lo_h.empty()) return false;
+
+  for (const auto& p : minor.points()) {
+    const double upper = util::lerp_at(up_h, up_b, p.h);
+    const double lower = util::lerp_at(lo_h, lo_b, p.h);
+    if (p.b > upper + tol_b || p.b < lower - tol_b) return false;
+  }
+  return true;
+}
+
+}  // namespace ferro::analysis

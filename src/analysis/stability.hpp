@@ -1,0 +1,32 @@
+// Physicality and stability detectors: negative BH slopes (the artefact the
+// paper's clamping removes) and minor-loop containment inside the major
+// loop envelope.
+#pragma once
+
+#include <cstddef>
+
+#include "mag/bh.hpp"
+
+namespace ferro::analysis {
+
+struct SlopeReport {
+  std::size_t negative_segments = 0;  ///< consecutive-point pairs with dB/dH < -tol
+  double most_negative = 0.0;         ///< most negative dB/dH seen [T/(A/m)]
+  std::size_t segments = 0;           ///< pairs with |dH| above the noise floor
+};
+
+/// Scans the trajectory for segments where B moves against H. `tol` is the
+/// slope threshold below which a segment counts as negative; `min_dh`
+/// ignores segments with negligible field movement.
+[[nodiscard]] SlopeReport scan_slopes(const mag::BhCurve& curve,
+                                      double tol = 1e-12, double min_dh = 1e-9);
+
+/// True when every point of `minor` lies inside the [lower, upper] B
+/// envelope of `major` at its H (tolerance `tol_b` in tesla). The envelope
+/// is built from the major loop's descending (upper) and ascending (lower)
+/// branches.
+[[nodiscard]] bool within_major_envelope(const mag::BhCurve& minor,
+                                         const mag::BhCurve& major,
+                                         double tol_b = 1e-3);
+
+}  // namespace ferro::analysis

@@ -1,0 +1,46 @@
+#include "ckt/device.hpp"
+
+namespace ferro::ckt {
+
+void Stamper::conductance(NodeId a, NodeId b, double g) {
+  if (a != kGround) {
+    a_.at(static_cast<std::size_t>(a), static_cast<std::size_t>(a)) += g;
+    if (b != kGround) {
+      a_.at(static_cast<std::size_t>(a), static_cast<std::size_t>(b)) -= g;
+    }
+  }
+  if (b != kGround) {
+    a_.at(static_cast<std::size_t>(b), static_cast<std::size_t>(b)) += g;
+    if (a != kGround) {
+      a_.at(static_cast<std::size_t>(b), static_cast<std::size_t>(a)) -= g;
+    }
+  }
+}
+
+void Stamper::current_source(NodeId a, NodeId b, double i) {
+  if (a != kGround) z_[static_cast<std::size_t>(a)] -= i;
+  if (b != kGround) z_[static_cast<std::size_t>(b)] += i;
+}
+
+void Stamper::node_branch(NodeId node, std::size_t branch, double coeff) {
+  if (node == kGround) return;
+  a_.at(static_cast<std::size_t>(node), row_of_branch(branch)) += coeff;
+}
+
+void Stamper::branch_node(std::size_t branch, NodeId node, double coeff) {
+  if (node == kGround) return;
+  a_.at(row_of_branch(branch), static_cast<std::size_t>(node)) += coeff;
+}
+
+void Stamper::branch_branch(std::size_t row_branch, std::size_t col_branch,
+                            double coeff) {
+  a_.at(row_of_branch(row_branch), row_of_branch(col_branch)) += coeff;
+}
+
+void Stamper::branch_rhs(std::size_t branch, double value) {
+  z_[row_of_branch(branch)] += value;
+}
+
+void Device::commit(const EvalContext&, std::span<const double>) {}
+
+}  // namespace ferro::ckt

@@ -1,0 +1,57 @@
+#include "ckt/diode.hpp"
+
+#include <cmath>
+
+namespace ferro::ckt {
+
+namespace {
+constexpr double kVtRoom = 0.02585;  // kT/q at 300 K [V]
+}
+
+Diode::Diode(std::string name, NodeId anode, NodeId cathode, double i_sat,
+             double emission)
+    : Device(std::move(name)),
+      anode_(anode),
+      cathode_(cathode),
+      i_sat_(i_sat),
+      n_vt_(emission * kVtRoom),
+      v_crit_(n_vt_ * std::log(n_vt_ / (i_sat * std::sqrt(2.0)))) {}
+
+double Diode::current(double v) const {
+  return i_sat_ * (std::exp(v / n_vt_) - 1.0);
+}
+
+double Diode::limit_voltage(double v_new) const {
+  // SPICE pnjlim: exponential growth of the junction voltage is limited to
+  // one thermal-voltage decade per iteration above the critical voltage.
+  if (v_new > v_crit_ && std::fabs(v_new - v_ref_) > 2.0 * n_vt_) {
+    if (v_ref_ > 0.0) {
+      const double arg = 1.0 + (v_new - v_ref_) / n_vt_;
+      return arg > 0.0 ? v_ref_ + n_vt_ * std::log(arg) : v_crit_;
+    }
+    return v_crit_;
+  }
+  return v_new;
+}
+
+void Diode::stamp(Stamper& s, const EvalContext&) {
+  const double v_raw = s.v(anode_) - s.v(cathode_);
+  const double v = limit_voltage(v_raw);
+  v_ref_ = v;
+  const double e = std::exp(v / n_vt_);
+  const double g = i_sat_ * e / n_vt_ + 1e-12;  // gmin keeps the row regular
+  const double i = i_sat_ * (e - 1.0);
+  s.conductance(anode_, cathode_, g);
+  s.current_source(anode_, cathode_, i - g * v);
+}
+
+void Diode::commit(const EvalContext& ctx, std::span<const double> x) {
+  (void)ctx;
+  const double va = anode_ == kGround ? 0.0 : x[static_cast<std::size_t>(anode_)];
+  const double vc =
+      cathode_ == kGround ? 0.0 : x[static_cast<std::size_t>(cathode_)];
+  v_last_ = va - vc;
+  v_ref_ = v_last_;
+}
+
+}  // namespace ferro::ckt

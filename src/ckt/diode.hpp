@@ -1,0 +1,33 @@
+// Exponential junction diode with voltage limiting.
+#pragma once
+
+#include "ckt/device.hpp"
+
+namespace ferro::ckt {
+
+/// Shockley diode i = Is*(exp(v/(n*Vt)) - 1), linearised per Newton
+/// iteration with SPICE-style junction-voltage limiting to keep the
+/// exponential from overflowing during early iterations.
+class Diode final : public Device {
+ public:
+  Diode(std::string name, NodeId anode, NodeId cathode, double i_sat = 1e-14,
+        double emission = 1.0);
+
+  void stamp(Stamper& s, const EvalContext& ctx) override;
+  void commit(const EvalContext& ctx, std::span<const double> x) override;
+  [[nodiscard]] bool nonlinear() const override { return true; }
+
+  [[nodiscard]] double current(double v) const;
+
+ private:
+  [[nodiscard]] double limit_voltage(double v_new) const;
+
+  NodeId anode_, cathode_;
+  double i_sat_;
+  double n_vt_;       ///< emission coefficient times thermal voltage [V]
+  double v_crit_;     ///< limiting knee voltage
+  double v_ref_ = 0.0;   ///< previous-iterate voltage (limiting reference)
+  double v_last_ = 0.0;  ///< committed junction voltage
+};
+
+}  // namespace ferro::ckt

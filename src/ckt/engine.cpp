@@ -1,0 +1,175 @@
+#include "ckt/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ams/matrix.hpp"
+#include "util/log.hpp"
+
+namespace ferro::ckt {
+
+namespace {
+
+/// Assigns branch indices and returns the total unknown count.
+std::size_t layout_unknowns(Circuit& circuit) {
+  std::size_t branch = 0;
+  for (const auto& device : circuit.devices()) {
+    device->assign_branches(branch);
+    branch += device->branch_count();
+  }
+  return circuit.node_count() + branch;
+}
+
+[[nodiscard]] bool any_nonlinear(const Circuit& circuit) {
+  for (const auto& device : circuit.devices()) {
+    if (device->nonlinear()) return true;
+  }
+  return false;
+}
+
+/// One Newton (successive-linearisation) solve at fixed (t, dt).
+/// `x` carries the initial iterate in and the solution out.
+bool solve_point(Circuit& circuit, EvalContext ctx, const EngineOptions& options,
+                 std::vector<double>& x, CircuitStats* stats) {
+  const std::size_t n = x.size();
+  const std::size_t nodes = circuit.node_count();
+  const bool needs_iteration = any_nonlinear(circuit);
+
+  ams::Matrix a(n, n);
+  std::vector<double> z(n, 0.0);
+  std::vector<double> x_new(n, 0.0);
+  ams::LuSolver lu;
+
+  const int max_iters = needs_iteration ? options.max_newton_iterations : 1;
+  for (int iter = 0; iter < max_iters; ++iter) {
+    a.fill(0.0);
+    std::fill(z.begin(), z.end(), 0.0);
+    ctx.x = x;
+
+    Stamper stamper(a, z, x, nodes);
+    for (const auto& device : circuit.devices()) {
+      device->stamp(stamper, ctx);
+    }
+    // gmin from every node to ground.
+    for (std::size_t i = 0; i < nodes; ++i) {
+      a.at(i, i) += options.gmin;
+    }
+
+    if (!lu.factor(a)) {
+      util::log_warning("ckt.engine", "singular MNA matrix");
+      return false;
+    }
+    lu.solve(z, x_new);
+    if (stats) ++stats->newton_iterations;
+
+    // Convergence: voltages and currents checked against their own
+    // tolerances (SPICE reltol simplified to absolute tolerances here).
+    bool converged = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double tol = i < nodes ? options.v_tolerance : options.i_tolerance;
+      const double scale = 1.0 + std::fabs(x_new[i]) * 1e-3 / tol;
+      if (std::fabs(x_new[i] - x[i]) > tol * scale) {
+        converged = false;
+        break;
+      }
+    }
+    x = x_new;
+    if (converged && (needs_iteration ? iter > 0 : true)) return true;
+  }
+  return !needs_iteration;
+}
+
+}  // namespace
+
+bool dc_operating_point(Circuit& circuit, std::vector<double>& x,
+                        const EngineOptions& options, CircuitStats* stats) {
+  const std::size_t n = layout_unknowns(circuit);
+  x.assign(n, 0.0);
+
+  EvalContext ctx;
+  ctx.dc = true;
+  ctx.t = 0.0;
+  ctx.dt = 0.0;
+  ctx.node_count = circuit.node_count();
+  return solve_point(circuit, ctx, options, x, stats);
+}
+
+bool transient(Circuit& circuit, const TransientOptions& options,
+               const SolutionCallback& on_accept, CircuitStats* stats) {
+  CircuitStats local_stats;
+  CircuitStats* st = stats ? stats : &local_stats;
+
+  const std::size_t n = layout_unknowns(circuit);
+  std::vector<double> x(n, 0.0);
+
+  // Initial condition: DC operating point at t_start.
+  EvalContext dc_ctx;
+  dc_ctx.dc = true;
+  dc_ctx.node_count = circuit.node_count();
+  if (!solve_point(circuit, dc_ctx, options.engine, x, st)) {
+    ++st->hard_failures;
+    std::fill(x.begin(), x.end(), 0.0);
+  } else {
+    // Let devices latch their DC state as the t_start history.
+    dc_ctx.x = x;
+    for (const auto& device : circuit.devices()) {
+      device->commit(dc_ctx, x);
+    }
+  }
+
+  if (on_accept) {
+    on_accept(Solution{options.t_start, circuit.node_count(), x});
+  }
+
+  const double horizon = options.t_end - options.t_start;
+  const double dt_max = options.dt_max > 0.0 ? options.dt_max : horizon / 100.0;
+  double t = options.t_start;
+  double dt = std::min(options.dt_initial, dt_max);
+  std::vector<double> x_trial(n);
+
+  const double t_eps = 1e-12 * std::max(1.0, std::fabs(options.t_end));
+  while (t < options.t_end - t_eps) {
+    dt = std::min({dt, dt_max, options.t_end - t});
+
+    EvalContext ctx;
+    ctx.dc = false;
+    ctx.t = t + dt;
+    ctx.dt = dt;
+    // Gear2 reduces to BE in the circuit engine (two-step history is kept
+    // per device only for trapezoidal).
+    ctx.method = options.method == ams::IntegrationMethod::kTrapezoidal
+                     ? ams::IntegrationMethod::kTrapezoidal
+                     : ams::IntegrationMethod::kBackwardEuler;
+    ctx.node_count = circuit.node_count();
+
+    x_trial = x;  // previous solution as the iterate seed
+    if (!solve_point(circuit, ctx, options.engine, x_trial, st)) {
+      ++st->steps_rejected;
+      if (dt <= options.dt_min * 4.0) {
+        ++st->hard_failures;
+        // Force-accept to make progress (after logging), as commercial
+        // solvers do following a convergence warning.
+        util::log_warning("ckt.engine", "forced acceptance at dt_min");
+      } else {
+        dt *= 0.25;
+        continue;
+      }
+    }
+
+    // Accept.
+    x = x_trial;
+    t += dt;
+    ++st->steps_accepted;
+    ctx.x = x;
+    for (const auto& device : circuit.devices()) {
+      device->commit(ctx, x);
+    }
+    if (on_accept) {
+      on_accept(Solution{t, circuit.node_count(), x});
+    }
+    dt *= options.dt_growth;
+  }
+  return st->hard_failures == 0;
+}
+
+}  // namespace ferro::ckt

@@ -1,0 +1,71 @@
+// Analysis engines: DC operating point and adaptive transient.
+//
+// Per trial step the engine runs SPICE-style successive linearisation
+// (rebuild companion stamps at the iterate, LU-solve, repeat until the
+// iterate settles). Non-convergence shrinks the step; devices only commit
+// state on acceptance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ams/integrator.hpp"
+#include "ckt/netlist.hpp"
+
+namespace ferro::ckt {
+
+struct EngineOptions {
+  int max_newton_iterations = 100;
+  double v_tolerance = 1e-6;   ///< node-voltage convergence [V]
+  double i_tolerance = 1e-9;   ///< branch-current convergence [A]
+  double gmin = 1e-12;         ///< node-to-ground leak keeping matrices regular
+};
+
+struct TransientOptions {
+  double t_start = 0.0;
+  double t_end = 0.1;
+  double dt_initial = 1e-6;
+  double dt_min = 1e-12;
+  double dt_max = 0.0;  ///< 0 = (t_end - t_start)/100
+  ams::IntegrationMethod method = ams::IntegrationMethod::kTrapezoidal;
+  EngineOptions engine;
+  /// Grow factor applied to dt after an accepted step (shrink on rejection
+  /// is fixed at 1/4).
+  double dt_growth = 1.5;
+};
+
+struct CircuitStats {
+  std::uint64_t steps_accepted = 0;
+  std::uint64_t steps_rejected = 0;
+  std::uint64_t newton_iterations = 0;
+  std::uint64_t hard_failures = 0;
+};
+
+/// Solution view passed to callbacks: node voltages then branch currents.
+struct Solution {
+  double t = 0.0;
+  std::size_t node_count = 0;
+  std::span<const double> x;
+
+  [[nodiscard]] double v(NodeId node) const {
+    return node == kGround ? 0.0 : x[static_cast<std::size_t>(node)];
+  }
+  [[nodiscard]] double branch_current(std::size_t branch) const {
+    return x[node_count + branch];
+  }
+};
+
+using SolutionCallback = std::function<void(const Solution&)>;
+
+/// Computes the DC operating point into `x` (resized). Returns convergence.
+bool dc_operating_point(Circuit& circuit, std::vector<double>& x,
+                        const EngineOptions& options = {},
+                        CircuitStats* stats = nullptr);
+
+/// Adaptive transient from a DC operating point (or zero state if DC does
+/// not converge — reported through stats.hard_failures).
+bool transient(Circuit& circuit, const TransientOptions& options,
+               const SolutionCallback& on_accept, CircuitStats* stats = nullptr);
+
+}  // namespace ferro::ckt

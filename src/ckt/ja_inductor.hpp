@@ -1,0 +1,49 @@
+// Nonlinear inductor on a ferromagnetic core modelled by TimelessJa —
+// the component the paper's introduction motivates (JA cores inside
+// SPICE/SABER-class circuit simulators).
+//
+// Branch formulation: the winding equation is v = d(lambda)/dt with
+// lambda(i) = N * A * B(H), H = N*i/l, and B supplied by the hysteresis
+// model. Each Newton iteration linearises lambda around the present
+// current using the model's differential behaviour evaluated from the
+// *committed* magnetic state; the state advances only in commit(), so
+// rejected steps never pollute the hysteresis trajectory.
+#pragma once
+
+#include "ckt/device.hpp"
+#include "mag/bh.hpp"
+#include "mag/ja_params.hpp"
+#include "mag/timeless_ja.hpp"
+
+namespace ferro::ckt {
+
+class JaInductor final : public Device {
+ public:
+  JaInductor(std::string name, NodeId a, NodeId b, mag::CoreGeometry geometry,
+             const mag::JaParameters& params, mag::TimelessConfig config = {});
+
+  [[nodiscard]] std::size_t branch_count() const override { return 1; }
+  void stamp(Stamper& s, const EvalContext& ctx) override;
+  void commit(const EvalContext& ctx, std::span<const double> x) override;
+  [[nodiscard]] bool nonlinear() const override { return true; }
+
+  /// Committed core observables (for probes and tests).
+  [[nodiscard]] double field() const { return model_.state().present_h; }
+  [[nodiscard]] double flux_density() const { return model_.flux_density(); }
+  [[nodiscard]] double current() const { return i_prev_; }
+  [[nodiscard]] const mag::TimelessJa& model() const { return model_; }
+  [[nodiscard]] const mag::CoreGeometry& geometry() const { return geometry_; }
+
+ private:
+  /// lambda(i) evaluated from the committed state (trial, non-committing).
+  [[nodiscard]] double linkage_at(double i) const;
+
+  NodeId a_, b_;
+  mag::CoreGeometry geometry_;
+  mag::TimelessJa model_;
+  double i_prev_ = 0.0;
+  double v_prev_ = 0.0;
+  double lambda_prev_;
+};
+
+}  // namespace ferro::ckt

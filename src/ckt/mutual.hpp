@@ -1,0 +1,31 @@
+// Linear coupled inductors (the SPICE K card): two windings with mutual
+// inductance M = k*sqrt(L1*L2). The linear counterpart of JaTransformer,
+// used as the no-hysteresis baseline in circuit comparisons.
+#pragma once
+
+#include "ckt/device.hpp"
+
+namespace ferro::ckt {
+
+class MutualInductor final : public Device {
+ public:
+  /// `coupling` is the dimensionless k in [0, 1).
+  MutualInductor(std::string name, NodeId pa, NodeId pb, NodeId sa, NodeId sb,
+                 double l_primary, double l_secondary, double coupling);
+
+  [[nodiscard]] std::size_t branch_count() const override { return 2; }
+  void stamp(Stamper& s, const EvalContext& ctx) override;
+  void commit(const EvalContext& ctx, std::span<const double> x) override;
+
+  [[nodiscard]] double primary_current() const { return ip_prev_; }
+  [[nodiscard]] double secondary_current() const { return is_prev_; }
+  [[nodiscard]] double mutual() const { return m_; }
+
+ private:
+  NodeId pa_, pb_, sa_, sb_;
+  double l1_, l2_, m_;
+  double ip_prev_ = 0.0, is_prev_ = 0.0;
+  double vp_prev_ = 0.0, vs_prev_ = 0.0;
+};
+
+}  // namespace ferro::ckt

@@ -1,0 +1,21 @@
+#include "ckt/netlist.hpp"
+
+namespace ferro::ckt {
+
+NodeId Circuit::node(const std::string& name) {
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  const auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(names_.size());
+  index_.emplace(name, id);
+  names_.push_back(name);
+  return id;
+}
+
+std::string Circuit::node_name(NodeId id) const {
+  if (id == kGround) return "0";
+  const auto idx = static_cast<std::size_t>(id);
+  return idx < names_.size() ? names_[idx] : std::string{};
+}
+
+}  // namespace ferro::ckt

@@ -1,0 +1,47 @@
+// Circuit container: named nodes + owned devices.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ckt/device.hpp"
+
+namespace ferro::ckt {
+
+class Circuit {
+ public:
+  /// Returns the node id for `name`, creating it on first use. "0" and
+  /// "gnd" map to the ground reference.
+  NodeId node(const std::string& name);
+
+  /// Constructs a device in place and takes ownership. Returns a reference
+  /// that stays valid for the circuit's lifetime.
+  template <typename T, typename... Args>
+  T& add(Args&&... args) {
+    auto device = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *device;
+    devices_.push_back(std::move(device));
+    return ref;
+  }
+
+  [[nodiscard]] std::size_t node_count() const { return names_.size(); }
+  [[nodiscard]] const std::vector<std::unique_ptr<Device>>& devices() const {
+    return devices_;
+  }
+  [[nodiscard]] std::vector<std::unique_ptr<Device>>& devices() {
+    return devices_;
+  }
+
+  /// Name of node `id` (for reports); empty for ground/invalid ids.
+  [[nodiscard]] std::string node_name(NodeId id) const;
+
+ private:
+  std::map<std::string, NodeId> index_;
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace ferro::ckt

@@ -1,0 +1,52 @@
+#include "ckt/sources.hpp"
+
+#include "wave/standard.hpp"
+
+namespace ferro::ckt {
+
+VoltageSource::VoltageSource(std::string name, NodeId a, NodeId b,
+                             wave::WaveformPtr v_of_t)
+    : Device(std::move(name)), a_(a), b_(b), v_(std::move(v_of_t)) {}
+
+VoltageSource::VoltageSource(std::string name, NodeId a, NodeId b, double dc_volts)
+    : VoltageSource(std::move(name), a, b,
+                    std::make_shared<wave::Constant>(dc_volts)) {}
+
+void VoltageSource::stamp(Stamper& s, const EvalContext& ctx) {
+  const std::size_t br = first_branch();
+  s.node_branch(a_, br, +1.0);
+  s.node_branch(b_, br, -1.0);
+  s.branch_node(br, a_, +1.0);
+  s.branch_node(br, b_, -1.0);
+  s.branch_rhs(br, v_->value(ctx.dc ? 0.0 : ctx.t));
+}
+
+CurrentSource::CurrentSource(std::string name, NodeId a, NodeId b,
+                             wave::WaveformPtr i_of_t)
+    : Device(std::move(name)), a_(a), b_(b), i_(std::move(i_of_t)) {}
+
+CurrentSource::CurrentSource(std::string name, NodeId a, NodeId b, double dc_amps)
+    : CurrentSource(std::move(name), a, b,
+                    std::make_shared<wave::Constant>(dc_amps)) {}
+
+void CurrentSource::stamp(Stamper& s, const EvalContext& ctx) {
+  s.current_source(a_, b_, i_->value(ctx.dc ? 0.0 : ctx.t));
+}
+
+TimedSwitch::TimedSwitch(std::string name, NodeId a, NodeId b, double t_switch,
+                         bool opens, double r_on, double r_off)
+    : Device(std::move(name)),
+      a_(a),
+      b_(b),
+      t_switch_(t_switch),
+      opens_(opens),
+      r_on_(r_on),
+      r_off_(r_off) {}
+
+void TimedSwitch::stamp(Stamper& s, const EvalContext& ctx) {
+  const double t = ctx.dc ? 0.0 : ctx.t;
+  const bool closed = opens_ ? t < t_switch_ : t >= t_switch_;
+  s.conductance(a_, b_, closed ? 1.0 / r_on_ : 1.0 / r_off_);
+}
+
+}  // namespace ferro::ckt

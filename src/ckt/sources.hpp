@@ -1,0 +1,59 @@
+// Independent sources driven by waveforms.
+#pragma once
+
+#include <memory>
+
+#include "ckt/device.hpp"
+#include "wave/waveform.hpp"
+
+namespace ferro::ckt {
+
+/// Ideal voltage source (branch-current formulation): v(a) - v(b) = V(t).
+class VoltageSource final : public Device {
+ public:
+  VoltageSource(std::string name, NodeId a, NodeId b, wave::WaveformPtr v_of_t);
+  /// Convenience: DC source.
+  VoltageSource(std::string name, NodeId a, NodeId b, double dc_volts);
+
+  [[nodiscard]] std::size_t branch_count() const override { return 1; }
+  void stamp(Stamper& s, const EvalContext& ctx) override;
+
+  /// Source value at time t (t = 0 for DC analyses).
+  [[nodiscard]] double value(double t) const { return v_->value(t); }
+
+ private:
+  NodeId a_, b_;
+  wave::WaveformPtr v_;
+};
+
+/// Ideal current source: current flows from a to b through the source.
+class CurrentSource final : public Device {
+ public:
+  CurrentSource(std::string name, NodeId a, NodeId b, wave::WaveformPtr i_of_t);
+  CurrentSource(std::string name, NodeId a, NodeId b, double dc_amps);
+
+  void stamp(Stamper& s, const EvalContext& ctx) override;
+  [[nodiscard]] double value(double t) const { return i_->value(t); }
+
+ private:
+  NodeId a_, b_;
+  wave::WaveformPtr i_;
+};
+
+/// Time-controlled ideal-ish switch: resistance r_on after `t_close`,
+/// r_off before (or the reverse when `opens` is true).
+class TimedSwitch final : public Device {
+ public:
+  TimedSwitch(std::string name, NodeId a, NodeId b, double t_switch,
+              bool opens = false, double r_on = 1e-3, double r_off = 1e9);
+
+  void stamp(Stamper& s, const EvalContext& ctx) override;
+
+ private:
+  NodeId a_, b_;
+  double t_switch_;
+  bool opens_;
+  double r_on_, r_off_;
+};
+
+}  // namespace ferro::ckt

@@ -1,0 +1,70 @@
+#include "core/ams_ja.hpp"
+
+namespace ferro::core {
+
+namespace {
+
+/// The analogue-solver side of the VHDL-AMS split: a single smooth quantity
+/// y = H(t) with dH/dt given analytically by the excitation. The hysteresis
+/// model rides along in on_step_accepted and never appears in the residual.
+class ExcitationQuantity final : public ams::OdeSystem {
+ public:
+  ExcitationQuantity(const wave::Waveform& h_of_t, mag::TimelessJa& ja,
+                     double t_start)
+      : h_of_t_(h_of_t), ja_(ja), t_start_(t_start) {}
+
+  [[nodiscard]] std::size_t size() const override { return 1; }
+
+  void initial(std::span<double> y0) const override {
+    y0[0] = h_of_t_.value(t_start_);
+  }
+
+  void derivative(double t, std::span<const double>,
+                  std::span<double> dydt) const override {
+    dydt[0] = h_of_t_.derivative(t);
+  }
+
+  void on_step_accepted(double, std::span<const double> y) override {
+    ja_.apply(y[0]);  // timeless discretisation fires on field movement
+  }
+
+ private:
+  const wave::Waveform& h_of_t_;
+  mag::TimelessJa& ja_;
+  double t_start_;
+};
+
+}  // namespace
+
+AmsJaResult run_ams_timeless(const mag::JaParameters& params,
+                             const wave::Waveform& h_of_t,
+                             const AmsJaConfig& config) {
+  AmsJaResult result;
+
+  // The analogue solver's accepted steps can span many dhmax thresholds in
+  // one go; the VHDL-AMS process fires at *every* threshold crossing, which
+  // sub-stepping reproduces. Honour an explicit user override.
+  mag::TimelessConfig timeless = config.timeless;
+  if (timeless.substep_max == 0.0) {
+    timeless.substep_max = timeless.dhmax;
+  }
+
+  mag::TimelessJa ja(params, timeless);
+  ExcitationQuantity system(h_of_t, ja, config.t_start);
+
+  ams::TransientOptions options = config.solver;
+  options.t_start = config.t_start;
+  options.t_end = config.t_end;
+
+  ams::TransientSolver solver(options);
+  result.completed =
+      solver.run(system, [&](double, std::span<const double> y) {
+        // `ja` has already been updated by on_step_accepted for this step.
+        result.curve.append(y[0], ja.magnetisation(), ja.flux_density());
+      });
+  result.solver_stats = solver.stats();
+  result.ja_stats = ja.stats();
+  return result;
+}
+
+}  // namespace ferro::core

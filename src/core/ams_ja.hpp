@@ -1,0 +1,54 @@
+// VHDL-AMS-style frontend of the timeless model, plus the `'INTEG`-style
+// baseline re-export.
+//
+// In the paper's VHDL-AMS implementation the analogue solver owns simulated
+// time and the continuous quantities, while the model integrates dM/dH
+// itself at solver steps ("the integral is calculated using increments of
+// the magnetic field H rather than time steps"). We reproduce that split:
+// the TransientSolver integrates the excitation quantity H(t) (a smooth,
+// JA-free ODE), and the TimelessJa updates at every *accepted* step via the
+// OdeSystem::on_step_accepted hook. The JA equations never enter the
+// solver's residual, so turning points cannot cause Newton failures — that
+// is the whole point of the technique.
+#pragma once
+
+#include "ams/transient.hpp"
+#include "mag/bh.hpp"
+#include "mag/ja_params.hpp"
+#include "mag/time_domain_ja.hpp"
+#include "mag/timeless_ja.hpp"
+#include "wave/waveform.hpp"
+
+namespace ferro::core {
+
+struct AmsJaConfig {
+  double t_start = 0.0;
+  double t_end = 0.06;
+  mag::TimelessConfig timeless;
+  ams::TransientOptions solver;
+};
+
+struct AmsJaResult {
+  mag::BhCurve curve;            ///< (H, M, B) at accepted solver steps
+  ams::TransientStats solver_stats;
+  mag::TimelessStats ja_stats;
+  bool completed = false;
+};
+
+/// Runs the VHDL-AMS-style timeless model over the excitation `h_of_t`.
+[[nodiscard]] AmsJaResult run_ams_timeless(const mag::JaParameters& params,
+                                           const wave::Waveform& h_of_t,
+                                           const AmsJaConfig& config);
+
+/// The criticised conversion route (dM/dt = dM/dH * dH/dt inside the
+/// solver), re-exported from ferro_mag under the name the experiments use.
+using IntegStyleConfig = mag::TimeDomainConfig;
+using IntegStyleResult = mag::TimeDomainResult;
+
+[[nodiscard]] inline IntegStyleResult run_integ_style(
+    const mag::JaParameters& params, const wave::Waveform& h_of_t,
+    const IntegStyleConfig& config) {
+  return mag::run_time_domain_ja(params, h_of_t, config);
+}
+
+}  // namespace ferro::core

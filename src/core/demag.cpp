@@ -1,0 +1,29 @@
+#include "core/demag.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "wave/sweep.hpp"
+
+namespace ferro::core {
+
+DemagResult demagnetise(mag::TimelessJa& model, const DemagConfig& config) {
+  assert(config.decay > 0.0 && config.decay < 1.0);
+  assert(config.start_amplitude > config.stop_amplitude);
+
+  DemagResult result;
+  wave::SweepBuilder builder(config.sample_step, model.state().present_h);
+  for (double amplitude = config.start_amplitude;
+       amplitude > config.stop_amplitude; amplitude *= config.decay) {
+    builder.to(+amplitude);
+    builder.to(-amplitude);
+    ++result.cycles;
+  }
+  builder.to(0.0);
+
+  result.curve = mag::run_sweep(model, builder.build());
+  result.residual_m = std::fabs(model.magnetisation());
+  return result;
+}
+
+}  // namespace ferro::core

@@ -1,0 +1,40 @@
+// AC demagnetisation: drive the core with a decaying alternating field —
+// the standard procedure for returning a core toward the virgin state, and
+// a natural stress test for the timeless discretisation (hundreds of
+// shrinking reversals).
+//
+// Model caveat (documented JA behaviour, not an implementation artefact):
+// materials with weak inter-domain coupling (alpha*Ms well below k)
+// demagnetise essentially completely, but strongly coupled sets — like the
+// paper's, where alpha*Ms/k = 1.2 — only partially: once the cycle
+// amplitude falls under the coercive field, the remaining magnetisation is
+// a self-consistent equilibrium of the effective-field feedback
+// (He = H + alpha*M keeps Man pinned near M) and stops responding. This
+// mirrors the known deficiencies of classic JA at representing
+// demagnetised/accommodated states.
+#pragma once
+
+#include "mag/bh.hpp"
+#include "mag/timeless_ja.hpp"
+
+namespace ferro::core {
+
+struct DemagConfig {
+  double start_amplitude = 10e3;  ///< first cycle amplitude [A/m]
+  double decay = 0.90;            ///< amplitude ratio per cycle, in (0,1)
+  double stop_amplitude = 10.0;   ///< stop when the amplitude falls below
+  double sample_step = 5.0;       ///< |dH| between sweep samples [A/m]
+};
+
+struct DemagResult {
+  mag::BhCurve curve;       ///< full spiral trajectory
+  double residual_m = 0.0;  ///< |M| after the procedure [A/m]
+  int cycles = 0;           ///< alternating cycles applied
+};
+
+/// Applies the decaying-cycle procedure to `model` (whatever state it is
+/// in) and returns the trajectory plus the residual magnetisation.
+[[nodiscard]] DemagResult demagnetise(mag::TimelessJa& model,
+                                      const DemagConfig& config = {});
+
+}  // namespace ferro::core

@@ -1,0 +1,65 @@
+#include "core/facade.hpp"
+
+#include "wave/pwl.hpp"
+
+namespace ferro::core {
+
+std::string_view to_string(Frontend f) {
+  switch (f) {
+    case Frontend::kDirect: return "direct";
+    case Frontend::kSystemC: return "systemc";
+    case Frontend::kAms: return "ams";
+  }
+  return "?";
+}
+
+JaFacade::JaFacade(mag::JaParameters params, mag::TimelessConfig config)
+    : params_(params), config_(config) {}
+
+mag::BhCurve JaFacade::run(const wave::HSweep& sweep, Frontend frontend) const {
+  switch (frontend) {
+    case Frontend::kDirect:
+      return run_dc_sweep(params_, config_, sweep).curve;
+    case Frontend::kSystemC:
+      return run_systemc_sweep(params_, config_.dhmax, sweep).curve;
+    case Frontend::kAms: {
+      // Synthesise a 1 s piecewise-linear traversal of the sweep samples and
+      // hand it to the analogue solver.
+      std::vector<wave::PwlPoint> points;
+      points.reserve(sweep.h.size());
+      const double dt = 1.0 / static_cast<double>(sweep.h.size());
+      for (std::size_t i = 0; i < sweep.h.size(); ++i) {
+        points.push_back({dt * static_cast<double>(i), sweep.h[i]});
+      }
+      const wave::Pwl pwl(std::move(points));
+      AmsJaConfig config;
+      config.t_start = 0.0;
+      config.t_end = pwl.points().back().t;
+      config.timeless = config_;
+      config.solver.breakpoints = pwl.breakpoints();
+      return run_ams_timeless(params_, pwl, config).curve;
+    }
+  }
+  return {};
+}
+
+mag::BhCurve JaFacade::run(const wave::Waveform& h_of_t, double t0, double t1,
+                           std::size_t n_samples, Frontend frontend) const {
+  switch (frontend) {
+    case Frontend::kDirect:
+    case Frontend::kSystemC: {
+      const wave::HSweep sweep = wave::sweep_from_waveform(h_of_t, t0, t1, n_samples);
+      return run(sweep, frontend);
+    }
+    case Frontend::kAms: {
+      AmsJaConfig config;
+      config.t_start = t0;
+      config.t_end = t1;
+      config.timeless = config_;
+      return run_ams_timeless(params_, h_of_t, config).curve;
+    }
+  }
+  return {};
+}
+
+}  // namespace ferro::core

@@ -1,0 +1,50 @@
+// JaFacade — the one-call public API: parameters + frontend choice in,
+// BH curve out. This is what the quickstart example uses.
+#pragma once
+
+#include <string_view>
+
+#include "core/ams_ja.hpp"
+#include "core/dc_sweep.hpp"
+#include "core/systemc_ja.hpp"
+#include "mag/bh.hpp"
+#include "mag/ja_params.hpp"
+#include "mag/timeless_ja.hpp"
+#include "wave/sweep.hpp"
+#include "wave/waveform.hpp"
+
+namespace ferro::core {
+
+/// Which implementation executes the timeless discretisation.
+enum class Frontend {
+  kDirect,   ///< plain TimelessJa object (fastest)
+  kSystemC,  ///< the paper's process network on the event kernel
+  kAms,      ///< VHDL-AMS-style: analogue solver drives H(t)
+};
+
+[[nodiscard]] std::string_view to_string(Frontend f);
+
+class JaFacade {
+ public:
+  explicit JaFacade(mag::JaParameters params, mag::TimelessConfig config = {});
+
+  /// Timeless DC sweep (kDirect and kSystemC; kAms needs a time axis and
+  /// synthesises a 1 s linear traversal of the sweep).
+  [[nodiscard]] mag::BhCurve run(const wave::HSweep& sweep,
+                                 Frontend frontend = Frontend::kDirect) const;
+
+  /// Time-driven run over [t0, t1]: kDirect/kSystemC sample the waveform at
+  /// `n_samples` uniform points; kAms lets the analogue solver pick steps.
+  [[nodiscard]] mag::BhCurve run(const wave::Waveform& h_of_t, double t0,
+                                 double t1, std::size_t n_samples,
+                                 Frontend frontend = Frontend::kDirect) const;
+
+  [[nodiscard]] const mag::JaParameters& params() const { return params_; }
+  [[nodiscard]] const mag::TimelessConfig& config() const { return config_; }
+
+ private:
+  mag::JaParameters params_;
+  mag::TimelessConfig config_;
+};
+
+}  // namespace ferro::core

@@ -1,0 +1,35 @@
+// HDL source generators: emit the paper's model as compilable SystemC or
+// VHDL-AMS source, parameterised by a JaParameters set and discretisation
+// config.
+//
+// The DATE 2006 paper *is* a pair of HDL listings; users of real SystemC /
+// VHDL-AMS toolchains can generate the model for their own material fits
+// instead of copying the published constants. The SystemC output follows
+// the paper's Section 3 listing structure (core / monitorH / Integral
+// processes); the VHDL-AMS output expresses the same timeless discretisation
+// as a process sensitive to the field quantity crossing dhmax thresholds.
+#pragma once
+
+#include <string>
+
+#include "mag/ja_params.hpp"
+#include "mag/timeless_ja.hpp"
+
+namespace ferro::core {
+
+/// Options shared by both generators.
+struct HdlExportOptions {
+  std::string entity_name = "ja_core";
+  double dhmax = 25.0;
+  /// Emit the anhysteretic as in the params (atan / dual-atan / classic).
+  mag::JaParameters params = mag::paper_parameters();
+};
+
+/// Complete SystemC module (header-style, single file) implementing the
+/// timeless discretisation with the listing's process network.
+[[nodiscard]] std::string export_systemc(const HdlExportOptions& options);
+
+/// Complete VHDL-AMS entity/architecture implementing the same model.
+[[nodiscard]] std::string export_vhdl_ams(const HdlExportOptions& options);
+
+}  // namespace ferro::core

@@ -1,0 +1,135 @@
+#include "core/systemc_ja.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "hdl/trace.hpp"
+#include "util/constants.hpp"
+
+namespace ferro::core {
+
+JaCoreModule::JaCoreModule(hdl::Kernel& kernel, std::string name,
+                           const mag::JaParameters& params, double dhmax)
+    : hdl::Module(kernel, std::move(name)),
+      H(kernel, this->name() + ".H", 0.0),
+      Msig(kernel, this->name() + ".Msig", 0.0),
+      Bsig(kernel, this->name() + ".Bsig", 0.0),
+      params_(params),
+      anhysteretic_(params),
+      dhmax_(dhmax),
+      c_over_1pc_(params.c / (1.0 + params.c)),
+      alpha_ms_(params.alpha * params.ms),
+      hchanged_(kernel, this->name() + ".hchanged", false),
+      trig_(kernel, this->name() + ".trig", 0),
+      refresh_(kernel, this->name() + ".refresh", 0) {
+  const hdl::ProcessId core_pid = method("core", [this] { core(); });
+  sensitive(core_pid, H);
+  sensitive(core_pid, refresh_);
+
+  const hdl::ProcessId monitor_pid = method("monitorH", [this] { monitor_h(); });
+  sensitive(monitor_pid, hchanged_);
+
+  const hdl::ProcessId integral_pid = method("Integral", [this] { integral(); });
+  sensitive(integral_pid, trig_);
+}
+
+void JaCoreModule::core() {
+  const double h = H.read();
+
+  // hchanged signal triggered by sufficient changes in field strength.
+  if (std::fabs(h - lasth_) > dhmax_) {
+    hchanged_.write(true);
+  }
+
+  const double he = h + alpha_ms_ * mtotal_;      // effective field
+  man_ = anhysteretic_.man(he);                   // anhysteretic magnetisation
+  const double mrev = c_over_1pc_ * man_;         // reversible component
+  mtotal_ = mrev + mirr_;                         // total magnetisation
+  const double b = util::kMu0 * (params_.ms * mtotal_ + h);  // flux density
+
+  Msig.write(mtotal_);
+  Bsig.write(b);
+}
+
+void JaCoreModule::monitor_h() {
+  const double dh = H.read() - lasth_;
+  if (std::fabs(dh) > dhmax_) {
+    deltah_ = dh;
+    lasth_ = H.read();
+    trig_.write(++trig_count_);
+    hchanged_.write(false);
+  }
+}
+
+void JaCoreModule::integral() {
+  // Get the field direction.
+  const double dk = deltah_ > 0.0 ? params_.k : -params_.k;
+
+  // Forward Euler integration method.
+  const double dh = deltah_;
+  const double deltam = man_ - mtotal_;
+  const double dmdh1 =
+      deltam / ((1.0 + params_.c) * (dk - alpha_ms_ * deltam));
+  const double dmdh = dmdh1 > 0.0 ? dmdh1 : 0.0;  // assure positive derivative
+  double dm = dh * dmdh;
+  if (dm * dh < 0.0) dm = 0.0;
+  mirr_ += dm;
+
+  // Republish through core() so Msig/Bsig include this event's dm.
+  refresh_.write(++refresh_count_);
+}
+
+SystemCSweepResult run_systemc_sweep(const mag::JaParameters& params,
+                                     double dhmax, const wave::HSweep& sweep,
+                                     hdl::SimTime sample_period,
+                                     const std::string& vcd_path) {
+  SystemCSweepResult result;
+  hdl::Kernel kernel;
+  JaCoreModule module(kernel, "ja", params, dhmax);
+
+  std::unique_ptr<hdl::VcdWriter> vcd;
+  hdl::VcdWriter::VarHandle vcd_h = 0, vcd_m = 0, vcd_b = 0;
+  if (!vcd_path.empty()) {
+    vcd = std::make_unique<hdl::VcdWriter>(vcd_path);
+    vcd_h = vcd->add_real("H");
+    vcd_m = vcd->add_real("Msig");
+    vcd_b = vcd->add_real("Bsig");
+  }
+  std::size_t vcd_frame = 0;
+  const auto trace_sample = [&]() {
+    if (!vcd) return;
+    vcd->begin_time(hdl::SimTime::ns(static_cast<std::int64_t>(vcd_frame++)));
+    vcd->value(vcd_h, module.H.read());
+    vcd->value(vcd_m, module.Msig.read());
+    vcd->value(vcd_b, module.Bsig.read());
+  };
+
+  if (sample_period > hdl::SimTime{}) {
+    // Timed testbench: write one sweep sample per period; record half a
+    // period later, after the write's delta cycles have settled.
+    const auto half = hdl::SimTime::fs(sample_period.femtoseconds() / 2);
+    for (std::size_t i = 0; i < sweep.h.size(); ++i) {
+      const double h = sweep.h[i];
+      const auto t = sample_period * static_cast<std::int64_t>(i);
+      kernel.schedule_at(t, [&module, h] { module.H.write(h); });
+      kernel.schedule_at(t + half, [&result, &module, &params, h] {
+        result.curve.append(h, params.ms * module.Msig.read(),
+                            module.Bsig.read());
+      });
+    }
+    kernel.run_until(sample_period * static_cast<std::int64_t>(sweep.h.size()));
+    result.kernel_stats = kernel.stats();
+    return result;
+  }
+
+  for (const double h : sweep.h) {
+    module.H.write(h);
+    kernel.settle();
+    result.curve.append(h, params.ms * module.Msig.read(), module.Bsig.read());
+    trace_sample();
+  }
+  result.kernel_stats = kernel.stats();
+  return result;
+}
+
+}  // namespace ferro::core

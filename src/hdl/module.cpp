@@ -1,0 +1,16 @@
+#include "hdl/module.hpp"
+
+namespace ferro::hdl {
+
+Module::Module(Kernel& kernel, std::string name)
+    : kernel_(kernel), name_(std::move(name)) {}
+
+ProcessId Module::method(const std::string& label, ProcessFn fn) {
+  return kernel_.register_process(name_ + "." + label, std::move(fn));
+}
+
+void Module::sensitive(ProcessId pid, SignalBase& signal) {
+  kernel_.make_sensitive(pid, signal);
+}
+
+}  // namespace ferro::hdl

@@ -1,0 +1,37 @@
+// Module base class: groups processes and signals, SystemC-style.
+#pragma once
+
+#include <string>
+
+#include "hdl/kernel.hpp"
+
+namespace ferro::hdl {
+
+/// A named collection of processes bound to one kernel. Derived classes
+/// declare Signal<T> members and register member functions as processes in
+/// their constructor (the analogue of SC_METHOD + sensitive <<).
+class Module {
+ public:
+  Module(Kernel& kernel, std::string name);
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Kernel& kernel() { return kernel_; }
+
+ protected:
+  /// Registers a process under "<module>.<label>".
+  ProcessId method(const std::string& label, ProcessFn fn);
+
+  /// Declares static sensitivity of `pid` on `signal`.
+  void sensitive(ProcessId pid, SignalBase& signal);
+
+  Kernel& kernel_;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace ferro::hdl

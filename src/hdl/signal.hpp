@@ -1,0 +1,50 @@
+// Typed signal with sc_signal semantics.
+#pragma once
+
+#include <utility>
+
+#include "hdl/kernel.hpp"
+
+namespace ferro::hdl {
+
+/// A signal whose writes become visible one delta cycle later and whose
+/// genuine value changes wake sensitive processes — the semantics the
+/// paper's `hchanged`/`trig`/`Msig`/`Bsig` signals rely on.
+template <typename T>
+class Signal final : public SignalBase {
+ public:
+  Signal(Kernel& kernel, std::string name, T initial = T{})
+      : SignalBase(kernel, std::move(name)),
+        current_(initial),
+        next_(initial) {}
+
+  /// Current (update-phase committed) value.
+  [[nodiscard]] const T& read() const { return current_; }
+
+  /// Schedules `value` to be committed in the update phase of the current
+  /// delta cycle. Multiple writes in one evaluate phase: last one wins.
+  void write(const T& value) {
+    next_ = value;
+    kernel_.request_update(*this);
+  }
+
+  /// Convenience: write(!read()) for event-style toggling.
+  void toggle()
+    requires std::same_as<T, bool>
+  {
+    write(!current_);
+  }
+
+ protected:
+  [[nodiscard]] bool apply_update() override {
+    if (next_ == current_) return false;
+    current_ = next_;
+    return true;
+  }
+
+ private:
+  T current_;
+  T next_;
+};
+
+}  // namespace ferro::hdl

@@ -1,0 +1,51 @@
+// Simulated time for the event kernel.
+//
+// Integer femtoseconds, like SystemC's sc_time default resolution: integer
+// arithmetic keeps event ordering exact no matter how long the run is.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace ferro::hdl {
+
+/// A point (or span) of simulated time with femtosecond resolution.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime fs(std::int64_t v) { return SimTime(v); }
+  [[nodiscard]] static constexpr SimTime ps(std::int64_t v) { return SimTime(v * 1'000); }
+  [[nodiscard]] static constexpr SimTime ns(std::int64_t v) { return SimTime(v * 1'000'000); }
+  [[nodiscard]] static constexpr SimTime us(std::int64_t v) { return SimTime(v * 1'000'000'000); }
+  [[nodiscard]] static constexpr SimTime ms(std::int64_t v) { return SimTime(v * 1'000'000'000'000); }
+  [[nodiscard]] static constexpr SimTime sec(std::int64_t v) { return SimTime(v * 1'000'000'000'000'000); }
+
+  /// Nearest-femtosecond conversion from seconds (for analogue interop).
+  [[nodiscard]] static SimTime from_seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e15 + (s >= 0 ? 0.5 : -0.5)));
+  }
+
+  [[nodiscard]] constexpr std::int64_t femtoseconds() const { return fs_; }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(fs_) * 1e-15;
+  }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimTime rhs) const { return SimTime(fs_ + rhs.fs_); }
+  constexpr SimTime operator-(SimTime rhs) const { return SimTime(fs_ - rhs.fs_); }
+  constexpr SimTime& operator+=(SimTime rhs) {
+    fs_ += rhs.fs_;
+    return *this;
+  }
+  [[nodiscard]] constexpr SimTime operator*(std::int64_t n) const {
+    return SimTime(fs_ * n);
+  }
+
+ private:
+  explicit constexpr SimTime(std::int64_t v) : fs_(v) {}
+  std::int64_t fs_ = 0;
+};
+
+}  // namespace ferro::hdl

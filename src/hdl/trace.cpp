@@ -1,0 +1,78 @@
+#include "hdl/trace.hpp"
+
+#include "util/csv.hpp"
+
+namespace ferro::hdl {
+
+VcdWriter::VcdWriter(const std::string& path, const std::string& timescale)
+    : stream_(path), timescale_(timescale) {}
+
+VcdWriter::~VcdWriter() {
+  if (stream_.is_open()) stream_.flush();
+}
+
+std::string VcdWriter::id_code(std::size_t index) const {
+  // Printable identifier code per IEEE-1364: base-94 digits from '!'.
+  std::string code;
+  do {
+    code.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return code;
+}
+
+VcdWriter::VarHandle VcdWriter::add_real(const std::string& name) {
+  names_.push_back(name);
+  return names_.size() - 1;
+}
+
+void VcdWriter::write_header() {
+  stream_ << "$date ferrohdl $end\n";
+  stream_ << "$version ferrohdl vcd writer $end\n";
+  stream_ << "$timescale " << timescale_ << " $end\n";
+  stream_ << "$scope module ferrohdl $end\n";
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    stream_ << "$var real 64 " << id_code(i) << ' ' << names_[i] << " $end\n";
+  }
+  stream_ << "$upscope $end\n$enddefinitions $end\n";
+  header_written_ = true;
+}
+
+void VcdWriter::begin_time(SimTime t) {
+  if (!header_written_) write_header();
+  const std::int64_t fs = t.femtoseconds();
+  if (fs != last_time_fs_) {
+    stream_ << '#' << fs << '\n';
+    last_time_fs_ = fs;
+  }
+}
+
+void VcdWriter::value(VarHandle var, double v) {
+  if (!header_written_) write_header();
+  stream_ << 'r' << v << ' ' << id_code(var) << '\n';
+}
+
+void CsvTracer::add(const Signal<double>& signal) {
+  signals_.push_back(&signal);
+}
+
+void CsvTracer::sample(SimTime t) {
+  std::vector<double> row;
+  row.reserve(signals_.size() + 1);
+  row.push_back(t.seconds());
+  for (const auto* sig : signals_) row.push_back(sig->read());
+  rows_.push_back(std::move(row));
+}
+
+bool CsvTracer::write() {
+  std::vector<std::string> columns;
+  columns.emplace_back("t");
+  for (const auto* sig : signals_) columns.push_back(sig->name());
+  util::CsvWriter writer(path_, columns);
+  for (const auto& row : rows_) {
+    writer.row(row);
+  }
+  return writer.ok();
+}
+
+}  // namespace ferro::hdl

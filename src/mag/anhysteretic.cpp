@@ -1,0 +1,72 @@
+#include "mag/anhysteretic.hpp"
+
+#include <cmath>
+
+#include "util/constants.hpp"
+
+namespace ferro::mag {
+
+double langevin(double x) {
+  const double ax = std::fabs(x);
+  if (ax < 1e-4) {
+    // L(x) = x/3 - x^3/45 + 2x^5/945 - ...
+    const double x2 = x * x;
+    return x * (1.0 / 3.0 - x2 * (1.0 / 45.0 - x2 * (2.0 / 945.0)));
+  }
+  if (ax > 350.0) {
+    // coth(x) saturates to sign(x); 1/x still contributes.
+    return (x > 0.0 ? 1.0 : -1.0) - 1.0 / x;
+  }
+  return 1.0 / std::tanh(x) - 1.0 / x;
+}
+
+double langevin_derivative(double x) {
+  const double ax = std::fabs(x);
+  if (ax < 1e-4) {
+    // L'(x) = 1/3 - x^2/15 + 2x^4/189 - ...
+    const double x2 = x * x;
+    return 1.0 / 3.0 - x2 * (1.0 / 15.0 - x2 * (2.0 / 189.0));
+  }
+  if (ax > 350.0) {
+    return 1.0 / (x * x);  // csch^2 underflows to 0
+  }
+  const double s = std::sinh(x);
+  return 1.0 / (x * x) - 1.0 / (s * s);
+}
+
+double atan_langevin(double x) { return util::kTwoOverPi * std::atan(x); }
+
+double atan_langevin_derivative(double x) {
+  return util::kTwoOverPi / (1.0 + x * x);
+}
+
+Anhysteretic::Anhysteretic(const JaParameters& p)
+    : kind_(p.kind), a_(p.a), a2_(p.a2), blend_(p.blend) {}
+
+double Anhysteretic::man(double he) const {
+  switch (kind_) {
+    case AnhystereticKind::kClassicLangevin:
+      return langevin(he / a_);
+    case AnhystereticKind::kAtan:
+      return atan_langevin(he / a_);
+    case AnhystereticKind::kDualAtan:
+      return blend_ * atan_langevin(he / a_) +
+             (1.0 - blend_) * atan_langevin(he / a2_);
+  }
+  return 0.0;
+}
+
+double Anhysteretic::dman_dhe(double he) const {
+  switch (kind_) {
+    case AnhystereticKind::kClassicLangevin:
+      return langevin_derivative(he / a_) / a_;
+    case AnhystereticKind::kAtan:
+      return atan_langevin_derivative(he / a_) / a_;
+    case AnhystereticKind::kDualAtan:
+      return blend_ * atan_langevin_derivative(he / a_) / a_ +
+             (1.0 - blend_) * atan_langevin_derivative(he / a2_) / a2_;
+  }
+  return 0.0;
+}
+
+}  // namespace ferro::mag

@@ -1,0 +1,50 @@
+// Anhysteretic magnetisation curves Man(He) and their derivatives.
+//
+// All functions return the *normalised* anhysteretic m_an = Man/Ms, exactly
+// like the paper's listing (`man = Lang_mod(He/a)`), so the JA integrators
+// can work in normalised magnetisation and scale by Ms only at the output.
+#pragma once
+
+#include "mag/ja_params.hpp"
+
+namespace ferro::mag {
+
+/// Classic Langevin function L(x) = coth(x) - 1/x, with the series expansion
+/// x/3 - x^3/45 + 2x^5/945 used for |x| < 1e-4 to avoid catastrophic
+/// cancellation near zero.
+[[nodiscard]] double langevin(double x);
+
+/// dL/dx = 1/x^2 - csch^2(x), series 1/3 - x^2/15 + 2x^4/189 near zero.
+[[nodiscard]] double langevin_derivative(double x);
+
+/// Modified (atan) Langevin of Wilson et al.: (2/pi) * atan(x).
+[[nodiscard]] double atan_langevin(double x);
+
+/// d/dx of atan_langevin: (2/pi) / (1 + x^2).
+[[nodiscard]] double atan_langevin_derivative(double x);
+
+/// Evaluates the anhysteretic selected by JaParameters::kind.
+///
+/// The evaluator is a small value type; copying it is free. It pre-reads the
+/// shape parameters so the hot path (called once per field event) does no
+/// branching beyond one switch.
+class Anhysteretic {
+ public:
+  explicit Anhysteretic(const JaParameters& p);
+
+  /// Normalised anhysteretic m_an(He) = Man(He)/Ms for effective field He [A/m].
+  [[nodiscard]] double man(double he) const;
+
+  /// d(m_an)/d(He) [m per A/m] — needed by the classic-JA reversible term.
+  [[nodiscard]] double dman_dhe(double he) const;
+
+  [[nodiscard]] AnhystereticKind kind() const { return kind_; }
+
+ private:
+  AnhystereticKind kind_;
+  double a_;
+  double a2_;
+  double blend_;
+};
+
+}  // namespace ferro::mag

@@ -1,0 +1,94 @@
+#include "mag/inverse_ja.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/constants.hpp"
+
+namespace ferro::mag {
+
+namespace {
+
+/// The scalar solve probes trial fields far from the committed state; a
+/// single Forward-Euler event across such a span is unbounded (m_irr grows
+/// by dh*slope with no saturation guard), so trial steps must sub-step at
+/// the event resolution — exactly like the AMS frontend.
+TimelessConfig substepped(TimelessConfig config) {
+  if (config.substep_max == 0.0) config.substep_max = config.dhmax;
+  return config;
+}
+
+}  // namespace
+
+InverseTimelessJa::InverseTimelessJa(const JaParameters& params,
+                                     const InverseConfig& config)
+    : params_(params),
+      config_(config),
+      model_(params, substepped(config.forward)) {}
+
+void InverseTimelessJa::reset() {
+  model_.reset();
+  iterations_ = 0;
+}
+
+double InverseTimelessJa::trial_b(double h) const {
+  TimelessJa trial = model_;
+  trial.apply(h);
+  return trial.flux_density();
+}
+
+double InverseTimelessJa::apply_b(double b) {
+  // B(H) is monotone non-decreasing (clamped slopes >= 0 plus the mu0*H
+  // term), so a bracketed secant/bisection hybrid is globally convergent.
+  double h_lo = model_.state().present_h;
+  double b_lo = trial_b(h_lo);
+
+  // Initial bracket: expand in the direction of the residual. The air-line
+  // slope mu0 bounds dB/dH from below, giving a safe first stride.
+  const double db = b - b_lo;
+  if (std::fabs(db) <= config_.tolerance_b) {
+    model_.apply(h_lo);
+    return h_lo;
+  }
+  double stride = db / util::kMu0;  // overshoots when the core is active
+  double h_hi = h_lo + stride;
+  double b_hi = trial_b(h_hi);
+  ++iterations_;
+
+  // Ensure the target is bracketed (expand up to a few times; the mu0
+  // stride can undershoot only through the clamp corner cases).
+  for (int i = 0; i < 8 && (b - b_lo) * (b - b_hi) > 0.0; ++i) {
+    h_hi += stride;
+    b_hi = trial_b(h_hi);
+    ++iterations_;
+  }
+
+  // Bisection with a secant refinement inside the bracket.
+  double h_mid = h_hi;
+  for (int i = 0; i < config_.max_iterations; ++i) {
+    // Secant proposal, clamped into the bracket.
+    const double denom = b_hi - b_lo;
+    double h_sec = denom != 0.0 ? h_lo + (b - b_lo) * (h_hi - h_lo) / denom
+                                : 0.5 * (h_lo + h_hi);
+    const double lo = std::min(h_lo, h_hi);
+    const double hi = std::max(h_lo, h_hi);
+    if (h_sec <= lo || h_sec >= hi) h_sec = 0.5 * (h_lo + h_hi);
+
+    h_mid = h_sec;
+    const double b_mid = trial_b(h_mid);
+    ++iterations_;
+    if (std::fabs(b_mid - b) <= config_.tolerance_b) break;
+    if ((b - b_lo) * (b - b_mid) <= 0.0) {
+      h_hi = h_mid;
+      b_hi = b_mid;
+    } else {
+      h_lo = h_mid;
+      b_lo = b_mid;
+    }
+  }
+
+  model_.apply(h_mid);  // commit the accepted field once
+  return h_mid;
+}
+
+}  // namespace ferro::mag

@@ -1,0 +1,91 @@
+#include "mag/ja_params.hpp"
+
+#include <cmath>
+
+namespace ferro::mag {
+
+std::string_view to_string(AnhystereticKind kind) {
+  switch (kind) {
+    case AnhystereticKind::kClassicLangevin: return "classic-langevin";
+    case AnhystereticKind::kAtan: return "atan";
+    case AnhystereticKind::kDualAtan: return "dual-atan";
+  }
+  return "?";
+}
+
+std::vector<std::string> JaParameters::validate() const {
+  std::vector<std::string> problems;
+  if (!(ms > 0.0) || !std::isfinite(ms)) problems.emplace_back("ms must be > 0");
+  if (!(a > 0.0) || !std::isfinite(a)) problems.emplace_back("a must be > 0");
+  if (!(k > 0.0) || !std::isfinite(k)) problems.emplace_back("k must be > 0");
+  if (!(c >= 0.0 && c < 1.0)) problems.emplace_back("c must be in [0, 1)");
+  if (!(alpha >= 0.0) || !std::isfinite(alpha)) {
+    problems.emplace_back("alpha must be >= 0");
+  }
+  if (kind == AnhystereticKind::kDualAtan) {
+    if (!(a2 > 0.0) || !std::isfinite(a2)) problems.emplace_back("a2 must be > 0");
+    if (!(blend >= 0.0 && blend <= 1.0)) {
+      problems.emplace_back("blend must be in [0, 1]");
+    }
+  }
+  return problems;
+}
+
+JaParameters paper_parameters() {
+  JaParameters p;
+  p.ms = 1.6e6;
+  p.a = 2000.0;
+  p.k = 4000.0;
+  p.c = 0.1;
+  p.alpha = 0.003;
+  p.a2 = 3500.0;
+  p.kind = AnhystereticKind::kAtan;
+  return p;
+}
+
+JaParameters paper_parameters_dual() {
+  JaParameters p = paper_parameters();
+  p.kind = AnhystereticKind::kDualAtan;
+  p.blend = 0.5;
+  return p;
+}
+
+const std::vector<Material>& material_library() {
+  // Parameter sets besides the paper's are representative JA fits from the
+  // literature (Jiles & Atherton 1984/1986 steel fits and typical published
+  // ferrite/permalloy-class values), included so the examples and property
+  // sweeps exercise realistic ranges, not just one point.
+  static const std::vector<Material> kLibrary = {
+      {"paper-2006", "Al-Junaid & Kazmierski DATE 2006 parameter set (atan)",
+       paper_parameters()},
+      {"paper-2006-dual",
+       "Paper parameter set with the dual-scale atan anhysteretic (uses a2)",
+       paper_parameters_dual()},
+      {"ja-1984-steel",
+       "Jiles & Atherton 1984 canonical steel fit (classic Langevin)",
+       {/*ms=*/1.7e6, /*a=*/1000.0, /*k=*/2000.0, /*c=*/0.2, /*alpha=*/1.6e-3,
+        /*a2=*/1000.0, /*blend=*/0.5, AnhystereticKind::kClassicLangevin}},
+      {"soft-ferrite",
+       "Soft MnZn-ferrite-class core: low losses, low saturation",
+       {/*ms=*/4.0e5, /*a=*/25.0, /*k=*/15.0, /*c=*/0.3, /*alpha=*/4.0e-5,
+        /*a2=*/40.0, /*blend=*/0.5, AnhystereticKind::kClassicLangevin}},
+      {"grain-oriented-si",
+       "Grain-oriented silicon steel class: square-ish loop, low pinning",
+       {/*ms=*/1.61e6, /*a=*/64.0, /*k=*/85.0, /*c=*/0.15, /*alpha=*/1.1e-4,
+        /*a2=*/90.0, /*blend=*/0.5, AnhystereticKind::kClassicLangevin}},
+      {"hard-steel",
+       "Hard magnetic steel class: wide loop, strong pinning",
+       {/*ms=*/1.2e6, /*a=*/1200.0, /*k=*/5000.0, /*c=*/0.05, /*alpha=*/2.0e-3,
+        /*a2=*/1500.0, /*blend=*/0.5, AnhystereticKind::kClassicLangevin}},
+  };
+  return kLibrary;
+}
+
+const Material* find_material(std::string_view name) {
+  for (const auto& m : material_library()) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+}  // namespace ferro::mag

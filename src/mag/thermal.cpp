@@ -1,0 +1,29 @@
+#include "mag/thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ferro::mag {
+
+double ThermalModel::ms_ratio(double t_kelvin) const {
+  const double denom = curie_temperature - reference_temperature;
+  if (denom <= 0.0) return 1.0;
+  const double reduced =
+      (curie_temperature - t_kelvin) / denom;  // 1 at T0, 0 at Tc
+  if (reduced <= 0.0) return 1e-6;             // above Curie: paramagnetic floor
+  return std::max(1e-6, std::pow(reduced, beta_ms));
+}
+
+JaParameters ThermalModel::at(const JaParameters& base, double t_kelvin) const {
+  const double ratio = ms_ratio(t_kelvin);
+  JaParameters p = base;
+  p.ms = base.ms * ratio;
+  p.a = std::max(1e-9, base.a * std::pow(ratio, beta_a));
+  p.a2 = std::max(1e-9, base.a2 * std::pow(ratio, beta_a));
+  p.k = std::max(1e-9, base.k * std::pow(ratio, beta_k));
+  // c and alpha are taken as temperature-independent at this level of
+  // modelling (their drift is second-order against Ms collapse).
+  return p;
+}
+
+}  // namespace ferro::mag

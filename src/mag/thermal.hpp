@@ -1,0 +1,36 @@
+// Temperature dependence of Jiles-Atherton parameters.
+//
+// The standard extension from the JA literature (Jiles' own temperature
+// papers and the Wilson et al. behavioural-modelling line the DATE 2006
+// paper builds on): saturation magnetisation follows a critical-exponent
+// law toward the Curie temperature,
+//
+//     Ms(T) = Ms(T0) * ((Tc - T) / (Tc - T0))^beta,
+//
+// and the domain-scale parameters track Ms: a and k scale with the same
+// factor raised to their own exponents (a ~ Ms, pinning k weakens faster).
+// All exponents are configurable; defaults follow commonly fitted values
+// (beta = 0.36, the 3D Heisenberg class).
+#pragma once
+
+#include "mag/ja_params.hpp"
+
+namespace ferro::mag {
+
+struct ThermalModel {
+  double curie_temperature = 1043.0;  ///< Tc [K] (iron default)
+  double reference_temperature = 293.0;  ///< T0 at which `base` was fitted [K]
+  double beta_ms = 0.36;  ///< critical exponent of Ms
+  double beta_a = 1.0;    ///< a scales as (Ms ratio)^beta_a
+  double beta_k = 2.0;    ///< k scales as (Ms ratio)^beta_k (pinning fades fast)
+
+  /// Parameters valid at temperature T [K]; clamps at the Curie point
+  /// (vanishing Ms is floored at 1e-6 of the reference to keep models
+  /// well-posed just below Tc).
+  [[nodiscard]] JaParameters at(const JaParameters& base, double t_kelvin) const;
+
+  /// Ms(T)/Ms(T0) scale factor.
+  [[nodiscard]] double ms_ratio(double t_kelvin) const;
+};
+
+}  // namespace ferro::mag

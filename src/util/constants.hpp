@@ -1,0 +1,23 @@
+// Physical and mathematical constants used throughout ferrohdl.
+//
+// All quantities are SI: magnetic field H and magnetisation M in A/m,
+// flux density B in tesla, time in seconds.
+#pragma once
+
+namespace ferro::util {
+
+/// Vacuum permeability mu_0 [H/m] (exact pre-2019 SI definition, which is
+/// what the 2006 paper and every SPICE-era magnetics reference uses).
+inline constexpr double kMu0 = 1.25663706143591729539e-6;  // 4*pi*1e-7
+
+/// pi with full double precision.
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// 2/pi — the scale factor of the modified (atan-based) Langevin function.
+inline constexpr double kTwoOverPi = 0.63661977236758134308;
+
+/// Absolute tolerance used when comparing magnetisations that are expected
+/// to be "virtually identical" across frontends (fraction of Msat).
+inline constexpr double kFrontendMatchTol = 1e-9;
+
+}  // namespace ferro::util

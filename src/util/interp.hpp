@@ -1,0 +1,31 @@
+// Piecewise-linear interpolation and curve resampling.
+//
+// Used by analysis code to compare BH curves sampled at different field
+// points (different frontends take different step sequences, so curves must
+// be resampled onto a common axis before computing RMS differences).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ferro::util {
+
+/// Linear interpolation of y(x) at `xq`, where `xs` is strictly increasing.
+/// Values outside the range clamp to the end values.
+[[nodiscard]] double lerp_at(std::span<const double> xs, std::span<const double> ys,
+                             double xq);
+
+/// Resample y(x) at each point of `xq` with lerp_at.
+[[nodiscard]] std::vector<double> resample(std::span<const double> xs,
+                                           std::span<const double> ys,
+                                           std::span<const double> xq);
+
+/// Uniformly spaced grid of `n` points spanning [lo, hi] (n >= 2).
+[[nodiscard]] std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// Trapezoidal integral of y dx over the sampled curve. The x values need
+/// not be monotone — this is what makes it usable as a loop-area (enclosed
+/// area) computation when (x, y) traces a closed hysteresis loop.
+[[nodiscard]] double trapezoid(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace ferro::util

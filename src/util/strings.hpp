@@ -1,0 +1,26 @@
+// Small string helpers shared by CSV parsing and report printing.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ferro::util {
+
+/// Split `text` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char delim);
+
+/// Strip leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Render a double with `precision` significant digits (for report tables).
+[[nodiscard]] std::string format_double(double value, int precision = 6);
+
+/// Render a double in engineering style with a unit suffix, e.g. "4.000 kA/m".
+[[nodiscard]] std::string format_engineering(double value, std::string_view unit,
+                                             int precision = 3);
+
+}  // namespace ferro::util

@@ -1,0 +1,9 @@
+#include "wave/composite.hpp"
+
+// All combinators are header-only; this TU anchors the library target so the
+// archive always has at least one object for the module.
+namespace ferro::wave {
+namespace {
+[[maybe_unused]] constexpr int kCompositeAnchor = 0;
+}  // namespace
+}  // namespace ferro::wave

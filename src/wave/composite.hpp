@@ -1,0 +1,84 @@
+// Waveform combinators: sum, scale, offset, clip, product.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "wave/waveform.hpp"
+
+namespace ferro::wave {
+
+/// Sum of several waveforms.
+class Sum final : public Waveform {
+ public:
+  explicit Sum(std::vector<WaveformPtr> terms) : terms_(std::move(terms)) {}
+  [[nodiscard]] double value(double t) const override {
+    double acc = 0.0;
+    for (const auto& w : terms_) acc += w->value(t);
+    return acc;
+  }
+  [[nodiscard]] double derivative(double t) const override {
+    double acc = 0.0;
+    for (const auto& w : terms_) acc += w->derivative(t);
+    return acc;
+  }
+
+ private:
+  std::vector<WaveformPtr> terms_;
+};
+
+/// gain * w(t) + offset.
+class Affine final : public Waveform {
+ public:
+  Affine(WaveformPtr inner, double gain, double offset = 0.0)
+      : inner_(std::move(inner)), gain_(gain), offset_(offset) {}
+  [[nodiscard]] double value(double t) const override {
+    return gain_ * inner_->value(t) + offset_;
+  }
+  [[nodiscard]] double derivative(double t) const override {
+    return gain_ * inner_->derivative(t);
+  }
+
+ private:
+  WaveformPtr inner_;
+  double gain_;
+  double offset_;
+};
+
+/// Pointwise product a(t)*b(t) (e.g. envelope * carrier).
+class Product final : public Waveform {
+ public:
+  Product(WaveformPtr a, WaveformPtr b) : a_(std::move(a)), b_(std::move(b)) {}
+  [[nodiscard]] double value(double t) const override {
+    return a_->value(t) * b_->value(t);
+  }
+  [[nodiscard]] double derivative(double t) const override {
+    return a_->derivative(t) * b_->value(t) + a_->value(t) * b_->derivative(t);
+  }
+
+ private:
+  WaveformPtr a_;
+  WaveformPtr b_;
+};
+
+/// Clamp w(t) into [lo, hi].
+class Clip final : public Waveform {
+ public:
+  Clip(WaveformPtr inner, double lo, double hi)
+      : inner_(std::move(inner)), lo_(lo), hi_(hi) {}
+  [[nodiscard]] double value(double t) const override {
+    return std::clamp(inner_->value(t), lo_, hi_);
+  }
+  [[nodiscard]] double derivative(double t) const override {
+    const double v = inner_->value(t);
+    return (v <= lo_ || v >= hi_) ? 0.0 : inner_->derivative(t);
+  }
+
+ private:
+  WaveformPtr inner_;
+  double lo_;
+  double hi_;
+};
+
+}  // namespace ferro::wave

@@ -1,0 +1,86 @@
+#include "wave/pulse.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ferro::wave {
+
+Pulse::Pulse(double v1, double v2, double delay, double rise, double fall,
+             double width, double period)
+    : v1_(v1),
+      v2_(v2),
+      delay_(delay),
+      rise_(rise),
+      fall_(fall),
+      width_(width),
+      period_(period) {
+  assert(rise > 0.0);
+  assert(fall > 0.0);
+  assert(width >= 0.0);
+  assert(period >= rise + width + fall);
+}
+
+double Pulse::value(double t) const {
+  if (t < delay_) return v1_;
+  const double local = std::fmod(t - delay_, period_);
+  if (local < rise_) {
+    return v1_ + (v2_ - v1_) * (local / rise_);
+  }
+  if (local < rise_ + width_) return v2_;
+  if (local < rise_ + width_ + fall_) {
+    return v2_ + (v1_ - v2_) * ((local - rise_ - width_) / fall_);
+  }
+  return v1_;
+}
+
+double Pulse::derivative(double t) const {
+  if (t < delay_) return 0.0;
+  const double local = std::fmod(t - delay_, period_);
+  if (local < rise_) return (v2_ - v1_) / rise_;
+  if (local < rise_ + width_) return 0.0;
+  if (local < rise_ + width_ + fall_) return (v1_ - v2_) / fall_;
+  return 0.0;
+}
+
+std::vector<double> Pulse::breakpoints(int periods) const {
+  std::vector<double> times;
+  for (int p = 0; p < periods; ++p) {
+    const double base = delay_ + period_ * p;
+    times.push_back(base);
+    times.push_back(base + rise_);
+    times.push_back(base + rise_ + width_);
+    times.push_back(base + rise_ + width_ + fall_);
+  }
+  return times;
+}
+
+Exp::Exp(double v1, double v2, double td1, double tau1, double td2, double tau2)
+    : v1_(v1), v2_(v2), td1_(td1), tau1_(tau1), td2_(td2), tau2_(tau2) {
+  assert(tau1 > 0.0);
+  assert(tau2 > 0.0);
+  assert(td2 >= td1);
+}
+
+double Exp::value(double t) const {
+  if (t <= td1_) return v1_;
+  const double rise = (v2_ - v1_) * (1.0 - std::exp(-(t - td1_) / tau1_));
+  if (t <= td2_) return v1_ + rise;
+  const double at_td2 =
+      (v2_ - v1_) * (1.0 - std::exp(-(td2_ - td1_) / tau1_));
+  // SPICE superposes the decay onto the continuing rise.
+  const double decay =
+      (v1_ - v2_) * (1.0 - std::exp(-(t - td2_) / tau2_));
+  (void)at_td2;
+  return v1_ + rise + decay;
+}
+
+double Exp::derivative(double t) const {
+  if (t <= td1_) return 0.0;
+  double d = (v2_ - v1_) / tau1_ * std::exp(-(t - td1_) / tau1_);
+  if (t > td2_) {
+    d += (v1_ - v2_) / tau2_ * std::exp(-(t - td2_) / tau2_);
+  }
+  return d;
+}
+
+}  // namespace ferro::wave

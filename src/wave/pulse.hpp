@@ -1,0 +1,42 @@
+// SPICE-style PULSE and EXP sources.
+#pragma once
+
+#include <vector>
+
+#include "wave/waveform.hpp"
+
+namespace ferro::wave {
+
+/// SPICE PULSE(v1 v2 td tr tf pw per): initial level, pulsed level, delay,
+/// rise time, fall time, pulse width, period. Repeats for t > td.
+class Pulse final : public Waveform {
+ public:
+  Pulse(double v1, double v2, double delay, double rise, double fall,
+        double width, double period);
+
+  [[nodiscard]] double value(double t) const override;
+  [[nodiscard]] double derivative(double t) const override;
+
+  /// Corner times of one period (rise start/end, fall start/end) offset by
+  /// the delay — solver breakpoints for the first few periods.
+  [[nodiscard]] std::vector<double> breakpoints(int periods = 4) const;
+
+ private:
+  double v1_, v2_, delay_, rise_, fall_, width_, period_;
+};
+
+/// SPICE EXP(v1 v2 td1 tau1 td2 tau2): exponential rise toward v2 starting
+/// at td1 with time constant tau1, exponential return toward v1 from td2
+/// with tau2.
+class Exp final : public Waveform {
+ public:
+  Exp(double v1, double v2, double td1, double tau1, double td2, double tau2);
+
+  [[nodiscard]] double value(double t) const override;
+  [[nodiscard]] double derivative(double t) const override;
+
+ private:
+  double v1_, v2_, td1_, tau1_, td2_, tau2_;
+};
+
+}  // namespace ferro::wave

@@ -1,0 +1,58 @@
+#include "wave/pwl.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ferro::wave {
+
+Pwl::Pwl(std::vector<PwlPoint> points) : points_(std::move(points)) {
+  assert(!points_.empty());
+  std::stable_sort(points_.begin(), points_.end(),
+                   [](const PwlPoint& a, const PwlPoint& b) { return a.t < b.t; });
+  // Drop duplicate times, keeping the later entry (explicit override wins).
+  std::vector<PwlPoint> unique;
+  unique.reserve(points_.size());
+  for (const auto& p : points_) {
+    if (!unique.empty() && unique.back().t == p.t) {
+      unique.back() = p;
+    } else {
+      unique.push_back(p);
+    }
+  }
+  points_ = std::move(unique);
+}
+
+double Pwl::value(double t) const {
+  if (t <= points_.front().t) return points_.front().v;
+  if (t >= points_.back().t) return points_.back().v;
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](double tq, const PwlPoint& p) { return tq < p.t; });
+  const auto hi = it;
+  const auto lo = it - 1;
+  const double span = hi->t - lo->t;
+  if (span <= 0.0) return lo->v;
+  const double frac = (t - lo->t) / span;
+  return lo->v + frac * (hi->v - lo->v);
+}
+
+double Pwl::derivative(double t) const {
+  if (t < points_.front().t || t > points_.back().t) return 0.0;
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](double tq, const PwlPoint& p) { return tq < p.t; });
+  if (it == points_.begin() || it == points_.end()) return 0.0;
+  const auto hi = it;
+  const auto lo = it - 1;
+  const double span = hi->t - lo->t;
+  return span > 0.0 ? (hi->v - lo->v) / span : 0.0;
+}
+
+std::vector<double> Pwl::breakpoints() const {
+  std::vector<double> ts;
+  ts.reserve(points_.size());
+  for (const auto& p : points_) ts.push_back(p.t);
+  return ts;
+}
+
+}  // namespace ferro::wave

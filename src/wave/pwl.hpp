@@ -1,0 +1,39 @@
+// Piecewise-linear waveform (SPICE PWL source semantics).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "wave/waveform.hpp"
+
+namespace ferro::wave {
+
+/// A breakpoint of a PWL waveform.
+struct PwlPoint {
+  double t;
+  double v;
+};
+
+/// Piecewise-linear interpolation through breakpoints sorted by time.
+/// Before the first point the waveform holds the first value; after the
+/// last it holds the last value (SPICE PWL convention).
+class Pwl final : public Waveform {
+ public:
+  /// `points` must be non-empty with strictly increasing times; violations
+  /// are repaired by sorting and dropping duplicate times (last one wins).
+  explicit Pwl(std::vector<PwlPoint> points);
+
+  [[nodiscard]] double value(double t) const override;
+  [[nodiscard]] double derivative(double t) const override;
+
+  [[nodiscard]] const std::vector<PwlPoint>& points() const { return points_; }
+
+  /// Times at which the slope changes — the analogue solver uses these as
+  /// mandatory time points so it never steps across a corner.
+  [[nodiscard]] std::vector<double> breakpoints() const;
+
+ private:
+  std::vector<PwlPoint> points_;
+};
+
+}  // namespace ferro::wave

@@ -1,0 +1,31 @@
+#include "wave/sampler.hpp"
+
+#include <cassert>
+
+#include "util/csv.hpp"
+
+namespace ferro::wave {
+
+std::vector<Sample> sample_uniform(const Waveform& w, double t0, double t1,
+                                   std::size_t n) {
+  assert(n >= 2);
+  assert(t1 > t0);
+  std::vector<Sample> out;
+  out.reserve(n);
+  const double dt = (t1 - t0) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = t0 + dt * static_cast<double>(i);
+    out.push_back({t, w.value(t)});
+  }
+  return out;
+}
+
+bool write_samples_csv(const std::string& path, const std::vector<Sample>& samples) {
+  util::CsvWriter writer(path, {"t", "value"});
+  for (const auto& s : samples) {
+    writer.row({s.t, s.v});
+  }
+  return writer.ok();
+}
+
+}  // namespace ferro::wave

@@ -1,0 +1,24 @@
+// Uniform-time sampling of waveforms, with CSV export for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wave/waveform.hpp"
+
+namespace ferro::wave {
+
+/// A (time, value) pair.
+struct Sample {
+  double t;
+  double v;
+};
+
+/// `n` uniformly spaced samples of `w` over [t0, t1] inclusive.
+[[nodiscard]] std::vector<Sample> sample_uniform(const Waveform& w, double t0,
+                                                 double t1, std::size_t n);
+
+/// Writes samples as a two-column CSV ("t,value"). Returns false on IO error.
+bool write_samples_csv(const std::string& path, const std::vector<Sample>& samples);
+
+}  // namespace ferro::wave

@@ -1,0 +1,97 @@
+#include "wave/sweep.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ferro::wave {
+
+SweepBuilder::SweepBuilder(double step, double h_start)
+    : step_(step), current_(h_start) {
+  assert(step > 0.0);
+  h_.push_back(h_start);
+}
+
+void SweepBuilder::push(double h) {
+  h_.push_back(h);
+  current_ = h;
+}
+
+SweepBuilder& SweepBuilder::to(double h_target) {
+  const double span = h_target - current_;
+  if (span == 0.0) return *this;
+  const double dir = span > 0.0 ? 1.0 : -1.0;
+  const auto n_full = static_cast<std::size_t>(std::floor(std::fabs(span) / step_));
+  const double start = current_;
+  for (std::size_t i = 1; i <= n_full; ++i) {
+    push(start + dir * step_ * static_cast<double>(i));
+  }
+  if (current_ != h_target) push(h_target);
+  return *this;
+}
+
+SweepBuilder& SweepBuilder::cycles(double amplitude, int count) {
+  assert(amplitude > 0.0);
+  for (int i = 0; i < count; ++i) {
+    to(+amplitude);
+    to(-amplitude);
+  }
+  to(+amplitude);
+  return *this;
+}
+
+SweepBuilder& SweepBuilder::minor_loop(double bias, double half_width, int count) {
+  assert(half_width > 0.0);
+  to(bias + half_width);
+  for (int i = 0; i < count; ++i) {
+    to(bias - half_width);
+    to(bias + half_width);
+  }
+  return *this;
+}
+
+SweepBuilder& SweepBuilder::decaying_cycles(const std::vector<double>& amplitudes) {
+  for (const double a : amplitudes) {
+    assert(a > 0.0);
+    to(+a);
+    to(-a);
+    to(+a);
+  }
+  return *this;
+}
+
+HSweep SweepBuilder::build() const {
+  HSweep sweep;
+  sweep.h = h_;
+  sweep.turning_points = find_turning_points(sweep.h);
+  return sweep;
+}
+
+HSweep sweep_from_waveform(const Waveform& w, double t0, double t1, std::size_t n) {
+  assert(n >= 2);
+  assert(t1 > t0);
+  HSweep sweep;
+  sweep.h.reserve(n);
+  const double dt = (t1 - t0) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    sweep.h.push_back(w.value(t0 + dt * static_cast<double>(i)));
+  }
+  sweep.turning_points = find_turning_points(sweep.h);
+  return sweep;
+}
+
+std::vector<std::size_t> find_turning_points(const std::vector<double>& h) {
+  std::vector<std::size_t> turns;
+  double last_dir = 0.0;
+  for (std::size_t i = 1; i < h.size(); ++i) {
+    const double dh = h[i] - h[i - 1];
+    if (dh == 0.0) continue;
+    const double dir = dh > 0.0 ? 1.0 : -1.0;
+    if (last_dir != 0.0 && dir != last_dir) {
+      turns.push_back(i - 1);
+    }
+    last_dir = dir;
+  }
+  return turns;
+}
+
+}  // namespace ferro::wave

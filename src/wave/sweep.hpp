@@ -1,0 +1,76 @@
+// Timeless H-sweep sequences.
+//
+// The paper's simulations are "DC sweeps, i.e. timeless simulations": the
+// excitation is an ordered sequence of magnetic-field values with turning
+// points, and the model integrates dM/dH along that sequence. HSweep is
+// that sequence; SweepBuilder composes the standard experiment shapes
+// (virgin-curve rise, major loops, decaying non-biased minor loops, biased
+// minor loops).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "wave/waveform.hpp"
+
+namespace ferro::wave {
+
+/// An ordered sequence of applied-field values H [A/m] with no time axis.
+struct HSweep {
+  std::vector<double> h;
+  /// Indices into `h` where the sweep direction reverses (dH changes sign).
+  std::vector<std::size_t> turning_points;
+
+  [[nodiscard]] std::size_t size() const { return h.size(); }
+  [[nodiscard]] bool empty() const { return h.empty(); }
+};
+
+/// Builds H sequences segment by segment with a fixed sample spacing.
+///
+/// The spacing is the *sampling* resolution of the excitation, distinct from
+/// the model's event threshold `dhmax`: the sweep may be sampled finer than
+/// the model chooses to integrate.
+class SweepBuilder {
+ public:
+  /// `step` is the |dH| between consecutive samples [A/m]; `h_start` is the
+  /// initial field (demagnetised virgin state conventionally starts at 0).
+  explicit SweepBuilder(double step, double h_start = 0.0);
+
+  /// Appends a linear segment from the current field to `h_target`
+  /// (inclusive). A zero-length segment is a no-op.
+  SweepBuilder& to(double h_target);
+
+  /// Full symmetric cycles between +amplitude and -amplitude. Each cycle is
+  /// current -> +A -> -A -> +A ... The first leg rises to +A.
+  SweepBuilder& cycles(double amplitude, int count);
+
+  /// A minor loop of half-width `half_width` centred on `bias`:
+  /// current -> bias+hw, then `count` times (-> bias-hw -> bias+hw).
+  SweepBuilder& minor_loop(double bias, double half_width, int count = 1);
+
+  /// The Fig. 1 excitation: one major cycle at amplitudes[0], then one full
+  /// non-biased cycle per subsequent (shrinking) amplitude.
+  SweepBuilder& decaying_cycles(const std::vector<double>& amplitudes);
+
+  [[nodiscard]] HSweep build() const;
+
+  [[nodiscard]] double current() const { return current_; }
+
+ private:
+  void push(double h);
+
+  double step_;
+  double current_;
+  std::vector<double> h_;
+};
+
+/// Samples a time waveform into an HSweep (uniform time grid, n samples over
+/// [t0, t1]). Turning points are detected from sign changes of dH.
+[[nodiscard]] HSweep sweep_from_waveform(const Waveform& w, double t0, double t1,
+                                         std::size_t n);
+
+/// Recomputes turning-point indices of an arbitrary H sequence.
+[[nodiscard]] std::vector<std::size_t> find_turning_points(
+    const std::vector<double>& h);
+
+}  // namespace ferro::wave

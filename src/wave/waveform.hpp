@@ -1,0 +1,29 @@
+// Waveform abstraction: a scalar function of time.
+//
+// Waveforms drive both the time-domain simulations (AMS solver, circuit
+// transients) and — after sampling — the timeless DC sweeps the paper uses
+// ("a triangular waveform is used in a DC sweep, i.e. timeless simulations").
+#pragma once
+
+#include <memory>
+
+namespace ferro::wave {
+
+/// A scalar signal value(t). Implementations must be pure functions of t so
+/// the adaptive solver can re-evaluate them at rejected/retried time points.
+class Waveform {
+ public:
+  virtual ~Waveform() = default;
+
+  /// Signal value at time `t` [s].
+  [[nodiscard]] virtual double value(double t) const = 0;
+
+  /// Analytic time derivative where available. The default central
+  /// difference is good enough for the `'INTEG`-style baseline model that
+  /// needs dH/dt (the paper's criticized conversion path).
+  [[nodiscard]] virtual double derivative(double t) const;
+};
+
+using WaveformPtr = std::shared_ptr<const Waveform>;
+
+}  // namespace ferro::wave

@@ -1,0 +1,195 @@
+// Tests for the analysis module on synthetic curves with known answers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/curve_compare.hpp"
+#include "analysis/loop_metrics.hpp"
+#include "analysis/stability.hpp"
+#include "mag/bh.hpp"
+#include "util/constants.hpp"
+
+namespace fa = ferro::analysis;
+namespace fm = ferro::mag;
+
+namespace {
+
+/// Ellipse loop: h = H0 cos(theta), b = B0 sin(theta); area = pi*H0*B0,
+/// remanence B0, coercivity H0.
+fm::BhCurve ellipse(double h0, double b0, std::size_t n = 720,
+                    bool clockwise = false) {
+  fm::BhCurve curve;
+  for (std::size_t i = 0; i <= n; ++i) {
+    const double theta = 2.0 * ferro::util::kPi * static_cast<double>(i) /
+                         static_cast<double>(n) * (clockwise ? -1.0 : 1.0);
+    curve.append(h0 * std::cos(theta), 0.0, b0 * std::sin(theta));
+  }
+  return curve;
+}
+
+}  // namespace
+
+TEST(EnclosedArea, EllipseMatchesAnalytic) {
+  const fm::BhCurve curve = ellipse(100.0, 2.0);
+  const double area =
+      fa::enclosed_area(curve.h_values(), curve.b_values());
+  EXPECT_NEAR(std::fabs(area), ferro::util::kPi * 100.0 * 2.0, 1.0);
+}
+
+TEST(EnclosedArea, OrientationFlipsSign) {
+  const fm::BhCurve ccw = ellipse(10.0, 1.0);
+  const fm::BhCurve cw = ellipse(10.0, 1.0, 720, true);
+  const double a1 = fa::enclosed_area(ccw.h_values(), ccw.b_values());
+  const double a2 = fa::enclosed_area(cw.h_values(), cw.b_values());
+  EXPECT_NEAR(a1, -a2, 1e-9);
+}
+
+TEST(EnclosedArea, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(fa::enclosed_area(std::vector<double>{},
+                                     std::vector<double>{}),
+                   0.0);
+  EXPECT_DOUBLE_EQ(fa::enclosed_area(std::vector<double>{1.0, 2.0},
+                                     std::vector<double>{1.0, 2.0}),
+                   0.0);
+}
+
+TEST(ValuesAtZero, LinearCrossing) {
+  const std::vector<double> x = {-1.0, 1.0};
+  const std::vector<double> y = {10.0, 20.0};
+  const auto vals = fa::values_at_zero_of(x, y);
+  ASSERT_EQ(vals.size(), 1u);
+  EXPECT_DOUBLE_EQ(vals[0], 15.0);
+}
+
+TEST(ValuesAtZero, ExactZeroSample) {
+  const std::vector<double> x = {-1.0, 0.0, 1.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  const auto vals = fa::values_at_zero_of(x, y);
+  ASSERT_EQ(vals.size(), 1u);
+  EXPECT_DOUBLE_EQ(vals[0], 2.0);
+}
+
+TEST(ValuesAtZero, NoCrossing) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_TRUE(fa::values_at_zero_of(x, y).empty());
+}
+
+TEST(AnalyzeLoop, EllipseMetrics) {
+  const fm::BhCurve curve = ellipse(100.0, 2.0);
+  const fa::LoopMetrics metrics = fa::analyze_loop(curve);
+  EXPECT_NEAR(metrics.h_peak, 100.0, 1e-9);
+  EXPECT_NEAR(metrics.b_peak, 2.0, 1e-3);
+  EXPECT_NEAR(metrics.remanence, 2.0, 1e-3);
+  EXPECT_NEAR(metrics.coercivity, 100.0, 0.1);
+  EXPECT_NEAR(metrics.area, ferro::util::kPi * 200.0, 1.0);
+  EXPECT_EQ(metrics.points, curve.size());
+}
+
+TEST(AnalyzeLoop, SubrangeAndDegenerate) {
+  const fm::BhCurve curve = ellipse(1.0, 1.0, 8);
+  const fa::LoopMetrics all = fa::analyze_loop(curve);
+  EXPECT_GT(all.area, 0.0);
+  const fa::LoopMetrics none = fa::analyze_loop(curve, 5, 2);  // begin > end
+  EXPECT_EQ(none.points, 0u);
+  const fa::LoopMetrics oob = fa::analyze_loop(curve, 0, curve.size());
+  EXPECT_EQ(oob.points, 0u);
+}
+
+TEST(MonotoneBranches, TriangleSweep) {
+  fm::BhCurve curve;
+  for (const double h : {0.0, 1.0, 2.0, 1.0, 0.0, -1.0, 0.0, 1.0}) {
+    curve.append(h, 0.0, h);
+  }
+  const auto branches = fa::monotone_branches(curve);
+  ASSERT_EQ(branches.size(), 3u);
+  EXPECT_EQ(branches[0].first, 0u);
+  EXPECT_EQ(branches[0].second, 2u);
+  EXPECT_EQ(branches[1].first, 2u);
+  EXPECT_EQ(branches[1].second, 5u);
+  EXPECT_EQ(branches[2].first, 5u);
+  EXPECT_EQ(branches[2].second, 7u);
+}
+
+TEST(ClosureError, ExactAndMismatch) {
+  fm::BhCurve curve;
+  curve.append(0.0, 0.0, 1.0);
+  curve.append(1.0, 0.0, 2.0);
+  curve.append(0.0, 0.0, 1.25);
+  EXPECT_DOUBLE_EQ(fa::closure_error(curve, 0, 2), 0.25);
+  EXPECT_DOUBLE_EQ(fa::closure_error(curve, 0, 0), 0.0);
+}
+
+TEST(ScanSlopes, DetectsNegativeSegment) {
+  fm::BhCurve curve;
+  curve.append(0.0, 0.0, 0.0);
+  curve.append(1.0, 0.0, 1.0);   // +1 slope
+  curve.append(2.0, 0.0, 0.5);   // -0.5 slope  <- negative
+  curve.append(3.0, 0.0, 1.5);   // +1 slope
+  const fa::SlopeReport report = fa::scan_slopes(curve);
+  EXPECT_EQ(report.segments, 3u);
+  EXPECT_EQ(report.negative_segments, 1u);
+  EXPECT_NEAR(report.most_negative, -0.5, 1e-12);
+}
+
+TEST(ScanSlopes, FallingBranchIsNotNegativeSlope) {
+  // B falling while H falls is a *positive* dB/dH.
+  fm::BhCurve curve;
+  curve.append(2.0, 0.0, 2.0);
+  curve.append(1.0, 0.0, 1.0);
+  curve.append(0.0, 0.0, 0.0);
+  const fa::SlopeReport report = fa::scan_slopes(curve);
+  EXPECT_EQ(report.negative_segments, 0u);
+}
+
+TEST(ScanSlopes, IgnoresTinyFieldMoves) {
+  fm::BhCurve curve;
+  curve.append(0.0, 0.0, 0.0);
+  curve.append(1e-12, 0.0, -5.0);  // below min_dh
+  const fa::SlopeReport report = fa::scan_slopes(curve);
+  EXPECT_EQ(report.segments, 0u);
+  EXPECT_EQ(report.negative_segments, 0u);
+}
+
+TEST(CompareCurves, PointwiseIdenticalAndShifted) {
+  const fm::BhCurve a = ellipse(10.0, 1.0, 100);
+  const fa::CurveDelta zero = fa::compare_pointwise(a, a);
+  EXPECT_DOUBLE_EQ(zero.rms_b, 0.0);
+  EXPECT_DOUBLE_EQ(zero.max_b, 0.0);
+
+  fm::BhCurve shifted;
+  for (const auto& p : a.points()) shifted.append(p.h, p.m + 1.0, p.b + 0.5);
+  const fa::CurveDelta delta = fa::compare_pointwise(a, shifted);
+  EXPECT_NEAR(delta.rms_b, 0.5, 1e-12);
+  EXPECT_NEAR(delta.max_b, 0.5, 1e-12);
+  EXPECT_NEAR(delta.rms_m, 1.0, 1e-12);
+}
+
+TEST(CompareCurves, ByArcHandlesDifferentSampling) {
+  // Same ellipse sampled at different densities: arc comparison ~0.
+  const fm::BhCurve coarse = ellipse(10.0, 1.0, 180);
+  const fm::BhCurve fine = ellipse(10.0, 1.0, 1440);
+  const fa::CurveDelta delta = fa::compare_by_arc(coarse, fine);
+  EXPECT_LT(delta.rms_b, 5e-3);
+  EXPECT_LT(delta.max_b, 2e-2);
+}
+
+TEST(CompareCurves, ByArcDetectsScaleDifference) {
+  const fm::BhCurve unit = ellipse(10.0, 1.0, 360);
+  const fm::BhCurve doubled = ellipse(10.0, 2.0, 360);
+  const fa::CurveDelta delta = fa::compare_by_arc(unit, doubled);
+  EXPECT_GT(delta.max_b, 0.9);
+}
+
+TEST(Envelope, MinorInsideMajor) {
+  // Major: tall ellipse; minor: concentric small one.
+  const fm::BhCurve major = ellipse(100.0, 2.0);
+  const fm::BhCurve minor = ellipse(50.0, 0.5);
+  EXPECT_TRUE(fa::within_major_envelope(minor, major, 1e-6));
+}
+
+TEST(Envelope, EscapingCurveDetected) {
+  const fm::BhCurve major = ellipse(100.0, 2.0);
+  const fm::BhCurve tall = ellipse(50.0, 3.0);  // sticks out vertically
+  EXPECT_FALSE(fa::within_major_envelope(tall, major, 1e-6));
+}

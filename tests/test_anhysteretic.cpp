@@ -1,0 +1,159 @@
+// Tests for the anhysteretic magnetisation curves: series accuracy near
+// zero, saturation limits, oddness, monotonicity, derivative consistency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mag/anhysteretic.hpp"
+#include "mag/ja_params.hpp"
+
+namespace fm = ferro::mag;
+
+TEST(Langevin, ZeroAndSmallArguments) {
+  EXPECT_DOUBLE_EQ(fm::langevin(0.0), 0.0);
+  // Series region must agree with the analytic form just outside it.
+  const double x = 1.1e-4;
+  EXPECT_NEAR(fm::langevin(x), 1.0 / std::tanh(x) - 1.0 / x, 1e-15);
+  // L(x) ~ x/3 for small x.
+  EXPECT_NEAR(fm::langevin(1e-6), 1e-6 / 3.0, 1e-18);
+}
+
+TEST(Langevin, SaturatesToUnity) {
+  EXPECT_NEAR(fm::langevin(50.0), 1.0 - 1.0 / 50.0, 1e-12);
+  EXPECT_NEAR(fm::langevin(1000.0), 1.0 - 1e-3, 1e-12);
+  EXPECT_GE(fm::langevin(1e6), 1.0 - 1e-6);
+  EXPECT_LT(fm::langevin(1e6), 1.0);
+}
+
+TEST(Langevin, OddFunction) {
+  for (const double x : {1e-5, 0.1, 1.0, 10.0, 400.0}) {
+    EXPECT_NEAR(fm::langevin(-x), -fm::langevin(x), 1e-14) << "x=" << x;
+  }
+}
+
+TEST(Langevin, DerivativeMatchesFiniteDifference) {
+  for (const double x : {1e-5, 0.03, 0.5, 2.0, 20.0}) {
+    const double h = 1e-6 * (1.0 + x);
+    const double fd = (fm::langevin(x + h) - fm::langevin(x - h)) / (2.0 * h);
+    EXPECT_NEAR(fm::langevin_derivative(x), fd, 1e-7) << "x=" << x;
+  }
+}
+
+TEST(Langevin, DerivativeAtZeroIsOneThird) {
+  EXPECT_NEAR(fm::langevin_derivative(0.0), 1.0 / 3.0, 1e-15);
+}
+
+TEST(Langevin, DerivativePositiveEverywhere) {
+  for (const double x : {-500.0, -5.0, -0.1, 0.0, 0.1, 5.0, 500.0}) {
+    EXPECT_GT(fm::langevin_derivative(x), 0.0) << "x=" << x;
+  }
+}
+
+TEST(AtanLangevin, LimitsAndOddness) {
+  EXPECT_DOUBLE_EQ(fm::atan_langevin(0.0), 0.0);
+  EXPECT_NEAR(fm::atan_langevin(1e9), 1.0, 1e-8);
+  EXPECT_NEAR(fm::atan_langevin(-1e9), -1.0, 1e-8);
+  EXPECT_DOUBLE_EQ(fm::atan_langevin(-2.0), -fm::atan_langevin(2.0));
+}
+
+TEST(AtanLangevin, DerivativeMatchesFiniteDifference) {
+  for (const double x : {0.0, 0.5, 3.0, -7.0}) {
+    const double h = 1e-6;
+    const double fd =
+        (fm::atan_langevin(x + h) - fm::atan_langevin(x - h)) / (2.0 * h);
+    EXPECT_NEAR(fm::atan_langevin_derivative(x), fd, 1e-9) << "x=" << x;
+  }
+}
+
+class AnhystereticKinds
+    : public ::testing::TestWithParam<fm::AnhystereticKind> {
+ protected:
+  [[nodiscard]] fm::JaParameters params() const {
+    fm::JaParameters p = fm::paper_parameters();
+    p.kind = GetParam();
+    return p;
+  }
+};
+
+TEST_P(AnhystereticKinds, OddMonotoneSaturating) {
+  const fm::Anhysteretic an(params());
+  double prev = -1.5;
+  for (double he = -50e3; he <= 50e3; he += 500.0) {
+    const double m = an.man(he);
+    EXPECT_GT(m, prev) << "he=" << he;          // strictly monotone
+    EXPECT_LE(std::fabs(m), 1.0) << "he=" << he;  // normalised bound
+    EXPECT_NEAR(an.man(-he), -m, 1e-12);          // odd
+    prev = m;
+  }
+}
+
+TEST_P(AnhystereticKinds, DerivativeConsistent) {
+  const fm::Anhysteretic an(params());
+  for (const double he : {-20e3, -2e3, 0.0, 1e3, 15e3}) {
+    const double h = 1e-3 * (1.0 + std::fabs(he));
+    const double fd = (an.man(he + h) - an.man(he - h)) / (2.0 * h);
+    EXPECT_NEAR(an.dman_dhe(he), fd, 1e-8) << "he=" << he;
+  }
+}
+
+TEST_P(AnhystereticKinds, DerivativePeaksAtZero) {
+  const fm::Anhysteretic an(params());
+  const double at_zero = an.dman_dhe(0.0);
+  for (const double he : {1e3, 5e3, 20e3}) {
+    EXPECT_LT(an.dman_dhe(he), at_zero);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, AnhystereticKinds,
+    ::testing::Values(fm::AnhystereticKind::kClassicLangevin,
+                      fm::AnhystereticKind::kAtan,
+                      fm::AnhystereticKind::kDualAtan),
+    [](const auto& info) {
+      std::string name(fm::to_string(info.param));
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(DualAtan, DegeneratesToAtanWhenA2EqualsA) {
+  fm::JaParameters dual = fm::paper_parameters();
+  dual.kind = fm::AnhystereticKind::kDualAtan;
+  dual.a2 = dual.a;
+  const fm::Anhysteretic an_dual(dual);
+
+  fm::JaParameters single = fm::paper_parameters();
+  single.kind = fm::AnhystereticKind::kAtan;
+  const fm::Anhysteretic an_single(single);
+
+  for (const double he : {-10e3, -500.0, 0.0, 2e3, 30e3}) {
+    EXPECT_NEAR(an_dual.man(he), an_single.man(he), 1e-14) << "he=" << he;
+  }
+}
+
+TEST(DualAtan, BlendWeightsExtremes) {
+  fm::JaParameters p = fm::paper_parameters_dual();
+  p.blend = 1.0;  // all weight on `a`
+  const fm::Anhysteretic all_a(p);
+  fm::JaParameters q = fm::paper_parameters();
+  const fm::Anhysteretic single(q);
+  EXPECT_NEAR(all_a.man(5e3), single.man(5e3), 1e-14);
+
+  p.blend = 0.0;  // all weight on `a2`
+  const fm::Anhysteretic all_a2(p);
+  // atan with the larger a2 is softer: smaller man at the same field.
+  EXPECT_LT(all_a2.man(5e3), single.man(5e3));
+}
+
+TEST(DualAtan, PaperBlendLiesBetweenSingleScales) {
+  const fm::Anhysteretic dual(fm::paper_parameters_dual());
+  fm::JaParameters pa = fm::paper_parameters();
+  const fm::Anhysteretic with_a(pa);
+  pa.a = pa.a2;
+  const fm::Anhysteretic with_a2(pa);
+  for (const double he : {1e3, 5e3, 20e3}) {
+    EXPECT_LT(dual.man(he), with_a.man(he));
+    EXPECT_GT(dual.man(he), with_a2.man(he));
+  }
+}

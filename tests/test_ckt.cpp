@@ -1,0 +1,299 @@
+// Circuit-engine tests: MNA stamps against hand-solved networks, DC
+// operating points, and transients with closed-form solutions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "ckt/diode.hpp"
+#include "ckt/engine.hpp"
+#include "ckt/netlist.hpp"
+#include "ckt/rlc.hpp"
+#include "ckt/sources.hpp"
+#include "wave/standard.hpp"
+
+namespace fk = ferro::ckt;
+namespace fw = ferro::wave;
+
+TEST(Netlist, NodeNamingAndGround) {
+  fk::Circuit ckt;
+  EXPECT_EQ(ckt.node("0"), fk::kGround);
+  EXPECT_EQ(ckt.node("gnd"), fk::kGround);
+  EXPECT_EQ(ckt.node("GND"), fk::kGround);
+  const auto a = ckt.node("a");
+  const auto b = ckt.node("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(ckt.node("a"), a);  // idempotent
+  EXPECT_EQ(ckt.node_count(), 2u);
+  EXPECT_EQ(ckt.node_name(a), "a");
+  EXPECT_EQ(ckt.node_name(fk::kGround), "0");
+}
+
+TEST(Dc, VoltageDivider) {
+  fk::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto mid = ckt.node("mid");
+  ckt.add<fk::VoltageSource>("V1", in, fk::kGround, 10.0);
+  ckt.add<fk::Resistor>("R1", in, mid, 1000.0);
+  ckt.add<fk::Resistor>("R2", mid, fk::kGround, 1000.0);
+
+  std::vector<double> x;
+  ASSERT_TRUE(fk::dc_operating_point(ckt, x));
+  // Tolerances admit the gmin (1e-12 S) leak every SPICE-class engine adds.
+  EXPECT_NEAR(x[static_cast<std::size_t>(in)], 10.0, 1e-6);
+  EXPECT_NEAR(x[static_cast<std::size_t>(mid)], 5.0, 1e-6);
+  // Source branch current: 10 V across 2 kOhm = 5 mA (into the divider).
+  EXPECT_NEAR(std::fabs(x[ckt.node_count()]), 5e-3, 1e-8);
+}
+
+TEST(Dc, CurrentSourceIntoResistor) {
+  fk::Circuit ckt;
+  const auto n = ckt.node("n");
+  // 2 mA from ground into n through the source, 1 kOhm to ground: v = 2 V.
+  ckt.add<fk::CurrentSource>("I1", fk::kGround, n, 2e-3);
+  ckt.add<fk::Resistor>("R1", n, fk::kGround, 1000.0);
+
+  std::vector<double> x;
+  ASSERT_TRUE(fk::dc_operating_point(ckt, x));
+  EXPECT_NEAR(x[static_cast<std::size_t>(n)], 2.0, 1e-6);
+}
+
+TEST(Dc, ResistorLadder) {
+  // Five equal resistors from 5 V to ground: equally spaced taps.
+  fk::Circuit ckt;
+  const auto top = ckt.node("n0");
+  ckt.add<fk::VoltageSource>("V", top, fk::kGround, 5.0);
+  fk::NodeId prev = top;
+  for (int i = 1; i < 5; ++i) {
+    const auto tap = ckt.node("n" + std::to_string(i));
+    ckt.add<fk::Resistor>("R" + std::to_string(i), prev, tap, 100.0);
+    prev = tap;
+  }
+  ckt.add<fk::Resistor>("R5", prev, fk::kGround, 100.0);
+
+  std::vector<double> x;
+  ASSERT_TRUE(fk::dc_operating_point(ckt, x));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)], 5.0 - static_cast<double>(i),
+                1e-6)
+        << "tap " << i;
+  }
+}
+
+TEST(Dc, InductorIsShort) {
+  fk::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  ckt.add<fk::VoltageSource>("V", in, fk::kGround, 3.0);
+  ckt.add<fk::Resistor>("R", in, out, 100.0);
+  ckt.add<fk::Inductor>("L", out, fk::kGround, 1e-3);
+
+  std::vector<double> x;
+  ASSERT_TRUE(fk::dc_operating_point(ckt, x));
+  // Quasi-short: the milliohm DC resistance leaves i*r_eps ~ 30 uV.
+  EXPECT_NEAR(x[static_cast<std::size_t>(out)], 0.0, 1e-4);
+  // Inductor branch current = 30 mA.
+  EXPECT_NEAR(std::fabs(x[ckt.node_count() + 1]), 30e-3, 1e-6);
+}
+
+TEST(Dc, CapacitorIsOpen) {
+  fk::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  ckt.add<fk::VoltageSource>("V", in, fk::kGround, 3.0);
+  ckt.add<fk::Resistor>("R", in, out, 100.0);
+  ckt.add<fk::Capacitor>("C", out, fk::kGround, 1e-6);
+
+  std::vector<double> x;
+  ASSERT_TRUE(fk::dc_operating_point(ckt, x));
+  EXPECT_NEAR(x[static_cast<std::size_t>(out)], 3.0, 1e-6);  // no DC current
+}
+
+TEST(Dc, DiodeForwardDrop) {
+  fk::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto d = ckt.node("d");
+  ckt.add<fk::VoltageSource>("V", in, fk::kGround, 5.0);
+  ckt.add<fk::Resistor>("R", in, d, 1000.0);
+  auto& diode = ckt.add<fk::Diode>("D", d, fk::kGround);
+
+  std::vector<double> x;
+  ASSERT_TRUE(fk::dc_operating_point(ckt, x));
+  const double vd = x[static_cast<std::size_t>(d)];
+  EXPECT_GT(vd, 0.4);
+  EXPECT_LT(vd, 0.8);
+  // KCL: resistor current equals diode current.
+  const double ir = (5.0 - vd) / 1000.0;
+  EXPECT_NEAR(diode.current(vd), ir, 1e-6);
+}
+
+TEST(Dc, DiodeReverseBlocks) {
+  fk::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto d = ckt.node("d");
+  ckt.add<fk::VoltageSource>("V", in, fk::kGround, -5.0);
+  ckt.add<fk::Resistor>("R", in, d, 1000.0);
+  ckt.add<fk::Diode>("D", d, fk::kGround);
+
+  std::vector<double> x;
+  ASSERT_TRUE(fk::dc_operating_point(ckt, x));
+  // Nearly no current: node d sits at the source potential.
+  EXPECT_NEAR(x[static_cast<std::size_t>(d)], -5.0, 1e-2);
+}
+
+TEST(Transient, RcChargingMatchesClosedForm) {
+  // v_c(t) = V (1 - exp(-t/RC)), R = 1k, C = 1u -> tau = 1 ms.
+  fk::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  ckt.add<fk::VoltageSource>(
+      "V", in, fk::kGround, std::make_shared<fw::Step>(0.0, 1.0, 0.0));
+  ckt.add<fk::Resistor>("R", in, out, 1000.0);
+  ckt.add<fk::Capacitor>("C", out, fk::kGround, 1e-6, /*v_initial=*/0.0);
+
+  fk::TransientOptions options;
+  options.t_end = 5e-3;
+  options.dt_initial = 1e-6;
+  options.dt_max = 2e-5;
+
+  double worst = 0.0;
+  ASSERT_TRUE(fk::transient(ckt, options, [&](const fk::Solution& sol) {
+    if (sol.t <= 0.0) return;
+    const double expected = 1.0 - std::exp(-sol.t / 1e-3);
+    worst = std::max(worst, std::fabs(sol.v(out) - expected));
+  }));
+  EXPECT_LT(worst, 5e-3);
+}
+
+TEST(Transient, RlCurrentRise) {
+  // i(t) = V/R (1 - exp(-t R/L)), R = 10, L = 10 mH -> tau = 1 ms.
+  fk::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto mid = ckt.node("mid");
+  ckt.add<fk::VoltageSource>(
+      "V", in, fk::kGround, std::make_shared<fw::Step>(0.0, 1.0, 0.0));
+  ckt.add<fk::Resistor>("R", in, mid, 10.0);
+  ckt.add<fk::Inductor>("L", mid, fk::kGround, 10e-3, /*i_initial=*/0.0);
+
+  fk::TransientOptions options;
+  options.t_end = 5e-3;
+  options.dt_initial = 1e-6;
+  options.dt_max = 2e-5;
+
+  double worst = 0.0;
+  ASSERT_TRUE(fk::transient(ckt, options, [&](const fk::Solution& sol) {
+    if (sol.t <= 0.0) return;
+    const double expected = 0.1 * (1.0 - std::exp(-sol.t / 1e-3));
+    const double i_l = sol.branch_current(1);  // branch 0 = source, 1 = L
+    worst = std::max(worst, std::fabs(i_l - expected));
+  }));
+  EXPECT_LT(worst, 1e-3);
+}
+
+TEST(Transient, RcDischargeBackwardEuler) {
+  fk::Circuit ckt;
+  const auto out = ckt.node("out");
+  ckt.add<fk::Capacitor>("C", out, fk::kGround, 1e-6, /*v_initial=*/1.0);
+  ckt.add<fk::Resistor>("R", out, fk::kGround, 1000.0);
+
+  fk::TransientOptions options;
+  options.t_end = 3e-3;
+  options.dt_initial = 1e-6;
+  options.dt_max = 1e-5;
+  options.method = ferro::ams::IntegrationMethod::kBackwardEuler;
+
+  double v_end = 1.0;
+  ASSERT_TRUE(fk::transient(ckt, options, [&](const fk::Solution& sol) {
+    v_end = sol.v(out);
+  }));
+  EXPECT_NEAR(v_end, std::exp(-3.0), 2e-2);
+}
+
+TEST(Transient, RlcRingingFrequency) {
+  // Series RLC: L = 1 mH, C = 1 uF, R = 1 Ohm (underdamped).
+  // f0 = 1/(2 pi sqrt(LC)) ~ 5.03 kHz.
+  fk::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto a = ckt.node("a");
+  const auto out = ckt.node("out");
+  ckt.add<fk::VoltageSource>(
+      "V", in, fk::kGround, std::make_shared<fw::Step>(0.0, 1.0, 0.0));
+  ckt.add<fk::Resistor>("R", in, a, 1.0);
+  ckt.add<fk::Inductor>("L", a, out, 1e-3);
+  ckt.add<fk::Capacitor>("C", out, fk::kGround, 1e-6);
+
+  fk::TransientOptions options;
+  options.t_end = 2e-3;
+  options.dt_initial = 1e-7;
+  options.dt_max = 1e-6;
+
+  // Count rising zero crossings of (v_out - 1) to estimate the frequency.
+  int crossings = 0;
+  double prev = -1.0;
+  ASSERT_TRUE(fk::transient(ckt, options, [&](const fk::Solution& sol) {
+    const double v = sol.v(out) - 1.0;
+    if (prev < 0.0 && v >= 0.0) ++crossings;
+    prev = v;
+  }));
+  const double freq = static_cast<double>(crossings) / 2e-3;
+  EXPECT_NEAR(freq, 5033.0, 600.0);
+}
+
+TEST(Transient, SwitchChangesTopology) {
+  fk::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  ckt.add<fk::VoltageSource>("V", in, fk::kGround, 1.0);
+  ckt.add<fk::Resistor>("R1", in, out, 1000.0);
+  ckt.add<fk::TimedSwitch>("S", out, fk::kGround, /*t_switch=*/1e-3);
+
+  fk::TransientOptions options;
+  options.t_end = 2e-3;
+  options.dt_initial = 1e-5;
+  options.dt_max = 2e-5;
+
+  double v_early = -1.0, v_late = -1.0;
+  ASSERT_TRUE(fk::transient(ckt, options, [&](const fk::Solution& sol) {
+    if (sol.t > 0.4e-3 && sol.t < 0.9e-3 && v_early < 0.0) v_early = sol.v(out);
+    if (sol.t > 1.5e-3) v_late = sol.v(out);
+  }));
+  EXPECT_NEAR(v_early, 1.0, 1e-3);  // switch open: no load current
+  EXPECT_NEAR(v_late, 0.0, 1e-2);   // switch closed: pulled to ground
+}
+
+TEST(Transient, SineSteadyStateAmplitude) {
+  // RC low-pass driven at f << f_c passes the signal through.
+  fk::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  ckt.add<fk::VoltageSource>("V", in, fk::kGround,
+                             std::make_shared<fw::Sine>(1.0, 50.0));
+  ckt.add<fk::Resistor>("R", in, out, 100.0);
+  ckt.add<fk::Capacitor>("C", out, fk::kGround, 1e-6);  // f_c ~ 1.6 kHz
+
+  fk::TransientOptions options;
+  options.t_end = 0.04;
+  options.dt_initial = 1e-6;
+  options.dt_max = 5e-5;
+
+  double peak = 0.0;
+  ASSERT_TRUE(fk::transient(ckt, options, [&](const fk::Solution& sol) {
+    if (sol.t > 0.02) peak = std::max(peak, std::fabs(sol.v(out)));
+  }));
+  EXPECT_NEAR(peak, 1.0, 0.02);
+}
+
+TEST(Transient, StatsPopulated) {
+  fk::Circuit ckt;
+  const auto out = ckt.node("out");
+  ckt.add<fk::Capacitor>("C", out, fk::kGround, 1e-6, 1.0);
+  ckt.add<fk::Resistor>("R", out, fk::kGround, 1000.0);
+
+  fk::TransientOptions options;
+  options.t_end = 1e-3;
+  fk::CircuitStats stats;
+  ASSERT_TRUE(fk::transient(ckt, options, {}, &stats));
+  EXPECT_GT(stats.steps_accepted, 10u);
+  EXPECT_GT(stats.newton_iterations, 0u);
+  EXPECT_EQ(stats.hard_failures, 0u);
+}

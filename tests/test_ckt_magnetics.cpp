@@ -1,0 +1,291 @@
+// Tests for the hysteretic circuit devices: JA-core inductor and
+// transformer inside the MNA transient engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "ckt/engine.hpp"
+#include "ckt/ja_inductor.hpp"
+#include "ckt/netlist.hpp"
+#include "ckt/rlc.hpp"
+#include "ckt/sources.hpp"
+#include "ckt/transformer.hpp"
+#include "mag/bh.hpp"
+#include "util/constants.hpp"
+#include "wave/standard.hpp"
+
+namespace fk = ferro::ckt;
+namespace fm = ferro::mag;
+namespace fw = ferro::wave;
+
+namespace {
+
+fm::CoreGeometry small_core() {
+  fm::CoreGeometry geom;
+  geom.area = 1e-4;        // 1 cm^2
+  geom.path_length = 0.1;  // 10 cm
+  geom.turns = 100;
+  return geom;
+}
+
+fm::TimelessConfig core_config() {
+  fm::TimelessConfig cfg;
+  cfg.dhmax = 5.0;  // fine threshold for smooth circuit coupling
+  return cfg;
+}
+
+}  // namespace
+
+TEST(JaInductor, DcBehavesAsShort) {
+  fk::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  ckt.add<fk::VoltageSource>("V", in, fk::kGround, 1.0);
+  ckt.add<fk::Resistor>("R", in, out, 100.0);
+  ckt.add<fk::JaInductor>("Lcore", out, fk::kGround, small_core(),
+                          fm::paper_parameters(), core_config());
+
+  std::vector<double> x;
+  ASSERT_TRUE(fk::dc_operating_point(ckt, x));
+  EXPECT_NEAR(x[static_cast<std::size_t>(out)], 0.0, 1e-4);  // quasi-short
+}
+
+TEST(JaInductor, SineDriveMagnetisesCore) {
+  fk::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  // 50 Hz drive sized to push the core around its knee.
+  ckt.add<fk::VoltageSource>("V", in, fk::kGround,
+                             std::make_shared<fw::Sine>(25.0, 50.0));
+  ckt.add<fk::Resistor>("R", in, out, 5.0);
+  auto& core = ckt.add<fk::JaInductor>("Lcore", out, fk::kGround, small_core(),
+                                       fm::paper_parameters(), core_config());
+
+  fk::TransientOptions options;
+  options.t_end = 0.04;  // two cycles
+  options.dt_initial = 1e-6;
+  options.dt_max = 5e-5;
+
+  double max_b = 0.0, max_h = 0.0, max_i = 0.0;
+  fk::CircuitStats stats;
+  ASSERT_TRUE(fk::transient(
+      ckt, options,
+      [&](const fk::Solution& sol) {
+        max_b = std::max(max_b, std::fabs(core.flux_density()));
+        max_h = std::max(max_h, std::fabs(core.field()));
+        max_i = std::max(max_i, std::fabs(sol.branch_current(1)));
+      },
+      &stats));
+
+  EXPECT_GT(max_b, 0.2);   // core actually magnetised
+  EXPECT_GT(max_h, 100.0); // field well past dhmax
+  EXPECT_GT(max_i, 0.05);
+  EXPECT_EQ(stats.hard_failures, 0u);
+}
+
+TEST(JaInductor, VoltSecondBalance) {
+  // Faraday consistency: integral of the winding voltage equals the flux
+  // linkage swing of the committed model.
+  fk::Circuit ckt;
+  const auto in = ckt.node("in");
+  const auto out = ckt.node("out");
+  ckt.add<fk::VoltageSource>("V", in, fk::kGround,
+                             std::make_shared<fw::Sine>(20.0, 50.0));
+  ckt.add<fk::Resistor>("R", in, out, 2.0);
+  auto& core = ckt.add<fk::JaInductor>("Lcore", out, fk::kGround, small_core(),
+                                       fm::paper_parameters(), core_config());
+
+  fk::TransientOptions options;
+  options.t_end = 0.02;
+  options.dt_initial = 1e-6;
+  options.dt_max = 2e-5;
+
+  const fm::CoreGeometry geom = small_core();
+  double volt_seconds = 0.0;
+  double prev_t = 0.0, prev_v = 0.0;
+  bool first = true;
+  double lambda_start = 0.0;
+  ASSERT_TRUE(fk::transient(ckt, options, [&](const fk::Solution& sol) {
+    const double v = sol.v(out);
+    if (first) {
+      lambda_start = geom.linkage_from_b(core.flux_density());
+      first = false;
+    } else {
+      volt_seconds += 0.5 * (v + prev_v) * (sol.t - prev_t);
+    }
+    prev_t = sol.t;
+    prev_v = v;
+  }));
+  const double lambda_end = geom.linkage_from_b(core.flux_density());
+  const double swing = lambda_end - lambda_start;
+  EXPECT_NEAR(volt_seconds, swing, 0.05 * std::max(1e-3, std::fabs(swing)));
+}
+
+TEST(JaInductor, CoreSaturationClampsFluxNotCurrent) {
+  // Saturation signature: at 10 V the volt-second demand is ~3.2 T — far
+  // beyond mu0*(Ms+H). The core must clamp B near saturation while the
+  // current keeps growing (limited only by the series resistor).
+  const auto run_at = [&](double volts, double* peak_b) {
+    fk::Circuit ckt;
+    const auto in = ckt.node("in");
+    const auto out = ckt.node("out");
+    ckt.add<fk::VoltageSource>("V", in, fk::kGround,
+                               std::make_shared<fw::Sine>(volts, 50.0));
+    ckt.add<fk::Resistor>("R", in, out, 1.0);
+    auto& core = ckt.add<fk::JaInductor>("Lcore", out, fk::kGround,
+                                         small_core(), fm::paper_parameters(),
+                                         core_config());
+    fk::TransientOptions options;
+    options.t_end = 0.04;
+    options.dt_initial = 1e-6;
+    options.dt_max = 2e-5;
+    double peak_i = 0.0;
+    *peak_b = 0.0;
+    EXPECT_TRUE(fk::transient(ckt, options, [&](const fk::Solution& sol) {
+      if (sol.t > 0.02) {
+        peak_i = std::max(peak_i, std::fabs(sol.branch_current(1)));
+        *peak_b = std::max(*peak_b, std::fabs(core.flux_density()));
+      }
+    }));
+    return peak_i;
+  };
+
+  double b_low = 0.0, b_high = 0.0;
+  const double i_low = run_at(3.0, &b_low);
+  const double i_high = run_at(10.0, &b_high);
+  ASSERT_GT(i_low, 0.0);
+
+  // Flux pinned near the saturation knee: nowhere close to the 3.2 T the
+  // volt-seconds demand.
+  EXPECT_GT(b_high, 1.3);
+  EXPECT_LT(b_high, 2.3);
+  // Current grows much faster than flux once the core saturates: the flux
+  // ratio stays well under the 10/3 voltage ratio.
+  EXPECT_GT(i_high / i_low, 2.5);
+  EXPECT_LT(b_high / b_low, 2.4);
+}
+
+TEST(JaInductor, StateRewindOnRejectedStepsIsClean) {
+  // Run the same circuit twice: once with generous steps (forces internal
+  // retries) and once with tiny forced steps. The committed core state must
+  // end at nearly the same place — rejected trials must not leak into the
+  // hysteresis trajectory.
+  const auto run_with = [&](double dt_max) {
+    fk::Circuit ckt;
+    const auto in = ckt.node("in");
+    const auto out = ckt.node("out");
+    ckt.add<fk::VoltageSource>("V", in, fk::kGround,
+                               std::make_shared<fw::Sine>(20.0, 50.0));
+    ckt.add<fk::Resistor>("R", in, out, 5.0);
+    auto& core = ckt.add<fk::JaInductor>("L", out, fk::kGround, small_core(),
+                                         fm::paper_parameters(), core_config());
+    fk::TransientOptions options;
+    options.t_end = 0.01;
+    options.dt_initial = 1e-6;
+    options.dt_max = dt_max;
+    EXPECT_TRUE(fk::transient(ckt, options, {}));
+    return core.flux_density();
+  };
+  const double b_coarse = run_with(1e-4);
+  const double b_fine = run_with(1e-5);
+  EXPECT_NEAR(b_coarse, b_fine, 0.1);
+}
+
+namespace {
+
+/// A soft, low-loss core (grain-oriented Si class) sized so a ~1.5 V, 50 Hz
+/// drive swings ~0.5 T: the regime where a transformer behaves like one.
+fm::JaParameters soft_params() {
+  return fm::find_material("grain-oriented-si")->params;
+}
+
+fm::TimelessConfig soft_config() {
+  fm::TimelessConfig cfg;
+  cfg.dhmax = 0.5;  // the soft material's field scale is ~100 A/m
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Transformer, TurnsRatioWithLightLoad) {
+  fk::Circuit ckt;
+  const auto p = ckt.node("p");
+  const auto s = ckt.node("s");
+  ckt.add<fk::VoltageSource>("V", p, fk::kGround,
+                             std::make_shared<fw::Sine>(1.5, 50.0));
+  fm::CoreGeometry geom = small_core();  // Np = 100
+  ckt.add<fk::JaTransformer>("T", p, fk::kGround, s, fk::kGround, geom,
+                             /*turns_secondary=*/50, soft_params(),
+                             soft_config());
+  ckt.add<fk::Resistor>("Rload", s, fk::kGround, 10e3);  // light load
+
+  fk::TransientOptions options;
+  options.t_end = 0.04;
+  options.dt_initial = 1e-6;
+  options.dt_max = 2e-5;
+
+  double peak_p = 0.0, peak_s = 0.0;
+  ASSERT_TRUE(fk::transient(ckt, options, [&](const fk::Solution& sol) {
+    if (sol.t < 0.02) return;  // settle first
+    peak_p = std::max(peak_p, std::fabs(sol.v(p)));
+    peak_s = std::max(peak_s, std::fabs(sol.v(s)));
+  }));
+  EXPECT_NEAR(peak_s / peak_p, 0.5, 0.06);  // Ns/Np = 50/100
+}
+
+TEST(Transformer, LoadCurrentReflectsToPrimary) {
+  const auto peak_primary_with_load = [&](double r_load) {
+    fk::Circuit ckt;
+    const auto in = ckt.node("in");
+    const auto p = ckt.node("p");
+    const auto s = ckt.node("s");
+    ckt.add<fk::VoltageSource>("V", in, fk::kGround,
+                               std::make_shared<fw::Sine>(1.5, 50.0));
+    ckt.add<fk::Resistor>("Rsrc", in, p, 0.5);
+    ckt.add<fk::JaTransformer>("T", p, fk::kGround, s, fk::kGround,
+                               small_core(), 50, soft_params(),
+                               soft_config());
+    ckt.add<fk::Resistor>("Rload", s, fk::kGround, r_load);
+
+    fk::TransientOptions options;
+    options.t_end = 0.04;
+    options.dt_initial = 1e-6;
+    options.dt_max = 2e-5;
+    double peak_ip = 0.0;
+    EXPECT_TRUE(fk::transient(ckt, options, [&](const fk::Solution& sol) {
+      if (sol.t > 0.02) {
+        peak_ip = std::max(peak_ip, std::fabs(sol.branch_current(1)));
+      }
+    }));
+    return peak_ip;
+  };
+
+  // The heavy load reflects to 0.25 * (Np/Ns)^2 = 1 Ohm on the primary —
+  // well below the magnetising impedance, so load current dominates.
+  const double light = peak_primary_with_load(10e3);
+  const double heavy = peak_primary_with_load(0.25);
+  EXPECT_GT(heavy, 1.5 * light);  // loading the secondary loads the primary
+}
+
+TEST(Transformer, CoreStateExposed) {
+  fk::Circuit ckt;
+  const auto p = ckt.node("p");
+  const auto s = ckt.node("s");
+  ckt.add<fk::VoltageSource>("V", p, fk::kGround,
+                             std::make_shared<fw::Sine>(1.5, 50.0));
+  auto& xfmr = ckt.add<fk::JaTransformer>("T", p, fk::kGround, s, fk::kGround,
+                                          small_core(), 50, soft_params(),
+                                          soft_config());
+  ckt.add<fk::Resistor>("Rload", s, fk::kGround, 1e3);
+
+  fk::TransientOptions options;
+  options.t_end = 0.01;
+  options.dt_initial = 1e-6;
+  options.dt_max = 2e-5;
+  ASSERT_TRUE(fk::transient(ckt, options, {}));
+  EXPECT_NE(xfmr.flux_density(), 0.0);
+  EXPECT_NE(xfmr.field(), 0.0);
+  EXPECT_NE(xfmr.primary_current(), 0.0);
+}

@@ -1,0 +1,198 @@
+// Frontend-equivalence tests (CLM4): the SystemC-style process network must
+// match the direct TimelessJa bit-for-bit; the VHDL-AMS-style frontend must
+// match within solver tolerance; the facade wires them all identically.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/curve_compare.hpp"
+#include "analysis/loop_metrics.hpp"
+#include "core/ams_ja.hpp"
+#include "core/dc_sweep.hpp"
+#include "core/facade.hpp"
+#include "core/systemc_ja.hpp"
+#include "util/constants.hpp"
+#include "wave/standard.hpp"
+#include "wave/sweep.hpp"
+
+namespace fm = ferro::mag;
+namespace fw = ferro::wave;
+namespace fa = ferro::analysis;
+namespace fc = ferro::core;
+namespace fh = ferro::hdl;
+
+namespace {
+constexpr double kDhmax = 25.0;
+
+fw::HSweep test_sweep() {
+  return fw::SweepBuilder(10.0).cycles(10e3, 1).build();
+}
+}  // namespace
+
+TEST(SystemCModel, MatchesDirectModelExactly) {
+  const fm::JaParameters params = fm::paper_parameters();
+  const fw::HSweep sweep = test_sweep();
+
+  fm::TimelessConfig cfg;
+  cfg.dhmax = kDhmax;
+  const auto direct = fc::run_dc_sweep(params, cfg, sweep);
+  const auto systemc = fc::run_systemc_sweep(params, kDhmax, sweep);
+
+  ASSERT_EQ(direct.curve.size(), systemc.curve.size());
+  for (std::size_t i = 0; i < direct.curve.size(); ++i) {
+    // Bit-for-bit: both frontends execute the identical arithmetic sequence.
+    EXPECT_DOUBLE_EQ(direct.curve.points()[i].b, systemc.curve.points()[i].b)
+        << "sample " << i << " h=" << direct.curve.points()[i].h;
+    EXPECT_DOUBLE_EQ(direct.curve.points()[i].m, systemc.curve.points()[i].m)
+        << "sample " << i;
+  }
+}
+
+TEST(SystemCModel, TimedModeMatchesUntimed) {
+  const fm::JaParameters params = fm::paper_parameters();
+  const fw::HSweep sweep = fw::SweepBuilder(50.0).cycles(5e3, 1).build();
+
+  const auto untimed = fc::run_systemc_sweep(params, kDhmax, sweep);
+  const auto timed =
+      fc::run_systemc_sweep(params, kDhmax, sweep, fh::SimTime::ns(10));
+
+  ASSERT_EQ(untimed.curve.size(), timed.curve.size());
+  for (std::size_t i = 0; i < untimed.curve.size(); ++i) {
+    EXPECT_DOUBLE_EQ(untimed.curve.points()[i].b, timed.curve.points()[i].b);
+  }
+  EXPECT_GT(timed.kernel_stats.timed_events, 0u);
+}
+
+TEST(SystemCModel, KernelActivityIsEventDriven) {
+  const fm::JaParameters params = fm::paper_parameters();
+  const fw::HSweep sweep = test_sweep();
+  const auto result = fc::run_systemc_sweep(params, kDhmax, sweep);
+
+  // core() runs at least once per distinct H sample; monitor/integral only
+  // on events. Activations stay well below samples * 3.
+  EXPECT_GT(result.kernel_stats.process_activations, sweep.h.size());
+  EXPECT_LT(result.kernel_stats.process_activations, sweep.h.size() * 6);
+  EXPECT_GT(result.kernel_stats.delta_cycles, sweep.h.size());
+}
+
+TEST(SystemCModel, ModuleExposesState) {
+  fh::Kernel kernel;
+  fc::JaCoreModule module(kernel, "ja", fm::paper_parameters(), kDhmax);
+  EXPECT_EQ(module.name(), "ja");
+  EXPECT_DOUBLE_EQ(module.m_irr(), 0.0);
+
+  module.H.write(5000.0);
+  kernel.settle();
+  EXPECT_GT(module.Msig.read(), 0.0);
+  EXPECT_GT(module.m_irr(), 0.0);
+  EXPECT_NEAR(module.Bsig.read(),
+              ferro::util::kMu0 *
+                  (module.params().ms * module.Msig.read() + 5000.0),
+              1e-12);
+}
+
+TEST(AmsModel, MatchesDirectWithinTolerance) {
+  const fm::JaParameters params = fm::paper_parameters();
+  const fw::Triangular tri(10e3, 0.02);
+
+  fc::AmsJaConfig cfg;
+  cfg.t_start = 0.0;
+  cfg.t_end = 0.02;
+  cfg.timeless.dhmax = kDhmax;
+  cfg.solver.dt_initial = 1e-6;
+  cfg.solver.rel_tol = 1e-5;
+  const auto ams = fc::run_ams_timeless(params, tri, cfg);
+  ASSERT_TRUE(ams.completed);
+  EXPECT_EQ(ams.solver_stats.hard_failures, 0u);
+
+  fm::TimelessConfig tcfg;
+  tcfg.dhmax = kDhmax;
+  const fw::HSweep sweep = fw::sweep_from_waveform(tri, 0.0, 0.02, 4001);
+  const auto direct = fc::run_dc_sweep(params, tcfg, sweep);
+
+  const fa::CurveDelta delta = fa::compare_by_arc(ams.curve, direct.curve);
+  EXPECT_LT(delta.rms_b, 0.05);  // "virtually identical results"
+}
+
+TEST(AmsModel, JaNeverEntersSolverResidual) {
+  // The excitation quantity is smooth, so the solver should see no Newton
+  // failures at all — the defining property of the timeless route.
+  const fm::JaParameters params = fm::paper_parameters();
+  const fw::Triangular tri(10e3, 0.02);
+
+  fc::AmsJaConfig cfg;
+  cfg.t_end = 0.04;
+  cfg.timeless.dhmax = kDhmax;
+  const auto result = fc::run_ams_timeless(params, tri, cfg);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.solver_stats.steps_rejected_newton, 0u);
+  EXPECT_EQ(result.solver_stats.hard_failures, 0u);
+  EXPECT_GT(result.ja_stats.field_events, 0u);
+}
+
+TEST(DcSweep, StatsAndContinuation) {
+  const fm::JaParameters params = fm::paper_parameters();
+  fm::TimelessConfig cfg;
+  cfg.dhmax = kDhmax;
+
+  const fw::HSweep sweep = test_sweep();
+  const auto result = fc::run_dc_sweep(params, cfg, sweep);
+  EXPECT_EQ(result.curve.size(), sweep.h.size());
+  EXPECT_EQ(result.stats.samples, sweep.h.size());
+  EXPECT_GT(result.stats.field_events, 100u);
+
+  // Continuation keeps the magnetic state.
+  fm::TimelessJa model(params, cfg);
+  (void)fc::continue_dc_sweep(model, sweep);
+  const double b_mid = model.flux_density();
+  fw::SweepBuilder more(10.0, 10e3);
+  more.to(9e3);
+  (void)fc::continue_dc_sweep(model, more.build());
+  EXPECT_NE(model.flux_density(), b_mid);
+}
+
+TEST(DcSweep, Fig1SweepShape) {
+  const fw::HSweep sweep = fc::fig1_sweep(10.0);
+  double max_h = -1e30, min_h = 1e30;
+  for (const double h : sweep.h) {
+    max_h = std::max(max_h, h);
+    min_h = std::min(min_h, h);
+  }
+  EXPECT_DOUBLE_EQ(max_h, 10e3);
+  EXPECT_DOUBLE_EQ(min_h, -10e3);
+  EXPECT_DOUBLE_EQ(sweep.h.back(), 2500.0);
+  EXPECT_GE(sweep.turning_points.size(), 7u);
+  EXPECT_EQ(fc::fig1_amplitudes().size(), 4u);
+}
+
+TEST(Facade, FrontendsAgreeOnSweep) {
+  const fc::JaFacade facade(fm::paper_parameters(), {kDhmax});
+  const fw::HSweep sweep = fw::SweepBuilder(25.0).cycles(8e3, 1).build();
+
+  const fm::BhCurve direct = facade.run(sweep, fc::Frontend::kDirect);
+  const fm::BhCurve systemc = facade.run(sweep, fc::Frontend::kSystemC);
+  ASSERT_EQ(direct.size(), systemc.size());
+  const fa::CurveDelta d = fa::compare_pointwise(direct, systemc);
+  EXPECT_DOUBLE_EQ(d.max_b, 0.0);
+
+  const fm::BhCurve ams = facade.run(sweep, fc::Frontend::kAms);
+  ASSERT_GT(ams.size(), 10u);
+  const fa::CurveDelta da = fa::compare_by_arc(direct, ams);
+  EXPECT_LT(da.rms_b, 0.05);
+}
+
+TEST(Facade, WaveformEntryPoint) {
+  const fc::JaFacade facade(fm::paper_parameters(), {kDhmax});
+  const fw::Triangular tri(10e3, 0.02);
+  const fm::BhCurve curve =
+      facade.run(tri, 0.0, 0.02, 2001, fc::Frontend::kDirect);
+  EXPECT_EQ(curve.size(), 2001u);
+  const fa::LoopMetrics metrics = fa::analyze_loop(curve);
+  EXPECT_GT(metrics.b_peak, 1.0);
+}
+
+TEST(Facade, FrontendNames) {
+  EXPECT_EQ(fc::to_string(fc::Frontend::kDirect), "direct");
+  EXPECT_EQ(fc::to_string(fc::Frontend::kSystemC), "systemc");
+  EXPECT_EQ(fc::to_string(fc::Frontend::kAms), "ams");
+}

@@ -1,0 +1,116 @@
+// Tests for AC demagnetisation: the decaying-reversal stress test.
+//
+// Expectations follow the model's real behaviour (see core/demag.hpp):
+// soft materials demagnetise essentially completely; hard square-loop
+// materials only partially (remanent equilibria of the alpha coupling).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/demag.hpp"
+#include "wave/sweep.hpp"
+
+namespace fm = ferro::mag;
+namespace fc = ferro::core;
+namespace fw = ferro::wave;
+
+namespace {
+
+fm::TimelessJa saturated_model(const fm::JaParameters& params,
+                               double amplitude) {
+  fm::TimelessConfig cfg;
+  cfg.dhmax = (params.a + params.k) / 600.0;
+  fm::TimelessJa ja(params, cfg);
+  const fw::HSweep sat =
+      fw::SweepBuilder(amplitude / 2000.0).to(amplitude).to(0.0).build();
+  for (const double h : sat.h) ja.apply(h);
+  return ja;
+}
+
+fc::DemagConfig config_for(double amplitude) {
+  fc::DemagConfig config;
+  config.start_amplitude = amplitude;
+  config.stop_amplitude = amplitude / 1000.0;
+  config.sample_step = amplitude / 2000.0;
+  return config;
+}
+
+}  // namespace
+
+TEST(Demag, SoftMaterialCollapsesCompletely) {
+  const fm::JaParameters params =
+      fm::find_material("grain-oriented-si")->params;
+  const double amp = 5.0 * (params.a + params.k);
+  fm::TimelessJa ja = saturated_model(params, amp);
+  const double m_before = std::fabs(ja.magnetisation());
+  ASSERT_GT(m_before, 0.3 * params.ms);  // genuinely remanent
+
+  const fc::DemagResult result = fc::demagnetise(ja, config_for(amp));
+  EXPECT_LT(result.residual_m, 0.05 * params.ms);
+  EXPECT_LT(result.residual_m, m_before / 10.0);
+  EXPECT_GT(result.cycles, 20);
+}
+
+TEST(Demag, HardMaterialReducesButRetains) {
+  const fm::JaParameters params = fm::paper_parameters();
+  fm::TimelessJa ja = saturated_model(params, 10e3);
+  const double m_before = std::fabs(ja.magnetisation());
+
+  const fc::DemagResult result = fc::demagnetise(ja, config_for(10e3));
+  // Partial demagnetisation: a real reduction, but a substantial remanent
+  // equilibrium survives (the documented JA hard-material behaviour).
+  EXPECT_LT(result.residual_m, m_before);
+  EXPECT_GT(result.residual_m, 0.1 * params.ms);
+}
+
+TEST(Demag, TrajectoryIsBoundedAndFinite) {
+  fm::TimelessJa ja = saturated_model(fm::paper_parameters(), 10e3);
+  const fc::DemagResult result = fc::demagnetise(ja, config_for(10e3));
+  for (const auto& p : result.curve.points()) {
+    ASSERT_TRUE(std::isfinite(p.b));
+    ASSERT_LE(std::fabs(p.m), fm::paper_parameters().ms * (1.0 + 1e-9));
+  }
+}
+
+TEST(Demag, EndsAtZeroField) {
+  fm::TimelessJa ja = saturated_model(fm::paper_parameters(), 10e3);
+  (void)fc::demagnetise(ja, config_for(10e3));
+  EXPECT_DOUBLE_EQ(ja.state().present_h, 0.0);
+}
+
+TEST(Demag, Deterministic) {
+  fm::TimelessJa a = saturated_model(fm::paper_parameters(), 10e3);
+  fm::TimelessJa b = saturated_model(fm::paper_parameters(), 10e3);
+  const double ra = fc::demagnetise(a, config_for(10e3)).residual_m;
+  const double rb = fc::demagnetise(b, config_for(10e3)).residual_m;
+  EXPECT_DOUBLE_EQ(ra, rb);
+}
+
+TEST(Demag, NoNumericalFailuresAcrossMaterials) {
+  // The paper's robustness claim under the hardest excitation we have:
+  // hundreds of shrinking reversals — always finite, always bounded.
+  for (const auto& material : fm::material_library()) {
+    const double amp = 5.0 * (material.params.a + material.params.k);
+    fm::TimelessJa ja = saturated_model(material.params, amp);
+    const fc::DemagResult result = fc::demagnetise(ja, config_for(amp));
+    EXPECT_TRUE(std::isfinite(result.residual_m)) << material.name;
+    EXPECT_LE(result.residual_m, material.params.ms) << material.name;
+  }
+}
+
+TEST(Demag, CouplingOrdersResiduals) {
+  // Weaker alpha*Ms/k coupling -> deeper demagnetisation (the
+  // effective-field feedback is what sustains remanent equilibria).
+  const auto residual_fraction = [&](const char* name) {
+    const fm::JaParameters params = fm::find_material(name)->params;
+    const double amp = 5.0 * (params.a + params.k);
+    fm::TimelessJa ja = saturated_model(params, amp);
+    return fc::demagnetise(ja, config_for(amp)).residual_m / params.ms;
+  };
+  // soft-ferrite coupling ratio ~1.1, but tiny relative coercivity; the
+  // clean orderings are against the paper set (ratio 1.2, large Hc).
+  EXPECT_LT(residual_fraction("hard-steel"),
+            residual_fraction("paper-2006"));
+  EXPECT_LT(residual_fraction("grain-oriented-si"),
+            residual_fraction("paper-2006"));
+}

@@ -1,0 +1,114 @@
+// Tests for the HDL source generators: structural markers, parameter
+// propagation, anhysteretic variants.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/hdl_export.hpp"
+
+namespace fc = ferro::core;
+namespace fm = ferro::mag;
+
+namespace {
+
+bool contains(const std::string& text, const std::string& needle) {
+  return text.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+TEST(SystemCExport, ContainsProcessNetwork) {
+  const std::string src = fc::export_systemc({});
+  EXPECT_TRUE(contains(src, "SC_MODULE(ja_core)"));
+  EXPECT_TRUE(contains(src, "void core()"));
+  EXPECT_TRUE(contains(src, "void monitorH()"));
+  EXPECT_TRUE(contains(src, "void Integral()"));
+  EXPECT_TRUE(contains(src, "SC_METHOD(core)"));
+  EXPECT_TRUE(contains(src, "sensitive << hchanged"));
+  EXPECT_TRUE(contains(src, "sensitive << trig"));
+}
+
+TEST(SystemCExport, EmbedsPaperParameters) {
+  const std::string src = fc::export_systemc({});
+  EXPECT_TRUE(contains(src, "ms    = 1600000"));
+  EXPECT_TRUE(contains(src, "a     = 2000"));
+  EXPECT_TRUE(contains(src, "k     = 4000"));
+  EXPECT_TRUE(contains(src, "c     = 0.1"));
+  EXPECT_TRUE(contains(src, "alpha = 0.003"));
+  EXPECT_TRUE(contains(src, "dhmax = 25"));
+}
+
+TEST(SystemCExport, CustomEntityAndMaterial) {
+  fc::HdlExportOptions options;
+  options.entity_name = "my_core";
+  options.dhmax = 7.5;
+  options.params = fm::find_material("soft-ferrite")->params;
+  const std::string src = fc::export_systemc(options);
+  EXPECT_TRUE(contains(src, "SC_MODULE(my_core)"));
+  EXPECT_TRUE(contains(src, "SC_CTOR(my_core)"));
+  EXPECT_TRUE(contains(src, "dhmax = 7.5"));
+  EXPECT_TRUE(contains(src, "ms    = 400000"));
+  EXPECT_TRUE(contains(src, "lang_classic"));  // soft-ferrite uses Langevin
+}
+
+TEST(SystemCExport, AnhystereticVariants) {
+  fc::HdlExportOptions options;
+  options.params = fm::paper_parameters();  // atan
+  EXPECT_TRUE(contains(fc::export_systemc(options), "lang_mod(he / 2000)"));
+
+  options.params = fm::paper_parameters_dual();
+  const std::string dual = fc::export_systemc(options);
+  EXPECT_TRUE(contains(dual, "lang_mod(he / 2000)"));
+  EXPECT_TRUE(contains(dual, "lang_mod(he / 3500)"));
+
+  options.params.kind = fm::AnhystereticKind::kClassicLangevin;
+  EXPECT_TRUE(contains(fc::export_systemc(options), "lang_classic(he / 2000)"));
+}
+
+TEST(SystemCExport, ListingSemanticsPresent) {
+  // The published clamps must be in the generated integral process.
+  const std::string src = fc::export_systemc({});
+  EXPECT_TRUE(contains(src, "dmdh1 > 0.0 ? dmdh1 : 0.0"));
+  EXPECT_TRUE(contains(src, "if (dm * dh < 0.0) dm = 0.0"));
+  EXPECT_TRUE(contains(src, "deltah > 0.0 ? k : -k"));
+}
+
+TEST(VhdlAmsExport, ContainsEntityArchitecture) {
+  const std::string src = fc::export_vhdl_ams({});
+  EXPECT_TRUE(contains(src, "entity ja_core is"));
+  EXPECT_TRUE(contains(src, "architecture timeless of ja_core"));
+  EXPECT_TRUE(contains(src, "quantity h_in : in real"));
+  EXPECT_TRUE(contains(src, "b_out == MU0 * (ms * mtotal + h_in);"));
+}
+
+TEST(VhdlAmsExport, UsesAboveThresholdSensitivity) {
+  // The timeless trigger in VHDL-AMS is the 'above threshold crossing.
+  const std::string src = fc::export_vhdl_ams({});
+  EXPECT_TRUE(contains(src, "h_in'above(lasth + dhmax)"));
+  EXPECT_TRUE(contains(src, "h_in'above(lasth - dhmax)"));
+}
+
+TEST(VhdlAmsExport, EmbedsGenerics) {
+  fc::HdlExportOptions options;
+  options.dhmax = 12.5;
+  const std::string src = fc::export_vhdl_ams(options);
+  EXPECT_TRUE(contains(src, "ms    : real := 1600000"));
+  EXPECT_TRUE(contains(src, "dhmax : real := 12.5"));
+}
+
+TEST(VhdlAmsExport, AnhystereticVariants) {
+  fc::HdlExportOptions options;
+  options.params = fm::paper_parameters();
+  EXPECT_TRUE(contains(fc::export_vhdl_ams(options),
+                       "(2.0 / MATH_PI) * arctan(he / 2000)"));
+
+  options.params.kind = fm::AnhystereticKind::kClassicLangevin;
+  const std::string classic = fc::export_vhdl_ams(options);
+  EXPECT_TRUE(contains(classic, "function lang_classic"));
+  EXPECT_TRUE(contains(classic, "lang_classic(he / 2000)"));
+}
+
+TEST(Exports, BothNonTrivialSize) {
+  EXPECT_GT(fc::export_systemc({}).size(), 1500u);
+  EXPECT_GT(fc::export_vhdl_ams({}).size(), 1200u);
+}

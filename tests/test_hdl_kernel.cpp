@@ -1,0 +1,243 @@
+// Unit tests for the event kernel: delta-cycle semantics, sensitivity,
+// timed queue, tracing. These semantics are what make the SystemC-style JA
+// module equivalent to the direct TimelessJa — they must be airtight.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "hdl/kernel.hpp"
+#include "hdl/module.hpp"
+#include "hdl/signal.hpp"
+#include "hdl/trace.hpp"
+
+namespace fh = ferro::hdl;
+
+TEST(SimTime, ConversionsAndArithmetic) {
+  EXPECT_EQ(fh::SimTime::ns(1).femtoseconds(), 1'000'000);
+  EXPECT_EQ(fh::SimTime::us(1).femtoseconds(), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(fh::SimTime::ms(2).seconds(), 2e-3);
+  EXPECT_EQ((fh::SimTime::ns(1) + fh::SimTime::ns(2)).femtoseconds(),
+            3'000'000);
+  EXPECT_EQ((fh::SimTime::ns(5) - fh::SimTime::ns(2)), fh::SimTime::ns(3));
+  EXPECT_EQ(fh::SimTime::ns(3) * 2, fh::SimTime::ns(6));
+  EXPECT_LT(fh::SimTime::ps(999), fh::SimTime::ns(1));
+  EXPECT_EQ(fh::SimTime::from_seconds(1.5e-9).femtoseconds(), 1'500'000);
+}
+
+TEST(Signal, WriteIsDeferredToUpdatePhase) {
+  fh::Kernel kernel;
+  fh::Signal<int> sig(kernel, "s", 0);
+
+  // Value read back inside the same evaluate phase must be the old one.
+  int seen_during_process = -1;
+  const auto pid = kernel.register_process("writer", [&] {
+    sig.write(42);
+    seen_during_process = sig.read();
+  });
+  kernel.trigger(pid);
+  kernel.settle();
+
+  EXPECT_EQ(seen_during_process, 0);
+  EXPECT_EQ(sig.read(), 42);
+}
+
+TEST(Signal, ChangeWakesSensitiveProcess) {
+  fh::Kernel kernel;
+  fh::Signal<int> sig(kernel, "s", 0);
+  int activations = 0;
+  const auto pid = kernel.register_process("listener", [&] { ++activations; });
+  kernel.make_sensitive(pid, sig);
+
+  const auto writer = kernel.register_process("writer", [&] { sig.write(7); });
+  kernel.trigger(writer);
+  kernel.settle();
+  EXPECT_EQ(activations, 1);
+}
+
+TEST(Signal, NoWakeOnSameValueWrite) {
+  fh::Kernel kernel;
+  fh::Signal<int> sig(kernel, "s", 7);
+  int activations = 0;
+  const auto pid = kernel.register_process("listener", [&] { ++activations; });
+  kernel.make_sensitive(pid, sig);
+
+  const auto writer = kernel.register_process("writer", [&] { sig.write(7); });
+  kernel.trigger(writer);
+  kernel.settle();
+  EXPECT_EQ(activations, 0);  // value unchanged -> no event
+}
+
+TEST(Signal, LastWriteWinsWithinDelta) {
+  fh::Kernel kernel;
+  fh::Signal<int> sig(kernel, "s", 0);
+  const auto writer = kernel.register_process("writer", [&] {
+    sig.write(1);
+    sig.write(2);
+  });
+  kernel.trigger(writer);
+  kernel.settle();
+  EXPECT_EQ(sig.read(), 2);
+}
+
+TEST(Signal, BoolToggle) {
+  fh::Kernel kernel;
+  fh::Signal<bool> sig(kernel, "b", false);
+  const auto writer = kernel.register_process("writer", [&] { sig.toggle(); });
+  kernel.trigger(writer);
+  kernel.settle();
+  EXPECT_TRUE(sig.read());
+}
+
+TEST(Kernel, DeltaCascadePropagatesThroughChain) {
+  // a -> p1 -> b -> p2 -> c: two deltas after the initial write settle.
+  fh::Kernel kernel;
+  fh::Signal<int> a(kernel, "a", 0), b(kernel, "b", 0), c(kernel, "c", 0);
+
+  const auto p1 = kernel.register_process("p1", [&] { b.write(a.read() + 1); });
+  kernel.make_sensitive(p1, a);
+  const auto p2 = kernel.register_process("p2", [&] { c.write(b.read() + 1); });
+  kernel.make_sensitive(p2, b);
+
+  const auto writer = kernel.register_process("writer", [&] { a.write(5); });
+  kernel.trigger(writer);
+  kernel.settle();
+
+  EXPECT_EQ(b.read(), 6);
+  EXPECT_EQ(c.read(), 7);
+}
+
+TEST(Kernel, SettleReportsDeltaCountAndGuardsOscillation) {
+  fh::Kernel kernel;
+  fh::Signal<int> s(kernel, "osc", 0);
+  // Oscillator: always writes a different value -> never settles.
+  const auto pid = kernel.register_process("osc", [&] { s.write(s.read() + 1); });
+  kernel.make_sensitive(pid, s);
+  const auto kick = kernel.register_process("kick", [&] { s.write(1); });
+  kernel.trigger(kick);
+  const std::size_t deltas = kernel.settle(100);
+  EXPECT_EQ(deltas, 100u);  // guard tripped instead of hanging
+}
+
+TEST(Kernel, TimedEventsRunInOrder) {
+  fh::Kernel kernel;
+  std::vector<int> order;
+  kernel.schedule_at(fh::SimTime::ns(30), [&] { order.push_back(3); });
+  kernel.schedule_at(fh::SimTime::ns(10), [&] { order.push_back(1); });
+  kernel.schedule_at(fh::SimTime::ns(20), [&] { order.push_back(2); });
+  kernel.run_until(fh::SimTime::ns(100));
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 3);
+  EXPECT_EQ(kernel.now(), fh::SimTime::ns(100));
+}
+
+TEST(Kernel, RunUntilStopsAtBoundary) {
+  fh::Kernel kernel;
+  bool late_ran = false;
+  kernel.schedule_at(fh::SimTime::ns(50), [&] { late_ran = true; });
+  kernel.run_until(fh::SimTime::ns(49));
+  EXPECT_FALSE(late_ran);
+  kernel.run_until(fh::SimTime::ns(50));
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(Kernel, SameTimeCallbackScheduledDuringCallbackRuns) {
+  fh::Kernel kernel;
+  int count = 0;
+  kernel.schedule_at(fh::SimTime::ns(10), [&] {
+    ++count;
+    kernel.schedule_at(fh::SimTime::ns(10), [&] { ++count; });
+  });
+  kernel.run_until(fh::SimTime::ns(20));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Kernel, StatsAccumulate) {
+  fh::Kernel kernel;
+  fh::Signal<int> s(kernel, "s", 0);
+  const auto pid = kernel.register_process("p", [&] { (void)s.read(); });
+  kernel.make_sensitive(pid, s);
+  const auto w = kernel.register_process("w", [&] { s.write(1); });
+  kernel.trigger(w);
+  kernel.settle();
+  const auto& st = kernel.stats();
+  EXPECT_GE(st.delta_cycles, 2u);
+  EXPECT_GE(st.process_activations, 2u);
+  EXPECT_GE(st.signal_updates, 1u);
+}
+
+namespace {
+
+class Doubler final : public fh::Module {
+ public:
+  Doubler(fh::Kernel& kernel, std::string name)
+      : Module(kernel, std::move(name)),
+        in(kernel, this->name() + ".in", 0.0),
+        out(kernel, this->name() + ".out", 0.0) {
+    const auto pid = method("double", [this] { out.write(in.read() * 2.0); });
+    sensitive(pid, in);
+  }
+
+  fh::Signal<double> in;
+  fh::Signal<double> out;
+};
+
+}  // namespace
+
+TEST(Module, RegistersNamedProcessWithSensitivity) {
+  fh::Kernel kernel;
+  Doubler mod(kernel, "dbl");
+  EXPECT_EQ(mod.name(), "dbl");
+
+  const auto w = kernel.register_process("w", [&] { mod.in.write(21.0); });
+  kernel.trigger(w);
+  kernel.settle();
+  EXPECT_DOUBLE_EQ(mod.out.read(), 42.0);
+}
+
+TEST(Trace, VcdWriterProducesValidStructure) {
+  const std::string path = "test_kernel.vcd";
+  {
+    fh::VcdWriter vcd(path);
+    const auto h = vcd.add_real("H");
+    const auto b = vcd.add_real("B");
+    vcd.begin_time(fh::SimTime::ns(0));
+    vcd.value(h, 1.0);
+    vcd.value(b, 2.0);
+    vcd.begin_time(fh::SimTime::ns(1));
+    vcd.value(h, 3.0);
+    EXPECT_TRUE(vcd.ok());
+  }
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("$timescale 1 fs $end"), std::string::npos);
+  EXPECT_NE(text.find("$var real 64 ! H $end"), std::string::npos);
+  EXPECT_NE(text.find("$enddefinitions"), std::string::npos);
+  EXPECT_NE(text.find("#0"), std::string::npos);
+  EXPECT_NE(text.find("#1000000"), std::string::npos);
+  EXPECT_NE(text.find("r1 !"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, CsvTracerSamplesSignals) {
+  const std::string path = "test_kernel_trace.csv";
+  fh::Kernel kernel;
+  fh::Signal<double> s(kernel, "sig", 1.5);
+  {
+    fh::CsvTracer tracer(path);
+    tracer.add(s);
+    tracer.sample(fh::SimTime::ns(0));
+    tracer.sample(fh::SimTime::ns(1));
+    EXPECT_TRUE(tracer.write());
+  }
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "t,sig");
+  std::filesystem::remove(path);
+}

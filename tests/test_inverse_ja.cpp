@@ -1,0 +1,113 @@
+// Tests for the flux-driven (inverse) timeless model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mag/inverse_ja.hpp"
+#include "mag/timeless_ja.hpp"
+#include "util/constants.hpp"
+#include "wave/sweep.hpp"
+
+namespace fm = ferro::mag;
+namespace fw = ferro::wave;
+
+namespace {
+
+fm::InverseConfig test_config() {
+  fm::InverseConfig cfg;
+  cfg.forward.dhmax = 10.0;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(InverseJa, HitsRequestedFluxDensity) {
+  fm::InverseTimelessJa inv(fm::paper_parameters(), test_config());
+  for (const double b : {0.2, 0.8, 1.4, 0.9, -0.5, -1.4, 0.0}) {
+    inv.apply_b(b);
+    EXPECT_NEAR(inv.flux_density(), b, 1e-6) << "target " << b;
+  }
+}
+
+TEST(InverseJa, RoundTripsAgainstForwardModel) {
+  // Forward-run a loop, then re-drive the inverse model with the forward
+  // B samples: the recovered fields must retrace the excitation.
+  fm::TimelessConfig fwd_cfg;
+  fwd_cfg.dhmax = 10.0;
+  fm::TimelessJa forward(fm::paper_parameters(), fwd_cfg);
+
+  fm::InverseTimelessJa inverse(fm::paper_parameters(), test_config());
+
+  const fw::HSweep sweep = fw::SweepBuilder(25.0).cycles(8e3, 1).build();
+  double worst_h = 0.0;
+  for (const double h : sweep.h) {
+    forward.apply(h);
+    const double h_rec = inverse.apply_b(forward.flux_density());
+    worst_h = std::max(worst_h, std::fabs(h_rec - h));
+  }
+  // Field recovery within a few event thresholds (the two models quantise
+  // the trajectory independently).
+  EXPECT_LT(worst_h, 4.0 * fwd_cfg.dhmax);
+}
+
+TEST(InverseJa, ZeroTargetFromVirginState) {
+  fm::InverseTimelessJa inv(fm::paper_parameters(), test_config());
+  const double h = inv.apply_b(0.0);
+  EXPECT_NEAR(h, 0.0, 1e-9);
+  EXPECT_EQ(inv.solve_iterations(), 0u);  // short-circuit on zero residual
+}
+
+TEST(InverseJa, HysteresisVisibleThroughInverse) {
+  // Reaching +1 T, then asking for 0 T must require a *negative* field
+  // (remanence): the inverse model sees the hysteresis.
+  fm::InverseTimelessJa inv(fm::paper_parameters(), test_config());
+  inv.apply_b(1.5);
+  const double h_back = inv.apply_b(0.0);
+  EXPECT_LT(h_back, -100.0);
+}
+
+TEST(InverseJa, SaturationRequiresLargeFields) {
+  fm::InverseTimelessJa inv(fm::paper_parameters(), test_config());
+  const double h_knee = inv.apply_b(1.5);
+  inv.reset();
+  const double h_deep = inv.apply_b(2.1);  // past mu0*Ms ~ 2.01 T
+  EXPECT_GT(h_deep, 3.0 * h_knee);
+}
+
+TEST(InverseJa, ResetRestoresVirginState) {
+  fm::InverseTimelessJa inv(fm::paper_parameters(), test_config());
+  inv.apply_b(1.0);
+  inv.reset();
+  EXPECT_DOUBLE_EQ(inv.magnetisation(), 0.0);
+  EXPECT_DOUBLE_EQ(inv.field(), 0.0);
+  EXPECT_EQ(inv.solve_iterations(), 0u);
+}
+
+TEST(InverseJa, IterationCountStaysModest) {
+  fm::InverseTimelessJa inv(fm::paper_parameters(), test_config());
+  int samples = 0;
+  for (double b = 0.0; b <= 1.6; b += 0.05) {
+    inv.apply_b(b);
+    ++samples;
+  }
+  for (double b = 1.6; b >= -1.6; b -= 0.05) {
+    inv.apply_b(b);
+    ++samples;
+  }
+  const double per_sample =
+      static_cast<double>(inv.solve_iterations()) / samples;
+  EXPECT_LT(per_sample, 40.0);
+}
+
+TEST(InverseJa, WorksAcrossMaterials) {
+  for (const auto& material : fm::material_library()) {
+    fm::InverseConfig cfg;
+    cfg.forward.dhmax = (material.params.a + material.params.k) / 600.0;
+    fm::InverseTimelessJa inv(material.params, cfg);
+    const double b_target = 0.5 * ferro::util::kMu0 * material.params.ms;
+    inv.apply_b(b_target);
+    EXPECT_NEAR(inv.flux_density(), b_target, 1e-6) << material.name;
+    inv.apply_b(-b_target);
+    EXPECT_NEAR(inv.flux_density(), -b_target, 1e-6) << material.name;
+  }
+}

@@ -1,0 +1,103 @@
+// Tests for parameter validation and the material library.
+#include <gtest/gtest.h>
+
+#include "mag/ja_params.hpp"
+
+namespace fm = ferro::mag;
+
+TEST(JaParameters, PaperSetMatchesPublication) {
+  const fm::JaParameters p = fm::paper_parameters();
+  EXPECT_DOUBLE_EQ(p.k, 4000.0);
+  EXPECT_DOUBLE_EQ(p.c, 0.1);
+  EXPECT_DOUBLE_EQ(p.ms, 1.6e6);
+  EXPECT_DOUBLE_EQ(p.alpha, 0.003);
+  EXPECT_DOUBLE_EQ(p.a, 2000.0);
+  EXPECT_DOUBLE_EQ(p.a2, 3500.0);
+  EXPECT_EQ(p.kind, fm::AnhystereticKind::kAtan);
+  EXPECT_TRUE(p.is_valid());
+}
+
+TEST(JaParameters, DualVariantUsesA2) {
+  const fm::JaParameters p = fm::paper_parameters_dual();
+  EXPECT_EQ(p.kind, fm::AnhystereticKind::kDualAtan);
+  EXPECT_TRUE(p.is_valid());
+}
+
+TEST(JaParameters, CouplingField) {
+  const fm::JaParameters p = fm::paper_parameters();
+  EXPECT_DOUBLE_EQ(p.coupling_field(), 4800.0);  // alpha*Ms > k: clamp matters
+}
+
+TEST(JaParameters, ValidationCatchesEachViolation) {
+  fm::JaParameters p = fm::paper_parameters();
+  p.ms = -1.0;
+  EXPECT_FALSE(p.is_valid());
+
+  p = fm::paper_parameters();
+  p.a = 0.0;
+  EXPECT_FALSE(p.is_valid());
+
+  p = fm::paper_parameters();
+  p.k = -5.0;
+  EXPECT_FALSE(p.is_valid());
+
+  p = fm::paper_parameters();
+  p.c = 1.0;  // must be < 1
+  EXPECT_FALSE(p.is_valid());
+
+  p = fm::paper_parameters();
+  p.c = -0.1;
+  EXPECT_FALSE(p.is_valid());
+
+  p = fm::paper_parameters();
+  p.alpha = -1e-3;
+  EXPECT_FALSE(p.is_valid());
+
+  p = fm::paper_parameters_dual();
+  p.a2 = 0.0;
+  EXPECT_FALSE(p.is_valid());
+
+  p = fm::paper_parameters_dual();
+  p.blend = 1.5;
+  EXPECT_FALSE(p.is_valid());
+}
+
+TEST(JaParameters, A2IgnoredOutsideDualKind) {
+  fm::JaParameters p = fm::paper_parameters();  // kind = kAtan
+  p.a2 = -1.0;                                  // invalid but unused
+  EXPECT_TRUE(p.is_valid());
+}
+
+TEST(JaParameters, ValidationMessagesName) {
+  fm::JaParameters p = fm::paper_parameters();
+  p.ms = 0.0;
+  p.k = 0.0;
+  const auto problems = p.validate();
+  ASSERT_EQ(problems.size(), 2u);
+  EXPECT_NE(problems[0].find("ms"), std::string::npos);
+  EXPECT_NE(problems[1].find("k"), std::string::npos);
+}
+
+TEST(MaterialLibrary, ContainsPaperSets) {
+  EXPECT_NE(fm::find_material("paper-2006"), nullptr);
+  EXPECT_NE(fm::find_material("paper-2006-dual"), nullptr);
+  EXPECT_EQ(fm::find_material("unobtainium"), nullptr);
+}
+
+TEST(MaterialLibrary, AllEntriesValid) {
+  for (const auto& m : fm::material_library()) {
+    EXPECT_TRUE(m.params.is_valid()) << m.name;
+    EXPECT_FALSE(m.description.empty()) << m.name;
+  }
+}
+
+TEST(MaterialLibrary, AtLeastFiveMaterials) {
+  EXPECT_GE(fm::material_library().size(), 5u);
+}
+
+TEST(AnhystereticKindNames, RoundTrip) {
+  EXPECT_EQ(fm::to_string(fm::AnhystereticKind::kClassicLangevin),
+            "classic-langevin");
+  EXPECT_EQ(fm::to_string(fm::AnhystereticKind::kAtan), "atan");
+  EXPECT_EQ(fm::to_string(fm::AnhystereticKind::kDualAtan), "dual-atan");
+}

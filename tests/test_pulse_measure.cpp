@@ -1,0 +1,146 @@
+// Tests for the PULSE/EXP sources and the measurement (.meas) toolbox.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/measure.hpp"
+#include "util/constants.hpp"
+#include "wave/pulse.hpp"
+
+namespace fw = ferro::wave;
+namespace fa = ferro::analysis;
+
+TEST(Pulse, LevelsAndTiming) {
+  // PULSE(0 5 1m 0.1m 0.2m 2m 5m)
+  const fw::Pulse p(0.0, 5.0, 1e-3, 1e-4, 2e-4, 2e-3, 5e-3);
+  EXPECT_DOUBLE_EQ(p.value(0.0), 0.0);       // before delay
+  EXPECT_DOUBLE_EQ(p.value(0.9e-3), 0.0);
+  EXPECT_NEAR(p.value(1.05e-3), 2.5, 1e-9);  // mid-rise
+  EXPECT_DOUBLE_EQ(p.value(1.1e-3), 5.0);    // top
+  EXPECT_DOUBLE_EQ(p.value(2.0e-3), 5.0);    // still on
+  EXPECT_NEAR(p.value(3.2e-3), 2.5, 1e-9);   // mid-fall
+  EXPECT_DOUBLE_EQ(p.value(4.0e-3), 0.0);    // off
+}
+
+TEST(Pulse, Periodicity) {
+  const fw::Pulse p(0.0, 5.0, 1e-3, 1e-4, 2e-4, 2e-3, 5e-3);
+  EXPECT_DOUBLE_EQ(p.value(2.0e-3), p.value(2.0e-3 + 5e-3));
+  EXPECT_DOUBLE_EQ(p.value(4.0e-3), p.value(4.0e-3 + 10e-3));
+}
+
+TEST(Pulse, DerivativeSigns) {
+  const fw::Pulse p(0.0, 5.0, 1e-3, 1e-4, 2e-4, 2e-3, 5e-3);
+  EXPECT_DOUBLE_EQ(p.derivative(0.5e-3), 0.0);
+  EXPECT_DOUBLE_EQ(p.derivative(1.05e-3), 5.0 / 1e-4);
+  EXPECT_DOUBLE_EQ(p.derivative(2.0e-3), 0.0);
+  EXPECT_DOUBLE_EQ(p.derivative(3.2e-3), -5.0 / 2e-4);
+}
+
+TEST(Pulse, BreakpointsCoverCorners) {
+  const fw::Pulse p(0.0, 5.0, 1e-3, 1e-4, 2e-4, 2e-3, 5e-3);
+  const auto bp = p.breakpoints(2);
+  ASSERT_EQ(bp.size(), 8u);
+  EXPECT_DOUBLE_EQ(bp[0], 1e-3);
+  EXPECT_DOUBLE_EQ(bp[1], 1.1e-3);
+  EXPECT_DOUBLE_EQ(bp[2], 3.1e-3);
+  EXPECT_DOUBLE_EQ(bp[3], 3.3e-3);
+  EXPECT_DOUBLE_EQ(bp[4], 6e-3);  // next period
+}
+
+TEST(Exp, RiseAndDecay) {
+  // EXP(0 1 0 1m 10m 1m)
+  const fw::Exp e(0.0, 1.0, 0.0, 1e-3, 10e-3, 1e-3);
+  EXPECT_DOUBLE_EQ(e.value(0.0), 0.0);
+  EXPECT_NEAR(e.value(1e-3), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(e.value(5e-3), 1.0 - std::exp(-5.0), 1e-9);
+  // After td2 the decay pulls back toward v1.
+  EXPECT_LT(e.value(14e-3), e.value(10e-3));
+  EXPECT_NEAR(e.value(40e-3), 0.0, 1e-9);
+}
+
+TEST(Exp, DerivativeMatchesFiniteDifference) {
+  const fw::Exp e(0.0, 1.0, 1e-3, 2e-3, 8e-3, 3e-3);
+  for (const double t : {2e-3, 5e-3, 9e-3, 20e-3}) {
+    const double h = 1e-8;
+    const double fd = (e.value(t + h) - e.value(t - h)) / (2.0 * h);
+    EXPECT_NEAR(e.derivative(t), fd, 1e-4) << t;
+  }
+}
+
+namespace {
+
+fa::Trace sine_trace(double amplitude, double freq, double t_end,
+                     std::size_t n) {
+  fa::Trace trace;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = t_end * static_cast<double>(i) / static_cast<double>(n - 1);
+    trace.append(t, amplitude * std::sin(2.0 * ferro::util::kPi * freq * t));
+  }
+  return trace;
+}
+
+}  // namespace
+
+TEST(Measure, AverageOfSineIsZero) {
+  const fa::Trace trace = sine_trace(2.0, 50.0, 0.04, 4001);
+  EXPECT_NEAR(fa::average(trace, 0.0, 0.04), 0.0, 1e-6);
+}
+
+TEST(Measure, AverageOfOffset) {
+  fa::Trace trace;
+  trace.append(0.0, 3.0);
+  trace.append(1.0, 3.0);
+  trace.append(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(fa::average(trace, 0.0, 2.0), 3.0);
+  // Partial window uses interpolation.
+  EXPECT_DOUBLE_EQ(fa::average(trace, 0.5, 1.5), 3.0);
+}
+
+TEST(Measure, RmsOfSine) {
+  const fa::Trace trace = sine_trace(2.0, 50.0, 0.04, 8001);
+  EXPECT_NEAR(fa::rms(trace, 0.0, 0.04), 2.0 / std::sqrt(2.0), 1e-4);
+}
+
+TEST(Measure, PeakWindowed) {
+  const fa::Trace trace = sine_trace(2.0, 50.0, 0.04, 4001);
+  EXPECT_NEAR(fa::peak(trace, 0.0, 0.04), 2.0, 1e-6);
+  // A window catching only near the zero crossing sees a smaller peak.
+  EXPECT_LT(fa::peak(trace, 0.0, 0.001), 1.0);
+}
+
+TEST(Measure, CrossAndRiseTime) {
+  // v(t) = 1 - exp(-t): rise time = t90 - t10 = ln(9) ~ 2.197.
+  fa::Trace trace;
+  for (int i = 0; i <= 10000; ++i) {
+    const double t = 10.0 * i / 10000.0;
+    trace.append(t, 1.0 - std::exp(-t));
+  }
+  EXPECT_NEAR(fa::cross_time(trace, 0.5), std::log(2.0), 1e-3);
+  EXPECT_NEAR(fa::rise_time(trace, 1.0), std::log(9.0), 1e-2);
+  EXPECT_LT(fa::cross_time(trace, 2.0), 0.0);  // never crossed
+}
+
+TEST(Measure, ThdPureSineNearZero) {
+  const fa::Trace trace = sine_trace(1.0, 50.0, 0.04, 8001);
+  EXPECT_LT(fa::thd(trace, 0.0, 0.02, 2), 0.01);
+}
+
+TEST(Measure, ThdDetectsSquareWaveHarmonics) {
+  // Ideal square wave THD = sqrt(pi^2/8 - 1) ~ 0.483.
+  fa::Trace trace;
+  for (int i = 0; i <= 20000; ++i) {
+    const double t = 0.04 * i / 20000.0;
+    const double phase = std::fmod(t * 50.0, 1.0);
+    trace.append(t, phase < 0.5 ? 1.0 : -1.0);
+  }
+  const double measured = fa::thd(trace, 0.0, 0.02, 2, 25);
+  EXPECT_NEAR(measured, 0.483, 0.05);
+}
+
+TEST(Measure, DegenerateInputsAreSafe) {
+  fa::Trace empty;
+  EXPECT_DOUBLE_EQ(fa::average(empty, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(fa::rms(empty, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(fa::peak(empty, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(fa::thd(empty, 0.0, 0.02), 0.0);
+}

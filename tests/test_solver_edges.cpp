@@ -1,0 +1,198 @@
+// Edge-case and failure-injection tests for the analogue solver substrate:
+// abort paths, breakpoint corner cases, counter behaviour, Gear2 startup.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ams/transient.hpp"
+
+namespace fa = ferro::ams;
+
+namespace {
+
+/// y' = -k y with a right-hand side that becomes hostile (NaN) after
+/// t_break — forces Newton non-convergence for failure-path tests.
+class Hostile final : public fa::OdeSystem {
+ public:
+  explicit Hostile(double t_break) : t_break_(t_break) {}
+  [[nodiscard]] std::size_t size() const override { return 1; }
+  void initial(std::span<double> y0) const override { y0[0] = 1.0; }
+  void derivative(double t, std::span<const double> y,
+                  std::span<double> dydt) const override {
+    if (t > t_break_) {
+      dydt[0] = std::numeric_limits<double>::quiet_NaN();
+    } else {
+      dydt[0] = -y[0];
+    }
+  }
+
+ private:
+  double t_break_;
+};
+
+class Decay final : public fa::OdeSystem {
+ public:
+  [[nodiscard]] std::size_t size() const override { return 1; }
+  void initial(std::span<double> y0) const override { y0[0] = 1.0; }
+  void derivative(double, std::span<const double> y,
+                  std::span<double> dydt) const override {
+    dydt[0] = -y[0];
+  }
+};
+
+/// Counts on_step_accepted invocations (must fire only for accepted steps).
+class CountingDecay final : public fa::OdeSystem {
+ public:
+  [[nodiscard]] std::size_t size() const override { return 1; }
+  void initial(std::span<double> y0) const override { y0[0] = 1.0; }
+  void derivative(double, std::span<const double> y,
+                  std::span<double> dydt) const override {
+    dydt[0] = -10.0 * y[0];
+  }
+  void on_step_accepted(double, std::span<const double>) override {
+    ++accepted_hooks;
+  }
+  int accepted_hooks = 0;
+};
+
+}  // namespace
+
+TEST(TransientEdges, AbortOnFailureStopsTheRun) {
+  Hostile sys(0.5);
+  fa::TransientOptions options;
+  options.t_end = 1.0;
+  options.dt_initial = 1e-2;
+  options.abort_on_failure = true;
+
+  fa::TransientSolver solver(options);
+  double last_t = 0.0;
+  const bool ok = solver.run(
+      sys, [&](double t, std::span<const double>) { last_t = t; });
+  EXPECT_FALSE(ok);
+  EXPECT_GT(solver.stats().hard_failures, 0u);
+  EXPECT_LT(last_t, 1.0);  // never reached the horizon
+}
+
+TEST(TransientEdges, PersistentFailuresEventuallyGiveUp) {
+  // Non-abort mode tolerates isolated convergence failures (force-accept
+  // with a warning), but a permanently hostile system must not crawl at
+  // dt_min forever: the engine gives up after a bounded streak.
+  Hostile sys(0.5);
+  fa::TransientOptions options;
+  options.t_end = 1.0;
+  options.dt_initial = 1e-2;
+  options.abort_on_failure = false;  // commercial-solver behaviour
+
+  fa::TransientSolver solver(options);
+  double last_t = 0.0;
+  const bool ok = solver.run(
+      sys, [&](double t, std::span<const double>) { last_t = t; });
+  EXPECT_FALSE(ok);                             // gave up, reported
+  EXPECT_GT(solver.stats().hard_failures, 1u);  // tried more than once
+  EXPECT_GT(last_t, 0.4);                       // got to the hostile region
+  EXPECT_LT(last_t, 1.0);                       // but not through it
+}
+
+TEST(TransientEdges, BreakpointAtStartIsIgnored) {
+  Decay sys;
+  fa::TransientOptions options;
+  options.t_end = 1.0;
+  options.dt_initial = 1e-3;
+  options.breakpoints = {0.0, 0.5};  // 0.0 must not wedge the loop
+
+  fa::TransientSolver solver(options);
+  ASSERT_TRUE(solver.run(sys));
+  EXPECT_GT(solver.stats().steps_accepted, 10u);
+}
+
+TEST(TransientEdges, DuplicateAndOutOfRangeBreakpoints) {
+  Decay sys;
+  fa::TransientOptions options;
+  options.t_end = 1.0;
+  options.dt_initial = 1e-3;
+  options.breakpoints = {0.5, 0.5, 0.5, 2.0, -1.0};
+
+  fa::TransientSolver solver(options);
+  std::vector<double> times;
+  ASSERT_TRUE(solver.run(
+      sys, [&](double t, std::span<const double>) { times.push_back(t); }));
+  bool hit = false;
+  for (const double t : times) {
+    if (std::fabs(t - 0.5) < 1e-9) hit = true;
+  }
+  EXPECT_TRUE(hit);
+  EXPECT_NEAR(times.back(), 1.0, 1e-9);
+}
+
+TEST(TransientEdges, AcceptHookFiresOncePerAcceptedStep) {
+  CountingDecay sys;
+  fa::TransientOptions options;
+  options.t_end = 0.5;
+  options.dt_initial = 1e-3;
+
+  fa::TransientSolver solver(options);
+  int callbacks = 0;
+  ASSERT_TRUE(solver.run(
+      sys, [&](double, std::span<const double>) { ++callbacks; }));
+  // One initial callback at t_start plus one per accepted step.
+  EXPECT_EQ(static_cast<std::uint64_t>(callbacks),
+            solver.stats().steps_accepted + 1);
+  EXPECT_EQ(static_cast<std::uint64_t>(sys.accepted_hooks),
+            solver.stats().steps_accepted);
+}
+
+TEST(TransientEdges, DtMaxDefaultsToFiftiethOfHorizon) {
+  Decay sys;
+  fa::TransientOptions options;
+  options.t_end = 1.0;
+  options.dt_initial = 1.0;  // asks for one giant step
+  options.rel_tol = 1e-1;    // permissive, so LTE won't bite
+
+  fa::TransientSolver solver(options);
+  ASSERT_TRUE(solver.run(sys));
+  EXPECT_LE(solver.stats().max_dt_used, 1.0 / 50.0 + 1e-12);
+  EXPECT_GE(solver.stats().steps_accepted, 50u);
+}
+
+TEST(TransientEdges, TightAccuracyCostsSteps) {
+  Decay sys;
+  const auto steps_at = [&](double rel_tol) {
+    fa::TransientOptions options;
+    options.t_end = 1.0;
+    options.dt_initial = 1e-4;
+    options.rel_tol = rel_tol;
+    fa::TransientSolver solver(options);
+    EXPECT_TRUE(solver.run(sys));
+    return solver.stats().steps_accepted;
+  };
+  EXPECT_GT(steps_at(1e-7), steps_at(1e-3));
+}
+
+TEST(TransientEdges, Gear2StartsWithBackwardEuler) {
+  // BDF2 needs two history points; the engine must fall back to BE on the
+  // first step instead of dividing by a zero previous step.
+  Decay sys;
+  fa::TransientOptions options;
+  options.t_end = 0.1;
+  options.dt_initial = 1e-3;
+  options.method = fa::IntegrationMethod::kGear2;
+
+  fa::TransientSolver solver(options);
+  double y_end = 1.0;
+  ASSERT_TRUE(solver.run(sys, [&](double, std::span<const double> y) {
+    y_end = y[0];
+  }));
+  EXPECT_NEAR(y_end, std::exp(-0.1), 1e-3);
+}
+
+TEST(TransientEdges, StatsMinMaxDtOrdered) {
+  Decay sys;
+  fa::TransientOptions options;
+  options.t_end = 1.0;
+  options.dt_initial = 1e-5;
+  fa::TransientSolver solver(options);
+  ASSERT_TRUE(solver.run(sys));
+  EXPECT_GT(solver.stats().min_dt_used, 0.0);
+  EXPECT_GE(solver.stats().max_dt_used, solver.stats().min_dt_used);
+}

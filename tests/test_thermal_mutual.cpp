@@ -1,0 +1,189 @@
+// Tests for the temperature extension and the linear coupled inductor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "analysis/loop_metrics.hpp"
+#include "ckt/engine.hpp"
+#include "ckt/mutual.hpp"
+#include "ckt/netlist.hpp"
+#include "ckt/rlc.hpp"
+#include "ckt/sources.hpp"
+#include "core/dc_sweep.hpp"
+#include "mag/thermal.hpp"
+#include "wave/standard.hpp"
+#include "wave/sweep.hpp"
+
+namespace fm = ferro::mag;
+namespace fk = ferro::ckt;
+namespace fw = ferro::wave;
+namespace fa = ferro::analysis;
+namespace fc = ferro::core;
+
+TEST(Thermal, ReferenceTemperatureIsIdentity) {
+  const fm::ThermalModel thermal;
+  const fm::JaParameters base = fm::paper_parameters();
+  const fm::JaParameters at_ref = thermal.at(base, 293.0);
+  EXPECT_DOUBLE_EQ(at_ref.ms, base.ms);
+  EXPECT_DOUBLE_EQ(at_ref.a, base.a);
+  EXPECT_DOUBLE_EQ(at_ref.k, base.k);
+}
+
+TEST(Thermal, MsFallsMonotonicallyTowardCurie) {
+  const fm::ThermalModel thermal;
+  double prev = 2.0;
+  for (double t = 293.0; t < 1043.0; t += 50.0) {
+    const double ratio = thermal.ms_ratio(t);
+    EXPECT_LT(ratio, prev) << "T=" << t;
+    EXPECT_GT(ratio, 0.0);
+    prev = ratio;
+  }
+}
+
+TEST(Thermal, AboveCurieIsParamagneticFloor) {
+  const fm::ThermalModel thermal;
+  EXPECT_DOUBLE_EQ(thermal.ms_ratio(1100.0), 1e-6);
+  const fm::JaParameters hot = thermal.at(fm::paper_parameters(), 1200.0);
+  EXPECT_TRUE(hot.is_valid());
+  EXPECT_LT(hot.ms, 10.0);  // essentially nonmagnetic
+}
+
+TEST(Thermal, CriticalExponentShape) {
+  // Halfway to Curie in reduced temperature: ratio = 0.5^0.36.
+  fm::ThermalModel thermal;
+  thermal.reference_temperature = 0.0;
+  thermal.curie_temperature = 1000.0;
+  EXPECT_NEAR(thermal.ms_ratio(500.0), std::pow(0.5, 0.36), 1e-12);
+}
+
+TEST(Thermal, PinningFadesFasterThanMs) {
+  const fm::ThermalModel thermal;
+  const fm::JaParameters base = fm::paper_parameters();
+  const fm::JaParameters warm = thermal.at(base, 800.0);
+  const double ms_ratio = warm.ms / base.ms;
+  const double k_ratio = warm.k / base.k;
+  EXPECT_LT(k_ratio, ms_ratio);  // beta_k = 2 > beta_ms exponent chain
+}
+
+TEST(Thermal, HotLoopIsSmallerAndSofter) {
+  const fm::ThermalModel thermal;
+  const fm::JaParameters base = fm::paper_parameters();
+
+  const auto loop_at = [&](double t_kelvin) {
+    const fm::JaParameters p = thermal.at(base, t_kelvin);
+    fm::TimelessConfig cfg;
+    cfg.dhmax = (p.a + p.k) / 600.0;
+    const fw::HSweep sweep = fw::SweepBuilder(10.0).cycles(10e3, 2).build();
+    const auto result = fc::run_dc_sweep(p, cfg, sweep);
+    const std::size_t n = result.curve.size();
+    return fa::analyze_loop(result.curve, n / 2, n - 1);
+  };
+
+  const fa::LoopMetrics cold = loop_at(293.0);
+  const fa::LoopMetrics hot = loop_at(900.0);
+  EXPECT_LT(hot.b_peak, cold.b_peak);
+  EXPECT_LT(hot.coercivity, cold.coercivity);
+  EXPECT_LT(hot.area, cold.area);  // core loss falls with temperature
+}
+
+TEST(Thermal, ValidParametersAcrossRange) {
+  const fm::ThermalModel thermal;
+  for (const auto& material : fm::material_library()) {
+    for (double t = 100.0; t <= 1400.0; t += 100.0) {
+      const fm::JaParameters p = thermal.at(material.params, t);
+      EXPECT_TRUE(p.is_valid()) << material.name << " at T=" << t;
+    }
+  }
+}
+
+namespace {
+
+/// Transformer testbench: sine source on the primary, load on the secondary.
+struct MutualBench {
+  fk::Circuit circuit;
+  fk::NodeId p, s;
+  fk::MutualInductor* mutual = nullptr;
+
+  MutualBench(double l1, double l2, double k, double r_load) {
+    p = circuit.node("p");
+    s = circuit.node("s");
+    circuit.add<fk::VoltageSource>("V", p, fk::kGround,
+                                   std::make_shared<fw::Sine>(1.0, 50.0));
+    mutual = &circuit.add<fk::MutualInductor>("K", p, fk::kGround, s,
+                                              fk::kGround, l1, l2, k);
+    circuit.add<fk::Resistor>("Rload", s, fk::kGround, r_load);
+  }
+};
+
+}  // namespace
+
+TEST(MutualInductor, VoltageRatioFollowsSqrtInductanceRatio) {
+  // With near-unity coupling and a light load: vs/vp = sqrt(L2/L1) = 0.5.
+  MutualBench bench(40e-3, 10e-3, 0.999, 10e3);
+
+  fk::TransientOptions options;
+  options.t_end = 0.04;
+  options.dt_initial = 1e-6;
+  options.dt_max = 2e-5;
+
+  double vp = 0.0, vs = 0.0;
+  ASSERT_TRUE(fk::transient(bench.circuit, options,
+                            [&](const fk::Solution& sol) {
+                              if (sol.t < 0.02) return;
+                              vp = std::max(vp, std::fabs(sol.v(bench.p)));
+                              vs = std::max(vs, std::fabs(sol.v(bench.s)));
+                            }));
+  EXPECT_NEAR(vs / vp, 0.5, 0.03);
+}
+
+TEST(MutualInductor, ZeroCouplingIsolatesSecondary) {
+  MutualBench bench(40e-3, 10e-3, 0.0, 1e3);
+
+  fk::TransientOptions options;
+  options.t_end = 0.02;
+  options.dt_initial = 1e-6;
+  options.dt_max = 2e-5;
+
+  double vs = 0.0;
+  ASSERT_TRUE(fk::transient(bench.circuit, options,
+                            [&](const fk::Solution& sol) {
+                              vs = std::max(vs, std::fabs(sol.v(bench.s)));
+                            }));
+  EXPECT_LT(vs, 1e-6);
+}
+
+TEST(MutualInductor, DcIsQuasiShort) {
+  fk::Circuit circuit;
+  const auto p = circuit.node("p");
+  const auto s = circuit.node("s");
+  circuit.add<fk::VoltageSource>("V", p, fk::kGround, 1.0);
+  circuit.add<fk::MutualInductor>("K", p, fk::kGround, s, fk::kGround, 10e-3,
+                                  10e-3, 0.9);
+  circuit.add<fk::Resistor>("R", s, fk::kGround, 100.0);
+
+  std::vector<double> x;
+  ASSERT_TRUE(fk::dc_operating_point(circuit, x));
+  EXPECT_NEAR(x[static_cast<std::size_t>(s)], 0.0, 1e-3);
+}
+
+TEST(MutualInductor, EnergyFlowsToLoad) {
+  // Loading the secondary must increase the primary current draw.
+  const auto peak_ip = [&](double r_load) {
+    MutualBench bench(40e-3, 10e-3, 0.99, r_load);
+    fk::TransientOptions options;
+    options.t_end = 0.04;
+    options.dt_initial = 1e-6;
+    options.dt_max = 2e-5;
+    double peak = 0.0;
+    EXPECT_TRUE(fk::transient(bench.circuit, options,
+                              [&](const fk::Solution& sol) {
+                                if (sol.t > 0.02) {
+                                  peak = std::max(
+                                      peak, std::fabs(sol.branch_current(1)));
+                                }
+                              }));
+    return peak;
+  };
+  EXPECT_GT(peak_ip(1.0), 2.0 * peak_ip(10e3));
+}

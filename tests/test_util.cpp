@@ -1,0 +1,175 @@
+// Unit tests for ferro::util — constants, strings, CSV, stats, interp, log.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "util/constants.hpp"
+#include "util/csv.hpp"
+#include "util/interp.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace fu = ferro::util;
+
+TEST(Constants, Mu0MatchesFourPiTimes1e7) {
+  EXPECT_NEAR(fu::kMu0, 4.0 * fu::kPi * 1e-7, 1e-21);
+}
+
+TEST(Constants, TwoOverPi) {
+  EXPECT_NEAR(fu::kTwoOverPi, 2.0 / fu::kPi, 1e-16);
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto fields = fu::split("a,,b", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+}
+
+TEST(Strings, SplitSingleField) {
+  const auto fields = fu::split("alone", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "alone");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(fu::trim("  x y \t"), "x y");
+  EXPECT_EQ(fu::trim(""), "");
+  EXPECT_EQ(fu::trim(" \t "), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(fu::starts_with("hello", "he"));
+  EXPECT_FALSE(fu::starts_with("he", "hello"));
+  EXPECT_TRUE(fu::starts_with("x", ""));
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(fu::format_double(1.5), "1.5");
+  EXPECT_EQ(fu::format_double(0.0), "0");
+}
+
+TEST(Strings, FormatEngineering) {
+  EXPECT_EQ(fu::format_engineering(4000.0, "A/m"), "4.000 kA/m");
+  EXPECT_EQ(fu::format_engineering(1.6e6, "A/m"), "1.600 MA/m");
+}
+
+TEST(Csv, RoundTrip) {
+  const std::string path = "test_util_roundtrip.csv";
+  {
+    fu::CsvWriter writer(path, {"a", "b"});
+    writer.row({1.0, 2.0});
+    writer.row({3.5, -4.25});
+    EXPECT_TRUE(writer.ok());
+    EXPECT_EQ(writer.rows_written(), 2u);
+  }
+  const fu::CsvTable table = fu::read_csv(path);
+  ASSERT_EQ(table.columns.size(), 2u);
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.column_index("b"), 1);
+  EXPECT_EQ(table.column_index("missing"), -1);
+  const auto b = table.column("b");
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_DOUBLE_EQ(b[0], 2.0);
+  EXPECT_DOUBLE_EQ(b[1], -4.25);
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, WrongRowWidthMarksNotOk) {
+  const std::string path = "test_util_width.csv";
+  fu::CsvWriter writer(path, {"a", "b"});
+  writer.row({1.0});
+  EXPECT_FALSE(writer.ok());
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, MissingFileGivesEmptyTable) {
+  const fu::CsvTable table = fu::read_csv("definitely_missing_file.csv");
+  EXPECT_TRUE(table.columns.empty());
+  EXPECT_TRUE(table.rows.empty());
+}
+
+TEST(Stats, RunningStatsMeanVariance) {
+  fu::RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, RunningStatsEmptyAndReset) {
+  fu::RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Stats, RmsAndDiffs) {
+  const std::vector<double> a = {3.0, 4.0};
+  const std::vector<double> b = {0.0, 0.0};
+  EXPECT_NEAR(fu::rms(a), std::sqrt(12.5), 1e-12);
+  EXPECT_NEAR(fu::rms_diff(a, b), std::sqrt(12.5), 1e-12);
+  EXPECT_DOUBLE_EQ(fu::max_abs_diff(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(fu::max_abs(a), 4.0);
+  EXPECT_DOUBLE_EQ(fu::rms({}), 0.0);
+}
+
+TEST(Interp, LerpInteriorAndClamp) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0};
+  const std::vector<double> ys = {0.0, 10.0, 40.0};
+  EXPECT_DOUBLE_EQ(fu::lerp_at(xs, ys, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(fu::lerp_at(xs, ys, 1.5), 25.0);
+  EXPECT_DOUBLE_EQ(fu::lerp_at(xs, ys, -1.0), 0.0);   // clamp low
+  EXPECT_DOUBLE_EQ(fu::lerp_at(xs, ys, 3.0), 40.0);   // clamp high
+}
+
+TEST(Interp, Resample) {
+  const std::vector<double> xs = {0.0, 2.0};
+  const std::vector<double> ys = {0.0, 4.0};
+  const std::vector<double> xq = {0.0, 1.0, 2.0};
+  const auto out = fu::resample(xs, ys, xq);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+}
+
+TEST(Interp, Linspace) {
+  const auto g = fu::linspace(-1.0, 1.0, 5);
+  ASSERT_EQ(g.size(), 5u);
+  EXPECT_DOUBLE_EQ(g.front(), -1.0);
+  EXPECT_DOUBLE_EQ(g[2], 0.0);
+  EXPECT_DOUBLE_EQ(g.back(), 1.0);
+}
+
+TEST(Interp, TrapezoidIntegral) {
+  // y = x on [0, 2] -> integral 2.
+  const std::vector<double> xs = {0.0, 1.0, 2.0};
+  const std::vector<double> ys = {0.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(fu::trapezoid(xs, ys), 2.0);
+}
+
+TEST(Interp, TrapezoidClosedLoopAreaIsZeroForDegenerate) {
+  // Out and back along the same path cancels.
+  const std::vector<double> xs = {0.0, 1.0, 0.0};
+  const std::vector<double> ys = {0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(fu::trapezoid(xs, ys), 0.0);
+}
+
+TEST(Log, LevelFiltering) {
+  const fu::LogLevel saved = fu::log_level();
+  fu::set_log_level(fu::LogLevel::kError);
+  EXPECT_EQ(fu::log_level(), fu::LogLevel::kError);
+  // Below threshold: must not crash, output suppressed.
+  fu::log_debug("test", "hidden");
+  fu::log_info("test", "hidden");
+  fu::log_warning("test", "hidden");
+  fu::set_log_level(saved);
+}
