@@ -1,0 +1,104 @@
+// BATCH — serial vs parallel scenario throughput through BatchRunner.
+//
+// The workload is a 64-scenario material sweep (the material library tiled
+// with per-scenario dhmax jitter so no two jobs are identical); the report
+// section checks that every thread count reproduces the serial results
+// bit-for-bit, then the timing section measures scenarios/second at 1, 2, 4
+// and hardware_concurrency threads.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/batch_runner.hpp"
+#include "mag/ja_params.hpp"
+#include "wave/sweep.hpp"
+
+namespace {
+
+using namespace ferro;
+
+constexpr std::size_t kScenarios = 64;
+
+std::vector<core::Scenario> workload() {
+  const auto& library = mag::material_library();
+  std::vector<core::Scenario> scenarios;
+  scenarios.reserve(kScenarios);
+  for (std::size_t i = 0; i < kScenarios; ++i) {
+    const auto& material = library[i % library.size()];
+    const double amp = 5.0 * (material.params.a + material.params.k);
+    core::Scenario s;
+    s.name = material.name + "#" + std::to_string(i);
+    s.params = material.params;
+    // Jitter the event threshold so jobs are distinct work units.
+    s.config.dhmax = amp / (300.0 + 10.0 * static_cast<double>(i % 8));
+    wave::HSweep sweep = wave::SweepBuilder(amp / 1500.0).cycles(amp, 2).build();
+    s.metrics_window = core::MetricsWindow{sweep.size() / 2, sweep.size() - 1};
+    s.drive = std::move(sweep);
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+bool identical(const std::vector<core::ScenarioResult>& a,
+               const std::vector<core::ScenarioResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& pa = a[i].curve.points();
+    const auto& pb = b[i].curve.points();
+    if (a[i].name != b[i].name || a[i].error != b[i].error ||
+        pa.size() != pb.size()) {
+      return false;
+    }
+    for (std::size_t j = 0; j < pa.size(); ++j) {
+      // Bitwise: any reordering of the arithmetic would show up here.
+      if (pa[j].h != pb[j].h || pa[j].m != pb[j].m || pa[j].b != pb[j].b) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void report() {
+  benchutil::header("BATCH", "BatchRunner determinism across thread counts");
+
+  const auto scenarios = workload();
+  const auto serial = core::BatchRunner({.threads = 1}).run(scenarios);
+
+  std::printf("  %-10s %10s %10s\n", "threads", "jobs", "identical");
+  for (const unsigned threads : {2u, 4u, 8u, 0u}) {
+    const core::BatchRunner runner({.threads = threads});
+    const auto parallel = runner.run(scenarios);
+    std::printf("  %-10u %10zu %10s\n",
+                runner.resolved_threads(scenarios.size()), parallel.size(),
+                identical(serial, parallel) ? "yes" : "NO");
+  }
+  benchutil::footnote(
+      "each job is claimed atomically and writes its own result slot, so "
+      "scheduling cannot reorder any floating-point operation.");
+}
+
+void bm_batch(benchmark::State& state) {
+  const auto scenarios = workload();
+  const core::BatchRunner runner(
+      {.threads = static_cast<unsigned>(state.range(0))});
+  for (auto _ : state) {
+    auto results = runner.run(scenarios);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(scenarios.size()));
+  state.counters["threads"] =
+      static_cast<double>(runner.resolved_threads(scenarios.size()));
+}
+BENCHMARK(bm_batch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+
+FERRO_BENCH_MAIN(report)

@@ -1,11 +1,14 @@
 // Temperature sweep: how the paper material's hysteresis loop collapses on
 // the way to the Curie point (the classic JA thermal extension).
 //
+// Each temperature is an independent scenario, so the sweep runs through
+// BatchRunner; the table and CSV are then written serially in temperature
+// order from the collected results.
+//
 // Output: table on stdout + thermal_loops.csv (temperature-tagged curves).
 #include <cstdio>
 
-#include "analysis/loop_metrics.hpp"
-#include "core/dc_sweep.hpp"
+#include "core/batch_runner.hpp"
 #include "mag/thermal.hpp"
 #include "util/csv.hpp"
 #include "wave/sweep.hpp"
@@ -15,26 +18,40 @@ int main() {
 
   const mag::JaParameters base = mag::paper_parameters();
   const mag::ThermalModel thermal;  // Tc = 1043 K (iron), T0 = 293 K
+  const std::vector<double> temperatures = {293.0, 500.0, 700.0,
+                                            850.0, 950.0, 1020.0};
+
+  std::vector<core::Scenario> scenarios;
+  for (const double t : temperatures) {
+    core::Scenario s;
+    s.name = "T=" + std::to_string(t);
+    s.params = thermal.at(base, t);
+    s.config.dhmax = (s.params.a + s.params.k) / 600.0;
+    wave::HSweep sweep = wave::SweepBuilder(10.0).cycles(10e3, 2).build();
+    s.metrics_window = core::MetricsWindow{sweep.size() / 2, sweep.size() - 1};
+    s.drive = std::move(sweep);
+    scenarios.push_back(std::move(s));
+  }
+
+  const auto results = core::BatchRunner().run(scenarios);
 
   util::CsvWriter csv("thermal_loops.csv", {"t_kelvin", "h", "b"});
   std::printf("%10s %10s %10s %12s %14s\n", "T [K]", "Ms/Ms0", "Bpeak[T]",
               "Hc [A/m]", "loss[J/m^3]");
-  for (const double t : {293.0, 500.0, 700.0, 850.0, 950.0, 1020.0}) {
-    const mag::JaParameters params = thermal.at(base, t);
-    mag::TimelessConfig cfg;
-    cfg.dhmax = (params.a + params.k) / 600.0;
-    const wave::HSweep sweep = wave::SweepBuilder(10.0).cycles(10e3, 2).build();
-    const auto result = core::run_dc_sweep(params, cfg, sweep);
-
-    const std::size_t n = result.curve.size();
-    const auto metrics = analysis::analyze_loop(result.curve, n / 2, n - 1);
-    std::printf("%10.0f %10.3f %10.3f %12.1f %14.1f\n", t,
-                thermal.ms_ratio(t), metrics.b_peak, metrics.coercivity,
-                metrics.area);
+  for (std::size_t j = 0; j < results.size(); ++j) {
+    const double t = temperatures[j];
+    const auto& r = results[j];
+    if (!r.ok()) {
+      std::printf("%10.0f FAILED: %s\n", t, r.error.c_str());
+      continue;
+    }
+    std::printf("%10.0f %10.3f %10.3f %12.1f %14.1f\n", t, thermal.ms_ratio(t),
+                r.metrics.b_peak, r.metrics.coercivity, r.metrics.area);
 
     // Record the second (converged) cycle for plotting.
+    const std::size_t n = r.curve.size();
     for (std::size_t i = n / 2; i < n; i += 8) {
-      csv.row({t, result.curve.points()[i].h, result.curve.points()[i].b});
+      csv.row({t, r.curve.points()[i].h, r.curve.points()[i].b});
     }
   }
   std::printf("\nloop area and coercivity collapse toward the Curie point; "

@@ -1,0 +1,132 @@
+#include "core/batch_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "core/dc_sweep.hpp"
+
+namespace ferro::core {
+namespace {
+
+std::string join_violations(const std::vector<std::string>& violations) {
+  std::string out = "invalid parameters: ";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i) out += "; ";
+    out += violations[i];
+  }
+  return out;
+}
+
+void fill_metrics(ScenarioResult& result,
+                  const std::optional<MetricsWindow>& window) {
+  if (result.curve.size() < 2) return;
+  if (window) {
+    // A window that does not fit the curve is an error, not something to
+    // clamp silently: frontends like kAms place their own steps, so a window
+    // sized from the input sweep can miss the actual trajectory entirely.
+    const std::size_t last = result.curve.size() - 1;
+    if (window->begin >= window->end || window->end > last) {
+      result.error = "metrics window [" + std::to_string(window->begin) + ", " +
+                     std::to_string(window->end) +
+                     "] does not fit a curve of " +
+                     std::to_string(result.curve.size()) + " points";
+      return;
+    }
+    result.metrics = analysis::analyze_loop(result.curve, window->begin,
+                                            window->end);
+  } else {
+    result.metrics = analysis::analyze_loop(result.curve);
+  }
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const Scenario& scenario) {
+  ScenarioResult result;
+  result.name = scenario.name;
+
+  const auto violations = scenario.params.validate();
+  if (!violations.empty()) {
+    result.error = join_violations(violations);
+    return result;
+  }
+
+  try {
+    if (const auto* drive = std::get_if<TimeDrive>(&scenario.drive)) {
+      if (!drive->waveform) {
+        result.error = "time-driven scenario has no waveform";
+        return result;
+      }
+      const JaFacade facade(scenario.params, scenario.config);
+      result.curve = facade.run(*drive->waveform, drive->t0, drive->t1,
+                                drive->n_samples, scenario.frontend);
+    } else {
+      const auto& sweep = std::get<wave::HSweep>(scenario.drive);
+      if (scenario.frontend == Frontend::kDirect) {
+        // Direct sweeps keep the model's discretisation counters.
+        auto dc = run_dc_sweep(scenario.params, scenario.config, sweep);
+        result.curve = std::move(dc.curve);
+        result.stats = dc.stats;
+      } else {
+        const JaFacade facade(scenario.params, scenario.config);
+        result.curve = facade.run(sweep, scenario.frontend);
+      }
+    }
+  } catch (const std::exception& e) {
+    result.error = e.what();
+    return result;
+  } catch (...) {
+    result.error = "unknown exception";
+    return result;
+  }
+
+  fill_metrics(result, scenario.metrics_window);
+  return result;
+}
+
+BatchRunner::BatchRunner(BatchOptions options) : options_(options) {}
+
+unsigned BatchRunner::resolved_threads(std::size_t n_jobs) const {
+  unsigned threads = options_.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  if (n_jobs < threads) threads = static_cast<unsigned>(n_jobs);
+  return std::max(threads, 1u);
+}
+
+std::vector<ScenarioResult> BatchRunner::run(
+    const std::vector<Scenario>& scenarios) const {
+  std::vector<ScenarioResult> results(scenarios.size());
+  if (scenarios.empty()) return results;
+
+  const unsigned threads = resolved_threads(scenarios.size());
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      results[i] = run_scenario(scenarios[i]);
+    }
+    return results;
+  }
+
+  // Atomic work queue: each worker claims the next unstarted job and writes
+  // its slot directly, so result order never depends on scheduling.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < scenarios.size();
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      results[i] = run_scenario(scenarios[i]);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+  return results;
+}
+
+}  // namespace ferro::core

@@ -1,0 +1,101 @@
+// BatchRunner — fan a vector of (material, discretisation, excitation,
+// frontend) scenarios across a thread pool and collect BH curves plus loop
+// metrics in deterministic job order.
+//
+// Each scenario is an independent simulation (the frontends share no mutable
+// state), so the pool is a simple atomic work-queue: results[i] always
+// corresponds to scenarios[i] and is bitwise identical whatever the thread
+// count, including the serial fallback. Failures (invalid parameters, a
+// throwing solver) are captured per job instead of aborting the batch.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "analysis/loop_metrics.hpp"
+#include "core/facade.hpp"
+#include "mag/bh.hpp"
+#include "mag/ja_params.hpp"
+#include "mag/timeless_ja.hpp"
+#include "wave/sweep.hpp"
+#include "wave/waveform.hpp"
+
+namespace ferro::core {
+
+/// Time-driven excitation: sample `waveform` over [t0, t1] at `n_samples`
+/// uniform points (kAms lets the analogue solver pick its own steps).
+struct TimeDrive {
+  std::shared_ptr<const wave::Waveform> waveform;
+  double t0 = 0.0;
+  double t1 = 1.0;
+  std::size_t n_samples = 1000;
+};
+
+/// Closed index window [begin, end] of the *result curve* over which the
+/// loop metrics are computed (e.g. the converged second cycle of a 2-cycle
+/// sweep). The window must fit the curve the frontend actually produced —
+/// kDirect/kSystemC sweep jobs emit one point per sweep sample, but kAms
+/// places its own solver steps, so a window sized from the input sweep is
+/// rejected there as a per-job error rather than silently clamped.
+struct MetricsWindow {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// One batch job: everything needed to run a simulation and name its result.
+struct Scenario {
+  std::string name;
+  mag::JaParameters params;
+  mag::TimelessConfig config;
+  std::variant<wave::HSweep, TimeDrive> drive;
+  Frontend frontend = Frontend::kDirect;
+  /// When absent, metrics cover the whole curve.
+  std::optional<MetricsWindow> metrics_window;
+};
+
+struct ScenarioResult {
+  std::string name;
+  mag::BhCurve curve;
+  analysis::LoopMetrics metrics;
+  /// Discretisation counters; populated for kDirect sweep jobs (the other
+  /// frontends do not expose their model's counters through the facade).
+  mag::TimelessStats stats;
+  /// Empty on success, otherwise a human-readable failure description.
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+struct BatchOptions {
+  /// Worker count: 0 picks std::thread::hardware_concurrency(); 1 runs every
+  /// job serially in the calling thread (no threads spawned).
+  unsigned threads = 0;
+};
+
+/// Runs one scenario in the calling thread — the unit of work BatchRunner
+/// fans out, exposed for tests and for callers that want serial control.
+[[nodiscard]] ScenarioResult run_scenario(const Scenario& scenario);
+
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions options = {});
+
+  /// Runs every scenario and returns results in scenario order.
+  [[nodiscard]] std::vector<ScenarioResult> run(
+      const std::vector<Scenario>& scenarios) const;
+
+  /// The worker count `run` would use for `n_jobs` jobs (never more threads
+  /// than jobs; at least 1).
+  [[nodiscard]] unsigned resolved_threads(std::size_t n_jobs) const;
+
+  [[nodiscard]] const BatchOptions& options() const { return options_; }
+
+ private:
+  BatchOptions options_;
+};
+
+}  // namespace ferro::core

@@ -1,0 +1,73 @@
+// Shared test fixtures: the paper-faithful configuration, the canonical
+// excitations the suites keep rebuilding, and curve-comparison helpers.
+// Header-only; include as "support/fixtures.hpp" (tests/ is on the include
+// path of every test target).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "mag/bh.hpp"
+#include "mag/ja_params.hpp"
+#include "mag/timeless_ja.hpp"
+#include "wave/sweep.hpp"
+
+namespace ferro::testsupport {
+
+/// The paper's discretisation: dhmax = 25 A/m, Forward Euler, both clamps on.
+inline mag::TimelessConfig paper_config() {
+  mag::TimelessConfig c;
+  c.dhmax = 25.0;
+  return c;
+}
+
+/// The canonical major-loop excitation of the Fig. 1 material: symmetric
+/// cycles to +-10 kA/m starting from the virgin state.
+inline wave::HSweep major_loop(double step = 10.0, int cycles = 2) {
+  return wave::SweepBuilder(step).cycles(10e3, cycles).build();
+}
+
+/// Saturating sweep amplitude for a material: far into the knee.
+inline double saturation_amplitude(const mag::JaParameters& p) {
+  return 5.0 * (p.a + p.k);
+}
+
+/// A saturating 2000-samples-per-leg major loop scaled to the material.
+inline wave::HSweep saturating_major_loop(const mag::JaParameters& p,
+                                          int cycles = 2) {
+  const double amp = saturation_amplitude(p);
+  return wave::SweepBuilder(amp / 2000.0).cycles(amp, cycles).build();
+}
+
+/// Fresh TimelessJa run through a sweep, recording every sample.
+inline mag::BhCurve run_timeless(const mag::JaParameters& params,
+                                 const mag::TimelessConfig& config,
+                                 const wave::HSweep& sweep) {
+  mag::TimelessJa ja(params, config);
+  return mag::run_sweep(ja, sweep);
+}
+
+/// Worst pointwise |delta B| between two equal-length trajectories.
+inline double max_b_deviation(const mag::BhCurve& a, const mag::BhCurve& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double worst = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    worst = std::max(worst, std::fabs(a.points()[i].b - b.points()[i].b));
+  }
+  return worst;
+}
+
+/// Absolute path of a committed data file under tests/data/.
+inline std::string data_path(const std::string& name) {
+#ifdef FERRO_TEST_DATA_DIR
+  return std::string(FERRO_TEST_DATA_DIR) + "/" + name;
+#else
+  return "tests/data/" + name;
+#endif
+}
+
+}  // namespace ferro::testsupport

@@ -1,0 +1,32 @@
+// Regenerates tests/data/fig1_major_loop.csv — the golden major-loop
+// trajectory of the paper-faithful configuration (dual-atan Fig. 1 material,
+// dhmax = 25 A/m, Forward Euler, clamps on; two +-10 kA/m cycles sampled
+// every 10 A/m).
+//
+// Run from the repo root after an *intentional* model change:
+//   ./build/gen_fig1_golden tests/data/fig1_major_loop.csv
+// and commit the refreshed file. test_golden_curve asserts the live model
+// stays within RMS tolerance of the committed curve.
+#include <cstdio>
+
+#include "core/dc_sweep.hpp"
+#include "mag/ja_params.hpp"
+#include "wave/sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ferro;
+  const char* path = argc > 1 ? argv[1] : "tests/data/fig1_major_loop.csv";
+
+  mag::TimelessConfig config;
+  config.dhmax = 25.0;
+  const wave::HSweep sweep = wave::SweepBuilder(10.0).cycles(10e3, 2).build();
+  const auto result =
+      core::run_dc_sweep(mag::paper_parameters_dual(), config, sweep);
+
+  if (!result.curve.write_csv(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path);
+    return 1;
+  }
+  std::printf("wrote %zu points to %s\n", result.curve.size(), path);
+  return 0;
+}

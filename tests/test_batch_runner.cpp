@@ -1,0 +1,208 @@
+// BatchRunner: deterministic ordering, thread-count invariance, serial
+// fallback, per-job error capture, and the scenario unit itself.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/batch_runner.hpp"
+#include "core/dc_sweep.hpp"
+#include "mag/ja_params.hpp"
+#include "support/fixtures.hpp"
+#include "wave/standard.hpp"
+#include "wave/sweep.hpp"
+
+namespace fm = ferro::mag;
+namespace fw = ferro::wave;
+namespace fa = ferro::analysis;
+namespace fc = ferro::core;
+namespace ts = ferro::testsupport;
+
+namespace {
+
+/// A small heterogeneous workload: every library material, mixed dhmax.
+std::vector<fc::Scenario> material_workload(std::size_t count) {
+  const auto& library = fm::material_library();
+  std::vector<fc::Scenario> scenarios;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& material = library[i % library.size()];
+    fc::Scenario s;
+    s.name = material.name + "#" + std::to_string(i);
+    s.params = material.params;
+    s.config.dhmax = (material.params.a + material.params.k) /
+                     (200.0 + 50.0 * static_cast<double>(i % 4));
+    fw::HSweep sweep = ts::saturating_major_loop(material.params);
+    s.metrics_window = fc::MetricsWindow{sweep.size() / 2, sweep.size() - 1};
+    s.drive = std::move(sweep);
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+void expect_identical(const std::vector<fc::ScenarioResult>& a,
+                      const std::vector<fc::ScenarioResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].error, b[i].error);
+    ASSERT_EQ(a[i].curve.size(), b[i].curve.size()) << a[i].name;
+    for (std::size_t j = 0; j < a[i].curve.size(); ++j) {
+      const auto& pa = a[i].curve.points()[j];
+      const auto& pb = b[i].curve.points()[j];
+      // Bitwise equality: scheduling must not reorder any arithmetic.
+      ASSERT_EQ(pa.h, pb.h) << a[i].name << " point " << j;
+      ASSERT_EQ(pa.m, pb.m) << a[i].name << " point " << j;
+      ASSERT_EQ(pa.b, pb.b) << a[i].name << " point " << j;
+    }
+    EXPECT_EQ(a[i].metrics.area, b[i].metrics.area) << a[i].name;
+  }
+}
+
+}  // namespace
+
+TEST(BatchRunner, EmptyBatchYieldsEmptyResults) {
+  EXPECT_TRUE(fc::BatchRunner().run({}).empty());
+}
+
+TEST(BatchRunner, ResultsArriveInScenarioOrder) {
+  const auto scenarios = material_workload(12);
+  const auto results = fc::BatchRunner({.threads = 4}).run(scenarios);
+  ASSERT_EQ(results.size(), scenarios.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].name, scenarios[i].name);
+    EXPECT_TRUE(results[i].ok()) << results[i].error;
+    EXPECT_GT(results[i].curve.size(), 0u);
+    EXPECT_GT(results[i].metrics.area, 0.0);
+  }
+}
+
+TEST(BatchRunner, ThreadCountInvariance) {
+  const auto scenarios = material_workload(16);
+  const auto serial = fc::BatchRunner({.threads = 1}).run(scenarios);
+  for (const unsigned threads : {2u, 3u, 4u, 8u, 0u}) {
+    const auto parallel = fc::BatchRunner({.threads = threads}).run(scenarios);
+    expect_identical(serial, parallel);
+  }
+}
+
+TEST(BatchRunner, SerialMatchesRunScenario) {
+  const auto scenarios = material_workload(4);
+  const auto batch = fc::BatchRunner({.threads = 1}).run(scenarios);
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const fc::ScenarioResult solo = fc::run_scenario(scenarios[i]);
+    ASSERT_EQ(solo.curve.size(), batch[i].curve.size());
+    for (std::size_t j = 0; j < solo.curve.size(); ++j) {
+      EXPECT_EQ(solo.curve.points()[j].b, batch[i].curve.points()[j].b);
+    }
+  }
+}
+
+TEST(BatchRunner, InvalidParametersAreCapturedPerJob) {
+  auto scenarios = material_workload(3);
+  scenarios[1].params.c = 1.5;  // reversibility must satisfy 0 <= c < 1
+  scenarios[1].name = "broken";
+
+  const auto results = fc::BatchRunner({.threads = 2}).run(scenarios);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok()) << results[0].error;
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_NE(results[1].error.find("invalid parameters"), std::string::npos)
+      << results[1].error;
+  EXPECT_TRUE(results[1].curve.empty());
+  EXPECT_TRUE(results[2].ok()) << results[2].error;
+}
+
+TEST(BatchRunner, MissingWaveformIsCaptured) {
+  fc::Scenario s;
+  s.name = "no-waveform";
+  s.params = fm::paper_parameters();
+  s.drive = fc::TimeDrive{};  // null waveform
+  const auto result = fc::run_scenario(s);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("waveform"), std::string::npos) << result.error;
+}
+
+TEST(BatchRunner, EmptyMetricsWindowIsCaptured) {
+  fc::Scenario s;
+  s.name = "bad-window";
+  s.params = fm::paper_parameters();
+  s.config = ts::paper_config();
+  s.drive = ts::major_loop(10.0, 1);
+  s.metrics_window = fc::MetricsWindow{500, 500};
+  const auto result = fc::run_scenario(s);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("metrics window"), std::string::npos)
+      << result.error;
+  // The curve itself still completed before the metrics step failed.
+  EXPECT_GT(result.curve.size(), 0u);
+}
+
+TEST(BatchRunner, OversizedMetricsWindowIsCapturedNotClamped) {
+  // A window that does not fit the produced curve (e.g. sized from the input
+  // sweep of a kAms job, whose solver picks its own steps) must surface as a
+  // per-job error — silently clamping would compute metrics over the wrong
+  // slice.
+  fc::Scenario s;
+  s.name = "oversized-window";
+  s.params = fm::paper_parameters();
+  s.config = ts::paper_config();
+  const fw::HSweep sweep = ts::major_loop(10.0, 1);
+  s.metrics_window = fc::MetricsWindow{0, sweep.size() + 1000};
+  s.drive = sweep;
+  const auto result = fc::run_scenario(s);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("does not fit"), std::string::npos)
+      << result.error;
+}
+
+TEST(BatchRunner, TimeDrivenScenarioRuns) {
+  fc::Scenario s;
+  s.name = "triangular";
+  s.params = fm::paper_parameters();
+  s.config = ts::paper_config();
+  s.drive = fc::TimeDrive{std::make_shared<fw::Triangular>(10e3, 0.02), 0.0,
+                          0.04, 4000};
+  const auto result = fc::run_scenario(s);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.curve.size(), 4000u);
+  EXPECT_GT(result.metrics.b_peak, 1.0);
+}
+
+TEST(BatchRunner, DirectSweepScenarioKeepsStats) {
+  fc::Scenario s;
+  s.name = "stats";
+  s.params = fm::paper_parameters();
+  s.config = ts::paper_config();
+  s.drive = ts::major_loop(10.0, 2);
+  const auto result = fc::run_scenario(s);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_GT(result.stats.field_events, 0u);
+  EXPECT_GT(result.stats.slope_clamps, 0u);
+}
+
+TEST(BatchRunner, FrontendsAgreeThroughTheBatchPath) {
+  fc::Scenario direct;
+  direct.name = "direct";
+  direct.params = fm::paper_parameters();
+  direct.config = ts::paper_config();
+  direct.drive = ts::major_loop(20.0, 1);
+
+  fc::Scenario systemc = direct;
+  systemc.name = "systemc";
+  systemc.frontend = fc::Frontend::kSystemC;
+
+  const auto results = fc::BatchRunner({.threads = 2}).run({direct, systemc});
+  ASSERT_TRUE(results[0].ok() && results[1].ok());
+  ASSERT_EQ(results[0].curve.size(), results[1].curve.size());
+  for (std::size_t j = 0; j < results[0].curve.size(); ++j) {
+    EXPECT_EQ(results[0].curve.points()[j].b, results[1].curve.points()[j].b);
+  }
+}
+
+TEST(BatchRunner, ResolvedThreadsNeverExceedsJobs) {
+  const fc::BatchRunner runner({.threads = 8});
+  EXPECT_EQ(runner.resolved_threads(3), 3u);
+  EXPECT_EQ(runner.resolved_threads(100), 8u);
+  EXPECT_EQ(runner.resolved_threads(0), 1u);
+  const fc::BatchRunner defaults;
+  EXPECT_GE(defaults.resolved_threads(100), 1u);
+}

@@ -9,12 +9,15 @@
 #include "mag/bh.hpp"
 #include "mag/classic_ja.hpp"
 #include "mag/timeless_ja.hpp"
+#include "support/fixtures.hpp"
 #include "util/constants.hpp"
 #include "wave/sweep.hpp"
 
 namespace fm = ferro::mag;
 namespace fw = ferro::wave;
 namespace fa = ferro::analysis;
+
+using ferro::testsupport::major_loop;
 
 namespace {
 
@@ -54,7 +57,7 @@ TEST(ClassicJa, FluxDensityDefinition) {
 TEST(ClassicJa, HysteresisLoopHasArea) {
   fm::ClassicJa ja(classic_steel());
   fm::BhCurve curve;
-  const fw::HSweep sweep = fw::SweepBuilder(50.0).cycles(10e3, 2).build();
+  const fw::HSweep sweep = major_loop(50.0, 2);
   for (const double h : sweep.h) {
     ja.apply(h);
     curve.append(h, ja.magnetisation(), ja.flux_density());
@@ -95,7 +98,7 @@ TEST(ClassicJa, UnclampedPaperParametersShowNegativeSlopes) {
   fm::ClassicJa ja(fm::paper_parameters(), cfg);
 
   fm::BhCurve curve;
-  const fw::HSweep sweep = fw::SweepBuilder(25.0).cycles(10e3, 1).build();
+  const fw::HSweep sweep = major_loop(25.0, 1);
   for (const double h : sweep.h) {
     ja.apply(h);
     curve.append(h, ja.magnetisation(), ja.flux_density());
@@ -112,7 +115,7 @@ TEST(ClassicJa, ClampedPaperParametersStayPhysical) {
   fm::ClassicJa ja(fm::paper_parameters(), cfg);
 
   fm::BhCurve curve;
-  const fw::HSweep sweep = fw::SweepBuilder(25.0).cycles(10e3, 1).build();
+  const fw::HSweep sweep = major_loop(25.0, 1);
   for (const double h : sweep.h) {
     ja.apply(h);
     curve.append(h, ja.magnetisation(), ja.flux_density());
@@ -145,7 +148,7 @@ TEST(ClassicJa, AgreesWithTimelessModelQualitatively) {
   // of the two models lie within a factor-2 band of each other.
   fm::ClassicJa classic(fm::paper_parameters());
   fm::BhCurve classic_curve;
-  const fw::HSweep sweep = fw::SweepBuilder(10.0).cycles(10e3, 2).build();
+  const fw::HSweep sweep = major_loop(10.0, 2);
   for (const double h : sweep.h) {
     classic.apply(h);
     classic_curve.append(h, classic.magnetisation(), classic.flux_density());

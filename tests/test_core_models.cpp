@@ -13,6 +13,7 @@
 #include "core/systemc_ja.hpp"
 #include "util/constants.hpp"
 #include "wave/standard.hpp"
+#include "support/fixtures.hpp"
 #include "wave/sweep.hpp"
 
 namespace fm = ferro::mag;
@@ -25,7 +26,7 @@ namespace {
 constexpr double kDhmax = 25.0;
 
 fw::HSweep test_sweep() {
-  return fw::SweepBuilder(10.0).cycles(10e3, 1).build();
+  return ferro::testsupport::major_loop(10.0, 1);
 }
 }  // namespace
 

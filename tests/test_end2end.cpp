@@ -14,6 +14,7 @@
 #include "core/systemc_ja.hpp"
 #include "mag/classic_ja.hpp"
 #include "mag/time_domain_ja.hpp"
+#include "support/fixtures.hpp"
 #include "wave/standard.hpp"
 
 namespace fm = ferro::mag;
@@ -21,12 +22,14 @@ namespace fw = ferro::wave;
 namespace fa = ferro::analysis;
 namespace fc = ferro::core;
 
+using ferro::testsupport::major_loop;
+using ferro::testsupport::paper_config;
+
 TEST(Fig1, FullPipelineReproducesPublishedShape) {
   // The paper's Fig. 1: decaying triangular DC sweep, major loop +/-10 kA/m
   // with nested non-biased minor loops, B spanning roughly +/-1.5...2 T.
   const fm::JaParameters params = fm::paper_parameters_dual();
-  fm::TimelessConfig cfg;
-  cfg.dhmax = 25.0;
+  const fm::TimelessConfig cfg = paper_config();
 
   const fw::HSweep sweep = fc::fig1_sweep(10.0);
   const auto result = fc::run_dc_sweep(params, cfg, sweep);
@@ -54,11 +57,10 @@ TEST(Fig1, FullPipelineReproducesPublishedShape) {
 
 TEST(Fig1, MinorLoopsAreNestedInsideMajorLoop) {
   const fm::JaParameters params = fm::paper_parameters_dual();
-  fm::TimelessConfig cfg;
-  cfg.dhmax = 25.0;
+  const fm::TimelessConfig cfg = paper_config();
 
   // Major-loop envelope: second full cycle at 10 kA/m.
-  const fw::HSweep major = fw::SweepBuilder(10.0).cycles(10e3, 2).build();
+  const fw::HSweep major = major_loop(10.0, 2);
   const fm::BhCurve major_curve = fc::run_dc_sweep(params, cfg, major).curve;
 
   // Each shrinking cycle of the Fig. 1 excitation must stay inside it.
@@ -84,8 +86,7 @@ TEST(Fig1, MinorLoopsAreNestedInsideMajorLoop) {
 
 TEST(Fig1, CsvArtefactWritten) {
   const fm::JaParameters params = fm::paper_parameters_dual();
-  fm::TimelessConfig cfg;
-  cfg.dhmax = 25.0;
+  const fm::TimelessConfig cfg = paper_config();
   const auto result = fc::run_dc_sweep(params, cfg, fc::fig1_sweep(50.0));
   const std::string path = "test_fig1.csv";
   ASSERT_TRUE(result.curve.write_csv(path));
@@ -97,7 +98,7 @@ TEST(Claims, ThreeFrontendsVirtuallyIdentical) {
   // CLM4: SystemC-style, AMS-style and direct implementations of the same
   // technique agree — SystemC vs direct exactly, AMS within tolerance.
   const fm::JaParameters params = fm::paper_parameters();
-  const fw::HSweep sweep = fw::SweepBuilder(20.0).cycles(10e3, 1).build();
+  const fw::HSweep sweep = major_loop(20.0, 1);
   const fc::JaFacade facade(params, {25.0});
 
   const fm::BhCurve direct = facade.run(sweep, fc::Frontend::kDirect);
@@ -154,15 +155,14 @@ TEST(Claims, UnclampedOriginalModelIsNonPhysical) {
   raw.clamp_negative_slope = false;
   fm::ClassicJa original(params, raw);
   fm::BhCurve original_curve;
-  const fw::HSweep sweep = fw::SweepBuilder(25.0).cycles(10e3, 1).build();
+  const fw::HSweep sweep = major_loop(25.0, 1);
   for (const double h : sweep.h) {
     original.apply(h);
     original_curve.append(h, original.magnetisation(), original.flux_density());
   }
   EXPECT_GT(fa::scan_slopes(original_curve).negative_segments, 0u);
 
-  fm::TimelessConfig cfg;
-  cfg.dhmax = 25.0;
+  const fm::TimelessConfig cfg = paper_config();
   const auto published = fc::run_dc_sweep(params, cfg, sweep);
   EXPECT_EQ(fa::scan_slopes(published.curve).negative_segments, 0u);
 }

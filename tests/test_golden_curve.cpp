@@ -1,0 +1,82 @@
+// Golden-curve regression: the committed tests/data/fig1_major_loop.csv was
+// generated from the paper-faithful configuration (see
+// tests/support/gen_fig1_golden.cpp). Any change to the timeless kernel that
+// moves the major loop shows up here as an RMS deviation.
+#include <gtest/gtest.h>
+
+#include "analysis/curve_compare.hpp"
+#include "analysis/loop_metrics.hpp"
+#include "core/dc_sweep.hpp"
+#include "mag/ja_params.hpp"
+#include "support/fixtures.hpp"
+#include "util/csv.hpp"
+
+namespace fm = ferro::mag;
+namespace fa = ferro::analysis;
+namespace fc = ferro::core;
+namespace fu = ferro::util;
+namespace ts = ferro::testsupport;
+
+namespace {
+
+fm::BhCurve load_golden() {
+  const fu::CsvTable table = fu::read_csv(ts::data_path("fig1_major_loop.csv"));
+  fm::BhCurve curve;
+  const int ih = table.column_index("h");
+  const int im = table.column_index("m");
+  const int ib = table.column_index("b");
+  EXPECT_GE(ih, 0);
+  EXPECT_GE(im, 0);
+  EXPECT_GE(ib, 0);
+  if (ih < 0 || im < 0 || ib < 0) return curve;
+  for (const auto& row : table.rows) {
+    curve.append(row[static_cast<std::size_t>(ih)],
+                 row[static_cast<std::size_t>(im)],
+                 row[static_cast<std::size_t>(ib)]);
+  }
+  return curve;
+}
+
+fm::BhCurve regenerate() {
+  return fc::run_dc_sweep(fm::paper_parameters_dual(), ts::paper_config(),
+                          ts::major_loop(10.0, 2))
+      .curve;
+}
+
+}  // namespace
+
+TEST(GoldenCurve, CommittedFileLoads) {
+  const fm::BhCurve golden = load_golden();
+  ASSERT_GT(golden.size(), 1000u)
+      << "tests/data/fig1_major_loop.csv missing or truncated — regenerate "
+         "with ./build/gen_fig1_golden";
+}
+
+TEST(GoldenCurve, TimelessModelReproducesCommittedMajorLoop) {
+  const fm::BhCurve golden = load_golden();
+  ASSERT_GT(golden.size(), 0u);
+  const fm::BhCurve live = regenerate();
+  ASSERT_EQ(live.size(), golden.size());
+
+  const fa::CurveDelta d = fa::compare_pointwise(live, golden);
+  // The only expected deviation is the CSV's 12-significant-digit rounding
+  // (~1e-11 T); 1e-6 T still catches any real change to the discretisation.
+  EXPECT_LT(d.rms_b, 1e-6);
+  EXPECT_LT(d.max_b, 1e-5);
+  EXPECT_LT(d.rms_m, 1.0);  // M is O(1e6) A/m; 1 A/m RMS is ~1e-6 relative
+}
+
+TEST(GoldenCurve, CommittedCurveMatchesPublishedFigure) {
+  // Tie the artefact itself to Fig. 1's published characteristics, so a
+  // silently regenerated-but-wrong golden cannot pass.
+  const fm::BhCurve golden = load_golden();
+  ASSERT_GT(golden.size(), 0u);
+  const std::size_t n = golden.size();
+  const fa::LoopMetrics metrics = fa::analyze_loop(golden, n / 2, n - 1);
+  EXPECT_DOUBLE_EQ(metrics.h_peak, 10e3);
+  EXPECT_GT(metrics.b_peak, 1.2);
+  EXPECT_LT(metrics.b_peak, 2.2);
+  EXPECT_GT(metrics.coercivity, 500.0);
+  EXPECT_LT(metrics.coercivity, 4000.0);
+  EXPECT_GT(metrics.remanence, 0.3);
+}

@@ -13,6 +13,7 @@
 #include "mag/bh.hpp"
 #include "mag/timeless_ja.hpp"
 #include "util/constants.hpp"
+#include "support/fixtures.hpp"
 #include "wave/sweep.hpp"
 
 namespace fm = ferro::mag;
@@ -20,14 +21,7 @@ namespace fw = ferro::wave;
 namespace fa = ferro::analysis;
 namespace fc = ferro::core;
 
-namespace {
-
-/// Saturating sweep amplitude for a material: far into the knee.
-double saturation_amplitude(const fm::JaParameters& p) {
-  return 5.0 * (p.a + p.k);
-}
-
-}  // namespace
+using ferro::testsupport::saturation_amplitude;
 
 // ---------------------------------------------------------------------------
 // Sweep over (material, dhmax): core physical invariants.

@@ -13,6 +13,7 @@
 #include "core/dc_sweep.hpp"
 #include "mag/thermal.hpp"
 #include "wave/standard.hpp"
+#include "support/fixtures.hpp"
 #include "wave/sweep.hpp"
 
 namespace fm = ferro::mag;
@@ -74,7 +75,7 @@ TEST(Thermal, HotLoopIsSmallerAndSofter) {
     const fm::JaParameters p = thermal.at(base, t_kelvin);
     fm::TimelessConfig cfg;
     cfg.dhmax = (p.a + p.k) / 600.0;
-    const fw::HSweep sweep = fw::SweepBuilder(10.0).cycles(10e3, 2).build();
+    const fw::HSweep sweep = ferro::testsupport::major_loop(10.0, 2);
     const auto result = fc::run_dc_sweep(p, cfg, sweep);
     const std::size_t n = result.curve.size();
     return fa::analyze_loop(result.curve, n / 2, n - 1);

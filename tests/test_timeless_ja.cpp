@@ -5,25 +5,15 @@
 
 #include "mag/bh.hpp"
 #include "mag/timeless_ja.hpp"
+#include "support/fixtures.hpp"
 #include "util/constants.hpp"
 #include "wave/sweep.hpp"
 
 namespace fm = ferro::mag;
 namespace fw = ferro::wave;
 
-namespace {
-
-fm::TimelessConfig paper_config() {
-  fm::TimelessConfig c;
-  c.dhmax = 25.0;
-  return c;
-}
-
-fw::HSweep major_loop(double step = 10.0, int cycles = 2) {
-  return fw::SweepBuilder(step).cycles(10e3, cycles).build();
-}
-
-}  // namespace
+using ferro::testsupport::major_loop;
+using ferro::testsupport::paper_config;
 
 TEST(TimelessJa, VirginStateIsDemagnetised) {
   fm::TimelessJa ja(fm::paper_parameters(), paper_config());
@@ -185,20 +175,15 @@ TEST(TimelessJa, SmallerDhmaxConvergesToReference) {
   fm::TimelessConfig ref_cfg;
   ref_cfg.dhmax = 1e-3;
   ref_cfg.scheme = fm::HIntegrator::kRk4;
-  fm::TimelessJa ref(fm::paper_parameters(), ref_cfg);
-  const fm::BhCurve ref_curve = fm::run_sweep(ref, sweep);
+  const fm::BhCurve ref_curve =
+      ferro::testsupport::run_timeless(fm::paper_parameters(), ref_cfg, sweep);
 
   const auto error_with = [&](double dhmax) {
     fm::TimelessConfig cfg;
     cfg.dhmax = dhmax;
-    fm::TimelessJa ja(fm::paper_parameters(), cfg);
-    const fm::BhCurve curve = fm::run_sweep(ja, sweep);
-    double worst = 0.0;
-    for (std::size_t i = 0; i < curve.size(); ++i) {
-      worst = std::max(worst, std::fabs(curve.points()[i].b -
-                                        ref_curve.points()[i].b));
-    }
-    return worst;
+    const fm::BhCurve curve =
+        ferro::testsupport::run_timeless(fm::paper_parameters(), cfg, sweep);
+    return ferro::testsupport::max_b_deviation(curve, ref_curve);
   };
 
   const double e_coarse = error_with(200.0);
