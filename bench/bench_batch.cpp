@@ -1,15 +1,23 @@
-// BATCH — serial vs parallel scenario throughput through BatchRunner.
+// BATCH — serial vs parallel scenario throughput through BatchRunner, and
+// the SoA packed path (TimelessJaBatch) against the per-scenario path.
 //
-// The workload is a 64-scenario material sweep (the material library tiled
-// with per-scenario dhmax jitter so no two jobs are identical); the report
-// section checks that every thread count reproduces the serial results
-// bit-for-bit, then the timing section measures scenarios/second at 1, 2, 4
-// and hardware_concurrency threads.
+// Two workloads:
+//   * heterogeneous: the material library tiled with per-scenario dhmax
+//     jitter (the original PR-1 determinism workload);
+//   * homogeneous: 64 scenarios of one material and one sweep shape with
+//     dhmax jitter only — the shape run_packed() is built for.
+//
+// The report section checks that every thread count reproduces the serial
+// results bit-for-bit and that run_packed(kExact) matches run() bit-for-bit;
+// the timing section measures scenarios/second for run(), run_packed(exact)
+// and run_packed(fast). The PR acceptance threshold is run_packed at >= 1.5x
+// run() on the homogeneous workload at equal thread count.
 #include <cstdio>
 
 #include "bench_common.hpp"
 #include "core/batch_runner.hpp"
 #include "mag/ja_params.hpp"
+#include "mag/timeless_ja_batch.hpp"
 #include "wave/sweep.hpp"
 
 namespace {
@@ -18,7 +26,7 @@ using namespace ferro;
 
 constexpr std::size_t kScenarios = 64;
 
-std::vector<core::Scenario> workload() {
+std::vector<core::Scenario> heterogeneous_workload() {
   const auto& library = mag::material_library();
   std::vector<core::Scenario> scenarios;
   scenarios.reserve(kScenarios);
@@ -29,6 +37,24 @@ std::vector<core::Scenario> workload() {
     s.name = material.name + "#" + std::to_string(i);
     s.params = material.params;
     // Jitter the event threshold so jobs are distinct work units.
+    s.config.dhmax = amp / (300.0 + 10.0 * static_cast<double>(i % 8));
+    wave::HSweep sweep = wave::SweepBuilder(amp / 1500.0).cycles(amp, 2).build();
+    s.metrics_window = core::MetricsWindow{sweep.size() / 2, sweep.size() - 1};
+    s.drive = std::move(sweep);
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+std::vector<core::Scenario> homogeneous_workload() {
+  const auto& material = mag::material_library().front();
+  const double amp = 5.0 * (material.params.a + material.params.k);
+  std::vector<core::Scenario> scenarios;
+  scenarios.reserve(kScenarios);
+  for (std::size_t i = 0; i < kScenarios; ++i) {
+    core::Scenario s;
+    s.name = material.name + "#" + std::to_string(i);
+    s.params = material.params;
     s.config.dhmax = amp / (300.0 + 10.0 * static_cast<double>(i % 8));
     wave::HSweep sweep = wave::SweepBuilder(amp / 1500.0).cycles(amp, 2).build();
     s.metrics_window = core::MetricsWindow{sweep.size() / 2, sweep.size() - 1};
@@ -61,24 +87,32 @@ bool identical(const std::vector<core::ScenarioResult>& a,
 void report() {
   benchutil::header("BATCH", "BatchRunner determinism across thread counts");
 
-  const auto scenarios = workload();
+  const auto scenarios = heterogeneous_workload();
   const auto serial = core::BatchRunner({.threads = 1}).run(scenarios);
 
-  std::printf("  %-10s %10s %10s\n", "threads", "jobs", "identical");
+  std::printf("  %-16s %10s %10s\n", "threads", "jobs", "identical");
   for (const unsigned threads : {2u, 4u, 8u, 0u}) {
     const core::BatchRunner runner({.threads = threads});
     const auto parallel = runner.run(scenarios);
-    std::printf("  %-10u %10zu %10s\n",
+    std::printf("  %-16u %10zu %10s\n",
                 runner.resolved_threads(scenarios.size()), parallel.size(),
                 identical(serial, parallel) ? "yes" : "NO");
   }
+  for (const unsigned threads : {1u, 4u}) {
+    const core::BatchRunner runner({.threads = threads});
+    const auto packed = runner.run_packed(scenarios);
+    std::printf("  %-4u (packed)    %10zu %10s\n",
+                runner.resolved_threads(scenarios.size()), packed.size(),
+                identical(serial, packed) ? "yes" : "NO");
+  }
   benchutil::footnote(
-      "each job is claimed atomically and writes its own result slot, so "
-      "scheduling cannot reorder any floating-point operation.");
+      "jobs are claimed from per-worker deques (work-stealing) and write "
+      "their own result slots; run_packed(kExact) lanes execute the exact "
+      "scalar arithmetic, so every row must compare bitwise equal.");
 }
 
 void bm_batch(benchmark::State& state) {
-  const auto scenarios = workload();
+  const auto scenarios = heterogeneous_workload();
   const core::BatchRunner runner(
       {.threads = static_cast<unsigned>(state.range(0))});
   for (auto _ : state) {
@@ -95,6 +129,49 @@ BENCHMARK(bm_batch)
     ->Arg(2)
     ->Arg(4)
     ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/// The acceptance workload: 64 homogeneous kDirect sweeps, per-scenario
+/// path vs the SoA packed path at the same thread count.
+void bm_homogeneous_run(benchmark::State& state) {
+  const auto scenarios = homogeneous_workload();
+  const core::BatchRunner runner(
+      {.threads = static_cast<unsigned>(state.range(0))});
+  for (auto _ : state) {
+    auto results = runner.run(scenarios);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(scenarios.size()));
+}
+BENCHMARK(bm_homogeneous_run)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void bm_homogeneous_run_packed(benchmark::State& state) {
+  const auto scenarios = homogeneous_workload();
+  const core::BatchRunner runner(
+      {.threads = static_cast<unsigned>(state.range(0))});
+  const auto math = state.range(1) == 0 ? mag::BatchMath::kExact
+                                        : mag::BatchMath::kFast;
+  for (auto _ : state) {
+    auto results = runner.run_packed(scenarios, math);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(scenarios.size()));
+  state.SetLabel(std::string(to_string(math)));
+}
+BENCHMARK(bm_homogeneous_run_packed)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({0, 0})
+    ->Args({0, 1})
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();

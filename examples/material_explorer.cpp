@@ -2,17 +2,25 @@
 // loop and tabulates the figure-of-merit set an engineer reads off a BH
 // curve: saturation flux density, remanence, coercivity, loss per cycle.
 //
-// The materials are independent jobs, so they go through BatchRunner: one
-// scenario per material, fanned across the hardware threads, results
-// collected in library order.
+// The materials are independent jobs, so they go through BatchRunner's
+// packed path: every scenario here is a plain kDirect sweep, so run_packed()
+// routes the whole library through the SoA batch kernel (TimelessJaBatch)
+// in lane blocks — results in library order, bitwise identical to the
+// per-scenario path in the default exact mode.
 #include <cstdio>
+#include <cstring>
 
 #include "core/batch_runner.hpp"
 #include "mag/ja_params.hpp"
+#include "mag/timeless_ja_batch.hpp"
 #include "wave/sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ferro;
+
+  // `material_explorer --fast` opts into the FastMath lane (bounded error,
+  // roughly twice the throughput; see README "Performance").
+  const bool fast = argc > 1 && std::strcmp(argv[1], "--fast") == 0;
 
   std::vector<core::Scenario> scenarios;
   for (const auto& material : mag::material_library()) {
@@ -29,7 +37,8 @@ int main() {
   }
 
   const core::BatchRunner runner;
-  const auto results = runner.run(scenarios);
+  const auto results = runner.run_packed(
+      scenarios, fast ? mag::BatchMath::kFast : mag::BatchMath::kExact);
 
   std::printf("%-20s %10s %10s %12s %14s %14s\n", "material", "Bpeak[T]",
               "Br [T]", "Hc [A/m]", "loss[J/m^3]", "clamps");
@@ -45,7 +54,8 @@ int main() {
   }
   std::printf("\nmaterials span soft ferrites to hard steels; the same "
               "timeless discretisation handles all of them unchanged "
-              "(%u threads).\n",
-              runner.resolved_threads(scenarios.size()));
+              "(%u threads, SoA batch kernel, %s math).\n",
+              runner.resolved_threads(scenarios.size()),
+              fast ? "fast" : "exact");
   return 0;
 }

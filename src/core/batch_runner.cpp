@@ -1,7 +1,6 @@
 #include "core/batch_runner.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <exception>
 #include <thread>
 
@@ -98,34 +97,140 @@ unsigned BatchRunner::resolved_threads(std::size_t n_jobs) const {
   return std::max(threads, 1u);
 }
 
+ThreadPool& BatchRunner::pool() const {
+  std::lock_guard<std::mutex> lk(pool_mutex_);
+  if (!pool_) {
+    unsigned threads = options_.threads;
+    if (threads == 0) {
+      threads = std::thread::hardware_concurrency();
+      if (threads == 0) threads = 1;
+    }
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  return *pool_;
+}
+
 std::vector<ScenarioResult> BatchRunner::run(
     const std::vector<Scenario>& scenarios) const {
   std::vector<ScenarioResult> results(scenarios.size());
   if (scenarios.empty()) return results;
 
-  const unsigned threads = resolved_threads(scenarios.size());
-  if (threads <= 1) {
+  if (resolved_threads(scenarios.size()) <= 1) {
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
       results[i] = run_scenario(scenarios[i]);
     }
     return results;
   }
 
-  // Atomic work queue: each worker claims the next unstarted job and writes
-  // its slot directly, so result order never depends on scheduling.
-  std::atomic<std::size_t> next{0};
-  auto worker = [&]() {
-    for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-         i < scenarios.size();
-         i = next.fetch_add(1, std::memory_order_relaxed)) {
-      results[i] = run_scenario(scenarios[i]);
+  // Every job writes its own result slot, so result order never depends on
+  // scheduling; scenario jobs are coarse, so one job per chunk lets the
+  // work-stealing deques balance heterogeneous runtimes.
+  pool().parallel_for(
+      scenarios.size(), 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          results[i] = run_scenario(scenarios[i]);
+        }
+      });
+  return results;
+}
+
+bool BatchRunner::packable(const Scenario& scenario) {
+  return scenario.frontend == Frontend::kDirect &&
+         std::holds_alternative<wave::HSweep>(scenario.drive) &&
+         mag::TimelessJaBatch::supports(scenario.config) &&
+         scenario.config.dhmax > 0.0 && scenario.params.is_valid();
+}
+
+std::vector<ScenarioResult> BatchRunner::run_packed(
+    const std::vector<Scenario>& scenarios, mag::BatchMath math) const {
+  std::vector<ScenarioResult> results(scenarios.size());
+  if (scenarios.empty()) return results;
+
+  std::vector<std::size_t> packed;
+  std::vector<std::size_t> fallback;
+  packed.reserve(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    (packable(scenarios[i]) ? packed : fallback).push_back(i);
+  }
+
+  // One SoA lane block: contiguous slice [begin, end) of `packed`. Lanes are
+  // independent, so any block partition yields identical per-lane results —
+  // thread-count and chunk-size invariance for free. The kernel advances all
+  // lanes of a block together, so a failure there (allocation, fundamentally)
+  // is reported on every lane of the block; the per-lane metrics step keeps
+  // per-job capture like run_scenario does.
+  const auto run_block = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t p = begin; p < end; ++p) {
+      results[packed[p]].name = scenarios[packed[p]].name;
+    }
+    mag::TimelessJaBatch batch(math);
+    std::vector<mag::BhCurve> curves;
+    try {
+      std::vector<const wave::HSweep*> sweeps;
+      sweeps.reserve(end - begin);
+      for (std::size_t p = begin; p < end; ++p) {
+        const Scenario& s = scenarios[packed[p]];
+        batch.add_lane(s.params, s.config);
+        sweeps.push_back(&std::get<wave::HSweep>(s.drive));
+      }
+      batch.run(sweeps, curves);
+    } catch (const std::exception& e) {
+      for (std::size_t p = begin; p < end; ++p) {
+        results[packed[p]].error = e.what();
+      }
+      return;
+    } catch (...) {
+      for (std::size_t p = begin; p < end; ++p) {
+        results[packed[p]].error = "unknown exception";
+      }
+      return;
+    }
+    for (std::size_t p = begin; p < end; ++p) {
+      const std::size_t i = packed[p];
+      ScenarioResult& r = results[i];
+      try {
+        r.curve = std::move(curves[p - begin]);
+        r.stats = batch.stats(p - begin);
+        fill_metrics(r, scenarios[i].metrics_window);
+      } catch (const std::exception& e) {
+        r.error = e.what();
+      } catch (...) {
+        r.error = "unknown exception";
+      }
     }
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& thread : pool) thread.join();
+  // Lane blocks sized like ThreadPool::default_chunk would size them, then
+  // dispatched TOGETHER with the fallback jobs in one parallel_for: a slow
+  // non-packable job overlaps the packed blocks instead of serialising
+  // before them. Every work unit writes disjoint result slots, so the fused
+  // dispatch changes nothing about determinism.
+  const unsigned threads = resolved_threads(scenarios.size());
+  const std::size_t block =
+      threads <= 1 ? std::max<std::size_t>(packed.size(), 1)
+                   : ThreadPool::default_chunk(packed.size(), threads);
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;
+  for (std::size_t b = 0; b < packed.size(); b += block) {
+    blocks.emplace_back(b, std::min(packed.size(), b + block));
+  }
+
+  const std::size_t n_units = fallback.size() + blocks.size();
+  const auto run_unit = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t u = begin; u < end; ++u) {
+      if (u < fallback.size()) {
+        results[fallback[u]] = run_scenario(scenarios[fallback[u]]);
+      } else {
+        const auto& [b0, b1] = blocks[u - fallback.size()];
+        run_block(b0, b1);
+      }
+    }
+  };
+
+  if (threads <= 1) {
+    run_unit(0, n_units);
+  } else {
+    pool().parallel_for(n_units, 1, run_unit);
+  }
   return results;
 }
 

@@ -1,16 +1,25 @@
 // BatchRunner — fan a vector of (material, discretisation, excitation,
-// frontend) scenarios across a thread pool and collect BH curves plus loop
-// metrics in deterministic job order.
+// frontend) scenarios across a persistent work-stealing thread pool and
+// collect BH curves plus loop metrics in deterministic job order.
 //
 // Each scenario is an independent simulation (the frontends share no mutable
-// state), so the pool is a simple atomic work-queue: results[i] always
-// corresponds to scenarios[i] and is bitwise identical whatever the thread
-// count, including the serial fallback. Failures (invalid parameters, a
-// throwing solver) are captured per job instead of aborting the batch.
+// state): results[i] always corresponds to scenarios[i] and is bitwise
+// identical whatever the thread count, including the serial fallback.
+// Failures (invalid parameters, a throwing solver) are captured per job
+// instead of aborting the batch.
+//
+// The pool (core/thread_pool.hpp) is constructed lazily on the first
+// multi-threaded run and reused across run()/run_packed() calls, so sweeping
+// many batches through one runner pays thread start-up exactly once.
+// run_packed() additionally routes homogeneous kDirect sweep scenarios
+// through the SoA batch kernel (mag::TimelessJaBatch) in lane blocks — the
+// cheap path for large material x config sweeps — falling back to the
+// per-scenario path for everything else.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <variant>
@@ -18,9 +27,11 @@
 
 #include "analysis/loop_metrics.hpp"
 #include "core/facade.hpp"
+#include "core/thread_pool.hpp"
 #include "mag/bh.hpp"
 #include "mag/ja_params.hpp"
 #include "mag/timeless_ja.hpp"
+#include "mag/timeless_ja_batch.hpp"
 #include "wave/sweep.hpp"
 #include "wave/waveform.hpp"
 
@@ -88,6 +99,19 @@ class BatchRunner {
   [[nodiscard]] std::vector<ScenarioResult> run(
       const std::vector<Scenario>& scenarios) const;
 
+  /// Like run(), but scenarios the SoA kernel supports (kDirect frontend,
+  /// HSweep drive, Forward Euler, no sub-stepping, valid parameters) are
+  /// packed into mag::TimelessJaBatch lane blocks; the rest fall back to the
+  /// per-scenario path. Results arrive in scenario order either way. With
+  /// BatchMath::kExact the results are bitwise identical to run(); kFast
+  /// opts in to the polynomial FastMath lane (bounded error, faster).
+  [[nodiscard]] std::vector<ScenarioResult> run_packed(
+      const std::vector<Scenario>& scenarios,
+      mag::BatchMath math = mag::BatchMath::kExact) const;
+
+  /// True when run_packed() would route `scenario` through the SoA kernel.
+  [[nodiscard]] static bool packable(const Scenario& scenario);
+
   /// The worker count `run` would use for `n_jobs` jobs (never more threads
   /// than jobs; at least 1).
   [[nodiscard]] unsigned resolved_threads(std::size_t n_jobs) const;
@@ -95,7 +119,14 @@ class BatchRunner {
   [[nodiscard]] const BatchOptions& options() const { return options_; }
 
  private:
+  /// The persistent pool, created on first use and reused for the runner's
+  /// lifetime. Sized from options().threads (0 = hardware concurrency),
+  /// independent of any one batch's job count.
+  [[nodiscard]] ThreadPool& pool() const;
+
   BatchOptions options_;
+  mutable std::mutex pool_mutex_;
+  mutable std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace ferro::core

@@ -19,6 +19,8 @@ JaCoreModule::JaCoreModule(hdl::Kernel& kernel, std::string name,
       dhmax_(dhmax),
       c_over_1pc_(params.c / (1.0 + params.c)),
       alpha_ms_(params.alpha * params.ms),
+      one_pc_k_((1.0 + params.c) * params.k),
+      one_pc_alpha_ms_((1.0 + params.c) * (params.alpha * params.ms)),
       hchanged_(kernel, this->name() + ".hchanged", false),
       trig_(kernel, this->name() + ".trig", 0),
       refresh_(kernel, this->name() + ".refresh", 0) {
@@ -62,14 +64,15 @@ void JaCoreModule::monitor_h() {
 }
 
 void JaCoreModule::integral() {
-  // Get the field direction.
-  const double dk = deltah_ > 0.0 ? params_.k : -params_.k;
+  // Get the field direction. delta*one_pc_k with delta = +-1 is exact, so
+  // the sign select reproduces TimelessJa's multiply bit-for-bit.
+  const double dk1pc = deltah_ > 0.0 ? one_pc_k_ : -one_pc_k_;
 
-  // Forward Euler integration method.
+  // Forward Euler integration method, with the (1+c) factor distributed into
+  // the precomputed denominator terms exactly like TimelessJa.
   const double dh = deltah_;
   const double deltam = man_ - mtotal_;
-  const double dmdh1 =
-      deltam / ((1.0 + params_.c) * (dk - alpha_ms_ * deltam));
+  const double dmdh1 = deltam / (dk1pc - one_pc_alpha_ms_ * deltam);
   const double dmdh = dmdh1 > 0.0 ? dmdh1 : 0.0;  // assure positive derivative
   double dm = dh * dmdh;
   if (dm * dh < 0.0) dm = 0.0;

@@ -49,6 +49,8 @@ class JaCoreModule final : public hdl::Module {
   double dhmax_;
   double c_over_1pc_;
   double alpha_ms_;
+  double one_pc_k_;         ///< (1+c)*k — must round exactly like TimelessJa
+  double one_pc_alpha_ms_;  ///< (1+c)*alpha*Ms — ditto
 
   // Internal event signals.
   hdl::Signal<bool> hchanged_;

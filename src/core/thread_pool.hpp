@@ -1,0 +1,92 @@
+// ThreadPool — a persistent worker pool with per-worker chunk deques and
+// work-stealing, built for BatchRunner's fan-out patterns:
+//
+//   * workers are spawned once (constructor) and parked on a condition
+//     variable between batches — no thread creation on the hot path;
+//   * parallel_for(n, chunk, fn) splits [0, n) into contiguous chunks,
+//     deals them round-robin onto the deques, and wakes the workers;
+//   * each worker pops its own deque from the back (LIFO, cache-warm) and
+//     steals from other deques' fronts (FIFO) when dry — heterogeneous job
+//     sizes rebalance without a single contended atomic counter;
+//   * the calling thread participates as worker 0, so a pool constructed
+//     with `workers = 1` spawns no threads and degenerates to a serial loop.
+//
+// Determinism contract: fn(begin, end) receives disjoint index ranges that
+// exactly cover [0, n); which thread runs which range is unspecified, so fn
+// must only write state owned by its indices. Under that contract results
+// are bitwise independent of the worker count and of stealing order.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ferro::core {
+
+class ThreadPool {
+ public:
+  using RangeFn = std::function<void(std::size_t begin, std::size_t end)>;
+
+  /// `workers` is the total worker count including the calling thread:
+  /// workers - 1 threads are spawned. 0 is treated as 1 (serial).
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs fn over [0, n) in chunks of `chunk` indices (the tail chunk may be
+  /// shorter) and blocks until every chunk has finished. The calling thread
+  /// works too. Not reentrant: one parallel_for at a time per pool.
+  void parallel_for(std::size_t n, std::size_t chunk, const RangeFn& fn);
+
+  /// Total worker count (spawned threads + the calling thread).
+  [[nodiscard]] unsigned workers() const {
+    return static_cast<unsigned>(threads_.size()) + 1;
+  }
+
+  /// Chunk size heuristic: large enough to keep deque traffic negligible for
+  /// tiny jobs, small enough that stealing can still balance (~4 chunks per
+  /// worker).
+  [[nodiscard]] static std::size_t default_chunk(std::size_t n,
+                                                 unsigned workers);
+
+ private:
+  struct Chunk {
+    std::size_t begin;
+    std::size_t end;
+  };
+  struct WorkerDeque {
+    std::mutex mutex;
+    std::deque<Chunk> chunks;
+  };
+
+  bool try_claim(unsigned self, Chunk& out);
+  void drain(unsigned self);
+  void worker_loop(unsigned self);
+
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;
+  std::vector<std::thread> threads_;
+
+  std::mutex coord_mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  /// Chunks not yet claimed from any deque. Stored before the deques fill so
+  /// a racing pop can never underflow it; parked workers' wake predicate.
+  std::atomic<std::size_t> unclaimed_{0};
+  /// Chunks fully executed; the submitting thread waits for == total_.
+  std::atomic<std::size_t> completed_{0};
+  std::size_t total_ = 0;  ///< chunks in the active batch
+  const RangeFn* active_fn_ = nullptr;
+  bool stop_ = false;
+
+  std::mutex submit_mutex_;  ///< serialises concurrent parallel_for callers
+};
+
+}  // namespace ferro::core

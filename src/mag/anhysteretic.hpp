@@ -40,11 +40,20 @@ class Anhysteretic {
 
   [[nodiscard]] AnhystereticKind kind() const { return kind_; }
 
+  /// Precomputed reciprocals of the shape parameters — the hot path scales
+  /// He by these instead of dividing. Exposed so the SoA batch kernel can
+  /// reuse the exact same constants (bitwise-identical arguments).
+  [[nodiscard]] double inv_a() const { return inv_a_; }
+  [[nodiscard]] double inv_a2() const { return inv_a2_; }
+  [[nodiscard]] double blend() const { return blend_; }
+
  private:
   AnhystereticKind kind_;
   double a_;
   double a2_;
   double blend_;
+  double inv_a_;
+  double inv_a2_;
 };
 
 }  // namespace ferro::mag

@@ -20,8 +20,16 @@ struct BhPoint {
 /// An ordered BH trajectory (the thing Fig. 1 plots).
 class BhCurve {
  public:
+  BhCurve() = default;
+  /// Adopts a pre-built trajectory (the batch kernel records into raw
+  /// storage and wraps it without copying).
+  explicit BhCurve(std::vector<BhPoint> points) : points_(std::move(points)) {}
+
   void append(double h, double m, double b) { points_.push_back({h, m, b}); }
   void append(const BhPoint& p) { points_.push_back(p); }
+  /// Pre-size the storage when the trajectory length is known (the batch
+  /// kernel and sweep runners record one point per input sample).
+  void reserve(std::size_t n) { points_.reserve(n); }
 
   [[nodiscard]] const std::vector<BhPoint>& points() const { return points_; }
   [[nodiscard]] std::size_t size() const { return points_.size(); }
@@ -68,6 +76,7 @@ struct CoreGeometry {
 template <typename Model>
 [[nodiscard]] BhCurve run_sweep(Model& model, const wave::HSweep& sweep) {
   BhCurve curve;
+  curve.reserve(sweep.size());
   for (const double h : sweep.h) {
     model.apply(h);
     curve.append(h, model.magnetisation(), model.flux_density());

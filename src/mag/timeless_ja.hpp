@@ -143,6 +143,18 @@ class TimelessJa {
   double last_man_ = 0.0;  ///< man published by the last core() refresh
   double c_over_1pc_;   ///< c/(1+c), the reversible weighting of the listing
   double alpha_ms_;     ///< alpha*Ms, the effective-field coupling [A/m]
+  double one_pc_k_;        ///< (1+c)*k — slope denominator, pinning term
+  double one_pc_alpha_ms_; ///< (1+c)*alpha*Ms — slope denominator, coupling term
+
+ public:
+  /// Precomputed hot-path constants. TimelessJaBatch::add_lane copies these
+  /// instead of re-deriving them, so there is exactly one place the
+  /// constant expressions live and the batch kernel's bitwise-identity
+  /// contract cannot drift out of sync with the scalar model.
+  [[nodiscard]] double c_over_1pc() const { return c_over_1pc_; }
+  [[nodiscard]] double alpha_ms() const { return alpha_ms_; }
+  [[nodiscard]] double one_pc_k() const { return one_pc_k_; }
+  [[nodiscard]] double one_pc_alpha_ms() const { return one_pc_alpha_ms_; }
 };
 
 }  // namespace ferro::mag

@@ -1,0 +1,157 @@
+// TimelessJaBatch — structure-of-arrays batch kernel for the timeless JA
+// model: N independent lanes (material x discretisation variants) advance in
+// lockstep, one field sample per lane per step, over contiguous state arrays
+// (m_irr / m_total / anchor_h) with per-lane precomputed constants.
+//
+// Two arithmetic lanes:
+//   * kExact — bitwise-identical to running a scalar TimelessJa per lane
+//     (same constants, same operation order; asserted by the property tests
+//     and by the fig1 golden curve). This is the default.
+//   * kFast  — opt-in FastMath: polynomial atan/tanh (src/mag/fast_math.hpp,
+//     |err| <= 5e-13 / 5e-8), branch-free slope and direction clamps via
+//     select/copysign, and the precomputed reciprocal constants. Bounded
+//     deviation from exact, measured as an arc-RMS by the tests.
+//
+// The kernel covers the paper-faithful discretisation subset — Forward Euler,
+// no sub-stepping (`supports()`); BatchRunner::run_packed() routes scenarios
+// here when they qualify and falls back to scalar per-scenario jobs otherwise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "mag/anhysteretic.hpp"
+#include "mag/bh.hpp"
+#include "mag/ja_params.hpp"
+#include "mag/timeless_ja.hpp"
+#include "wave/sweep.hpp"
+
+namespace ferro::mag {
+
+/// Arithmetic mode of the batch kernel.
+enum class BatchMath {
+  kExact,  ///< bitwise-identical to scalar TimelessJa (default)
+  kFast,   ///< polynomial anhysteretic + branch-free clamps, bounded error
+};
+
+[[nodiscard]] std::string_view to_string(BatchMath math);
+
+class TimelessJaBatch {
+ public:
+  explicit TimelessJaBatch(BatchMath math = BatchMath::kExact);
+
+  /// True when `config` lies in the lockstep kernel's subset: the paper's
+  /// Forward-Euler scheme with no sub-stepping. (The clamp flags are free.)
+  [[nodiscard]] static bool supports(const TimelessConfig& config);
+
+  /// Appends a lane in the demagnetised virgin state; returns its index.
+  /// `params` must be valid and `config` supported (asserted, like the
+  /// scalar model's constructor).
+  std::size_t add_lane(const JaParameters& params,
+                       const TimelessConfig& config = {});
+
+  [[nodiscard]] std::size_t lanes() const { return n_; }
+  [[nodiscard]] BatchMath math() const { return math_; }
+
+  /// All lanes back to the virgin state, counters cleared.
+  void reset();
+
+  /// One lockstep step: lane i applies field h[i] (h has lanes() entries).
+  void apply(const double* h);
+
+  /// One lockstep step with a field sample shared by every lane.
+  void apply_all(double h);
+
+  /// Drives lane i through sweeps[i] (ragged lengths allowed), recording
+  /// every sample of lane i into curves[i]. Both spans must have lanes()
+  /// entries; curves are overwritten.
+  void run(const std::vector<const wave::HSweep*>& sweeps,
+           std::vector<BhCurve>& curves);
+
+  // Per-lane views, mirroring the scalar accessors.
+  [[nodiscard]] double m_total(std::size_t lane) const { return m_total_[lane]; }
+  [[nodiscard]] double magnetisation(std::size_t lane) const {
+    return ms_[lane] * m_total_[lane];
+  }
+  [[nodiscard]] double flux_density(std::size_t lane) const;
+  [[nodiscard]] double last_slope(std::size_t lane) const {
+    return last_slope_[lane];
+  }
+  [[nodiscard]] TimelessState state(std::size_t lane) const;
+  [[nodiscard]] const TimelessStats& stats(std::size_t lane) const {
+    return stats_[lane];
+  }
+  [[nodiscard]] const JaParameters& params(std::size_t lane) const {
+    return params_[lane];
+  }
+  [[nodiscard]] const TimelessConfig& config(std::size_t lane) const {
+    return configs_[lane];
+  }
+
+ private:
+  template <bool kFastMath>
+  void step_lane(std::size_t i, double h);
+
+  void run_exact(const std::vector<const wave::HSweep*>& sweeps,
+                 std::vector<BhCurve>& curves);
+  void run_fast(const std::vector<const wave::HSweep*>& sweeps,
+                std::vector<BhCurve>& curves);
+
+  /// Runs the branch-free FastMath pass over lanes [begin, end) for one
+  /// lockstep sample; h_span[i - begin] is lane i's field value. When `out`
+  /// is non-null, sample j of lane i is recorded into out[i][j] directly
+  /// from the pass's registers.
+  void dispatch_fast_span(AnhystereticKind kind, std::size_t begin,
+                          std::size_t end, const double* h_span,
+                          BhPoint* const* out, std::size_t j);
+
+  /// Folds the SoA event counters written by the FastMath pass into the
+  /// per-lane TimelessStats and clears them.
+  void fold_fast_counters(std::size_t i);
+
+  /// Exact anhysteretic (shared scalar evaluator — bitwise identical).
+  [[nodiscard]] double man_exact(std::size_t i, double he) const {
+    return anhysteretic_[i].man(he);
+  }
+
+  BatchMath math_;
+  std::size_t n_ = 0;
+
+  // SoA state (hot).
+  std::vector<double> m_irr_;
+  std::vector<double> m_total_;
+  std::vector<double> anchor_h_;
+  std::vector<double> present_h_;
+  std::vector<double> last_slope_;
+
+  // SoA per-lane constants (hot).
+  std::vector<double> alpha_ms_;
+  std::vector<double> c_over_1pc_;
+  std::vector<double> one_pc_k_;
+  std::vector<double> one_pc_alpha_ms_;
+  std::vector<double> inv_a_;
+  std::vector<double> inv_a2_;
+  std::vector<double> blend_;
+  std::vector<double> ms_;
+  std::vector<double> dhmax_;
+  std::vector<AnhystereticKind> kind_;
+  std::vector<double> clamp_slope_;
+  std::vector<double> clamp_direction_;
+
+  // SoA event counters for the FastMath pass, kept as doubles so the
+  // masked accumulation vectorises on baseline SSE2 (integer<->mask mixes
+  // do not); exact for any realistic count, folded into stats_.
+  std::vector<double> cnt_events_;
+  std::vector<double> cnt_slope_clamps_;
+  std::vector<double> cnt_direction_clamps_;
+
+  // Cold per-lane data.
+  std::vector<Anhysteretic> anhysteretic_;
+  std::vector<TimelessStats> stats_;
+  std::vector<JaParameters> params_;
+  std::vector<TimelessConfig> configs_;
+};
+
+}  // namespace ferro::mag

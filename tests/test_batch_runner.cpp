@@ -198,6 +198,97 @@ TEST(BatchRunner, FrontendsAgreeThroughTheBatchPath) {
   }
 }
 
+TEST(BatchRunner, RunPackedExactMatchesRunBitwise) {
+  // A mixed workload: packable kDirect sweeps plus scenarios the SoA kernel
+  // must refuse (other frontends, time drives, extension schemes, bad
+  // parameters). run_packed(kExact) must reproduce run() bit-for-bit on all
+  // of them.
+  auto scenarios = material_workload(10);
+  scenarios[2].frontend = fc::Frontend::kSystemC;
+  scenarios[3].config.scheme = fm::HIntegrator::kHeun;
+  scenarios[4].config.substep_max = 50.0;
+  scenarios[5].params.c = 1.5;  // invalid -> per-job error via the fallback
+  scenarios[6].drive = fc::TimeDrive{std::make_shared<fw::Triangular>(10e3, 0.02),
+                                     0.0, 0.04, 2000};
+
+  EXPECT_TRUE(fc::BatchRunner::packable(scenarios[0]));
+  EXPECT_FALSE(fc::BatchRunner::packable(scenarios[2]));
+  EXPECT_FALSE(fc::BatchRunner::packable(scenarios[3]));
+  EXPECT_FALSE(fc::BatchRunner::packable(scenarios[4]));
+  EXPECT_FALSE(fc::BatchRunner::packable(scenarios[5]));
+  EXPECT_FALSE(fc::BatchRunner::packable(scenarios[6]));
+
+  for (const unsigned threads : {1u, 3u}) {
+    const fc::BatchRunner runner({.threads = threads});
+    const auto plain = runner.run(scenarios);
+    const auto packed = runner.run_packed(scenarios);
+    expect_identical(plain, packed);
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+      EXPECT_EQ(plain[i].stats.field_events, packed[i].stats.field_events);
+      EXPECT_EQ(plain[i].stats.slope_clamps, packed[i].stats.slope_clamps);
+    }
+  }
+}
+
+TEST(BatchRunner, RunPackedIsThreadCountInvariant) {
+  // Thread count changes the lane-block partition, so this also pins the
+  // batch kernel's grouping invariance — in both arithmetic modes (kFast
+  // additionally relies on the SIMD-pair/scalar-tail bitwise equality
+  // pinned by TimelessJaBatch.FastSimdPairAndScalarTailAgreeBitwise).
+  const auto scenarios = material_workload(16);
+  for (const auto math : {fm::BatchMath::kExact, fm::BatchMath::kFast}) {
+    const auto serial =
+        fc::BatchRunner({.threads = 1}).run_packed(scenarios, math);
+    for (const unsigned threads : {2u, 3u, 8u, 0u}) {
+      const auto parallel =
+          fc::BatchRunner({.threads = threads}).run_packed(scenarios, math);
+      expect_identical(serial, parallel);
+    }
+  }
+}
+
+TEST(BatchRunner, RunPackedFastMathStaysNearExact) {
+  const auto scenarios = material_workload(6);
+  const auto exact = fc::BatchRunner({.threads = 2}).run_packed(scenarios);
+  const auto fast = fc::BatchRunner({.threads = 2})
+                        .run_packed(scenarios, fm::BatchMath::kFast);
+  ASSERT_EQ(exact.size(), fast.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    ASSERT_TRUE(fast[i].ok()) << fast[i].error;
+    ASSERT_EQ(exact[i].curve.size(), fast[i].curve.size());
+    const double b_peak = std::fabs(exact[i].metrics.b_peak);
+    for (std::size_t j = 0; j < exact[i].curve.size(); ++j) {
+      EXPECT_NEAR(exact[i].curve.points()[j].b, fast[i].curve.points()[j].b,
+                  1e-3 * std::max(b_peak, 1.0))
+          << exact[i].name << " sample " << j;
+    }
+    // Figures of merit agree to engineering precision.
+    EXPECT_NEAR(exact[i].metrics.coercivity, fast[i].metrics.coercivity,
+                1e-3 * std::max(1.0, exact[i].metrics.coercivity));
+  }
+}
+
+TEST(BatchRunner, PersistentPoolSurvivesManyTinyBatches) {
+  // Pool stress: the same runner dispatches many small batches of tiny jobs;
+  // the persistent pool is constructed once and every batch stays bitwise
+  // equal to the serial reference.
+  const fc::BatchRunner serial({.threads = 1});
+  const fc::BatchRunner pooled({.threads = 4});
+
+  std::vector<fc::Scenario> tiny = material_workload(8);
+  for (auto& s : tiny) {
+    // Shrink each job to a handful of samples so dispatch overhead dominates.
+    const double amp = ts::saturation_amplitude(s.params);
+    s.drive = fw::SweepBuilder(amp / 8.0).cycles(amp, 1).build();
+    s.metrics_window.reset();
+  }
+  const auto reference = serial.run(tiny);
+  for (int round = 0; round < 25; ++round) {
+    expect_identical(reference, pooled.run(tiny));
+    expect_identical(reference, pooled.run_packed(tiny));
+  }
+}
+
 TEST(BatchRunner, ResolvedThreadsNeverExceedsJobs) {
   const fc::BatchRunner runner({.threads = 8});
   EXPECT_EQ(runner.resolved_threads(3), 3u);

@@ -1,0 +1,308 @@
+// TimelessJaBatch: the SoA batch kernel's exact lane must be bitwise
+// identical to the scalar TimelessJa (states, stats, and every recorded
+// sample), and the FastMath lane must stay within its documented error
+// bounds — both for the raw polynomial kernels and for whole trajectories.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/dc_sweep.hpp"
+#include "mag/fast_math.hpp"
+#include "mag/ja_params.hpp"
+#include "mag/timeless_ja.hpp"
+#include "mag/timeless_ja_batch.hpp"
+#include "support/fixtures.hpp"
+
+namespace fm = ferro::mag;
+namespace fw = ferro::wave;
+namespace fc = ferro::core;
+namespace ts = ferro::testsupport;
+
+namespace {
+
+/// Lane fixtures: every library material plus dhmax/config variations.
+struct LaneSpec {
+  fm::JaParameters params;
+  fm::TimelessConfig config;
+  fw::HSweep sweep;
+};
+
+std::vector<LaneSpec> lane_fixtures() {
+  std::vector<LaneSpec> lanes;
+  const auto& library = fm::material_library();
+  for (std::size_t i = 0; i < library.size(); ++i) {
+    const auto& material = library[i];
+    LaneSpec lane;
+    lane.params = material.params;
+    lane.config.dhmax =
+        (material.params.a + material.params.k) / (150.0 + 40.0 * double(i));
+    lane.sweep = ts::saturating_major_loop(material.params);
+    lanes.push_back(std::move(lane));
+  }
+  // A clamp-off variant and the paper's fig1 discretisation.
+  LaneSpec no_clamp = lanes[0];
+  no_clamp.config.clamp_negative_slope = false;
+  lanes.push_back(std::move(no_clamp));
+  LaneSpec fig1;
+  fig1.params = fm::paper_parameters_dual();
+  fig1.config = ts::paper_config();
+  fig1.sweep = fc::fig1_sweep(10.0);
+  lanes.push_back(std::move(fig1));
+  return lanes;
+}
+
+void expect_stats_eq(const fm::TimelessStats& a, const fm::TimelessStats& b) {
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_EQ(a.field_events, b.field_events);
+  EXPECT_EQ(a.integration_steps, b.integration_steps);
+  EXPECT_EQ(a.slope_clamps, b.slope_clamps);
+  EXPECT_EQ(a.direction_clamps, b.direction_clamps);
+}
+
+}  // namespace
+
+TEST(FastMath, AtanStaysWithinDocumentedBound) {
+  double worst = 0.0;
+  for (int i = -200000; i <= 200000; ++i) {
+    const double x = 1e-4 * double(i);  // [-20, 20] in 1e-4 steps
+    worst = std::max(worst, std::fabs(fm::fastmath::fast_atan(x) - std::atan(x)));
+  }
+  // Huge arguments exercise the reciprocal reduction.
+  for (const double x : {1e3, -1e6, 1e12, -1e15}) {
+    worst = std::max(worst, std::fabs(fm::fastmath::fast_atan(x) - std::atan(x)));
+  }
+  EXPECT_LT(worst, fm::fastmath::kAtanMaxError);
+}
+
+TEST(FastMath, TanhStaysWithinDocumentedBound) {
+  double worst = 0.0;
+  for (int i = -200000; i <= 200000; ++i) {
+    const double x = 1e-4 * double(i);
+    worst = std::max(worst, std::fabs(fm::fastmath::fast_tanh(x) - std::tanh(x)));
+  }
+  for (const double x : {25.0, -100.0, 1e6}) {
+    worst = std::max(worst, std::fabs(fm::fastmath::fast_tanh(x) - std::tanh(x)));
+  }
+  EXPECT_LT(worst, fm::fastmath::kTanhMaxError);
+}
+
+TEST(FastMath, LangevinTracksExactEvaluator) {
+  double worst = 0.0;
+  for (int i = -200000; i <= 200000; ++i) {
+    const double x = 1e-4 * double(i);
+    if (x == 0.0) continue;
+    worst = std::max(worst,
+                     std::fabs(fm::fastmath::fast_langevin(x) - fm::langevin(x)));
+  }
+  // The (x - tanh)/(x*tanh) form amplifies the tanh error at small x; the
+  // series below 0.25 and the saturated tail cap the whole axis at ~1e-7.
+  EXPECT_LT(worst, 2e-7);
+}
+
+TEST(TimelessJaBatch, SupportsOnlyTheLockstepSubset) {
+  fm::TimelessConfig config;
+  EXPECT_TRUE(fm::TimelessJaBatch::supports(config));
+  config.clamp_negative_slope = false;  // clamp flags are free
+  EXPECT_TRUE(fm::TimelessJaBatch::supports(config));
+  config = {};
+  config.scheme = fm::HIntegrator::kHeun;
+  EXPECT_FALSE(fm::TimelessJaBatch::supports(config));
+  config = {};
+  config.substep_max = 100.0;
+  EXPECT_FALSE(fm::TimelessJaBatch::supports(config));
+}
+
+TEST(TimelessJaBatch, ExactLanesAreBitwiseIdenticalToScalar) {
+  const auto lanes = lane_fixtures();
+
+  fm::TimelessJaBatch batch(fm::BatchMath::kExact);
+  std::vector<const fw::HSweep*> sweeps;
+  for (const auto& lane : lanes) {
+    batch.add_lane(lane.params, lane.config);
+    sweeps.push_back(&lane.sweep);
+  }
+  std::vector<fm::BhCurve> curves;
+  batch.run(sweeps, curves);
+
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    fm::TimelessJa scalar(lanes[i].params, lanes[i].config);
+    const fm::BhCurve reference = fm::run_sweep(scalar, lanes[i].sweep);
+    ASSERT_EQ(curves[i].size(), reference.size()) << "lane " << i;
+    for (std::size_t j = 0; j < reference.size(); ++j) {
+      const auto& pa = curves[i].points()[j];
+      const auto& pb = reference.points()[j];
+      ASSERT_EQ(pa.h, pb.h) << "lane " << i << " sample " << j;
+      ASSERT_EQ(pa.m, pb.m) << "lane " << i << " sample " << j;
+      ASSERT_EQ(pa.b, pb.b) << "lane " << i << " sample " << j;
+    }
+    expect_stats_eq(batch.stats(i), scalar.stats());
+    EXPECT_EQ(batch.state(i).m_irr, scalar.state().m_irr) << "lane " << i;
+    EXPECT_EQ(batch.state(i).m_total, scalar.state().m_total) << "lane " << i;
+    EXPECT_EQ(batch.state(i).anchor_h, scalar.state().anchor_h) << "lane " << i;
+    EXPECT_EQ(batch.last_slope(i), scalar.last_slope()) << "lane " << i;
+  }
+}
+
+TEST(TimelessJaBatch, ExactModeReproducesFig1GoldenTrajectory) {
+  // The acceptance anchor: the SoA exact lane on the golden-curve excitation
+  // must match the scalar model sample-for-sample, bit-for-bit. (The scalar
+  // model itself is pinned to tests/data/fig1_major_loop.csv by
+  // test_golden_curve.)
+  const fw::HSweep sweep = ts::major_loop(10.0, 2);
+  const auto scalar =
+      fc::run_dc_sweep(fm::paper_parameters_dual(), ts::paper_config(), sweep);
+
+  fm::TimelessJaBatch batch;
+  batch.add_lane(fm::paper_parameters_dual(), ts::paper_config());
+  std::vector<fm::BhCurve> curves;
+  batch.run({&sweep}, curves);
+
+  ASSERT_EQ(curves[0].size(), scalar.curve.size());
+  for (std::size_t j = 0; j < curves[0].size(); ++j) {
+    ASSERT_EQ(curves[0].points()[j].b, scalar.curve.points()[j].b) << j;
+    ASSERT_EQ(curves[0].points()[j].m, scalar.curve.points()[j].m) << j;
+  }
+  expect_stats_eq(batch.stats(0), scalar.stats);
+}
+
+TEST(TimelessJaBatch, ApplyAllMatchesPerLaneApply) {
+  const fm::JaParameters params = fm::paper_parameters();
+  fm::TimelessConfig config;
+  config.dhmax = 25.0;
+
+  fm::TimelessJaBatch shared;
+  fm::TimelessJaBatch individual;
+  for (int i = 0; i < 4; ++i) {
+    shared.add_lane(params, config);
+    individual.add_lane(params, config);
+  }
+  const fw::HSweep sweep = ts::major_loop(40.0, 1);
+  std::vector<double> h_lanes(4);
+  for (const double h : sweep.h) {
+    shared.apply_all(h);
+    h_lanes.assign(4, h);
+    individual.apply(h_lanes.data());
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(shared.m_total(i), individual.m_total(i));
+    EXPECT_EQ(shared.flux_density(i), individual.flux_density(i));
+  }
+}
+
+TEST(TimelessJaBatch, ResetReturnsEveryLaneToTheVirginState) {
+  fm::TimelessJaBatch batch;
+  batch.add_lane(fm::paper_parameters());
+  batch.add_lane(fm::paper_parameters_dual());
+  const fw::HSweep sweep = ts::major_loop(50.0, 1);
+  std::vector<fm::BhCurve> first;
+  batch.run({&sweep, &sweep}, first);
+
+  batch.reset();
+  for (std::size_t i = 0; i < batch.lanes(); ++i) {
+    EXPECT_EQ(batch.stats(i).samples, 0u);
+    EXPECT_EQ(batch.state(i).m_irr, 0.0);
+    EXPECT_EQ(batch.state(i).anchor_h, 0.0);
+  }
+  std::vector<fm::BhCurve> second;
+  batch.run({&sweep, &sweep}, second);
+  for (std::size_t i = 0; i < batch.lanes(); ++i) {
+    ASSERT_EQ(first[i].size(), second[i].size());
+    for (std::size_t j = 0; j < first[i].size(); ++j) {
+      EXPECT_EQ(first[i].points()[j].b, second[i].points()[j].b);
+    }
+  }
+}
+
+TEST(TimelessJaBatch, RaggedSweepsAdvanceIndependently) {
+  const fm::JaParameters params = fm::paper_parameters();
+  const fw::HSweep long_sweep = ts::major_loop(20.0, 2);
+  const fw::HSweep short_sweep = ts::major_loop(20.0, 1);
+
+  fm::TimelessJaBatch batch;
+  batch.add_lane(params);
+  batch.add_lane(params);
+  std::vector<fm::BhCurve> curves;
+  batch.run({&long_sweep, &short_sweep}, curves);
+
+  EXPECT_EQ(curves[0].size(), long_sweep.size());
+  EXPECT_EQ(curves[1].size(), short_sweep.size());
+  // The short lane's trajectory is a strict prefix-run: identical to running
+  // it alone, unaffected by the longer lane continuing.
+  fm::TimelessJa scalar(params, fm::TimelessConfig{});
+  const fm::BhCurve alone = fm::run_sweep(scalar, short_sweep);
+  for (std::size_t j = 0; j < alone.size(); ++j) {
+    EXPECT_EQ(curves[1].points()[j].b, alone.points()[j].b);
+  }
+}
+
+TEST(TimelessJaBatch, FastSimdPairAndScalarTailAgreeBitwise) {
+  // Three identical lanes through the FastMath run(): lanes {0, 1} go down
+  // the SSE2 pair path, lane 2 down the scalar tail — and the apply() path
+  // is scalar per lane. Every route must produce bit-identical
+  // trajectories, for each anhysteretic kind; run_packed(kFast)'s
+  // partition invariance rests on exactly this property.
+  std::vector<fm::JaParameters> kinds = {fm::paper_parameters(),
+                                         fm::paper_parameters_dual()};
+  for (const auto& material : fm::material_library()) {
+    if (material.params.kind == fm::AnhystereticKind::kClassicLangevin) {
+      kinds.push_back(material.params);
+      break;
+    }
+  }
+  ASSERT_EQ(kinds.size(), 3u);
+
+  for (const auto& params : kinds) {
+    fm::TimelessConfig config;
+    config.dhmax = (params.a + params.k) / 180.0;
+    const fw::HSweep sweep = ts::saturating_major_loop(params, 1);
+
+    fm::TimelessJaBatch batch(fm::BatchMath::kFast);
+    for (int i = 0; i < 3; ++i) batch.add_lane(params, config);
+    std::vector<fm::BhCurve> curves;
+    batch.run({&sweep, &sweep, &sweep}, curves);
+
+    fm::TimelessJaBatch stepped(fm::BatchMath::kFast);
+    stepped.add_lane(params, config);
+    for (std::size_t j = 0; j < sweep.size(); ++j) {
+      ASSERT_EQ(curves[0].points()[j].m, curves[2].points()[j].m)
+          << to_string(params.kind) << " sample " << j;
+      ASSERT_EQ(curves[1].points()[j].b, curves[2].points()[j].b)
+          << to_string(params.kind) << " sample " << j;
+      stepped.apply_all(sweep.h[j]);
+      ASSERT_EQ(stepped.magnetisation(0), curves[2].points()[j].m)
+          << to_string(params.kind) << " sample " << j;
+    }
+  }
+}
+
+TEST(TimelessJaBatch, FastMathTrajectoriesStayWithinArcRmsBound) {
+  const auto lanes = lane_fixtures();
+  fm::TimelessJaBatch batch(fm::BatchMath::kFast);
+  std::vector<const fw::HSweep*> sweeps;
+  for (const auto& lane : lanes) {
+    batch.add_lane(lane.params, lane.config);
+    sweeps.push_back(&lane.sweep);
+  }
+  std::vector<fm::BhCurve> curves;
+  batch.run(sweeps, curves);
+
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    fm::TimelessJa scalar(lanes[i].params, lanes[i].config);
+    const fm::BhCurve reference = fm::run_sweep(scalar, lanes[i].sweep);
+    ASSERT_EQ(curves[i].size(), reference.size());
+    double sum_sq = 0.0;
+    double b_peak = 0.0;
+    for (std::size_t j = 0; j < reference.size(); ++j) {
+      const double db = curves[i].points()[j].b - reference.points()[j].b;
+      sum_sq += db * db;
+      b_peak = std::max(b_peak, std::fabs(reference.points()[j].b));
+    }
+    const double rms = std::sqrt(sum_sq / double(reference.size()));
+    // FastMath's contract: arc-RMS deviation of B below 1e-4 of the peak
+    // flux density. The polynomial error itself is orders smaller; the
+    // margin absorbs clamp-boundary flips on pathological parameter sets.
+    EXPECT_LT(rms, 1e-4 * std::max(b_peak, 1.0))
+        << "lane " << i << " rms " << rms << " b_peak " << b_peak;
+  }
+}

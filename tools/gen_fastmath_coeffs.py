@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Generates the polynomial coefficients baked into src/mag/fast_math.hpp.
+
+Both kernels are Chebyshev interpolants (near-minimax) of an even auxiliary
+function g(u) = f(sqrt(u))/sqrt(u), evaluated in the monomial basis by Horner:
+
+  atan(x) = x * P(x^2)          on |x| <= 1   (argument reduction handles the rest)
+  tanh(x) = x * Q(x^2)          on |x| <= 2.25 (two doubling steps reach |x| <= 9)
+
+Run `python3 tools/gen_fastmath_coeffs.py` and paste the arrays it prints.
+It also reports the observed max absolute error of the assembled fast_atan /
+fast_tanh on a dense grid, which the C++ tests re-check against std::atan /
+std::tanh (tests/test_timeless_batch.cpp).
+"""
+import math
+
+
+def cheb_interp_coeffs(f, a, b, degree):
+    """Chebyshev interpolation coefficients of f on [a, b] (degree+1 terms)."""
+    n = degree + 1
+    nodes = [math.cos(math.pi * (j + 0.5) / n) for j in range(n)]
+    values = [f(0.5 * (b - a) * t + 0.5 * (b + a)) for t in nodes]
+    coeffs = []
+    for k in range(n):
+        s = sum(values[j] * math.cos(math.pi * k * (j + 0.5) / n)
+                for j in range(n))
+        coeffs.append((2.0 if k else 1.0) * s / n)
+    return coeffs
+
+
+def cheb_to_monomial(cheb, a, b):
+    """Converts a Chebyshev series on [a, b] to monomial coefficients in u."""
+    # T_k as monomial coefficient lists in t, then substitute t = (2u-(a+b))/(b-a).
+    n = len(cheb)
+    t_polys = [[1.0], [0.0, 1.0]]
+    for _ in range(2, n):
+        prev, prev2 = t_polys[-1], t_polys[-2]
+        nxt = [0.0] + [2.0 * c for c in prev]
+        for i, c in enumerate(prev2):
+            nxt[i] -= c
+        t_polys.append(nxt)
+    # Sum in t first.
+    poly_t = [0.0] * n
+    for k, ck in enumerate(cheb):
+        for i, c in enumerate(t_polys[k]):
+            poly_t[i] += ck * c
+    # Substitute t = s*u + o with s = 2/(b-a), o = -(a+b)/(b-a) via Horner.
+    s = 2.0 / (b - a)
+    o = -(a + b) / (b - a)
+    result = [0.0]
+    for c in reversed(poly_t):
+        # result = result * (s*u + o) + c
+        shifted = [0.0] + [s * r for r in result]
+        for i, r in enumerate(result):
+            shifted[i] += o * r
+        shifted[0] += c
+        result = shifted
+    return result
+
+
+def horner(coeffs, u):
+    acc = 0.0
+    for c in reversed(coeffs):
+        acc = acc * u + c
+    return acc
+
+
+def g_atan(u):
+    x = math.sqrt(u)
+    return math.atan(x) / x if x > 0.0 else 1.0
+
+
+def g_tanh(u):
+    x = math.sqrt(u)
+    return math.tanh(x) / x if x > 0.0 else 1.0
+
+
+def fast_atan(x, p):
+    w = abs(x)
+    inv = w > 1.0
+    z = 1.0 / w if inv else w
+    r = z * horner(p, z * z)
+    if inv:
+        r = math.pi / 2.0 - r
+    return math.copysign(r, x)
+
+
+def fast_tanh(x, q):
+    w = min(abs(x), 9.0)
+    z = 0.25 * w
+    t = z * horner(q, z * z)
+    t = 2.0 * t / (1.0 + t * t)
+    t = 2.0 * t / (1.0 + t * t)
+    return math.copysign(t, x)
+
+
+def emit(name, coeffs):
+    print(f"inline constexpr double {name}[] = {{")
+    for c in coeffs:
+        print(f"    {c!r},")
+    print("};")
+
+
+def main():
+    p = cheb_to_monomial(cheb_interp_coeffs(g_atan, 0.0, 1.0, 14), 0.0, 1.0)
+    q = cheb_to_monomial(
+        cheb_interp_coeffs(g_tanh, 0.0, 2.25 * 2.25, 16), 0.0, 2.25 * 2.25)
+
+    emit("kAtanPoly", p)
+    emit("kTanhPoly", q)
+
+    n = 200001
+    err_atan = max(
+        abs(fast_atan(x, p) - math.atan(x))
+        for x in ((i - n // 2) * (40.0 / n) for i in range(n)))
+    err_tanh = max(
+        abs(fast_tanh(x, q) - math.tanh(x))
+        for x in ((i - n // 2) * (40.0 / n) for i in range(n)))
+    print(f"// max |fast_atan - atan| on [-20,20]: {err_atan:.3e}")
+    print(f"// max |fast_tanh - tanh| on [-20,20]: {err_tanh:.3e}")
+
+
+if __name__ == "__main__":
+    main()
