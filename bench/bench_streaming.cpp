@@ -1,0 +1,179 @@
+// STREAM — collect-then-return vs the streaming result pipeline.
+//
+// The report section measures what streaming is actually for: peak memory.
+// A collect run must hold every ScenarioResult (curve included) in the
+// results vector at once; the streaming run holds at most queue_capacity
+// results in flight, whatever the batch size. The report runs the streaming
+// batch FIRST, records peak RSS, then the collect batch: because ru_maxrss
+// is monotonic within a process, any increase after the collect phase is
+// memory the streaming phase never needed.
+//
+// The timing section compares run() against run_streaming() with a
+// do-nothing sink (pure pipeline overhead: queue hand-off + consumer
+// thread), an OrderedSink (re-sequencing cost), and a tiny queue
+// (backpressure pressure-test).
+#include <sys/resource.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/batch_runner.hpp"
+#include "core/result_sink.hpp"
+#include "mag/ja_params.hpp"
+#include "wave/sweep.hpp"
+
+namespace {
+
+using namespace ferro;
+
+/// Sinks results without retaining them — the streaming-side memory floor.
+class NullSink : public core::ResultSink {
+ public:
+  void on_result(std::size_t, core::ScenarioResult&& result) override {
+    bytes_seen_ += result.curve.size() * sizeof(mag::BhPoint);
+  }
+  [[nodiscard]] std::size_t bytes_seen() const { return bytes_seen_; }
+
+ private:
+  std::size_t bytes_seen_ = 0;
+};
+
+std::vector<core::Scenario> workload(std::size_t count,
+                                     std::size_t samples_per_leg) {
+  const auto& library = mag::material_library();
+  std::vector<core::Scenario> scenarios;
+  scenarios.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& material = library[i % library.size()];
+    const double amp = 5.0 * (material.params.a + material.params.k);
+    core::Scenario s;
+    s.name = material.name + "#" + std::to_string(i);
+    s.params = material.params;
+    s.config.dhmax = amp / (300.0 + 10.0 * static_cast<double>(i % 8));
+    s.drive = wave::SweepBuilder(amp / static_cast<double>(samples_per_leg))
+                  .cycles(amp, 2)
+                  .build();
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+long peak_rss_kb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // KiB on Linux
+}
+
+void report() {
+  benchutil::header("STREAM", "streaming pipeline vs collect-then-return");
+
+  // Big enough that the collected results dominate RSS: 256 scenarios x
+  // 2 cycles x 2000 samples/leg x 24 B/point ~ 49 MiB of curves.
+  const auto scenarios = workload(256, 2000);
+  const core::BatchRunner runner;
+
+  const long rss_before = peak_rss_kb();
+  NullSink sink;
+  const auto summary = runner.run_streaming(scenarios, sink);
+  const long rss_stream = peak_rss_kb();
+  const auto collected = runner.run(scenarios);
+  const long rss_collect = peak_rss_kb();
+
+  std::size_t collected_bytes = 0;
+  for (const auto& r : collected) {
+    collected_bytes += r.curve.size() * sizeof(mag::BhPoint);
+  }
+
+  std::printf("  %-34s %12s\n", "phase", "peak RSS");
+  std::printf("  %-34s %9ld KiB\n", "before batches", rss_before);
+  std::printf("  %-34s %9ld KiB\n", "after streaming (NullSink)", rss_stream);
+  std::printf("  %-34s %9ld KiB\n", "after collect (run())", rss_collect);
+  std::printf("  streamed %zu results ok=%d; curve payload %.1f MiB "
+              "(streamed) vs %.1f MiB held live by collect\n",
+              summary.delivered, summary.ok(),
+              static_cast<double>(sink.bytes_seen()) / (1024.0 * 1024.0),
+              static_cast<double>(collected_bytes) / (1024.0 * 1024.0));
+  benchutil::footnote(
+      "ru_maxrss is monotonic: growth between the streaming and collect "
+      "rows is memory only collect-then-return needed. Streaming keeps at "
+      "most queue_capacity results in flight.");
+}
+
+void bm_collect(benchmark::State& state) {
+  const auto scenarios = workload(64, 1500);
+  const core::BatchRunner runner(
+      {.threads = static_cast<unsigned>(state.range(0))});
+  for (auto _ : state) {
+    auto results = runner.run(scenarios);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(scenarios.size()));
+}
+BENCHMARK(bm_collect)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void bm_stream_null_sink(benchmark::State& state) {
+  const auto scenarios = workload(64, 1500);
+  const core::BatchRunner runner(
+      {.threads = static_cast<unsigned>(state.range(0))});
+  for (auto _ : state) {
+    NullSink sink;
+    auto summary = runner.run_streaming(scenarios, sink);
+    benchmark::DoNotOptimize(summary);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(scenarios.size()));
+}
+BENCHMARK(bm_stream_null_sink)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void bm_stream_ordered(benchmark::State& state) {
+  const auto scenarios = workload(64, 1500);
+  const core::BatchRunner runner(
+      {.threads = static_cast<unsigned>(state.range(0))});
+  for (auto _ : state) {
+    NullSink inner;
+    core::OrderedSink ordered(inner);
+    auto summary = runner.run_streaming(scenarios, ordered);
+    benchmark::DoNotOptimize(summary);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(scenarios.size()));
+}
+BENCHMARK(bm_stream_ordered)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void bm_stream_tiny_queue(benchmark::State& state) {
+  // Capacity 1: every hand-off risks a stall — the worst case for the
+  // blocking queue. The gap to bm_stream_null_sink is the backpressure tax.
+  const auto scenarios = workload(64, 1500);
+  const core::BatchRunner runner({.threads = 0});
+  for (auto _ : state) {
+    NullSink sink;
+    auto summary =
+        runner.run_streaming(scenarios, sink, {.queue_capacity = 1});
+    benchmark::DoNotOptimize(summary);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(scenarios.size()));
+}
+BENCHMARK(bm_stream_tiny_queue)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+
+FERRO_BENCH_MAIN(report)

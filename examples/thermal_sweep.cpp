@@ -2,15 +2,18 @@
 // the way to the Curie point (the classic JA thermal extension).
 //
 // Each temperature is an independent scenario, so the sweep runs through
-// BatchRunner; the table and CSV are then written serially in temperature
-// order from the collected results.
+// BatchRunner — here via the streaming path: results flow to the table and
+// thermal_loops.csv as temperatures finish (re-sequenced into temperature
+// order by OrderedSink), and the CSV is flushed per temperature so a
+// plotting script can tail it while the hot temperatures still compute.
 //
 // Output: table on stdout + thermal_loops.csv (temperature-tagged curves).
 #include <cstdio>
 
 #include "core/batch_runner.hpp"
+#include "core/result_sink.hpp"
 #include "mag/thermal.hpp"
-#include "util/csv.hpp"
+#include "util/stream_writer.hpp"
 #include "wave/sweep.hpp"
 
 int main() {
@@ -33,27 +36,39 @@ int main() {
     scenarios.push_back(std::move(s));
   }
 
-  const auto results = core::BatchRunner().run(scenarios);
-
-  util::CsvWriter csv("thermal_loops.csv", {"t_kelvin", "h", "b"});
+  util::CsvStreamWriter csv("thermal_loops.csv", {"t_kelvin", "h", "b"},
+                            /*flush_every=*/0);
   std::printf("%10s %10s %10s %12s %14s\n", "T [K]", "Ms/Ms0", "Bpeak[T]",
               "Hc [A/m]", "loss[J/m^3]");
-  for (std::size_t j = 0; j < results.size(); ++j) {
-    const double t = temperatures[j];
-    const auto& r = results[j];
-    if (!r.ok()) {
-      std::printf("%10.0f FAILED: %s\n", t, r.error.c_str());
-      continue;
-    }
-    std::printf("%10.0f %10.3f %10.3f %12.1f %14.1f\n", t, thermal.ms_ratio(t),
-                r.metrics.b_peak, r.metrics.coercivity, r.metrics.area);
 
-    // Record the second (converged) cycle for plotting.
-    const std::size_t n = r.curve.size();
-    for (std::size_t i = n / 2; i < n; i += 8) {
-      csv.row({t, r.curve.points()[i].h, r.curve.points()[i].b});
-    }
+  core::CallbackSink consumer({
+      .on_result =
+          [&](std::size_t j, const core::ScenarioResult& r) {
+            const double t = temperatures[j];
+            if (!r.ok()) {
+              std::printf("%10.0f FAILED: %s\n", t, r.error.c_str());
+              return;
+            }
+            std::printf("%10.0f %10.3f %10.3f %12.1f %14.1f\n", t,
+                        thermal.ms_ratio(t), r.metrics.b_peak,
+                        r.metrics.coercivity, r.metrics.area);
+
+            // Record the second (converged) cycle for plotting; one flush
+            // per temperature makes the file tail-able mid-run.
+            const std::size_t n = r.curve.size();
+            for (std::size_t i = n / 2; i < n; i += 8) {
+              csv.row({t, r.curve.points()[i].h, r.curve.points()[i].b});
+            }
+            csv.flush();
+          },
+  });
+  core::OrderedSink ordered(consumer);
+  const auto summary = core::BatchRunner().run_streaming(scenarios, ordered);
+  if (!summary.ok()) {
+    std::printf("sink error: %s\n", summary.sink_error.c_str());
+    return 1;
   }
+
   std::printf("\nloop area and coercivity collapse toward the Curie point; "
               "plot thermal_loops.csv (b vs h, grouped by t_kelvin).\n");
   return 0;

@@ -3,87 +3,72 @@
 #include <algorithm>
 #include <exception>
 #include <thread>
+#include <utility>
 
-#include "core/dc_sweep.hpp"
+#include "core/result_queue.hpp"
+#include "core/result_sink.hpp"
 
 namespace ferro::core {
 namespace {
 
-std::string join_violations(const std::vector<std::string>& violations) {
-  std::string out = "invalid parameters: ";
-  for (std::size_t i = 0; i < violations.size(); ++i) {
-    if (i) out += "; ";
-    out += violations[i];
-  }
-  return out;
-}
+/// Serialises every sink callback behind try/catch: the first exception is
+/// recorded in the summary and later results are counted as discarded, so a
+/// broken consumer can never deadlock the workers or tear down the pool.
+/// Driven from exactly one thread (the caller or the consumer thread).
+class SinkDriver {
+ public:
+  SinkDriver(ResultSink& sink, StreamSummary& summary)
+      : sink_(sink), summary_(summary) {}
 
-void fill_metrics(ScenarioResult& result,
-                  const std::optional<MetricsWindow>& window) {
-  if (result.curve.size() < 2) return;
-  if (window) {
-    // A window that does not fit the curve is an error, not something to
-    // clamp silently: frontends like kAms place their own steps, so a window
-    // sized from the input sweep can miss the actual trajectory entirely.
-    const std::size_t last = result.curve.size() - 1;
-    if (window->begin >= window->end || window->end > last) {
-      result.error = "metrics window [" + std::to_string(window->begin) + ", " +
-                     std::to_string(window->end) +
-                     "] does not fit a curve of " +
-                     std::to_string(result.curve.size()) + " points";
+  void start(std::size_t total) {
+    guard([&] { sink_.on_start(total); });
+  }
+
+  void deliver(std::size_t index, ScenarioResult&& result) {
+    if (!result.ok()) ++summary_.failed_jobs;
+    if (!summary_.ok()) {
+      ++summary_.discarded;
       return;
     }
-    result.metrics = analysis::analyze_loop(result.curve, window->begin,
-                                            window->end);
-  } else {
-    result.metrics = analysis::analyze_loop(result.curve);
+    if (guard([&] { sink_.on_result(index, std::move(result)); })) {
+      ++summary_.delivered;
+    } else {
+      ++summary_.discarded;
+    }
   }
-}
+
+  void finish() {
+    // on_complete always fires, even after an earlier sink failure — it's
+    // the sink's chance to close files. Only the FIRST error is reported.
+    try {
+      sink_.on_complete();
+    } catch (const std::exception& e) {
+      if (summary_.ok()) summary_.sink_error = e.what();
+    } catch (...) {
+      if (summary_.ok()) summary_.sink_error = "unknown exception from sink";
+    }
+  }
+
+ private:
+  template <typename Fn>
+  bool guard(const Fn& fn) {
+    if (!summary_.ok()) return false;
+    try {
+      fn();
+      return true;
+    } catch (const std::exception& e) {
+      summary_.sink_error = e.what();
+    } catch (...) {
+      summary_.sink_error = "unknown exception from sink";
+    }
+    return false;
+  }
+
+  ResultSink& sink_;
+  StreamSummary& summary_;
+};
 
 }  // namespace
-
-ScenarioResult run_scenario(const Scenario& scenario) {
-  ScenarioResult result;
-  result.name = scenario.name;
-
-  const auto violations = scenario.params.validate();
-  if (!violations.empty()) {
-    result.error = join_violations(violations);
-    return result;
-  }
-
-  try {
-    if (const auto* drive = std::get_if<TimeDrive>(&scenario.drive)) {
-      if (!drive->waveform) {
-        result.error = "time-driven scenario has no waveform";
-        return result;
-      }
-      const JaFacade facade(scenario.params, scenario.config);
-      result.curve = facade.run(*drive->waveform, drive->t0, drive->t1,
-                                drive->n_samples, scenario.frontend);
-    } else {
-      const auto& sweep = std::get<wave::HSweep>(scenario.drive);
-      if (scenario.frontend == Frontend::kDirect) {
-        // Direct sweeps keep the model's discretisation counters.
-        auto dc = run_dc_sweep(scenario.params, scenario.config, sweep);
-        result.curve = std::move(dc.curve);
-        result.stats = dc.stats;
-      } else {
-        const JaFacade facade(scenario.params, scenario.config);
-        result.curve = facade.run(sweep, scenario.frontend);
-      }
-    }
-  } catch (const std::exception& e) {
-    result.error = e.what();
-    return result;
-  } catch (...) {
-    result.error = "unknown exception";
-    return result;
-  }
-
-  fill_metrics(result, scenario.metrics_window);
-  return result;
-}
 
 BatchRunner::BatchRunner(BatchOptions options) : options_(options) {}
 
@@ -110,27 +95,35 @@ ThreadPool& BatchRunner::pool() const {
   return *pool_;
 }
 
-std::vector<ScenarioResult> BatchRunner::run(
-    const std::vector<Scenario>& scenarios) const {
-  std::vector<ScenarioResult> results(scenarios.size());
-  if (scenarios.empty()) return results;
+void BatchRunner::dispatch(const std::vector<Scenario>& scenarios,
+                           const EmitFn& emit) const {
+  if (scenarios.empty()) return;
 
   if (resolved_threads(scenarios.size()) <= 1) {
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
-      results[i] = run_scenario(scenarios[i]);
+      emit(i, run_scenario(scenarios[i]));
     }
-    return results;
+    return;
   }
 
-  // Every job writes its own result slot, so result order never depends on
-  // scheduling; scenario jobs are coarse, so one job per chunk lets the
-  // work-stealing deques balance heterogeneous runtimes.
+  // Every job emits its own index exactly once, so the result mapping never
+  // depends on scheduling; scenario jobs are coarse, so one job per chunk
+  // lets the work-stealing deques balance heterogeneous runtimes.
   pool().parallel_for(
       scenarios.size(), 1, [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-          results[i] = run_scenario(scenarios[i]);
+          emit(i, run_scenario(scenarios[i]));
         }
       });
+}
+
+std::vector<ScenarioResult> BatchRunner::run(
+    const std::vector<Scenario>& scenarios) const {
+  std::vector<ScenarioResult> results(scenarios.size());
+  // Disjoint slot writes: no synchronisation needed, no queue overhead.
+  dispatch(scenarios, [&](std::size_t i, ScenarioResult&& r) {
+    results[i] = std::move(r);
+  });
   return results;
 }
 
@@ -141,10 +134,10 @@ bool BatchRunner::packable(const Scenario& scenario) {
          scenario.config.dhmax > 0.0 && scenario.params.is_valid();
 }
 
-std::vector<ScenarioResult> BatchRunner::run_packed(
-    const std::vector<Scenario>& scenarios, mag::BatchMath math) const {
-  std::vector<ScenarioResult> results(scenarios.size());
-  if (scenarios.empty()) return results;
+void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
+                                  mag::BatchMath math,
+                                  const EmitFn& emit) const {
+  if (scenarios.empty()) return;
 
   std::vector<std::size_t> packed;
   std::vector<std::size_t> fallback;
@@ -158,11 +151,10 @@ std::vector<ScenarioResult> BatchRunner::run_packed(
   // thread-count and chunk-size invariance for free. The kernel advances all
   // lanes of a block together, so a failure there (allocation, fundamentally)
   // is reported on every lane of the block; the per-lane metrics step keeps
-  // per-job capture like run_scenario does.
+  // per-job capture like run_scenario does. Each lane's result is emitted as
+  // soon as its metrics are done, so streaming consumers see lane results
+  // while other blocks are still computing.
   const auto run_block = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t p = begin; p < end; ++p) {
-      results[packed[p]].name = scenarios[packed[p]].name;
-    }
     mag::TimelessJaBatch batch(math);
     std::vector<mag::BhCurve> curves;
     try {
@@ -176,18 +168,25 @@ std::vector<ScenarioResult> BatchRunner::run_packed(
       batch.run(sweeps, curves);
     } catch (const std::exception& e) {
       for (std::size_t p = begin; p < end; ++p) {
-        results[packed[p]].error = e.what();
+        ScenarioResult r;
+        r.name = scenarios[packed[p]].name;
+        r.error = e.what();
+        emit(packed[p], std::move(r));
       }
       return;
     } catch (...) {
       for (std::size_t p = begin; p < end; ++p) {
-        results[packed[p]].error = "unknown exception";
+        ScenarioResult r;
+        r.name = scenarios[packed[p]].name;
+        r.error = "unknown exception";
+        emit(packed[p], std::move(r));
       }
       return;
     }
     for (std::size_t p = begin; p < end; ++p) {
       const std::size_t i = packed[p];
-      ScenarioResult& r = results[i];
+      ScenarioResult r;
+      r.name = scenarios[i].name;
       try {
         r.curve = std::move(curves[p - begin]);
         r.stats = batch.stats(p - begin);
@@ -197,14 +196,15 @@ std::vector<ScenarioResult> BatchRunner::run_packed(
       } catch (...) {
         r.error = "unknown exception";
       }
+      emit(i, std::move(r));
     }
   };
 
   // Lane blocks sized like ThreadPool::default_chunk would size them, then
   // dispatched TOGETHER with the fallback jobs in one parallel_for: a slow
   // non-packable job overlaps the packed blocks instead of serialising
-  // before them. Every work unit writes disjoint result slots, so the fused
-  // dispatch changes nothing about determinism.
+  // before them. Every work unit emits disjoint scenario indices, so the
+  // fused dispatch changes nothing about determinism.
   const unsigned threads = resolved_threads(scenarios.size());
   const std::size_t block =
       threads <= 1 ? std::max<std::size_t>(packed.size(), 1)
@@ -218,7 +218,7 @@ std::vector<ScenarioResult> BatchRunner::run_packed(
   const auto run_unit = [&](std::size_t begin, std::size_t end) {
     for (std::size_t u = begin; u < end; ++u) {
       if (u < fallback.size()) {
-        results[fallback[u]] = run_scenario(scenarios[fallback[u]]);
+        emit(fallback[u], run_scenario(scenarios[fallback[u]]));
       } else {
         const auto& [b0, b1] = blocks[u - fallback.size()];
         run_block(b0, b1);
@@ -231,7 +231,89 @@ std::vector<ScenarioResult> BatchRunner::run_packed(
   } else {
     pool().parallel_for(n_units, 1, run_unit);
   }
+}
+
+std::vector<ScenarioResult> BatchRunner::run_packed(
+    const std::vector<Scenario>& scenarios, mag::BatchMath math) const {
+  std::vector<ScenarioResult> results(scenarios.size());
+  dispatch_packed(scenarios, math, [&](std::size_t i, ScenarioResult&& r) {
+    results[i] = std::move(r);
+  });
   return results;
+}
+
+StreamSummary BatchRunner::stream_shell(
+    std::size_t n_jobs, ResultSink& sink, const StreamOptions& stream,
+    const std::function<void(const EmitFn&)>& dispatch_fn) const {
+  StreamSummary summary;
+  SinkDriver driver(sink, summary);
+  driver.start(n_jobs);
+
+  if (n_jobs == 0) {
+    driver.finish();
+    return summary;
+  }
+
+  if (resolved_threads(n_jobs) <= 1) {
+    // Serial batch: the dispatch runs in this thread, so the sink can be
+    // driven inline — no queue, no consumer thread, same contract.
+    dispatch_fn([&](std::size_t i, ScenarioResult&& r) {
+      driver.deliver(i, std::move(r));
+    });
+    driver.finish();
+    return summary;
+  }
+
+  const std::size_t capacity =
+      stream.queue_capacity != 0
+          ? stream.queue_capacity
+          : static_cast<std::size_t>(resolved_threads(n_jobs)) * 2;
+  ResultQueue queue(capacity);
+
+  // One consumer drains the queue for the whole batch, so the sink sees a
+  // single-threaded, serialised call sequence. It keeps popping even after
+  // a sink error (deliver() then just counts discards) — otherwise workers
+  // blocked on a full queue would deadlock the pool.
+  std::thread consumer([&] {
+    StreamItem item;
+    while (queue.pop(item)) {
+      driver.deliver(item.index, std::move(item.result));
+    }
+  });
+
+  // The consumer MUST be closed-and-joined even if dispatch throws (e.g.
+  // lazy pool construction failing under resource exhaustion) — letting a
+  // joinable std::thread unwind calls std::terminate.
+  try {
+    dispatch_fn([&](std::size_t i, ScenarioResult&& r) {
+      queue.push(StreamItem{i, std::move(r)});
+    });
+  } catch (...) {
+    queue.close();
+    consumer.join();
+    throw;
+  }
+
+  queue.close();
+  consumer.join();
+  driver.finish();
+  return summary;
+}
+
+StreamSummary BatchRunner::run_streaming(
+    const std::vector<Scenario>& scenarios, ResultSink& sink,
+    const StreamOptions& stream) const {
+  return stream_shell(scenarios.size(), sink, stream,
+                      [&](const EmitFn& emit) { dispatch(scenarios, emit); });
+}
+
+StreamSummary BatchRunner::run_packed_streaming(
+    const std::vector<Scenario>& scenarios, ResultSink& sink,
+    mag::BatchMath math, const StreamOptions& stream) const {
+  return stream_shell(scenarios.size(), sink, stream,
+                      [&](const EmitFn& emit) {
+                        dispatch_packed(scenarios, math, emit);
+                      });
 }
 
 }  // namespace ferro::core

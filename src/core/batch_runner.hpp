@@ -1,85 +1,48 @@
 // BatchRunner — fan a vector of (material, discretisation, excitation,
-// frontend) scenarios across a persistent work-stealing thread pool and
-// collect BH curves plus loop metrics in deterministic job order.
+// frontend) scenarios across a persistent work-stealing thread pool, either
+// collecting BH curves plus loop metrics in deterministic job order (run /
+// run_packed) or streaming them to a ResultSink while workers are still
+// computing (run_streaming / run_packed_streaming).
 //
 // Each scenario is an independent simulation (the frontends share no mutable
-// state): results[i] always corresponds to scenarios[i] and is bitwise
-// identical whatever the thread count, including the serial fallback.
-// Failures (invalid parameters, a throwing solver) are captured per job
-// instead of aborting the batch.
+// state): result index i always corresponds to scenarios[i] and the payload
+// is bitwise identical whatever the thread count, including the serial
+// fallback. Failures (invalid parameters, a throwing solver) are captured
+// per job instead of aborting the batch.
+//
+// The streaming path decouples production from consumption with a bounded
+// MPSC queue (core/result_queue.hpp): workers push results as they finish,
+// one consumer thread drives the sink serially, and a slow sink
+// backpressures the workers instead of buffering unboundedly. Results ARRIVE
+// in scheduling order but each carries its scenario index; wrap the sink in
+// OrderedSink (core/result_sink.hpp) to recover exactly run()'s order. A
+// sink callback that throws does not tear down the pool: the batch drains,
+// later deliveries are discarded, and the first error lands in the returned
+// StreamSummary.
 //
 // The pool (core/thread_pool.hpp) is constructed lazily on the first
-// multi-threaded run and reused across run()/run_packed() calls, so sweeping
-// many batches through one runner pays thread start-up exactly once.
-// run_packed() additionally routes homogeneous kDirect sweep scenarios
+// multi-threaded run and reused across all run variants, so sweeping many
+// batches through one runner pays thread start-up exactly once.
+// run_packed*() additionally routes homogeneous kDirect sweep scenarios
 // through the SoA batch kernel (mag::TimelessJaBatch) in lane blocks — the
 // cheap path for large material x config sweeps — falling back to the
 // per-scenario path for everything else.
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
-#include <variant>
 #include <vector>
 
-#include "analysis/loop_metrics.hpp"
-#include "core/facade.hpp"
+#include "core/scenario.hpp"
 #include "core/thread_pool.hpp"
-#include "mag/bh.hpp"
-#include "mag/ja_params.hpp"
-#include "mag/timeless_ja.hpp"
 #include "mag/timeless_ja_batch.hpp"
-#include "wave/sweep.hpp"
-#include "wave/waveform.hpp"
 
 namespace ferro::core {
 
-/// Time-driven excitation: sample `waveform` over [t0, t1] at `n_samples`
-/// uniform points (kAms lets the analogue solver pick its own steps).
-struct TimeDrive {
-  std::shared_ptr<const wave::Waveform> waveform;
-  double t0 = 0.0;
-  double t1 = 1.0;
-  std::size_t n_samples = 1000;
-};
-
-/// Closed index window [begin, end] of the *result curve* over which the
-/// loop metrics are computed (e.g. the converged second cycle of a 2-cycle
-/// sweep). The window must fit the curve the frontend actually produced —
-/// kDirect/kSystemC sweep jobs emit one point per sweep sample, but kAms
-/// places its own solver steps, so a window sized from the input sweep is
-/// rejected there as a per-job error rather than silently clamped.
-struct MetricsWindow {
-  std::size_t begin = 0;
-  std::size_t end = 0;
-};
-
-/// One batch job: everything needed to run a simulation and name its result.
-struct Scenario {
-  std::string name;
-  mag::JaParameters params;
-  mag::TimelessConfig config;
-  std::variant<wave::HSweep, TimeDrive> drive;
-  Frontend frontend = Frontend::kDirect;
-  /// When absent, metrics cover the whole curve.
-  std::optional<MetricsWindow> metrics_window;
-};
-
-struct ScenarioResult {
-  std::string name;
-  mag::BhCurve curve;
-  analysis::LoopMetrics metrics;
-  /// Discretisation counters; populated for kDirect sweep jobs (the other
-  /// frontends do not expose their model's counters through the facade).
-  mag::TimelessStats stats;
-  /// Empty on success, otherwise a human-readable failure description.
-  std::string error;
-
-  [[nodiscard]] bool ok() const { return error.empty(); }
-};
+class ResultSink;
 
 struct BatchOptions {
   /// Worker count: 0 picks std::thread::hardware_concurrency(); 1 runs every
@@ -87,9 +50,25 @@ struct BatchOptions {
   unsigned threads = 0;
 };
 
-/// Runs one scenario in the calling thread — the unit of work BatchRunner
-/// fans out, exposed for tests and for callers that want serial control.
-[[nodiscard]] ScenarioResult run_scenario(const Scenario& scenario);
+struct StreamOptions {
+  /// Bound of the worker→sink queue (results in flight). 0 picks a default
+  /// of twice the worker count — enough that workers rarely stall on a
+  /// prompt sink, small enough that a slow sink caps memory quickly.
+  std::size_t queue_capacity = 0;
+};
+
+/// What run_streaming reports back. delivered + discarded always equals the
+/// scenario count: a result is discarded (never silently dropped elsewhere)
+/// only after a sink callback has already thrown.
+struct StreamSummary {
+  std::size_t delivered = 0;  ///< on_result calls that returned normally
+  std::size_t discarded = 0;  ///< results skipped after the sink failed
+  std::size_t failed_jobs = 0;  ///< results carrying a per-job error
+  /// First exception text from on_start/on_result/on_complete, else empty.
+  std::string sink_error;
+
+  [[nodiscard]] bool ok() const { return sink_error.empty(); }
+};
 
 class BatchRunner {
  public:
@@ -109,6 +88,23 @@ class BatchRunner {
       const std::vector<Scenario>& scenarios,
       mag::BatchMath math = mag::BatchMath::kExact) const;
 
+  /// Streams every scenario's result to `sink` as it completes (see the
+  /// header comment and ResultSink for the full contract). The payload
+  /// delivered for scenario i is bitwise identical to run()[i]; only the
+  /// arrival order is scheduling-dependent. Blocks until the batch has
+  /// drained and on_complete returned.
+  StreamSummary run_streaming(const std::vector<Scenario>& scenarios,
+                              ResultSink& sink,
+                              const StreamOptions& stream = {}) const;
+
+  /// run_packed's streaming twin: SoA lane blocks emit each lane's result
+  /// through the sink as the block finishes; everything else matches
+  /// run_streaming.
+  StreamSummary run_packed_streaming(const std::vector<Scenario>& scenarios,
+                                     ResultSink& sink,
+                                     mag::BatchMath math = mag::BatchMath::kExact,
+                                     const StreamOptions& stream = {}) const;
+
   /// True when run_packed() would route `scenario` through the SoA kernel.
   [[nodiscard]] static bool packable(const Scenario& scenario);
 
@@ -119,6 +115,27 @@ class BatchRunner {
   [[nodiscard]] const BatchOptions& options() const { return options_; }
 
  private:
+  /// Thread-safe result hand-off: slot writes for the collect paths, queue
+  /// pushes for the streaming paths. Receives each scenario index exactly
+  /// once; callers on the parallel path must tolerate concurrent invocation.
+  using EmitFn = std::function<void(std::size_t, ScenarioResult&&)>;
+
+  /// Per-scenario dispatch (the run()/run_streaming work distribution).
+  void dispatch(const std::vector<Scenario>& scenarios,
+                const EmitFn& emit) const;
+
+  /// Packed dispatch: SoA lane blocks fused with per-scenario fallback jobs
+  /// (the run_packed()/run_packed_streaming work distribution).
+  void dispatch_packed(const std::vector<Scenario>& scenarios,
+                       mag::BatchMath math, const EmitFn& emit) const;
+
+  /// Shared streaming shell: drives `sink` from a single consumer thread fed
+  /// by a bounded queue (or inline when the batch runs serially), with sink
+  /// exceptions captured into the summary.
+  StreamSummary stream_shell(
+      std::size_t n_jobs, ResultSink& sink, const StreamOptions& stream,
+      const std::function<void(const EmitFn&)>& dispatch_fn) const;
+
   /// The persistent pool, created on first use and reused for the runner's
   /// lifetime. Sized from options().threads (0 = hardware concurrency),
   /// independent of any one batch's job count.

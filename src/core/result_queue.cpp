@@ -1,0 +1,47 @@
+#include "core/result_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ferro::core {
+
+ResultQueue::ResultQueue(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+bool ResultQueue::push(StreamItem&& item) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  can_push_.wait(lk, [this] { return closed_ || items_.size() < capacity_; });
+  if (closed_) return false;
+  items_.push_back(std::move(item));
+  high_water_ = std::max(high_water_, items_.size());
+  lk.unlock();
+  can_pop_.notify_one();
+  return true;
+}
+
+bool ResultQueue::pop(StreamItem& out) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  can_pop_.wait(lk, [this] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return false;  // closed and drained
+  out = std::move(items_.front());
+  items_.pop_front();
+  lk.unlock();
+  can_push_.notify_one();
+  return true;
+}
+
+void ResultQueue::close() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    closed_ = true;
+  }
+  can_push_.notify_all();
+  can_pop_.notify_all();
+}
+
+std::size_t ResultQueue::high_water() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return high_water_;
+}
+
+}  // namespace ferro::core

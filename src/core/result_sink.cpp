@@ -1,0 +1,66 @@
+#include "core/result_sink.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ferro::core {
+
+void OrderedSink::on_start(std::size_t total) {
+  next_ = 0;
+  max_buffered_ = 0;
+  pending_.clear();
+  inner_.on_start(total);
+}
+
+void OrderedSink::on_result(std::size_t index, ScenarioResult&& result) {
+  if (index != next_) {
+    pending_.emplace(index, std::move(result));
+    max_buffered_ = std::max(max_buffered_, pending_.size());
+    return;
+  }
+  inner_.on_result(next_++, std::move(result));
+  // Flush the contiguous run this arrival unblocked. Each entry is erased
+  // BEFORE its delivery: if the inner sink throws mid-flush, on_complete
+  // must not re-forward a moved-from duplicate.
+  while (!pending_.empty() && pending_.begin()->first == next_) {
+    ScenarioResult next_result = std::move(pending_.begin()->second);
+    pending_.erase(pending_.begin());
+    inner_.on_result(next_++, std::move(next_result));
+  }
+}
+
+void OrderedSink::on_complete() {
+  // Every index arrives exactly once, so nothing can still be pending unless
+  // deliveries were cut short by a sink error; forward what we have in order
+  // rather than dropping it silently.
+  for (auto& [index, result] : pending_) {
+    inner_.on_result(index, std::move(result));
+  }
+  pending_.clear();
+  inner_.on_complete();
+}
+
+void CallbackSink::on_result(std::size_t index, ScenarioResult&& result) {
+  if (!result.ok() && callbacks_.on_error) callbacks_.on_error(index, result);
+  if (callbacks_.on_result) callbacks_.on_result(index, result);
+  ++done_;
+  if (callbacks_.on_progress) callbacks_.on_progress(done_, total_);
+}
+
+void TeeSink::on_start(std::size_t total) {
+  for (ResultSink* s : sinks_) s->on_start(total);
+}
+
+void TeeSink::on_result(std::size_t index, ScenarioResult&& result) {
+  for (std::size_t i = 0; i + 1 < sinks_.size(); ++i) {
+    ScenarioResult copy = result;
+    sinks_[i]->on_result(index, std::move(copy));
+  }
+  if (!sinks_.empty()) sinks_.back()->on_result(index, std::move(result));
+}
+
+void TeeSink::on_complete() {
+  for (ResultSink* s : sinks_) s->on_complete();
+}
+
+}  // namespace ferro::core

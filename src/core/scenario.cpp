@@ -1,0 +1,87 @@
+#include "core/scenario.hpp"
+
+#include <exception>
+#include <vector>
+
+#include "core/dc_sweep.hpp"
+
+namespace ferro::core {
+namespace {
+
+std::string join_violations(const std::vector<std::string>& violations) {
+  std::string out = "invalid parameters: ";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i) out += "; ";
+    out += violations[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+void fill_metrics(ScenarioResult& result,
+                  const std::optional<MetricsWindow>& window) {
+  if (result.curve.size() < 2) return;
+  if (window) {
+    // A window that does not fit the curve is an error, not something to
+    // clamp silently: frontends like kAms place their own steps, so a window
+    // sized from the input sweep can miss the actual trajectory entirely.
+    const std::size_t last = result.curve.size() - 1;
+    if (window->begin >= window->end || window->end > last) {
+      result.error = "metrics window [" + std::to_string(window->begin) + ", " +
+                     std::to_string(window->end) +
+                     "] does not fit a curve of " +
+                     std::to_string(result.curve.size()) + " points";
+      return;
+    }
+    result.metrics = analysis::analyze_loop(result.curve, window->begin,
+                                            window->end);
+  } else {
+    result.metrics = analysis::analyze_loop(result.curve);
+  }
+}
+
+ScenarioResult run_scenario(const Scenario& scenario) {
+  ScenarioResult result;
+  result.name = scenario.name;
+
+  const auto violations = scenario.params.validate();
+  if (!violations.empty()) {
+    result.error = join_violations(violations);
+    return result;
+  }
+
+  try {
+    if (const auto* drive = std::get_if<TimeDrive>(&scenario.drive)) {
+      if (!drive->waveform) {
+        result.error = "time-driven scenario has no waveform";
+        return result;
+      }
+      const JaFacade facade(scenario.params, scenario.config);
+      result.curve = facade.run(*drive->waveform, drive->t0, drive->t1,
+                                drive->n_samples, scenario.frontend);
+    } else {
+      const auto& sweep = std::get<wave::HSweep>(scenario.drive);
+      if (scenario.frontend == Frontend::kDirect) {
+        // Direct sweeps keep the model's discretisation counters.
+        auto dc = run_dc_sweep(scenario.params, scenario.config, sweep);
+        result.curve = std::move(dc.curve);
+        result.stats = dc.stats;
+      } else {
+        const JaFacade facade(scenario.params, scenario.config);
+        result.curve = facade.run(sweep, scenario.frontend);
+      }
+    }
+  } catch (const std::exception& e) {
+    result.error = e.what();
+    return result;
+  } catch (...) {
+    result.error = "unknown exception";
+    return result;
+  }
+
+  fill_metrics(result, scenario.metrics_window);
+  return result;
+}
+
+}  // namespace ferro::core

@@ -1,0 +1,81 @@
+// Scenario — the unit of batch work: everything needed to run one
+// (material, discretisation, excitation, frontend) simulation and name its
+// result, plus run_scenario(), the serial kernel BatchRunner fans out.
+//
+// Split out of batch_runner.hpp so the streaming layers (core/result_queue,
+// core/result_sink, core/stream_sinks) can speak ScenarioResult without
+// depending on the runner itself.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "analysis/loop_metrics.hpp"
+#include "core/facade.hpp"
+#include "mag/bh.hpp"
+#include "mag/ja_params.hpp"
+#include "mag/timeless_ja.hpp"
+#include "wave/sweep.hpp"
+#include "wave/waveform.hpp"
+
+namespace ferro::core {
+
+/// Time-driven excitation: sample `waveform` over [t0, t1] at `n_samples`
+/// uniform points (kAms lets the analogue solver pick its own steps).
+struct TimeDrive {
+  std::shared_ptr<const wave::Waveform> waveform;
+  double t0 = 0.0;
+  double t1 = 1.0;
+  std::size_t n_samples = 1000;
+};
+
+/// Closed index window [begin, end] of the *result curve* over which the
+/// loop metrics are computed (e.g. the converged second cycle of a 2-cycle
+/// sweep). The window must fit the curve the frontend actually produced —
+/// kDirect/kSystemC sweep jobs emit one point per sweep sample, but kAms
+/// places its own solver steps, so a window sized from the input sweep is
+/// rejected there as a per-job error rather than silently clamped.
+struct MetricsWindow {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// One batch job: everything needed to run a simulation and name its result.
+struct Scenario {
+  std::string name;
+  mag::JaParameters params;
+  mag::TimelessConfig config;
+  std::variant<wave::HSweep, TimeDrive> drive;
+  Frontend frontend = Frontend::kDirect;
+  /// When absent, metrics cover the whole curve.
+  std::optional<MetricsWindow> metrics_window;
+};
+
+struct ScenarioResult {
+  std::string name;
+  mag::BhCurve curve;
+  analysis::LoopMetrics metrics;
+  /// Discretisation counters; populated for kDirect sweep jobs (the other
+  /// frontends do not expose their model's counters through the facade).
+  mag::TimelessStats stats;
+  /// Empty on success, otherwise a human-readable failure description.
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Runs one scenario in the calling thread — the unit of work BatchRunner
+/// fans out, exposed for tests and for callers that want serial control.
+[[nodiscard]] ScenarioResult run_scenario(const Scenario& scenario);
+
+/// Computes the loop metrics of `result.curve` over `window` (or the whole
+/// curve when absent) into `result.metrics`; a window that does not fit the
+/// curve becomes a per-job error. Shared by the per-scenario path and the
+/// SoA lane blocks so both report windows identically.
+void fill_metrics(ScenarioResult& result,
+                  const std::optional<MetricsWindow>& window);
+
+}  // namespace ferro::core

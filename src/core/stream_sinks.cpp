@@ -1,0 +1,41 @@
+#include "core/stream_sinks.hpp"
+
+#include <algorithm>
+
+namespace ferro::core {
+
+CsvCurveSink::CsvCurveSink(const std::string& path, std::size_t point_stride)
+    // flush_every = 0: we flush once per scenario in on_result instead of
+    // per row — a scenario's curve is the natural record boundary.
+    : writer_(path, {"scenario_index", "h", "m", "b"}, /*flush_every=*/0),
+      stride_(std::max<std::size_t>(point_stride, 1)) {}
+
+void CsvCurveSink::on_result(std::size_t index, ScenarioResult&& result) {
+  const double idx = static_cast<double>(index);
+  for (std::size_t j = 0; j < result.curve.size(); j += stride_) {
+    const auto& p = result.curve.points()[j];
+    writer_.row({idx, p.h, p.m, p.b});
+  }
+  writer_.flush();
+}
+
+JsonlMetricsSink::JsonlMetricsSink(const std::string& path)
+    : writer_(path, /*flush_every=*/1) {}
+
+void JsonlMetricsSink::on_result(std::size_t index, ScenarioResult&& result) {
+  writer_.record({
+      {"index", static_cast<std::uint64_t>(index)},
+      {"name", std::string_view(result.name)},
+      {"ok", result.ok()},
+      {"points", static_cast<std::uint64_t>(result.curve.size())},
+      {"b_peak", result.metrics.b_peak},
+      {"remanence", result.metrics.remanence},
+      {"coercivity", result.metrics.coercivity},
+      {"area", result.metrics.area},
+      {"field_events", static_cast<std::uint64_t>(result.stats.field_events)},
+      {"slope_clamps", static_cast<std::uint64_t>(result.stats.slope_clamps)},
+      {"error", std::string_view(result.error)},
+  });
+}
+
+}  // namespace ferro::core

@@ -1,0 +1,58 @@
+// File-writing ResultSinks: the stock streaming consumers that turn a batch
+// into artefacts on disk while the workers are still computing.
+//
+//   * CsvCurveSink — every BH point of every result as
+//     `scenario_index,h,m,b` rows (flushed once per scenario), the bulk
+//     trajectory format plotting scripts tail;
+//   * JsonlMetricsSink — one JSON line per scenario with its name, loop
+//     metrics, discretisation counters, and error string: the compact
+//     figure-of-merit record for sweep dashboards.
+//
+// Both honour the ResultSink threading contract (single-threaded delivery),
+// so they need no locks; wrap in OrderedSink when row order must equal
+// scenario order.
+#pragma once
+
+#include <string>
+
+#include "core/result_sink.hpp"
+#include "util/stream_writer.hpp"
+
+namespace ferro::core {
+
+class CsvCurveSink : public ResultSink {
+ public:
+  /// Writes `scenario_index,h,m,b` rows to `path`; `point_stride` keeps
+  /// every point by default, or decimates (every Nth point) for plotting.
+  explicit CsvCurveSink(const std::string& path, std::size_t point_stride = 1);
+
+  void on_result(std::size_t index, ScenarioResult&& result) override;
+  void on_complete() override { writer_.flush(); }
+
+  [[nodiscard]] bool ok() const { return writer_.ok(); }
+  [[nodiscard]] std::size_t rows_written() const {
+    return writer_.rows_written();
+  }
+
+ private:
+  util::CsvStreamWriter writer_;
+  std::size_t stride_;
+};
+
+class JsonlMetricsSink : public ResultSink {
+ public:
+  explicit JsonlMetricsSink(const std::string& path);
+
+  void on_result(std::size_t index, ScenarioResult&& result) override;
+  void on_complete() override { writer_.flush(); }
+
+  [[nodiscard]] bool ok() const { return writer_.ok(); }
+  [[nodiscard]] std::size_t records_written() const {
+    return writer_.records_written();
+  }
+
+ private:
+  util::JsonLinesWriter writer_;
+};
+
+}  // namespace ferro::core

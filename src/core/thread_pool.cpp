@@ -61,7 +61,8 @@ void ThreadPool::drain(unsigned self) {
   Chunk c{0, 0};
   while (try_claim(self, c)) {
     (*active_fn_)(c.begin, c.end);
-    if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == total_) {
+    if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        total_.load(std::memory_order_relaxed)) {
       // Lock-then-notify so the submitter's predicate check cannot miss it.
       { std::lock_guard<std::mutex> lk(coord_mutex_); }
       cv_done_.notify_all();
@@ -98,7 +99,7 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
   {
     std::lock_guard<std::mutex> lk(coord_mutex_);
     active_fn_ = &fn;
-    total_ = n_chunks;
+    total_.store(n_chunks, std::memory_order_relaxed);
     completed_.store(0, std::memory_order_relaxed);
     // Published before any chunk is pushed: a pop (and its decrement) can
     // only happen after the push it claims, so the counter never underflows.
@@ -117,7 +118,8 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
 
   std::unique_lock<std::mutex> lk(coord_mutex_);
   cv_done_.wait(lk, [this] {
-    return completed_.load(std::memory_order_acquire) == total_;
+    return completed_.load(std::memory_order_acquire) ==
+           total_.load(std::memory_order_relaxed);
   });
   active_fn_ = nullptr;
 }

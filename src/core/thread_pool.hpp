@@ -82,7 +82,13 @@ class ThreadPool {
   std::atomic<std::size_t> unclaimed_{0};
   /// Chunks fully executed; the submitting thread waits for == total_.
   std::atomic<std::size_t> completed_{0};
-  std::size_t total_ = 0;  ///< chunks in the active batch
+  /// Chunks in the active batch. Atomic because the worker finishing the
+  /// last chunk compares against it OUTSIDE coord_mutex_, and the submitter
+  /// can observe completion through its wait predicate (no notify needed),
+  /// return, and publish the next batch's total while that comparison is
+  /// still in flight. A stale read only mis-skips a notify the old batch no
+  /// longer needs (or fires a spurious one the predicate absorbs).
+  std::atomic<std::size_t> total_{0};
   const RangeFn* active_fn_ = nullptr;
   bool stop_ = false;
 

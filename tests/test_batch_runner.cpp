@@ -230,6 +230,38 @@ TEST(BatchRunner, RunPackedExactMatchesRunBitwise) {
   }
 }
 
+TEST(BatchRunner, RunPackedAllFallbackMatchesRunBitwise) {
+  // A scenario list with NO packable lanes (every job kSystemC or kAms):
+  // run_packed must take the pure fallback path for everything and still
+  // reproduce run() bit-for-bit — previously this shape was only exercised
+  // implicitly through mixed workloads.
+  auto scenarios = material_workload(6);
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    if (i % 2 == 0) {
+      scenarios[i].frontend = fc::Frontend::kSystemC;
+    } else {
+      const double amp = ts::saturation_amplitude(scenarios[i].params);
+      scenarios[i].frontend = fc::Frontend::kAms;
+      scenarios[i].drive = fc::TimeDrive{
+          std::make_shared<fw::Triangular>(amp, 0.02), 0.0, 0.04, 200};
+      scenarios[i].metrics_window.reset();  // kAms places its own steps
+    }
+  }
+  for (const auto& s : scenarios) {
+    ASSERT_FALSE(fc::BatchRunner::packable(s)) << s.name;
+  }
+
+  for (const unsigned threads : {1u, 3u}) {
+    const fc::BatchRunner runner({.threads = threads});
+    const auto plain = runner.run(scenarios);
+    const auto packed = runner.run_packed(scenarios);
+    expect_identical(plain, packed);
+    for (const auto& r : plain) {
+      EXPECT_TRUE(r.ok()) << r.name << ": " << r.error;
+    }
+  }
+}
+
 TEST(BatchRunner, RunPackedIsThreadCountInvariant) {
   // Thread count changes the lane-block partition, so this also pins the
   // batch kernel's grouping invariance — in both arithmetic modes (kFast

@@ -1,0 +1,440 @@
+// Streaming pipeline: ResultQueue backpressure, sink contract, ordered
+// re-sequencing, bitwise parity with the collect paths across frontends and
+// thread counts, sink-error survival, and the file-writing sinks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/batch_runner.hpp"
+#include "core/result_queue.hpp"
+#include "core/result_sink.hpp"
+#include "core/stream_sinks.hpp"
+#include "mag/ja_params.hpp"
+#include "support/fixtures.hpp"
+#include "util/csv.hpp"
+#include "wave/standard.hpp"
+#include "wave/sweep.hpp"
+
+namespace fm = ferro::mag;
+namespace fw = ferro::wave;
+namespace fc = ferro::core;
+namespace fu = ferro::util;
+namespace ts = ferro::testsupport;
+
+namespace {
+
+/// Small but heterogeneous workload covering every frontend: kDirect sweeps
+/// (packable and not), kSystemC sweeps, kDirect and kAms time drives, plus
+/// one invalid-parameter job — the shapes whose streamed results must match
+/// the collect paths bitwise.
+std::vector<fc::Scenario> mixed_frontend_workload(std::size_t count) {
+  const auto& library = fm::material_library();
+  std::vector<fc::Scenario> scenarios;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& material = library[i % library.size()];
+    const double amp = ts::saturation_amplitude(material.params);
+    fc::Scenario s;
+    s.name = material.name + "#" + std::to_string(i);
+    s.params = material.params;
+    s.config.dhmax = amp / (150.0 + 25.0 * static_cast<double>(i % 4));
+    s.drive = fw::SweepBuilder(amp / 200.0).cycles(amp, 1).build();
+    switch (i % 5) {
+      case 1:
+        s.frontend = fc::Frontend::kSystemC;
+        break;
+      case 2:
+        s.drive = fc::TimeDrive{std::make_shared<fw::Triangular>(amp, 0.02),
+                                0.0, 0.04, 400};
+        break;
+      case 3:
+        s.frontend = fc::Frontend::kAms;
+        s.drive = fc::TimeDrive{std::make_shared<fw::Triangular>(amp, 0.02),
+                                0.0, 0.04, 200};
+        break;
+      default:
+        break;
+    }
+    scenarios.push_back(std::move(s));
+  }
+  if (count > 4) {
+    scenarios[4].params.c = 1.5;  // invalid: captured as a per-job error
+    scenarios[4].name = "broken";
+  }
+  return scenarios;
+}
+
+void expect_identical(const std::vector<fc::ScenarioResult>& a,
+                      const std::vector<fc::ScenarioResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].error, b[i].error);
+    ASSERT_EQ(a[i].curve.size(), b[i].curve.size()) << a[i].name;
+    for (std::size_t j = 0; j < a[i].curve.size(); ++j) {
+      const auto& pa = a[i].curve.points()[j];
+      const auto& pb = b[i].curve.points()[j];
+      // Bitwise equality: the streaming hand-off must not touch the payload.
+      ASSERT_EQ(pa.h, pb.h) << a[i].name << " point " << j;
+      ASSERT_EQ(pa.m, pb.m) << a[i].name << " point " << j;
+      ASSERT_EQ(pa.b, pb.b) << a[i].name << " point " << j;
+    }
+    EXPECT_EQ(a[i].metrics.area, b[i].metrics.area) << a[i].name;
+    EXPECT_EQ(a[i].stats.field_events, b[i].stats.field_events) << a[i].name;
+    EXPECT_EQ(a[i].stats.slope_clamps, b[i].stats.slope_clamps) << a[i].name;
+  }
+}
+
+/// Records every delivery in arrival order, plus the lifecycle calls.
+class RecordingSink : public fc::ResultSink {
+ public:
+  void on_start(std::size_t total) override {
+    ++starts;
+    this->total = total;
+  }
+  void on_result(std::size_t index, fc::ScenarioResult&& result) override {
+    received.emplace_back(index, std::move(result));
+  }
+  void on_complete() override { ++completes; }
+
+  std::vector<std::pair<std::size_t, fc::ScenarioResult>> received;
+  std::size_t total = 0;
+  int starts = 0;
+  int completes = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ResultQueue
+// ---------------------------------------------------------------------------
+
+TEST(ResultQueue, CapacityIsClampedToAtLeastOne) {
+  fc::ResultQueue queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+}
+
+TEST(ResultQueue, FifoWithinOneProducerAndDrainsAfterClose) {
+  fc::ResultQueue queue(4);
+  for (std::size_t i = 0; i < 3; ++i) {
+    fc::StreamItem item;
+    item.index = i;
+    EXPECT_TRUE(queue.push(std::move(item)));
+  }
+  queue.close();
+
+  fc::StreamItem out;
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(queue.pop(out));
+    EXPECT_EQ(out.index, i);
+  }
+  EXPECT_FALSE(queue.pop(out));  // closed and drained
+
+  fc::StreamItem late;
+  EXPECT_FALSE(queue.push(std::move(late)));  // refused after close
+}
+
+TEST(ResultQueue, BackpressureBoundsOccupancy) {
+  constexpr std::size_t kItems = 64;
+  fc::ResultQueue queue(2);
+
+  std::thread producer([&] {
+    for (std::size_t i = 0; i < kItems; ++i) {
+      fc::StreamItem item;
+      item.index = i;
+      ASSERT_TRUE(queue.push(std::move(item)));
+    }
+    queue.close();
+  });
+
+  std::vector<std::size_t> seen;
+  fc::StreamItem out;
+  while (queue.pop(out)) {
+    seen.push_back(out.index);
+    // A deliberately slow consumer: the producer must block, not buffer.
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  producer.join();
+
+  ASSERT_EQ(seen.size(), kItems);
+  for (std::size_t i = 0; i < kItems; ++i) EXPECT_EQ(seen[i], i);
+  EXPECT_LE(queue.high_water(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// run_streaming — parity with run()
+// ---------------------------------------------------------------------------
+
+TEST(Streaming, CollectedStreamMatchesRunBitwiseAcrossThreadCounts) {
+  const auto scenarios = mixed_frontend_workload(10);
+  const auto reference = fc::BatchRunner({.threads = 1}).run(scenarios);
+  for (const unsigned threads : {1u, 2u, 4u, 0u}) {
+    const fc::BatchRunner runner({.threads = threads});
+    fc::CollectingSink sink;
+    const auto summary = runner.run_streaming(scenarios, sink);
+    EXPECT_TRUE(summary.ok()) << summary.sink_error;
+    EXPECT_EQ(summary.delivered, scenarios.size());
+    EXPECT_EQ(summary.discarded, 0u);
+    EXPECT_EQ(summary.failed_jobs, 1u);  // the invalid-parameter job
+    expect_identical(reference, sink.results());
+  }
+}
+
+TEST(Streaming, EveryIndexArrivesExactlyOnce) {
+  const auto scenarios = mixed_frontend_workload(12);
+  RecordingSink sink;
+  const auto summary =
+      fc::BatchRunner({.threads = 4}).run_streaming(scenarios, sink);
+  EXPECT_TRUE(summary.ok());
+  EXPECT_EQ(sink.starts, 1);
+  EXPECT_EQ(sink.completes, 1);
+  EXPECT_EQ(sink.total, scenarios.size());
+  ASSERT_EQ(sink.received.size(), scenarios.size());
+  std::vector<bool> seen(scenarios.size(), false);
+  for (const auto& [index, result] : sink.received) {
+    ASSERT_LT(index, seen.size());
+    EXPECT_FALSE(seen[index]) << "index " << index << " delivered twice";
+    seen[index] = true;
+    EXPECT_EQ(result.name, scenarios[index].name);
+  }
+}
+
+TEST(Streaming, OrderedSinkReproducesRunOrderExactly) {
+  const auto scenarios = mixed_frontend_workload(10);
+  const auto reference = fc::BatchRunner({.threads = 1}).run(scenarios);
+  for (const unsigned threads : {2u, 4u, 0u}) {
+    RecordingSink inner;
+    fc::OrderedSink ordered(inner);
+    // A tiny queue keeps results trickling out while workers still compute.
+    const auto summary = fc::BatchRunner({.threads = threads})
+                             .run_streaming(scenarios, ordered,
+                                            {.queue_capacity = 2});
+    EXPECT_TRUE(summary.ok());
+    ASSERT_EQ(inner.received.size(), scenarios.size());
+    std::vector<fc::ScenarioResult> in_order;
+    for (std::size_t i = 0; i < inner.received.size(); ++i) {
+      EXPECT_EQ(inner.received[i].first, i) << "not in scenario order";
+      in_order.push_back(std::move(inner.received[i].second));
+    }
+    expect_identical(reference, in_order);
+  }
+}
+
+TEST(Streaming, PackedStreamingMatchesRunPackedBitwise) {
+  auto scenarios = mixed_frontend_workload(12);
+  for (const unsigned threads : {1u, 3u}) {
+    const fc::BatchRunner runner({.threads = threads});
+    for (const auto math : {fm::BatchMath::kExact, fm::BatchMath::kFast}) {
+      const auto reference = runner.run_packed(scenarios, math);
+      fc::CollectingSink sink;
+      const auto summary =
+          runner.run_packed_streaming(scenarios, sink, math);
+      EXPECT_TRUE(summary.ok()) << summary.sink_error;
+      expect_identical(reference, sink.results());
+    }
+  }
+}
+
+TEST(Streaming, EmptyBatchStillRunsTheSinkLifecycle) {
+  RecordingSink sink;
+  const auto summary = fc::BatchRunner().run_streaming({}, sink);
+  EXPECT_TRUE(summary.ok());
+  EXPECT_EQ(summary.delivered, 0u);
+  EXPECT_EQ(sink.starts, 1);
+  EXPECT_EQ(sink.completes, 1);
+  EXPECT_EQ(sink.total, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure and sink failure
+// ---------------------------------------------------------------------------
+
+TEST(Streaming, SlowSinkNeitherDeadlocksNorDrops) {
+  // Tiny jobs + capacity-2 queue + a sink slower than the workers: the
+  // workers must block on the queue (bounded memory) and every result must
+  // still arrive.
+  auto scenarios = mixed_frontend_workload(24);
+  for (auto& s : scenarios) {
+    if (!std::holds_alternative<fw::HSweep>(s.drive)) continue;
+    const double amp = ts::saturation_amplitude(s.params);
+    s.drive = fw::SweepBuilder(amp / 8.0).cycles(amp, 1).build();
+  }
+
+  class SlowSink : public fc::ResultSink {
+   public:
+    void on_result(std::size_t, fc::ScenarioResult&&) override {
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+      ++count;
+    }
+    std::size_t count = 0;
+  } sink;
+
+  const auto summary = fc::BatchRunner({.threads = 4})
+                           .run_streaming(scenarios, sink,
+                                          {.queue_capacity = 2});
+  EXPECT_TRUE(summary.ok());
+  EXPECT_EQ(summary.delivered, scenarios.size());
+  EXPECT_EQ(sink.count, scenarios.size());
+}
+
+TEST(Streaming, ThrowingSinkSurfacesErrorWithoutKillingTheBatch) {
+  const auto scenarios = mixed_frontend_workload(12);
+
+  class ThrowingSink : public fc::ResultSink {
+   public:
+    void on_result(std::size_t, fc::ScenarioResult&&) override {
+      if (++count == 3) throw std::runtime_error("sink exploded");
+    }
+    void on_complete() override { completed = true; }
+    std::size_t count = 0;
+    bool completed = false;
+  } sink;
+
+  const fc::BatchRunner runner({.threads = 4});
+  const auto summary = runner.run_streaming(scenarios, sink);
+  EXPECT_FALSE(summary.ok());
+  EXPECT_NE(summary.sink_error.find("sink exploded"), std::string::npos)
+      << summary.sink_error;
+  // Two deliveries succeeded before the throw; everything after the failure
+  // is accounted for as discarded, never silently lost.
+  EXPECT_EQ(summary.delivered, 2u);
+  EXPECT_EQ(summary.delivered + summary.discarded, scenarios.size());
+  EXPECT_TRUE(sink.completed);  // lifecycle still closes
+
+  // The pool survives a broken consumer: the same runner keeps working.
+  const auto after = runner.run(scenarios);
+  const auto reference = fc::BatchRunner({.threads = 1}).run(scenarios);
+  expect_identical(reference, after);
+}
+
+TEST(Streaming, ThrowingOnStartDiscardsEverythingButStillCompletes) {
+  const auto scenarios = mixed_frontend_workload(6);
+
+  class BadStartSink : public fc::ResultSink {
+   public:
+    void on_start(std::size_t) override {
+      throw std::runtime_error("refused to start");
+    }
+    void on_result(std::size_t, fc::ScenarioResult&&) override { ++count; }
+    std::size_t count = 0;
+  } sink;
+
+  const auto summary =
+      fc::BatchRunner({.threads = 2}).run_streaming(scenarios, sink);
+  EXPECT_FALSE(summary.ok());
+  EXPECT_EQ(summary.delivered, 0u);
+  EXPECT_EQ(summary.discarded, scenarios.size());
+  EXPECT_EQ(sink.count, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Stock sinks
+// ---------------------------------------------------------------------------
+
+TEST(Streaming, CallbackSinkReportsProgressAndErrors) {
+  const auto scenarios = mixed_frontend_workload(10);
+  std::size_t results_seen = 0;
+  std::size_t errors_seen = 0;
+  std::size_t last_done = 0;
+  std::size_t last_total = 0;
+  fc::CallbackSink sink({
+      .on_result = [&](std::size_t, const fc::ScenarioResult&) {
+        ++results_seen;
+      },
+      .on_error = [&](std::size_t index, const fc::ScenarioResult& r) {
+        ++errors_seen;
+        EXPECT_EQ(scenarios[index].name, "broken");
+        EXPECT_FALSE(r.ok());
+      },
+      .on_progress = [&](std::size_t done, std::size_t total) {
+        last_done = done;
+        last_total = total;
+      },
+  });
+  const auto summary =
+      fc::BatchRunner({.threads = 3}).run_streaming(scenarios, sink);
+  EXPECT_TRUE(summary.ok());
+  EXPECT_EQ(results_seen, scenarios.size());
+  EXPECT_EQ(errors_seen, 1u);
+  EXPECT_EQ(last_done, scenarios.size());
+  EXPECT_EQ(last_total, scenarios.size());
+}
+
+TEST(Streaming, TeeSinkDeliversToEverySink) {
+  const auto scenarios = mixed_frontend_workload(6);
+  fc::CollectingSink a;
+  fc::CollectingSink b;
+  fc::TeeSink tee({&a, &b});
+  const auto summary =
+      fc::BatchRunner({.threads = 2}).run_streaming(scenarios, tee);
+  EXPECT_TRUE(summary.ok());
+  expect_identical(a.results(), b.results());
+  ASSERT_EQ(a.results().size(), scenarios.size());
+}
+
+TEST(Streaming, CsvCurveSinkWritesEveryPointInScenarioOrder) {
+  const std::string path = "test_streaming_curves.csv";
+  const auto scenarios = mixed_frontend_workload(5);
+  const auto reference = fc::BatchRunner({.threads = 1}).run(scenarios);
+
+  {
+    fc::CsvCurveSink csv(path);
+    fc::OrderedSink ordered(csv);
+    const auto summary =
+        fc::BatchRunner({.threads = 4}).run_streaming(scenarios, ordered);
+    EXPECT_TRUE(summary.ok());
+    EXPECT_TRUE(csv.ok());
+  }
+
+  const fu::CsvTable table = fu::read_csv(path);
+  std::size_t expected_rows = 0;
+  for (const auto& r : reference) expected_rows += r.curve.size();
+  ASSERT_EQ(table.rows.size(), expected_rows);
+
+  // Ordered delivery means the file is grouped by ascending scenario index,
+  // and each row reproduces the exact curve point.
+  std::size_t row = 0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    for (std::size_t j = 0; j < reference[i].curve.size(); ++j, ++row) {
+      EXPECT_EQ(table.rows[row][0], static_cast<double>(i));
+      EXPECT_EQ(table.rows[row][1], reference[i].curve.points()[j].h);
+      EXPECT_EQ(table.rows[row][3], reference[i].curve.points()[j].b);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Streaming, JsonlMetricsSinkWritesOneRecordPerScenario) {
+  const std::string path = "test_streaming_metrics.jsonl";
+  const auto scenarios = mixed_frontend_workload(8);
+  {
+    fc::JsonlMetricsSink jsonl(path);
+    const auto summary =
+        fc::BatchRunner({.threads = 2}).run_streaming(scenarios, jsonl);
+    EXPECT_TRUE(summary.ok());
+    EXPECT_TRUE(jsonl.ok());
+    EXPECT_EQ(jsonl.records_written(), scenarios.size());
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), scenarios.size());
+  std::size_t broken_lines = 0;
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"name\": "), std::string::npos);
+    if (line.find("\"ok\": false") != std::string::npos) ++broken_lines;
+  }
+  EXPECT_EQ(broken_lines, 1u);  // exactly the invalid-parameter job
+  std::filesystem::remove(path);
+}

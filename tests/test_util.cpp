@@ -4,9 +4,12 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <limits>
 
 #include "util/constants.hpp"
 #include "util/csv.hpp"
+#include "util/stream_writer.hpp"
 #include "util/interp.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
@@ -172,4 +175,82 @@ TEST(Log, LevelFiltering) {
   fu::log_info("test", "hidden");
   fu::log_warning("test", "hidden");
   fu::set_log_level(saved);
+}
+
+TEST(StreamWriter, CsvRowsAreOnDiskBeforeTheWriterCloses) {
+  const std::string path = "test_util_stream.csv";
+  fu::CsvStreamWriter writer(path, {"x", "y"}, /*flush_every=*/1);
+  writer.row({1.0, 2.0});
+  writer.row({3.0, 4.5});
+  EXPECT_TRUE(writer.ok());
+  EXPECT_EQ(writer.rows_written(), 2u);
+
+  // The writer is still open — a tailing consumer must already see the rows.
+  const fu::CsvTable table = fu::read_csv(path);
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(table.rows[1][1], 4.5);
+  std::filesystem::remove(path);
+}
+
+TEST(StreamWriter, CsvRoundTripsFullDoublePrecision) {
+  const std::string path = "test_util_stream_precision.csv";
+  const double value = 0.1 + 0.2;  // not representable; shortest-round-trip
+  {
+    fu::CsvStreamWriter writer(path, {"v"});
+    writer.row({value});
+  }
+  const fu::CsvTable table = fu::read_csv(path);
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], value);  // bitwise, not just near
+  std::filesystem::remove(path);
+}
+
+TEST(StreamWriter, CsvWrongRowWidthMarksNotOk) {
+  const std::string path = "test_util_stream_width.csv";
+  fu::CsvStreamWriter writer(path, {"a", "b"});
+  writer.row({1.0});
+  EXPECT_FALSE(writer.ok());
+  std::filesystem::remove(path);
+}
+
+TEST(StreamWriter, JsonLinesRecordsAndEscapes) {
+  const std::string path = "test_util_stream.jsonl";
+  {
+    fu::JsonLinesWriter writer(path);
+    writer.record({{"name", std::string_view("say \"hi\"\n")},
+                   {"value", 2.5},
+                   {"ok", true},
+                   {"count", std::uint64_t{7}}});
+    EXPECT_TRUE(writer.ok());
+    EXPECT_EQ(writer.records_written(), 1u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line,
+            "{\"name\": \"say \\\"hi\\\"\\n\", \"value\": 2.5, "
+            "\"ok\": true, \"count\": 7}");
+  std::filesystem::remove(path);
+}
+
+TEST(StreamWriter, JsonEscapeHandlesControlCharacters) {
+  EXPECT_EQ(fu::json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(fu::json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(fu::json_escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(fu::json_escape("plain"), "plain");
+}
+
+TEST(StreamWriter, JsonLinesWritesNonFiniteNumbersAsNull) {
+  const std::string path = "test_util_stream_nan.jsonl";
+  {
+    fu::JsonLinesWriter writer(path);
+    writer.record({{"bad", std::nan("")},
+                   {"worse", std::numeric_limits<double>::infinity()},
+                   {"fine", 1.0}});
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "{\"bad\": null, \"worse\": null, \"fine\": 1}");
+  std::filesystem::remove(path);
 }
