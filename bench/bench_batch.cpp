@@ -176,6 +176,42 @@ BENCHMARK(bm_homogeneous_run_packed)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 
+/// Width sweep of the acceptance workload: run_packed(kFast) on the 64
+/// homogeneous scenarios with the FastMath dispatch pinned to each SIMD
+/// width, single-threaded so the numbers isolate the vector width. Items
+/// are field samples, so the JSON reports samples/sec per width; the
+/// acceptance bar is the widest available width at >= 1.5x the W=2 (SSE2
+/// pair) rate. Lane results are bitwise identical at every width — the
+/// sweep measures pure throughput.
+void bm_packed_fast_width(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const benchutil::ScopedSimdWidth pin(width);
+  if (!pin.ok()) {
+    state.SkipWithError("SIMD width not available on this build/CPU");
+    return;
+  }
+  const auto scenarios = homogeneous_workload();
+  std::int64_t samples = 0;
+  for (const auto& s : scenarios) {
+    samples +=
+        static_cast<std::int64_t>(std::get<wave::HSweep>(s.drive).size());
+  }
+  const core::BatchRunner runner({.threads = 1});
+  for (auto _ : state) {
+    auto results = runner.run_packed(scenarios, mag::BatchMath::kFast);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          samples);
+  state.SetLabel("W=" + std::to_string(width));
+}
+BENCHMARK(bm_packed_fast_width)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 FERRO_BENCH_MAIN(report)

@@ -1,14 +1,18 @@
 // SUB1 — substrate performance: the event kernel that hosts the SystemC-
-// style model. Throughput of delta cycles, signal updates and process
-// activations; plus the cost profile of the JA module's process network.
+// style model (throughput of delta cycles, signal updates and process
+// activations; plus the cost profile of the JA module's process network),
+// and the other execution substrate — the SoA batch kernel's FastMath lane
+// swept across the runtime-dispatched SIMD widths.
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/systemc_ja.hpp"
 #include "hdl/kernel.hpp"
 #include "hdl/signal.hpp"
+#include "mag/timeless_ja_batch.hpp"
 
 namespace {
 
@@ -118,6 +122,46 @@ void bm_ja_module_sample(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(bm_ja_module_sample);
+
+/// Raw SoA-kernel width sweep: 64 FastMath lanes of the paper material
+/// driven through a saturating major loop with the dispatch pinned to each
+/// SIMD width. Items are lane-samples, so the JSON tracks the kernel's
+/// samples/sec per width next to the event-kernel numbers; lane results are
+/// bitwise identical at every width (property-tested), so this is pure
+/// throughput.
+void bm_soa_fast_width(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const benchutil::ScopedSimdWidth pin(width);
+  if (!pin.ok()) {
+    state.SkipWithError("SIMD width not available on this build/CPU");
+    return;
+  }
+
+  constexpr std::size_t kLanes = 64;
+  const mag::JaParameters params = mag::paper_parameters();
+  mag::TimelessConfig config;
+  config.dhmax = 25.0;
+  const wave::HSweep sweep = wave::SweepBuilder(10.0).cycles(10e3, 2).build();
+  mag::TimelessJaBatch batch(mag::BatchMath::kFast);
+  std::vector<const wave::HSweep*> sweeps(kLanes, &sweep);
+  for (std::size_t i = 0; i < kLanes; ++i) batch.add_lane(params, config);
+
+  std::vector<mag::BhCurve> curves;
+  for (auto _ : state) {
+    batch.reset();
+    batch.run(sweeps, curves);
+    benchmark::DoNotOptimize(curves);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kLanes * sweep.size()));
+  state.SetLabel("W=" + std::to_string(width));
+}
+BENCHMARK(bm_soa_fast_width)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void bm_timed_queue(benchmark::State& state) {
   for (auto _ : state) {

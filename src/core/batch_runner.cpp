@@ -7,6 +7,7 @@
 
 #include "core/result_queue.hpp"
 #include "core/result_sink.hpp"
+#include "core/systemc_ja.hpp"
 
 namespace ferro::core {
 namespace {
@@ -128,7 +129,16 @@ std::vector<ScenarioResult> BatchRunner::run(
 }
 
 bool BatchRunner::packable(const Scenario& scenario) {
-  return scenario.frontend == Frontend::kDirect &&
+  // kSystemC's process network wraps the same core update, but hard-codes
+  // both clamps, so only configs whose flags say what the network actually
+  // does are routable (JaCoreModule::clamps_match, defined next to the
+  // process body) — anything else must really run the network to reproduce
+  // run()'s bits.
+  const bool frontend_ok =
+      scenario.frontend == Frontend::kDirect ||
+      (scenario.frontend == Frontend::kSystemC &&
+       JaCoreModule::clamps_match(scenario.config));
+  return frontend_ok &&
          std::holds_alternative<wave::HSweep>(scenario.drive) &&
          mag::TimelessJaBatch::supports(scenario.config) &&
          scenario.config.dhmax > 0.0 && scenario.params.is_valid();
@@ -145,6 +155,24 @@ void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     (packable(scenarios[i]) ? packed : fallback).push_back(i);
   }
+
+  // Group kindred lanes into the same vector registers: same anhysteretic
+  // kind keeps kernel spans long, and similar dhmax keeps field events
+  // roughly synchronised inside a vector group — desynchronised events drag
+  // a whole group through the expensive integration path for one lane's
+  // threshold crossing. Pure scheduling: lanes are independent and
+  // grouping-invariant, so results (emitted under their original scenario
+  // indices) are bitwise unchanged; stable sort keeps the order
+  // deterministic.
+  std::stable_sort(packed.begin(), packed.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     const Scenario& a = scenarios[x];
+                     const Scenario& b = scenarios[y];
+                     if (a.params.kind != b.params.kind) {
+                       return a.params.kind < b.params.kind;
+                     }
+                     return a.config.dhmax < b.config.dhmax;
+                   });
 
   // One SoA lane block: contiguous slice [begin, end) of `packed`. Lanes are
   // independent, so any block partition yields identical per-lane results —
@@ -189,7 +217,12 @@ void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
       r.name = scenarios[i].name;
       try {
         r.curve = std::move(curves[p - begin]);
-        r.stats = batch.stats(p - begin);
+        // Only kDirect results carry the model's counters — run() leaves
+        // stats defaulted for kSystemC (the facade does not expose the
+        // network's), and bitwise parity includes the stats.
+        if (scenarios[i].frontend == Frontend::kDirect) {
+          r.stats = batch.stats(p - begin);
+        }
         fill_metrics(r, scenarios[i].metrics_window);
       } catch (const std::exception& e) {
         r.error = e.what();
@@ -200,15 +233,19 @@ void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
     }
   };
 
-  // Lane blocks sized like ThreadPool::default_chunk would size them, then
-  // dispatched TOGETHER with the fallback jobs in one parallel_for: a slow
-  // non-packable job overlaps the packed blocks instead of serialising
-  // before them. Every work unit emits disjoint scenario indices, so the
-  // fused dispatch changes nothing about determinism.
+  // Lane blocks sized like ThreadPool::default_chunk would size them —
+  // rounded up to the active SIMD width so the partition never splits a
+  // vector group mid-register — then dispatched TOGETHER with the fallback
+  // jobs in one parallel_for: a slow non-packable job overlaps the packed
+  // blocks instead of serialising before them. Every work unit emits
+  // disjoint scenario indices, so the fused dispatch changes nothing about
+  // determinism (and lane results are partition-invariant anyway).
   const unsigned threads = resolved_threads(scenarios.size());
+  const auto width =
+      static_cast<std::size_t>(mag::TimelessJaBatch::active_simd_width());
   const std::size_t block =
       threads <= 1 ? std::max<std::size_t>(packed.size(), 1)
-                   : ThreadPool::default_chunk(packed.size(), threads);
+                   : ThreadPool::default_chunk(packed.size(), threads, width);
   std::vector<std::pair<std::size_t, std::size_t>> blocks;
   for (std::size_t b = 0; b < packed.size(); b += block) {
     blocks.emplace_back(b, std::min(packed.size(), b + block));

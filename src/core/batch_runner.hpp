@@ -23,10 +23,11 @@
 // The pool (core/thread_pool.hpp) is constructed lazily on the first
 // multi-threaded run and reused across all run variants, so sweeping many
 // batches through one runner pays thread start-up exactly once.
-// run_packed*() additionally routes homogeneous kDirect sweep scenarios
-// through the SoA batch kernel (mag::TimelessJaBatch) in lane blocks — the
-// cheap path for large material x config sweeps — falling back to the
-// per-scenario path for everything else.
+// run_packed*() additionally routes supported sweep scenarios — kDirect,
+// and kSystemC configs matching what the process network hard-codes —
+// through the SoA batch kernel (mag::TimelessJaBatch) in lane blocks sized
+// to the active SIMD width — the cheap path for large material x config
+// sweeps — falling back to the per-scenario path for everything else.
 #pragma once
 
 #include <cstddef>
@@ -78,12 +79,15 @@ class BatchRunner {
   [[nodiscard]] std::vector<ScenarioResult> run(
       const std::vector<Scenario>& scenarios) const;
 
-  /// Like run(), but scenarios the SoA kernel supports (kDirect frontend,
-  /// HSweep drive, Forward Euler, no sub-stepping, valid parameters) are
-  /// packed into mag::TimelessJaBatch lane blocks; the rest fall back to the
-  /// per-scenario path. Results arrive in scenario order either way. With
-  /// BatchMath::kExact the results are bitwise identical to run(); kFast
-  /// opts in to the polynomial FastMath lane (bounded error, faster).
+  /// Like run(), but scenarios the SoA kernel supports (kDirect — or
+  /// kSystemC with both clamps on, the subset the process network
+  /// hard-codes — HSweep drive, Forward Euler, no sub-stepping, valid
+  /// parameters) are packed into mag::TimelessJaBatch lane blocks; the rest
+  /// fall back to the per-scenario path. Results arrive in scenario order
+  /// either way. With BatchMath::kExact the results are bitwise identical
+  /// to run() (the frontend-parity property — SystemC == direct, bit for
+  /// bit — is what licenses the kSystemC routing); kFast opts in to the
+  /// polynomial FastMath lane (bounded error, faster).
   [[nodiscard]] std::vector<ScenarioResult> run_packed(
       const std::vector<Scenario>& scenarios,
       mag::BatchMath math = mag::BatchMath::kExact) const;

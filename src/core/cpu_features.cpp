@@ -1,0 +1,49 @@
+#include "core/cpu_features.hpp"
+
+namespace ferro::core {
+namespace {
+
+CpuFeatures probe() {
+  CpuFeatures f;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  // __builtin_cpu_supports checks CPUID *and* OSXSAVE/XCR0, so a kernel that
+  // does not save ymm/zmm state reports the wide paths as unavailable.
+  f.sse2 = __builtin_cpu_supports("sse2");
+  f.avx = __builtin_cpu_supports("avx");
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.avx512f = __builtin_cpu_supports("avx512f");
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = probe();
+  return features;
+}
+
+int max_simd_width(const CpuFeatures& features) {
+  if (features.avx512f) return 8;
+  if (features.avx2) return 4;
+  if (features.sse2) return 2;
+  return 1;
+}
+
+std::string feature_string(const CpuFeatures& features) {
+  std::string out;
+  const auto append = [&out](bool flag, const char* name) {
+    if (!flag) return;
+    if (!out.empty()) out += ' ';
+    out += name;
+  };
+  append(features.sse2, "sse2");
+  append(features.avx, "avx");
+  append(features.avx2, "avx2");
+  append(features.avx512f, "avx512f");
+  if (out.empty()) out = "none";
+  return out;
+}
+
+}  // namespace ferro::core

@@ -1,0 +1,38 @@
+// cpu_features — one cached runtime probe of the host CPU's SIMD capability,
+// shared by the FastMath width dispatcher (mag::TimelessJaBatch picks the
+// widest compiled-in lane the CPU can execute) and by the bench metadata
+// recorder (BENCH_*.json carries the flags so numbers from different runners
+// stay comparable).
+//
+// The probe goes through the compiler's CPUID support (__builtin_cpu_supports
+// on gcc/clang), which also accounts for OS state-save support (XGETBV), so
+// "avx2 = true" really means the instructions may be executed. On non-x86
+// targets every flag is false and the dispatcher stays scalar.
+#pragma once
+
+#include <string>
+
+namespace ferro::core {
+
+/// What the host CPU (and OS) can execute, probed once per process.
+struct CpuFeatures {
+  bool sse2 = false;
+  bool avx = false;
+  bool avx2 = false;
+  bool avx512f = false;
+};
+
+/// The cached probe (thread-safe lazy init).
+[[nodiscard]] const CpuFeatures& cpu_features();
+
+/// Widest double-lane vector the CPU supports: 8 (AVX-512F), 4 (AVX2),
+/// 2 (SSE2) or 1 (anything else). What the hardware allows — whether the
+/// binary compiled a path of that width is a separate question
+/// (mag::TimelessJaBatch::available_simd_widths()).
+[[nodiscard]] int max_simd_width(const CpuFeatures& features);
+
+/// Space-separated flag list, e.g. "sse2 avx avx2" — for logs and the
+/// bench JSON run metadata.
+[[nodiscard]] std::string feature_string(const CpuFeatures& features);
+
+}  // namespace ferro::core

@@ -63,6 +63,11 @@ void JaCoreModule::monitor_h() {
   }
 }
 
+bool JaCoreModule::clamps_match(const mag::TimelessConfig& config) {
+  // Mirrors the two unconditional guards in integral() below.
+  return config.clamp_negative_slope && config.clamp_direction;
+}
+
 void JaCoreModule::integral() {
   // Get the field direction. delta*one_pc_k with delta = +-1 is exact, so
   // the sign select reproduces TimelessJa's multiply bit-for-bit.

@@ -39,6 +39,14 @@ class JaCoreModule final : public hdl::Module {
   [[nodiscard]] const mag::JaParameters& params() const { return params_; }
   [[nodiscard]] double m_irr() const { return mirr_; }
 
+  /// True when `config`'s clamp flags describe exactly what Integral()
+  /// hard-codes (the listing's "assure positive derivative" slope clamp and
+  /// the dm*dh rejection, both always on). Other executors — BatchRunner's
+  /// SoA packing — may reproduce the network's arithmetic without running
+  /// it only for such configs; defined here so a change to the process
+  /// body and this predicate stay on the same screen.
+  [[nodiscard]] static bool clamps_match(const mag::TimelessConfig& config);
+
  private:
   void core();       ///< anhysteretic + reversible + publish (listing: core)
   void monitor_h();  ///< field-event detection (listing: monitorH)

@@ -32,6 +32,13 @@ std::size_t ThreadPool::default_chunk(std::size_t n, unsigned workers) {
   return std::max<std::size_t>(1, n / target);
 }
 
+std::size_t ThreadPool::default_chunk(std::size_t n, unsigned workers,
+                                      std::size_t multiple) {
+  const std::size_t m = std::max<std::size_t>(multiple, 1);
+  const std::size_t base = default_chunk(n, workers);
+  return ((base + m - 1) / m) * m;
+}
+
 bool ThreadPool::try_claim(unsigned self, Chunk& out) {
   {
     WorkerDeque& own = *deques_[self];

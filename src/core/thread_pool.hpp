@@ -57,6 +57,15 @@ class ThreadPool {
   [[nodiscard]] static std::size_t default_chunk(std::size_t n,
                                                  unsigned workers);
 
+  /// Same heuristic rounded up to a multiple of `multiple` (>= 1): callers
+  /// dispatching SIMD lane blocks pass the active vector width so a
+  /// partition never splits a vector group mid-register — every block but
+  /// the last runs full vectors, no ragged tails. Lane results don't depend
+  /// on the partition either way; this keeps the fast path fast.
+  [[nodiscard]] static std::size_t default_chunk(std::size_t n,
+                                                 unsigned workers,
+                                                 std::size_t multiple);
+
  private:
   struct Chunk {
     std::size_t begin;

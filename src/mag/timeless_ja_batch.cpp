@@ -1,26 +1,92 @@
 #include "mag/timeless_ja_batch.hpp"
 
 #include <algorithm>
-#include <bit>
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 
-#include "mag/fast_math.hpp"
+#include "core/cpu_features.hpp"
+#include "mag/timeless_ja_batch_span.hpp"
 #include "util/constants.hpp"
 
 namespace ferro::mag {
+
+namespace detail {
+
+// Baseline width entry points (the ISA-flagged TUs define W4/W8). W1 is the
+// pure-scalar pass, always available; W2 rides the SSE2 VecD, which every
+// x86-64 target compiles.
+namespace {
+void run_w1(AnhystereticKind kind, const FastRunArgs& args) {
+  fast_run<1>(kind, args);
+}
+#if defined(FERRO_FASTMATH_SIMD)
+void run_w2(AnhystereticKind kind, const FastRunArgs& args) {
+  fast_run<2>(kind, args);
+}
+#endif
+}  // namespace
+
+const FastRunFn kFastRunW1 = &run_w1;
+#if defined(FERRO_FASTMATH_SIMD)
+const FastRunFn kFastRunW2 = &run_w2;
+#else
+const FastRunFn kFastRunW2 = nullptr;
+#endif
+
+}  // namespace detail
+
 namespace {
 
-/// Bitwise select: returns `b` when `take_b`, else `a`, by blending the raw
-/// representations through an all-ones/all-zeros mask. Exact (the chosen
-/// value's bits pass through untouched) and opaque to the compiler's
-/// "sink computations into the rare branch" pass, which would otherwise turn
-/// the FastMath pass's selected stores back into control flow.
-FERRO_ALWAYS_INLINE double bit_select(bool take_b, double a, double b) {
-  const std::uint64_t mask = -static_cast<std::uint64_t>(take_b);
-  const std::uint64_t bits_a = std::bit_cast<std::uint64_t>(a);
-  const std::uint64_t bits_b = std::bit_cast<std::uint64_t>(b);
-  return std::bit_cast<double>((bits_a & ~mask) | (bits_b & mask));
+struct SpanEntry {
+  int width;
+  detail::FastRunFn fn;
+};
+
+/// Candidate passes, widest first. An entry is *available* when the binary
+/// compiled it (fn non-null) and the CPU can execute it.
+constexpr std::size_t kSpanTableSize = 4;
+const SpanEntry* span_table() {
+  static const SpanEntry table[kSpanTableSize] = {
+      {8, detail::kFastRunW8},
+      {4, detail::kFastRunW4},
+      {2, detail::kFastRunW2},
+      {1, detail::kFastRunW1},
+  };
+  return table;
+}
+
+bool entry_available(const SpanEntry& entry) {
+  return entry.fn != nullptr &&
+         entry.width <= core::max_simd_width(core::cpu_features());
+}
+
+/// Widest available pass no wider than `cap` (the W1 scalar pass always
+/// qualifies, so this cannot fail).
+const SpanEntry* pick_span(int cap) {
+  const SpanEntry* table = span_table();
+  for (std::size_t k = 0; k < kSpanTableSize; ++k) {
+    if (table[k].width <= cap && entry_available(table[k])) return &table[k];
+  }
+  return &table[kSpanTableSize - 1];
+}
+
+/// Automatic per-process pick: widest safe path, optionally capped by the
+/// FERRO_FORCE_SIMD_WIDTH environment override (values narrower than the
+/// hardware allow testing every compiled path; wider ones clamp down).
+const SpanEntry* auto_pick() {
+  int cap = 8;
+  if (const char* forced = std::getenv("FERRO_FORCE_SIMD_WIDTH")) {
+    const int value = std::atoi(forced);
+    if (value > 0) cap = value;
+  }
+  return pick_span(cap);
+}
+
+std::atomic<const SpanEntry*>& active_span() {
+  static std::atomic<const SpanEntry*> active{auto_pick()};
+  return active;
 }
 
 }  // namespace
@@ -33,233 +99,34 @@ std::string_view to_string(BatchMath math) {
   return "?";
 }
 
+int TimelessJaBatch::active_simd_width() {
+  return active_span().load(std::memory_order_relaxed)->width;
+}
+
+std::vector<int> TimelessJaBatch::available_simd_widths() {
+  std::vector<int> widths;
+  const SpanEntry* table = span_table();
+  for (std::size_t k = kSpanTableSize; k-- > 0;) {
+    if (entry_available(table[k])) widths.push_back(table[k].width);
+  }
+  return widths;
+}
+
+int TimelessJaBatch::force_simd_width(int width) {
+  const SpanEntry* entry = width <= 0 ? auto_pick() : pick_span(width);
+  active_span().store(entry, std::memory_order_relaxed);
+  return entry->width;
+}
+
 // ---------------------------------------------------------------------------
-// FastPass — the FastMath lane's per-sample step over a contiguous span of
-// same-kind lanes. The body is fully branch-free (selects and copysign, the
-// feedback refresh computed unconditionally and masked by the event flag),
-// so consecutive lanes are independent straight-line chains: the compiler
-// can vectorise the loop, and even scalar code hides the ~60-cycle
-// he -> man -> m_total latency chain by overlapping lanes.
-//
-// The same step is used by both run() spans and the public apply() path, so
-// a lane's trajectory never depends on how lanes are grouped into spans or
-// blocks — thread-count and chunk-size invariance by construction.
+// The FastMath lane's per-sample step lives in timeless_ja_batch_span.hpp,
+// templated over the SIMD width; this TU instantiates the W = 1/2 baseline
+// passes above and routes every span through the per-process width selected
+// by active_span() (CPUID + FERRO_FORCE_SIMD_WIDTH, overridable via
+// force_simd_width()). The step is shared by run() spans and the public
+// apply() path, and its result is width-, pairing-, partition- and
+// thread-count-invariant by construction.
 // ---------------------------------------------------------------------------
-template <AnhystereticKind kKind>
-struct FastPass {
-  static FERRO_ALWAYS_INLINE double man(double he, double ia, double ia2,
-                                        double bl) {
-    if constexpr (kKind == AnhystereticKind::kClassicLangevin) {
-      (void)ia2, (void)bl;
-      return fastmath::fast_langevin(he * ia);
-    } else if constexpr (kKind == AnhystereticKind::kAtan) {
-      (void)ia2, (void)bl;
-      return fastmath::fast_atan_langevin(he * ia);
-    } else {
-      return bl * fastmath::fast_atan_langevin(he * ia) +
-             (1.0 - bl) * fastmath::fast_atan_langevin(he * ia2);
-    }
-  }
-
-#if defined(FERRO_FASTMATH_SIMD)
-  static FERRO_ALWAYS_INLINE fastmath::simd::V2 man_v(fastmath::simd::V2 he,
-                                                      fastmath::simd::V2 ia,
-                                                      fastmath::simd::V2 ia2,
-                                                      fastmath::simd::V2 bl) {
-    namespace vs = fastmath::simd;
-    if constexpr (kKind == AnhystereticKind::kClassicLangevin) {
-      (void)ia2, (void)bl;
-      return vs::fast_langevin(_mm_mul_pd(he, ia));
-    } else if constexpr (kKind == AnhystereticKind::kAtan) {
-      (void)ia2, (void)bl;
-      return vs::fast_atan_langevin(_mm_mul_pd(he, ia));
-    } else {
-      return _mm_add_pd(
-          _mm_mul_pd(bl, vs::fast_atan_langevin(_mm_mul_pd(he, ia))),
-          _mm_mul_pd(_mm_sub_pd(vs::vset(1.0), bl),
-                     vs::fast_atan_langevin(_mm_mul_pd(he, ia2))));
-    }
-  }
-#endif
-
-  /// One lockstep sample over lanes [begin, end); h_span[i - begin] is lane
-  /// i's field sample. The SoA arrays arrive as __restrict *parameters* —
-  /// gcc only materialises restrict disambiguation tags for parameters, and
-  /// without them the vectoriser gives up on ~50 runtime alias checks.
-  /// Bitwise &/| on the flags (not &&/||): short-circuit evaluation would
-  /// reintroduce control flow, and bit_select keeps the compiler from
-  /// sinking the rarely-used values back into branches.
-  ///
-  /// Lane pairs go through the hand-written SSE2 mirror of the scalar step
-  /// (gcc's own canonicalisations keep re-inserting branches that defeat its
-  /// vectoriser); the odd tail lane and non-SSE2 builds take the scalar
-  /// loop. Both execute the identical IEEE operation sequence, so a lane's
-  /// result does not depend on which path processed it.
-  static void span(std::size_t begin, std::size_t end,
-                   const double* __restrict h_span,
-                   const double* __restrict alpha_ms,
-                   const double* __restrict c_over_1pc,
-                   const double* __restrict one_pc_k,
-                   const double* __restrict one_pc_alpha_ms,
-                   const double* __restrict inv_a,
-                   const double* __restrict inv_a2,
-                   const double* __restrict blend,
-                   const double* __restrict dhmax,
-                   const double* __restrict clamp_slope,
-                   const double* __restrict clamp_direction,
-                   double* __restrict m_irr, double* __restrict m_total,
-                   double* __restrict anchor_h, double* __restrict last_slope,
-                   double* __restrict cnt_events,
-                   double* __restrict cnt_slope_clamps,
-                   double* __restrict cnt_direction_clamps,
-                   const double* __restrict ms,
-                   BhPoint* const* __restrict out, std::size_t j) {
-    std::size_t i = begin;
-
-#if defined(FERRO_FASTMATH_SIMD)
-    namespace vs = fastmath::simd;
-    using vs::V2;
-    const V2 vzero = _mm_setzero_pd();
-    const V2 vone = vs::vset(1.0);
-    for (; i + 2 <= end; i += 2) {
-      const V2 h = vs::vload(h_span + (i - begin));
-      const V2 am = vs::vload(alpha_ms + i);
-      const V2 c1 = vs::vload(c_over_1pc + i);
-      const V2 ia = vs::vload(inv_a + i);
-      const V2 ia2 = vs::vload(inv_a2 + i);
-      const V2 bl = vs::vload(blend + i);
-      const V2 mi_old = vs::vload(m_irr + i);
-      const V2 anchor_old = vs::vload(anchor_h + i);
-
-      const V2 he = _mm_add_pd(h, _mm_mul_pd(am, vs::vload(m_total + i)));
-      const V2 m_an = man_v(he, ia, ia2, bl);
-      const V2 mt1 = _mm_add_pd(_mm_mul_pd(c1, m_an), mi_old);
-
-      const V2 dh = _mm_sub_pd(h, anchor_old);
-      const V2 event = _mm_cmpgt_pd(vs::vabs(dh), vs::vload(dhmax + i));
-
-      // Integral() + feedback refresh only when at least one of the two
-      // lanes crossed its threshold: skipping pure-discard work changes no
-      // bits (the blends below would keep the old values anyway) and saves
-      // a second anhysteretic evaluation plus the divide on most samples.
-      V2 mt_new = mt1;
-      if (_mm_movemask_pd(event) != 0) {
-        const V2 delta = vs::vcopysign(vone, dh);
-        const V2 delta_m = _mm_sub_pd(m_an, mt1);
-        const V2 denom =
-            _mm_sub_pd(_mm_mul_pd(delta, vs::vload(one_pc_k + i)),
-                       _mm_mul_pd(vs::vload(one_pc_alpha_ms + i), delta_m));
-        const V2 raw = _mm_div_pd(delta_m, denom);
-        const V2 clamped = _mm_or_pd(
-            _mm_cmpeq_pd(denom, vzero),
-            _mm_and_pd(_mm_cmplt_pd(raw, vzero),
-                       _mm_cmpneq_pd(vs::vload(clamp_slope + i), vzero)));
-        const V2 s = vs::vblend(clamped, raw, vzero);
-        V2 dm = _mm_mul_pd(dh, s);
-        const V2 rejected =
-            _mm_and_pd(_mm_cmpneq_pd(vs::vload(clamp_direction + i), vzero),
-                       _mm_cmplt_pd(_mm_mul_pd(dm, dh), vzero));
-        dm = vs::vblend(rejected, dm, vzero);
-        const V2 m_irr_next = _mm_add_pd(mi_old, dm);
-
-        const V2 he2 = _mm_add_pd(h, _mm_mul_pd(am, mt1));
-        const V2 mt2 =
-            _mm_add_pd(_mm_mul_pd(c1, man_v(he2, ia, ia2, bl)), m_irr_next);
-
-        mt_new = vs::vblend(event, mt1, mt2);
-        vs::vstore(m_irr + i, vs::vblend(event, mi_old, m_irr_next));
-        vs::vstore(m_total + i, mt_new);
-        vs::vstore(anchor_h + i, vs::vblend(event, anchor_old, h));
-        vs::vstore(last_slope + i,
-                   vs::vblend(event, vs::vload(last_slope + i), s));
-        vs::vstore(cnt_events + i, _mm_add_pd(vs::vload(cnt_events + i),
-                                              _mm_and_pd(event, vone)));
-        vs::vstore(cnt_slope_clamps + i,
-                   _mm_add_pd(vs::vload(cnt_slope_clamps + i),
-                              _mm_and_pd(_mm_and_pd(event, clamped), vone)));
-        vs::vstore(cnt_direction_clamps + i,
-                   _mm_add_pd(vs::vload(cnt_direction_clamps + i),
-                              _mm_and_pd(_mm_and_pd(event, rejected), vone)));
-      } else {
-        vs::vstore(m_total + i, mt1);
-      }
-
-      // Fused sample recording: both curve points of the pair leave the
-      // vector registers directly (same m/b arithmetic as the scalar path).
-      if (out != nullptr) {
-        const V2 m = _mm_mul_pd(vs::vload(ms + i), mt_new);
-        const V2 b =
-            _mm_mul_pd(vs::vset(util::kMu0), _mm_add_pd(m, h));
-        BhPoint* p0 = out[i] + j;
-        BhPoint* p1 = out[i + 1] + j;
-        _mm_storel_pd(&p0->h, h);
-        _mm_storeh_pd(&p1->h, h);
-        _mm_storel_pd(&p0->m, m);
-        _mm_storeh_pd(&p1->m, m);
-        _mm_storel_pd(&p0->b, b);
-        _mm_storeh_pd(&p1->b, b);
-      }
-    }
-#endif  // FERRO_FASTMATH_SIMD
-
-    for (; i < end; ++i) {
-      const double h = h_span[i - begin];
-
-      // core(): algebraic refresh from the previous total magnetisation.
-      const double he = h + alpha_ms[i] * m_total[i];
-      const double m_an = man(he, inv_a[i], inv_a2[i], blend[i]);
-      const double mt1 = c_over_1pc[i] * m_an + m_irr[i];
-
-      // monitorH(): the non-event skip mirrors the SIMD path's movemask
-      // shortcut — only pure-discard work is elided, so the values written
-      // are the ones the select formulation would produce.
-      const double dh = h - anchor_h[i];
-      const bool event = std::fabs(dh) > dhmax[i];
-      if (!event) {
-        m_total[i] = mt1;
-        if (out != nullptr) {
-          const double m = ms[i] * mt1;
-          out[i][j] = BhPoint{h, m, util::kMu0 * (m + h)};
-        }
-        continue;
-      }
-
-      // Integral(): select-based clamps (bitwise &/| and bit_select — the
-      // same IEEE ops the SIMD pair path applies, so a lane rounds the same
-      // whichever path processes it).
-      const double delta = std::copysign(1.0, dh);
-      const double delta_m = m_an - mt1;
-      const double denom = delta * one_pc_k[i] - one_pc_alpha_ms[i] * delta_m;
-      const double raw = delta_m / denom;
-      const bool clamped =
-          (denom == 0.0) | ((raw < 0.0) & (clamp_slope[i] != 0.0));
-      const double s = bit_select(clamped, raw, 0.0);
-      double dm = dh * s;
-      const bool rejected = (clamp_direction[i] != 0.0) & (dm * dh < 0.0);
-      dm = bit_select(rejected, dm, 0.0);
-
-      // Feedback refresh: effective field from the pre-event total, exactly
-      // like the scalar model's second refresh_algebraic().
-      const double m_irr_next = m_irr[i] + dm;
-      const double he2 = h + alpha_ms[i] * mt1;
-      const double mt2 =
-          c_over_1pc[i] * man(he2, inv_a[i], inv_a2[i], blend[i]) + m_irr_next;
-
-      m_irr[i] = m_irr_next;
-      m_total[i] = mt2;
-      anchor_h[i] = h;
-      last_slope[i] = s;
-      cnt_events[i] += 1.0;
-      cnt_slope_clamps[i] += clamped ? 1.0 : 0.0;
-      cnt_direction_clamps[i] += rejected ? 1.0 : 0.0;
-      if (out != nullptr) {
-        const double m = ms[i] * mt2;
-        out[i][j] = BhPoint{h, m, util::kMu0 * (m + h)};
-      }
-    }
-  }
-};
-
 TimelessJaBatch::TimelessJaBatch(BatchMath math) : math_(math) {}
 
 bool TimelessJaBatch::supports(const TimelessConfig& config) {
@@ -339,32 +206,37 @@ TimelessState TimelessJaBatch::state(std::size_t lane) const {
   return s;
 }
 
-void TimelessJaBatch::dispatch_fast_span(AnhystereticKind kind,
+void TimelessJaBatch::dispatch_fast_rect(AnhystereticKind kind,
                                          std::size_t begin, std::size_t end,
-                                         const double* h_span,
-                                         BhPoint* const* out, std::size_t j) {
-  const auto call = [&](auto pass) {
-    decltype(pass)::span(begin, end, h_span, alpha_ms_.data(),
-                         c_over_1pc_.data(), one_pc_k_.data(),
-                         one_pc_alpha_ms_.data(), inv_a_.data(),
-                         inv_a2_.data(), blend_.data(), dhmax_.data(),
-                         clamp_slope_.data(), clamp_direction_.data(),
-                         m_irr_.data(), m_total_.data(), anchor_h_.data(),
-                         last_slope_.data(), cnt_events_.data(),
-                         cnt_slope_clamps_.data(),
-                         cnt_direction_clamps_.data(), ms_.data(), out, j);
-  };
-  switch (kind) {
-    case AnhystereticKind::kClassicLangevin:
-      call(FastPass<AnhystereticKind::kClassicLangevin>{});
-      break;
-    case AnhystereticKind::kAtan:
-      call(FastPass<AnhystereticKind::kAtan>{});
-      break;
-    case AnhystereticKind::kDualAtan:
-      call(FastPass<AnhystereticKind::kDualAtan>{});
-      break;
-  }
+                                         std::size_t j0, std::size_t j1,
+                                         const double* const* h,
+                                         BhPoint* const* out) {
+  detail::FastRunArgs args;
+  args.begin = begin;
+  args.end = end;
+  args.j0 = j0;
+  args.j1 = j1;
+  args.h = h;
+  args.alpha_ms = alpha_ms_.data();
+  args.c_over_1pc = c_over_1pc_.data();
+  args.one_pc_k = one_pc_k_.data();
+  args.one_pc_alpha_ms = one_pc_alpha_ms_.data();
+  args.inv_a = inv_a_.data();
+  args.inv_a2 = inv_a2_.data();
+  args.blend = blend_.data();
+  args.dhmax = dhmax_.data();
+  args.clamp_slope = clamp_slope_.data();
+  args.clamp_direction = clamp_direction_.data();
+  args.m_irr = m_irr_.data();
+  args.m_total = m_total_.data();
+  args.anchor_h = anchor_h_.data();
+  args.last_slope = last_slope_.data();
+  args.cnt_events = cnt_events_.data();
+  args.cnt_slope_clamps = cnt_slope_clamps_.data();
+  args.cnt_direction_clamps = cnt_direction_clamps_.data();
+  args.ms = ms_.data();
+  args.out = out;
+  active_span().load(std::memory_order_relaxed)->fn(kind, args);
 }
 
 void TimelessJaBatch::fold_fast_counters(std::size_t i) {
@@ -384,7 +256,8 @@ void TimelessJaBatch::fold_fast_counters(std::size_t i) {
 template <bool kFastMath>
 void TimelessJaBatch::step_lane(std::size_t i, double h) {
   if constexpr (kFastMath) {
-    dispatch_fast_span(kind_[i], i, i + 1, &h, nullptr, 0);
+    const double* stream = &h;
+    dispatch_fast_rect(kind_[i], i, i + 1, 0, 1, &stream, nullptr);
     present_h_[i] = h;
     ++stats_[i].samples;
     fold_fast_counters(i);
@@ -490,31 +363,39 @@ void TimelessJaBatch::run_fast(const std::vector<const wave::HSweep*>& sweeps,
   std::vector<BhPoint*> out(n_);
   std::vector<const double*> h_ptr(n_);
   std::vector<std::size_t> len(n_);
-  std::size_t max_len = 0;
   for (std::size_t i = 0; i < n_; ++i) {
     len[i] = sweeps[i]->size();
     store[i].resize(len[i]);
     out[i] = store[i].data();
     h_ptr[i] = sweeps[i]->h.data();
-    max_len = std::max(max_len, len[i]);
   }
-  std::vector<double> h_buf(n_);
 
-  for (std::size_t j = 0; j < max_len; ++j) {
+  // Ragged sweeps cut into row segments at the distinct lengths, so the
+  // active-lane set is constant inside a segment; within one, each maximal
+  // contiguous run of active lanes sharing an anhysteretic kind sweeps its
+  // whole row range in a single dispatch — the pass keeps the lane state in
+  // registers across the rows. Per-lane trajectories are independent of the
+  // segmentation and grouping (same op sequence per lane either way).
+  std::vector<std::size_t> bounds(len);
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  std::size_t j0 = 0;
+  for (const std::size_t j1 : bounds) {
+    if (j1 == 0) continue;
     std::size_t i = 0;
     while (i < n_) {
-      if (len[i] <= j) {
+      if (len[i] <= j0) {
         ++i;
         continue;
       }
-      // Maximal contiguous span of active lanes sharing an anhysteretic
-      // kind: gather H, run the branch-free pass, record the samples.
       const std::size_t begin = i;
       const AnhystereticKind kind = kind_[i];
-      while (i < n_ && len[i] > j && kind_[i] == kind) ++i;
-      for (std::size_t t = begin; t < i; ++t) h_buf[t] = h_ptr[t][j];
-      dispatch_fast_span(kind, begin, i, h_buf.data() + begin, out.data(), j);
+      while (i < n_ && len[i] > j0 && kind_[i] == kind) ++i;
+      dispatch_fast_rect(kind, begin, i, j0, j1, h_ptr.data() + begin,
+                         out.data());
     }
+    j0 = j1;
   }
 
   curves.clear();

@@ -55,6 +55,27 @@ class TimelessJaBatch {
   [[nodiscard]] std::size_t lanes() const { return n_; }
   [[nodiscard]] BatchMath math() const { return math_; }
 
+  /// SIMD width (doubles per vector) the FastMath lane is dispatching to:
+  /// 1 scalar, 2 SSE2, 4 AVX2, 8 AVX-512F. Picked once per process as the
+  /// widest compiled-in path the CPU supports (core/cpu_features), capped
+  /// by the FERRO_FORCE_SIMD_WIDTH environment variable when set. Lane
+  /// results are bitwise identical at every width (property-tested), so
+  /// the pick is a pure throughput decision; the kExact lane never goes
+  /// through this dispatch.
+  [[nodiscard]] static int active_simd_width();
+
+  /// The widths this binary can execute on this CPU, ascending (always
+  /// contains 1; e.g. {1, 2, 4} for a generic build on an AVX2 host).
+  [[nodiscard]] static std::vector<int> available_simd_widths();
+
+  /// Re-pins the process-wide FastMath dispatch (tests and width-sweep
+  /// benches): the widest available path no wider than `width` becomes
+  /// active; `width <= 0` restores the automatic pick. Returns the width
+  /// now in effect. Atomic, but don't race it against batches currently
+  /// running — a span started before the store finishes at the old width
+  /// (same bits either way, just not the width you asked to measure).
+  static int force_simd_width(int width);
+
   /// All lanes back to the virgin state, counters cleared.
   void reset();
 
@@ -99,13 +120,14 @@ class TimelessJaBatch {
   void run_fast(const std::vector<const wave::HSweep*>& sweeps,
                 std::vector<BhCurve>& curves);
 
-  /// Runs the branch-free FastMath pass over lanes [begin, end) for one
-  /// lockstep sample; h_span[i - begin] is lane i's field value. When `out`
-  /// is non-null, sample j of lane i is recorded into out[i][j] directly
-  /// from the pass's registers.
-  void dispatch_fast_span(AnhystereticKind kind, std::size_t begin,
-                          std::size_t end, const double* h_span,
-                          BhPoint* const* out, std::size_t j);
+  /// Runs the branch-free FastMath pass over the rectangle lanes
+  /// [begin, end) x sample rows [j0, j1), through the per-process
+  /// width-dispatched entry point; h[i - begin] is lane i's sample stream.
+  /// When `out` is non-null, sample j of lane i is recorded into out[i][j]
+  /// directly from the pass's registers.
+  void dispatch_fast_rect(AnhystereticKind kind, std::size_t begin,
+                          std::size_t end, std::size_t j0, std::size_t j1,
+                          const double* const* h, BhPoint* const* out);
 
   /// Folds the SoA event counters written by the FastMath pass into the
   /// per-lane TimelessStats and clears them.

@@ -1,0 +1,27 @@
+// AVX2 (W = 4) instantiation of the FastMath span. This TU is compiled with
+// -mavx2 (see CMakeLists.txt), so nothing defined here may be executed
+// before TimelessJaBatch's CPUID dispatch has confirmed the host supports
+// it — the only exported symbol is the kFastRunW4 entry pointer, and the
+// span templates live in an ISA-named inline namespace so the linker cannot
+// substitute this TU's codegen into the baseline path.
+#include "mag/timeless_ja_batch_span.hpp"
+
+namespace ferro::mag::detail {
+
+#if defined(__AVX2__)
+
+namespace {
+void run_w4(AnhystereticKind kind, const FastRunArgs& args) {
+  fast_run<4>(kind, args);
+}
+}  // namespace
+
+const FastRunFn kFastRunW4 = &run_w4;
+
+#else  // compiler did not accept -mavx2; dispatcher skips the null entry
+
+const FastRunFn kFastRunW4 = nullptr;
+
+#endif
+
+}  // namespace ferro::mag::detail

@@ -1,0 +1,28 @@
+// AVX-512F (W = 8) instantiation of the FastMath span. Compiled with
+// -mavx512f (see CMakeLists.txt); same containment rules as the AVX2 TU —
+// only the kFastRunW8 entry pointer is exported, and execution is gated by
+// TimelessJaBatch's CPUID dispatch. The ragged-tail cascade instantiates
+// the W = 4 and W = 2 passes here too, which is safe: -mavx512f implies
+// AVX2 on gcc/clang, and those instantiations stay in this TU's ISA
+// inline namespace.
+#include "mag/timeless_ja_batch_span.hpp"
+
+namespace ferro::mag::detail {
+
+#if defined(__AVX512F__) && defined(__AVX2__)
+
+namespace {
+void run_w8(AnhystereticKind kind, const FastRunArgs& args) {
+  fast_run<8>(kind, args);
+}
+}  // namespace
+
+const FastRunFn kFastRunW8 = &run_w8;
+
+#else  // compiler did not accept -mavx512f; dispatcher skips the null entry
+
+const FastRunFn kFastRunW8 = nullptr;
+
+#endif
+
+}  // namespace ferro::mag::detail

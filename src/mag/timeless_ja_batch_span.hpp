@@ -1,0 +1,426 @@
+// Internal header: the FastMath lane's step kernel, templated over the SIMD
+// width W. Included by timeless_ja_batch.cpp (W = 1 scalar and W = 2 SSE2)
+// and by the ISA-flagged translation units timeless_ja_batch_avx2.cpp
+// (W = 4) / timeless_ja_batch_avx512.cpp (W = 8); TimelessJaBatch selects
+// one fast_run entry point per process via CPUID (core/cpu_features) and
+// the FERRO_FORCE_SIMD_WIDTH override.
+//
+// The entry processes a rectangle of work — lanes [begin, end) over sample
+// rows [j0, j1) — tiled into W-lane groups that sweep ALL their rows in one
+// register-resident loop: per-lane state (m_irr / m_total / anchor_h /
+// slopes / counters) is loaded once per tile, lives in vector registers
+// across the whole row range, and is stored once at the end. That turns the
+// per-sample cost into one gathered field load, the step arithmetic, and
+// (optionally) one curve-point store — no state traffic. Lanes left over
+// after the W-tiles cascade to the W/2 pass and finally a scalar loop.
+//
+// The step body is fully branch-free (selects and copysign, the feedback
+// refresh computed unconditionally and masked by the event flag). Every
+// operation is lane-wise and identical in sequence at every width — scalar
+// tail included — so a lane's trajectory never depends on the vector width,
+// on which lanes share a register, or on how lanes are grouped into tiles,
+// row segments or blocks: width, pairing, partition and thread-count
+// invariance by construction (property-tested in
+// tests/test_timeless_batch.cpp).
+//
+// ABI note: FastRunArgs and FastRunFn sit OUTSIDE the ISA inline namespace
+// — their layout is flag-independent and the function-pointer type must
+// agree across differently-flagged TUs. Everything with a body lives inside
+// it, so no template instantiation can be merged across TUs compiled for
+// different ISAs (the classic wide-SIMD ODR trap: a baseline binary
+// executing an AVX-compiled copy of a deduplicated inline function).
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "mag/anhysteretic.hpp"
+#include "mag/bh.hpp"
+#include "mag/fast_math.hpp"
+#include "util/constants.hpp"
+
+namespace ferro::mag::detail {
+
+/// One rectangle of FastMath work: lanes [begin, end) over sample rows
+/// [j0, j1). h[i - begin] points at lane i's sample stream, valid for every
+/// row in the range (ragged sweeps are cut into row segments by the
+/// caller). The SoA constant/state arrays are indexed by the absolute lane
+/// index. When `out` is non-null, sample j of lane i is recorded into
+/// out[i][j] straight from the pass's registers.
+struct FastRunArgs {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t j0 = 0;
+  std::size_t j1 = 0;
+  const double* const* h = nullptr;
+  const double* alpha_ms = nullptr;
+  const double* c_over_1pc = nullptr;
+  const double* one_pc_k = nullptr;
+  const double* one_pc_alpha_ms = nullptr;
+  const double* inv_a = nullptr;
+  const double* inv_a2 = nullptr;
+  const double* blend = nullptr;
+  const double* dhmax = nullptr;
+  const double* clamp_slope = nullptr;
+  const double* clamp_direction = nullptr;
+  double* m_irr = nullptr;
+  double* m_total = nullptr;
+  double* anchor_h = nullptr;
+  double* last_slope = nullptr;
+  double* cnt_events = nullptr;
+  double* cnt_slope_clamps = nullptr;
+  double* cnt_direction_clamps = nullptr;
+  const double* ms = nullptr;
+  BhPoint* const* out = nullptr;
+};
+
+using FastRunFn = void (*)(AnhystereticKind kind, const FastRunArgs& args);
+
+// Width entry points, defined once each: W1/W2 by timeless_ja_batch.cpp,
+// W4/W8 by the ISA-flagged TUs. Null when the binary lacks that path
+// (e.g. the compiler rejected -mavx2); the dispatcher skips null entries.
+extern const FastRunFn kFastRunW1;
+extern const FastRunFn kFastRunW2;
+extern const FastRunFn kFastRunW4;
+extern const FastRunFn kFastRunW8;
+
+inline namespace FERRO_SIMD_NS {
+
+/// Bitwise select: returns `b` when `take_b`, else `a`, by blending the raw
+/// representations through an all-ones/all-zeros mask. Exact (the chosen
+/// value's bits pass through untouched) and opaque to the compiler's
+/// "sink computations into the rare branch" pass, which would otherwise turn
+/// the FastMath pass's selected stores back into control flow.
+FERRO_ALWAYS_INLINE double bit_select(bool take_b, double a, double b) {
+  const std::uint64_t mask = -static_cast<std::uint64_t>(take_b);
+  const std::uint64_t bits_a = std::bit_cast<std::uint64_t>(a);
+  const std::uint64_t bits_b = std::bit_cast<std::uint64_t>(b);
+  return std::bit_cast<double>((bits_a & ~mask) | (bits_b & mask));
+}
+
+template <AnhystereticKind kKind, int W>
+struct FastPass {
+  static FERRO_ALWAYS_INLINE double man(double he, double ia, double ia2,
+                                        double bl) {
+    if constexpr (kKind == AnhystereticKind::kClassicLangevin) {
+      (void)ia2, (void)bl;
+      return fastmath::fast_langevin(he * ia);
+    } else if constexpr (kKind == AnhystereticKind::kAtan) {
+      (void)ia2, (void)bl;
+      return fastmath::fast_atan_langevin(he * ia);
+    } else {
+      return bl * fastmath::fast_atan_langevin(he * ia) +
+             (1.0 - bl) * fastmath::fast_atan_langevin(he * ia2);
+    }
+  }
+
+  static void run(const FastRunArgs& a) {
+    std::size_t i = a.begin;
+
+#if defined(FERRO_FASTMATH_SIMD)
+    if constexpr (W >= 2) {
+      // Two tiles interleaved: a single tile is one dependency chain per
+      // row (he -> man -> m_total, ~60 cycles), so the core would idle
+      // between samples; a second independent chain roughly doubles the
+      // occupancy. More tiles stop paying — the constants spill.
+      for (; i + 2 * W <= a.end; i += static_cast<std::size_t>(2 * W)) {
+        tile_rows_n<2>(a, i);
+      }
+      for (; i + W <= a.end; i += static_cast<std::size_t>(W)) {
+        tile_rows_n<1>(a, i);
+      }
+    }
+#endif
+
+    if constexpr (W > 2) {
+      // Leftover lanes: hand them to the next narrower pass (same IEEE
+      // sequence, so the hand-off point changes no bits).
+      FastRunArgs tail = a;
+      tail.begin = i;
+      tail.h = a.h + (i - a.begin);
+      FastPass<kKind, W / 2>::run(tail);
+      return;
+    }
+
+    // Scalar lanes, four at a time for the same latency-hiding reason.
+    for (; i + 4 <= a.end; i += 4) scalar_rows_n<4>(a, i);
+    for (; i < a.end; ++i) scalar_rows_n<1>(a, i);
+  }
+
+#if defined(FERRO_FASTMATH_SIMD)
+  template <class V>
+  static FERRO_ALWAYS_INLINE typename V::Reg man_v(typename V::Reg he,
+                                                   typename V::Reg ia,
+                                                   typename V::Reg ia2,
+                                                   typename V::Reg bl) {
+    if constexpr (kKind == AnhystereticKind::kClassicLangevin) {
+      (void)ia2, (void)bl;
+      return fastmath::fast_langevin<V>(V::mul(he, ia));
+    } else if constexpr (kKind == AnhystereticKind::kAtan) {
+      (void)ia2, (void)bl;
+      return fastmath::fast_atan_langevin<V>(V::mul(he, ia));
+    } else {
+      return V::add(
+          V::mul(bl, fastmath::fast_atan_langevin<V>(V::mul(he, ia))),
+          V::mul(V::sub(V::set1(1.0), bl),
+                 fastmath::fast_atan_langevin<V>(V::mul(he, ia2))));
+    }
+  }
+
+  /// kTiles W-lane tiles (lanes [i, i + kTiles*W)) through rows [j0, j1)
+  /// with all state in registers; the tiles' independent dependency chains
+  /// interleave in the row loop. The per-tile arrays are indexed only by
+  /// constants after unrolling, so they stay in registers.
+  template <int kTiles>
+  static void tile_rows_n(const FastRunArgs& a, std::size_t i) {
+    using V = fastmath::VecD<W>;
+    using R = typename V::Reg;
+    using M = typename V::Mask;
+    const R vzero = V::zero();
+    const R vone = V::set1(1.0);
+
+    // Per-lane constants, loaded once per tile.
+    R am[kTiles], c1[kTiles], opk[kTiles], opam[kTiles], ia[kTiles],
+        ia2[kTiles], bl[kTiles], dmax[kTiles], clamp_s[kTiles],
+        clamp_d[kTiles], msr[kTiles];
+    // Per-lane state, register-resident across the whole row range.
+    R mi[kTiles], mt[kTiles], anchor[kTiles], slope[kTiles], ce[kTiles],
+        csc[kTiles], cdc[kTiles];
+    const double* hp[kTiles * W];
+
+    for (int t = 0; t < kTiles; ++t) {
+      const std::size_t o = i + static_cast<std::size_t>(t * W);
+      am[t] = V::load(a.alpha_ms + o);
+      c1[t] = V::load(a.c_over_1pc + o);
+      opk[t] = V::load(a.one_pc_k + o);
+      opam[t] = V::load(a.one_pc_alpha_ms + o);
+      ia[t] = V::load(a.inv_a + o);
+      ia2[t] = V::load(a.inv_a2 + o);
+      bl[t] = V::load(a.blend + o);
+      dmax[t] = V::load(a.dhmax + o);
+      clamp_s[t] = V::load(a.clamp_slope + o);
+      clamp_d[t] = V::load(a.clamp_direction + o);
+      msr[t] = V::load(a.ms + o);
+      mi[t] = V::load(a.m_irr + o);
+      mt[t] = V::load(a.m_total + o);
+      anchor[t] = V::load(a.anchor_h + o);
+      slope[t] = V::load(a.last_slope + o);
+      ce[t] = V::load(a.cnt_events + o);
+      csc[t] = V::load(a.cnt_slope_clamps + o);
+      cdc[t] = V::load(a.cnt_direction_clamps + o);
+    }
+    for (int k = 0; k < kTiles * W; ++k) hp[k] = a.h[(i - a.begin) + k];
+
+    for (std::size_t j = a.j0; j < a.j1; ++j) {
+      // Gather the row's field samples (one stream per lane).
+      double hbuf[kTiles * W];
+      for (int k = 0; k < kTiles * W; ++k) hbuf[k] = hp[k][j];
+
+      R h[kTiles], mt_new[kTiles];
+      for (int t = 0; t < kTiles; ++t) {
+        h[t] = V::load(hbuf + t * W);
+
+        // core(): algebraic refresh from the previous total magnetisation.
+        const R he = V::add(h[t], V::mul(am[t], mt[t]));
+        const R m_an = man_v<V>(he, ia[t], ia2[t], bl[t]);
+        const R mt1 = V::add(V::mul(c1[t], m_an), mi[t]);
+
+        const R dh = V::sub(h[t], anchor[t]);
+        const M event = V::cmp_gt(V::abs(dh), dmax[t]);
+
+        // Integral() + feedback refresh only when at least one lane of the
+        // tile crossed its threshold: skipping pure-discard work changes
+        // no bits (the selects below would keep the old values anyway) and
+        // saves a second anhysteretic evaluation plus the divide on most
+        // samples.
+        mt_new[t] = mt1;
+        if (V::any(event)) {
+          const R delta = V::copysign(vone, dh);
+          const R delta_m = V::sub(m_an, mt1);
+          const R denom =
+              V::sub(V::mul(delta, opk[t]), V::mul(opam[t], delta_m));
+          const R raw = V::div(delta_m, denom);
+          const M clamped =
+              V::mask_or(V::cmp_eq(denom, vzero),
+                         V::mask_and(V::cmp_lt(raw, vzero),
+                                     V::cmp_neq(clamp_s[t], vzero)));
+          const R s = V::select(clamped, raw, vzero);
+          R dm = V::mul(dh, s);
+          const M rejected =
+              V::mask_and(V::cmp_neq(clamp_d[t], vzero),
+                          V::cmp_lt(V::mul(dm, dh), vzero));
+          dm = V::select(rejected, dm, vzero);
+          const R mi_next = V::add(mi[t], dm);
+
+          const R he2 = V::add(h[t], V::mul(am[t], mt1));
+          const R mt2 = V::add(
+              V::mul(c1[t], man_v<V>(he2, ia[t], ia2[t], bl[t])), mi_next);
+
+          mt_new[t] = V::select(event, mt1, mt2);
+          mi[t] = V::select(event, mi[t], mi_next);
+          anchor[t] = V::select(event, anchor[t], h[t]);
+          slope[t] = V::select(event, slope[t], s);
+          ce[t] = V::add(ce[t], V::one_where(event, vone));
+          csc[t] =
+              V::add(csc[t], V::one_where(V::mask_and(event, clamped), vone));
+          cdc[t] =
+              V::add(cdc[t], V::one_where(V::mask_and(event, rejected), vone));
+        }
+        mt[t] = mt_new[t];
+      }
+
+      // Fused sample recording: bounce the tiles' curve points through a
+      // stack buffer (the stores forward straight from the registers);
+      // same m/b arithmetic as the scalar path.
+      if (a.out != nullptr) {
+        for (int t = 0; t < kTiles; ++t) {
+          const R m = V::mul(msr[t], mt_new[t]);
+          const R b = V::mul(V::set1(util::kMu0), V::add(m, h[t]));
+          double mb[W], bb[W];
+          V::store(mb, m);
+          V::store(bb, b);
+          for (int k = 0; k < W; ++k) {
+            a.out[i + static_cast<std::size_t>(t * W + k)][j] =
+                BhPoint{hbuf[t * W + k], mb[k], bb[k]};
+          }
+        }
+      }
+    }
+
+    for (int t = 0; t < kTiles; ++t) {
+      const std::size_t o = i + static_cast<std::size_t>(t * W);
+      V::store(a.m_irr + o, mi[t]);
+      V::store(a.m_total + o, mt[t]);
+      V::store(a.anchor_h + o, anchor[t]);
+      V::store(a.last_slope + o, slope[t]);
+      V::store(a.cnt_events + o, ce[t]);
+      V::store(a.cnt_slope_clamps + o, csc[t]);
+      V::store(a.cnt_direction_clamps + o, cdc[t]);
+    }
+  }
+#endif  // FERRO_FASTMATH_SIMD
+
+  /// kLanes scalar lanes (lanes [i, i + kLanes)) through rows [j0, j1),
+  /// state in locals, lanes interleaved in the row loop — the same IEEE
+  /// operation sequence as the vector tiles (bitwise &/| and bit_select,
+  /// not &&/|| — short-circuit evaluation would reintroduce control flow).
+  template <int kLanes>
+  static void scalar_rows_n(const FastRunArgs& a, std::size_t i) {
+    double am[kLanes], c1[kLanes], opk[kLanes], opam[kLanes], ia[kLanes],
+        ia2[kLanes], bl[kLanes], dmax[kLanes], clamp_s[kLanes],
+        clamp_d[kLanes], msr[kLanes];
+    double mi[kLanes], mt[kLanes], anchor[kLanes], slope[kLanes], ce[kLanes],
+        csc[kLanes], cdc[kLanes];
+    const double* hp[kLanes];
+    BhPoint* op[kLanes];
+
+    for (int k = 0; k < kLanes; ++k) {
+      const std::size_t o = i + static_cast<std::size_t>(k);
+      am[k] = a.alpha_ms[o];
+      c1[k] = a.c_over_1pc[o];
+      opk[k] = a.one_pc_k[o];
+      opam[k] = a.one_pc_alpha_ms[o];
+      ia[k] = a.inv_a[o];
+      ia2[k] = a.inv_a2[o];
+      bl[k] = a.blend[o];
+      dmax[k] = a.dhmax[o];
+      clamp_s[k] = a.clamp_slope[o];
+      clamp_d[k] = a.clamp_direction[o];
+      msr[k] = a.ms[o];
+      mi[k] = a.m_irr[o];
+      mt[k] = a.m_total[o];
+      anchor[k] = a.anchor_h[o];
+      slope[k] = a.last_slope[o];
+      ce[k] = a.cnt_events[o];
+      csc[k] = a.cnt_slope_clamps[o];
+      cdc[k] = a.cnt_direction_clamps[o];
+      hp[k] = a.h[(i - a.begin) + k];
+      op[k] = a.out != nullptr ? a.out[o] : nullptr;
+    }
+
+    for (std::size_t j = a.j0; j < a.j1; ++j) {
+      for (int k = 0; k < kLanes; ++k) {
+        const double h = hp[k][j];
+
+        // core(): algebraic refresh from the previous total magnetisation.
+        const double he = h + am[k] * mt[k];
+        const double m_an = man(he, ia[k], ia2[k], bl[k]);
+        const double mt1 = c1[k] * m_an + mi[k];
+
+        // monitorH(): the non-event skip mirrors the vector tile's
+        // any(event) shortcut — only pure-discard work is elided, so the
+        // values written are the ones the select formulation would
+        // produce.
+        const double dh = h - anchor[k];
+        const bool event = std::fabs(dh) > dmax[k];
+        if (!event) {
+          mt[k] = mt1;
+          if (op[k] != nullptr) {
+            const double m = msr[k] * mt1;
+            op[k][j] = BhPoint{h, m, util::kMu0 * (m + h)};
+          }
+          continue;
+        }
+
+        // Integral(): select-based clamps, then the feedback refresh with
+        // the effective field from the pre-event total, exactly like the
+        // scalar model's second refresh_algebraic().
+        const double delta = std::copysign(1.0, dh);
+        const double delta_m = m_an - mt1;
+        const double denom = delta * opk[k] - opam[k] * delta_m;
+        const double raw = delta_m / denom;
+        const bool clamped =
+            (denom == 0.0) | ((raw < 0.0) & (clamp_s[k] != 0.0));
+        const double s = bit_select(clamped, raw, 0.0);
+        double dm = dh * s;
+        const bool rejected = (clamp_d[k] != 0.0) & (dm * dh < 0.0);
+        dm = bit_select(rejected, dm, 0.0);
+
+        mi[k] += dm;
+        const double he2 = h + am[k] * mt1;
+        mt[k] = c1[k] * man(he2, ia[k], ia2[k], bl[k]) + mi[k];
+        anchor[k] = h;
+        slope[k] = s;
+        ce[k] += 1.0;
+        csc[k] += clamped ? 1.0 : 0.0;
+        cdc[k] += rejected ? 1.0 : 0.0;
+        if (op[k] != nullptr) {
+          const double m = msr[k] * mt[k];
+          op[k][j] = BhPoint{h, m, util::kMu0 * (m + h)};
+        }
+      }
+    }
+
+    for (int k = 0; k < kLanes; ++k) {
+      const std::size_t o = i + static_cast<std::size_t>(k);
+      a.m_irr[o] = mi[k];
+      a.m_total[o] = mt[k];
+      a.anchor_h[o] = anchor[k];
+      a.last_slope[o] = slope[k];
+      a.cnt_events[o] = ce[k];
+      a.cnt_slope_clamps[o] = csc[k];
+      a.cnt_direction_clamps[o] = cdc[k];
+    }
+  }
+};
+
+/// The width-W entry point body: dispatches over the anhysteretic kind.
+template <int W>
+void fast_run(AnhystereticKind kind, const FastRunArgs& args) {
+  switch (kind) {
+    case AnhystereticKind::kClassicLangevin:
+      FastPass<AnhystereticKind::kClassicLangevin, W>::run(args);
+      break;
+    case AnhystereticKind::kAtan:
+      FastPass<AnhystereticKind::kAtan, W>::run(args);
+      break;
+    case AnhystereticKind::kDualAtan:
+      FastPass<AnhystereticKind::kDualAtan, W>::run(args);
+      break;
+  }
+}
+
+}  // inline namespace FERRO_SIMD_NS
+}  // namespace ferro::mag::detail

@@ -199,8 +199,9 @@ TEST(BatchRunner, FrontendsAgreeThroughTheBatchPath) {
 }
 
 TEST(BatchRunner, RunPackedExactMatchesRunBitwise) {
-  // A mixed workload: packable kDirect sweeps plus scenarios the SoA kernel
-  // must refuse (other frontends, time drives, extension schemes, bad
+  // A mixed workload: packable kDirect and kSystemC sweeps plus scenarios
+  // the SoA kernel must refuse (kSystemC with a clamp the process network
+  // hard-codes differently, time drives, extension schemes, bad
   // parameters). run_packed(kExact) must reproduce run() bit-for-bit on all
   // of them.
   auto scenarios = material_workload(10);
@@ -210,13 +211,16 @@ TEST(BatchRunner, RunPackedExactMatchesRunBitwise) {
   scenarios[5].params.c = 1.5;  // invalid -> per-job error via the fallback
   scenarios[6].drive = fc::TimeDrive{std::make_shared<fw::Triangular>(10e3, 0.02),
                                      0.0, 0.04, 2000};
+  scenarios[7].frontend = fc::Frontend::kSystemC;
+  scenarios[7].config.clamp_negative_slope = false;  // network clamps anyway
 
   EXPECT_TRUE(fc::BatchRunner::packable(scenarios[0]));
-  EXPECT_FALSE(fc::BatchRunner::packable(scenarios[2]));
+  EXPECT_TRUE(fc::BatchRunner::packable(scenarios[2]));
   EXPECT_FALSE(fc::BatchRunner::packable(scenarios[3]));
   EXPECT_FALSE(fc::BatchRunner::packable(scenarios[4]));
   EXPECT_FALSE(fc::BatchRunner::packable(scenarios[5]));
   EXPECT_FALSE(fc::BatchRunner::packable(scenarios[6]));
+  EXPECT_FALSE(fc::BatchRunner::packable(scenarios[7]));
 
   for (const unsigned threads : {1u, 3u}) {
     const fc::BatchRunner runner({.threads = threads});
@@ -231,14 +235,17 @@ TEST(BatchRunner, RunPackedExactMatchesRunBitwise) {
 }
 
 TEST(BatchRunner, RunPackedAllFallbackMatchesRunBitwise) {
-  // A scenario list with NO packable lanes (every job kSystemC or kAms):
-  // run_packed must take the pure fallback path for everything and still
-  // reproduce run() bit-for-bit — previously this shape was only exercised
-  // implicitly through mixed workloads.
+  // A scenario list with NO packable lanes (kSystemC outside the kernel's
+  // clamp subset, or kAms): run_packed must take the pure fallback path for
+  // everything and still reproduce run() bit-for-bit — previously this
+  // shape was only exercised implicitly through mixed workloads.
   auto scenarios = material_workload(6);
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     if (i % 2 == 0) {
       scenarios[i].frontend = fc::Frontend::kSystemC;
+      // The network hard-codes the direction clamp; a config that says
+      // otherwise is not routable (run() ignores the flag either way).
+      scenarios[i].config.clamp_direction = false;
     } else {
       const double amp = ts::saturation_amplitude(scenarios[i].params);
       scenarios[i].frontend = fc::Frontend::kAms;
@@ -258,6 +265,38 @@ TEST(BatchRunner, RunPackedAllFallbackMatchesRunBitwise) {
     expect_identical(plain, packed);
     for (const auto& r : plain) {
       EXPECT_TRUE(r.ok()) << r.name << ": " << r.error;
+    }
+  }
+}
+
+TEST(BatchRunner, RunPackedMixedDirectAndSystemCMatchesRunBitwise) {
+  // The packed path covers two frontends: alternating kDirect / kSystemC
+  // sweeps all qualify for the SoA kernel (paper-subset configs, both
+  // clamps on), land interleaved in the same lane blocks, and must
+  // reproduce run() bit-for-bit — curves, metrics, and stats (kSystemC
+  // results carry no counters through either path).
+  auto scenarios = material_workload(12);
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    if (i % 2 == 1) scenarios[i].frontend = fc::Frontend::kSystemC;
+  }
+  for (const auto& s : scenarios) {
+    EXPECT_TRUE(fc::BatchRunner::packable(s)) << s.name;
+  }
+
+  for (const unsigned threads : {1u, 3u}) {
+    const fc::BatchRunner runner({.threads = threads});
+    const auto plain = runner.run(scenarios);
+    const auto packed = runner.run_packed(scenarios);
+    expect_identical(plain, packed);
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+      EXPECT_TRUE(plain[i].ok()) << plain[i].error;
+      EXPECT_EQ(plain[i].stats.samples, packed[i].stats.samples);
+      EXPECT_EQ(plain[i].stats.field_events, packed[i].stats.field_events);
+      EXPECT_EQ(plain[i].stats.slope_clamps, packed[i].stats.slope_clamps);
+      if (scenarios[i].frontend == fc::Frontend::kSystemC) {
+        // No counters from the facade — packed must not invent them.
+        EXPECT_EQ(packed[i].stats.samples, 0u);
+      }
     }
   }
 }

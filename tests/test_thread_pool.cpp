@@ -94,3 +94,23 @@ TEST(ThreadPool, DefaultChunkScalesWithWorkload) {
   EXPECT_EQ(fc::ThreadPool::default_chunk(160, 4), 10u);
   EXPECT_GE(fc::ThreadPool::default_chunk(1000000, 1), 100000u);
 }
+
+TEST(ThreadPool, DefaultChunkRoundsUpToTheRequestedMultiple) {
+  // The SIMD-aware overload: never below the plain heuristic, always a
+  // multiple of the vector width, and already-aligned sizes are unchanged.
+  for (const std::size_t n : {0u, 15u, 160u, 1000u, 4097u}) {
+    for (const unsigned workers : {1u, 3u, 4u, 16u}) {
+      const std::size_t base = fc::ThreadPool::default_chunk(n, workers);
+      for (const std::size_t multiple : {1u, 2u, 4u, 8u}) {
+        const std::size_t chunk =
+            fc::ThreadPool::default_chunk(n, workers, multiple);
+        EXPECT_GE(chunk, base);
+        EXPECT_LT(chunk, base + multiple);
+        EXPECT_EQ(chunk % multiple, 0u);
+      }
+    }
+  }
+  EXPECT_EQ(fc::ThreadPool::default_chunk(160, 4, 8), 16u);
+  // multiple = 0 is treated as 1 rather than dividing by zero.
+  EXPECT_EQ(fc::ThreadPool::default_chunk(160, 4, 0), 10u);
+}

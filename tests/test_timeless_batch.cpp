@@ -4,7 +4,9 @@
 // bounds — both for the raw polynomial kernels and for whole trajectories.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "core/dc_sweep.hpp"
@@ -237,11 +239,12 @@ TEST(TimelessJaBatch, RaggedSweepsAdvanceIndependently) {
 }
 
 TEST(TimelessJaBatch, FastSimdPairAndScalarTailAgreeBitwise) {
-  // Three identical lanes through the FastMath run(): lanes {0, 1} go down
-  // the SSE2 pair path, lane 2 down the scalar tail — and the apply() path
-  // is scalar per lane. Every route must produce bit-identical
-  // trajectories, for each anhysteretic kind; run_packed(kFast)'s
-  // partition invariance rests on exactly this property.
+  // Three identical lanes through the FastMath run(): at any active width
+  // the group cascades down to a two-lane vector tile for lanes {0, 1} and
+  // the scalar tail for lane 2 — and the apply() path is scalar per lane.
+  // Every route must produce bit-identical trajectories, for each
+  // anhysteretic kind; run_packed(kFast)'s partition invariance rests on
+  // exactly this property.
   std::vector<fm::JaParameters> kinds = {fm::paper_parameters(),
                                          fm::paper_parameters_dual()};
   for (const auto& material : fm::material_library()) {
@@ -274,6 +277,80 @@ TEST(TimelessJaBatch, FastSimdPairAndScalarTailAgreeBitwise) {
           << to_string(params.kind) << " sample " << j;
     }
   }
+}
+
+TEST(TimelessJaBatch, SimdDispatchReportsCoherentWidths) {
+  const auto widths = fm::TimelessJaBatch::available_simd_widths();
+  ASSERT_FALSE(widths.empty());
+  EXPECT_EQ(widths.front(), 1);  // the scalar pass is always available
+  for (std::size_t k = 1; k < widths.size(); ++k) {
+    EXPECT_LT(widths[k - 1], widths[k]);
+  }
+  const int active = fm::TimelessJaBatch::active_simd_width();
+  EXPECT_NE(std::find(widths.begin(), widths.end(), active), widths.end());
+  // Forcing an available width takes effect; width 0 restores the auto pick.
+  for (const int w : widths) {
+    EXPECT_EQ(fm::TimelessJaBatch::force_simd_width(w), w);
+    EXPECT_EQ(fm::TimelessJaBatch::active_simd_width(), w);
+  }
+  fm::TimelessJaBatch::force_simd_width(0);
+  EXPECT_EQ(fm::TimelessJaBatch::active_simd_width(), active);
+}
+
+TEST(TimelessJaBatch, FastLaneBitwiseInvariantAcrossSimdWidths) {
+  // The width-dispatch contract: a FastMath lane's whole trajectory —
+  // every recorded sample, the final state, the folded counters — is
+  // bitwise identical whichever vector width (1/2/4/8, as compiled and
+  // supported) processes it, including ragged sweeps whose lanes drop out
+  // mid-run and a lane group larger than the widest register. Mixed
+  // anhysteretic kinds keep the span grouping honest.
+  std::vector<LaneSpec> lanes = lane_fixtures();
+  // Grow past one AVX-512 register so the W=8 main loop plus the 4/2/1
+  // cascade all execute: duplicate the first fixtures, then stagger the
+  // sweep lengths (prefix-run property keeps every length valid).
+  while (lanes.size() < 11) lanes.push_back(lanes[lanes.size() % 3]);
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    auto& h = lanes[i].sweep.h;
+    h.resize(h.size() - (h.size() / (8 + i)));
+  }
+
+  std::vector<const fw::HSweep*> sweeps;
+  for (const auto& lane : lanes) sweeps.push_back(&lane.sweep);
+
+  const auto run_at_width = [&](int width) {
+    EXPECT_EQ(fm::TimelessJaBatch::force_simd_width(width), width);
+    fm::TimelessJaBatch batch(fm::BatchMath::kFast);
+    for (const auto& lane : lanes) batch.add_lane(lane.params, lane.config);
+    std::vector<fm::BhCurve> curves;
+    batch.run(sweeps, curves);
+    return std::make_pair(std::move(curves), std::move(batch));
+  };
+
+  const auto widths = fm::TimelessJaBatch::available_simd_widths();
+  auto [ref_curves, ref_batch] = run_at_width(widths.front());
+  for (std::size_t k = 1; k < widths.size(); ++k) {
+    auto [curves, batch] = run_at_width(widths[k]);
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      ASSERT_EQ(curves[i].size(), ref_curves[i].size())
+          << "width " << widths[k] << " lane " << i;
+      for (std::size_t j = 0; j < curves[i].size(); ++j) {
+        const auto& pa = curves[i].points()[j];
+        const auto& pb = ref_curves[i].points()[j];
+        ASSERT_EQ(pa.h, pb.h) << "width " << widths[k] << " lane " << i
+                              << " sample " << j;
+        ASSERT_EQ(pa.m, pb.m) << "width " << widths[k] << " lane " << i
+                              << " sample " << j;
+        ASSERT_EQ(pa.b, pb.b) << "width " << widths[k] << " lane " << i
+                              << " sample " << j;
+      }
+      EXPECT_EQ(batch.state(i).m_irr, ref_batch.state(i).m_irr);
+      EXPECT_EQ(batch.state(i).m_total, ref_batch.state(i).m_total);
+      EXPECT_EQ(batch.state(i).anchor_h, ref_batch.state(i).anchor_h);
+      EXPECT_EQ(batch.last_slope(i), ref_batch.last_slope(i));
+      expect_stats_eq(batch.stats(i), ref_batch.stats(i));
+    }
+  }
+  fm::TimelessJaBatch::force_simd_width(0);
 }
 
 TEST(TimelessJaBatch, FastMathTrajectoriesStayWithinArcRmsBound) {
