@@ -176,6 +176,75 @@ BENCHMARK(bm_homogeneous_run_packed)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 
+/// 64 homogeneous kAms scenarios: one material and one sweep shape, dhmax
+/// jitter only. The serial frontend re-solves the H(t) ODE per scenario;
+/// the packed planner solves it once (it is JA-free, so the trajectory
+/// cannot depend on the material or dhmax) and replays every lane over the
+/// shared trajectory as planner-trace rows.
+std::vector<core::Scenario> ams_workload() {
+  const auto& material = mag::material_library().front();
+  const double amp = 5.0 * (material.params.a + material.params.k);
+  const wave::HSweep sweep =
+      wave::SweepBuilder(amp / 1500.0).cycles(amp, 2).build();
+  std::vector<core::Scenario> scenarios;
+  scenarios.reserve(kScenarios);
+  for (std::size_t i = 0; i < kScenarios; ++i) {
+    core::Scenario s;
+    s.name = material.name + "#ams" + std::to_string(i);
+    s.params = material.params;
+    s.config.dhmax = amp / (300.0 + 10.0 * static_cast<double>(i % 8));
+    s.frontend = core::Frontend::kAms;
+    s.drive = sweep;  // identical samples -> one shared trajectory solve
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+/// The kAms acceptance pair: per-scenario run() (solver re-run per lane)
+/// vs the packed plan/execute pipeline, exact and fast, at equal thread
+/// count. The acceptance bar is packed beating the fallback on this
+/// workload.
+void bm_ams_run(benchmark::State& state) {
+  const auto scenarios = ams_workload();
+  const core::BatchRunner runner(
+      {.threads = static_cast<unsigned>(state.range(0))});
+  for (auto _ : state) {
+    auto results = runner.run(scenarios);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(scenarios.size()));
+}
+BENCHMARK(bm_ams_run)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void bm_packed_ams(benchmark::State& state) {
+  const auto scenarios = ams_workload();
+  const core::BatchRunner runner(
+      {.threads = static_cast<unsigned>(state.range(0))});
+  const auto math = state.range(1) == 0 ? mag::BatchMath::kExact
+                                        : mag::BatchMath::kFast;
+  for (auto _ : state) {
+    auto results = runner.run_packed(scenarios, math);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(scenarios.size()));
+  state.SetLabel(std::string(to_string(math)));
+}
+BENCHMARK(bm_packed_ams)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 /// Width sweep of the acceptance workload: run_packed(kFast) on the 64
 /// homogeneous scenarios with the FastMath dispatch pinned to each SIMD
 /// width, single-threaded so the numbers isolate the vector width. Items

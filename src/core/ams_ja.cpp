@@ -6,12 +6,13 @@ namespace {
 
 /// The analogue-solver side of the VHDL-AMS split: a single smooth quantity
 /// y = H(t) with dH/dt given analytically by the excitation. The hysteresis
-/// model rides along in on_step_accepted and never appears in the residual.
+/// model never appears in the residual — it consumes the accepted steps
+/// after the fact (run_ams_timeless's replay), which is the paper's whole
+/// point: turning points cannot cause Newton failures.
 class ExcitationQuantity final : public ams::OdeSystem {
  public:
-  ExcitationQuantity(const wave::Waveform& h_of_t, mag::TimelessJa& ja,
-                     double t_start)
-      : h_of_t_(h_of_t), ja_(ja), t_start_(t_start) {}
+  ExcitationQuantity(const wave::Waveform& h_of_t, double t_start)
+      : h_of_t_(h_of_t), t_start_(t_start) {}
 
   [[nodiscard]] std::size_t size() const override { return 1; }
 
@@ -24,45 +25,84 @@ class ExcitationQuantity final : public ams::OdeSystem {
     dydt[0] = h_of_t_.derivative(t);
   }
 
-  void on_step_accepted(double, std::span<const double> y) override {
-    ja_.apply(y[0]);  // timeless discretisation fires on field movement
-  }
-
  private:
   const wave::Waveform& h_of_t_;
-  mag::TimelessJa& ja_;
   double t_start_;
 };
 
 }  // namespace
 
-AmsJaResult run_ams_timeless(const mag::JaParameters& params,
-                             const wave::Waveform& h_of_t,
-                             const AmsJaConfig& config) {
-  AmsJaResult result;
+AmsTrajectory plan_ams_trajectory(const wave::Waveform& h_of_t,
+                                  const AmsJaConfig& config) {
+  AmsTrajectory trajectory;
 
-  // The analogue solver's accepted steps can span many dhmax thresholds in
-  // one go; the VHDL-AMS process fires at *every* threshold crossing, which
-  // sub-stepping reproduces. Honour an explicit user override.
-  mag::TimelessConfig timeless = config.timeless;
-  if (timeless.substep_max == 0.0) {
-    timeless.substep_max = timeless.dhmax;
-  }
-
-  mag::TimelessJa ja(params, timeless);
-  ExcitationQuantity system(h_of_t, ja, config.t_start);
+  ExcitationQuantity system(h_of_t, config.t_start);
 
   ams::TransientOptions options = config.solver;
   options.t_start = config.t_start;
   options.t_end = config.t_end;
 
   ams::TransientSolver solver(options);
-  result.completed =
+  trajectory.completed =
       solver.run(system, [&](double, std::span<const double> y) {
-        // `ja` has already been updated by on_step_accepted for this step.
-        result.curve.append(y[0], ja.magnetisation(), ja.flux_density());
+        trajectory.h.push_back(y[0]);
       });
-  result.solver_stats = solver.stats();
+  trajectory.solver_stats = solver.stats();
+  return trajectory;
+}
+
+mag::TimelessConfig ams_effective_timeless(
+    const mag::TimelessConfig& timeless) {
+  mag::TimelessConfig effective = timeless;
+  if (effective.substep_max == 0.0) {
+    effective.substep_max = effective.dhmax;
+  }
+  return effective;
+}
+
+AmsSweepDrive ams_drive_for_sweep(const wave::HSweep& sweep,
+                                  const mag::TimelessConfig& timeless) {
+  // Synthesise a 1 s piecewise-linear traversal of the sweep samples and
+  // hand it to the analogue solver.
+  std::vector<wave::PwlPoint> points;
+  points.reserve(sweep.h.size());
+  const double dt = 1.0 / static_cast<double>(sweep.h.size());
+  for (std::size_t i = 0; i < sweep.h.size(); ++i) {
+    points.push_back({dt * static_cast<double>(i), sweep.h[i]});
+  }
+  AmsSweepDrive drive{wave::Pwl(std::move(points)), AmsJaConfig{}};
+  drive.config.t_start = 0.0;
+  drive.config.t_end = drive.pwl.points().back().t;
+  drive.config.timeless = timeless;
+  drive.config.solver.breakpoints = drive.pwl.breakpoints();
+  return drive;
+}
+
+AmsJaResult run_ams_timeless(const mag::JaParameters& params,
+                             const wave::Waveform& h_of_t,
+                             const AmsJaConfig& config) {
+  AmsJaResult result;
+
+  const AmsTrajectory trajectory = plan_ams_trajectory(h_of_t, config);
+  result.solver_stats = trajectory.solver_stats;
+  result.completed = trajectory.completed;
+
+  mag::TimelessJa ja(params, ams_effective_timeless(config.timeless));
+
+  // The initial point is published from the virgin state — the solver
+  // reports its initial condition before any step is accepted, so the model
+  // has not been applied yet (present_h is still 0 inside flux_density, as
+  // it always was).
+  result.curve.reserve(trajectory.h.size());
+  if (!trajectory.h.empty()) {
+    result.curve.append(trajectory.h.front(), ja.magnetisation(),
+                        ja.flux_density());
+    for (std::size_t s = 1; s < trajectory.h.size(); ++s) {
+      ja.apply(trajectory.h[s]);
+      result.curve.append(trajectory.h[s], ja.magnetisation(),
+                          ja.flux_density());
+    }
+  }
   result.ja_stats = ja.stats();
   return result;
 }

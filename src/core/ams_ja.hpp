@@ -12,11 +12,15 @@
 // is the whole point of the technique.
 #pragma once
 
+#include <vector>
+
 #include "ams/transient.hpp"
 #include "mag/bh.hpp"
 #include "mag/ja_params.hpp"
 #include "mag/time_domain_ja.hpp"
 #include "mag/timeless_ja.hpp"
+#include "wave/pwl.hpp"
+#include "wave/sweep.hpp"
 #include "wave/waveform.hpp"
 
 namespace ferro::core {
@@ -35,7 +39,49 @@ struct AmsJaResult {
   bool completed = false;
 };
 
-/// Runs the VHDL-AMS-style timeless model over the excitation `h_of_t`.
+/// The field trajectory the analogue solver placed: H at the initial point
+/// and at every accepted step. Because the H(t) ODE is JA-free — the model
+/// only observes accepted increments through on_step_accepted and never
+/// enters the residual — this sequence is independent of the hysteresis
+/// state, so one solve serves any number of materials driven by the same
+/// excitation (the plan stage of BatchRunner's packed kAms pipeline).
+struct AmsTrajectory {
+  std::vector<double> h;
+  ams::TransientStats solver_stats;
+  bool completed = false;
+};
+
+/// Stage 1 of the VHDL-AMS frontend: integrates the excitation quantity
+/// H(t) over [config.t_start, config.t_end] with the analogue solver and no
+/// hysteresis riding along. `config.timeless` is not consulted.
+[[nodiscard]] AmsTrajectory plan_ams_trajectory(const wave::Waveform& h_of_t,
+                                                const AmsJaConfig& config);
+
+/// The discretisation the AMS frontend actually runs: an accepted solver
+/// step can span many dhmax thresholds in one go, and the VHDL-AMS process
+/// fires at *every* threshold crossing, which sub-stepping reproduces — so
+/// substep_max defaults to dhmax unless the user set it explicitly. Shared
+/// by run_ams_timeless and the packed planner so both expand identically.
+[[nodiscard]] mag::TimelessConfig ams_effective_timeless(
+    const mag::TimelessConfig& timeless);
+
+/// The excitation JaFacade synthesises for a timeless sweep handed to the
+/// kAms frontend: a 1 s piecewise-linear traversal of the sweep samples,
+/// with the corners as solver breakpoints. One definition so the facade and
+/// the packed planner cannot drift. `sweep` must be non-empty.
+struct AmsSweepDrive {
+  wave::Pwl pwl;
+  AmsJaConfig config;
+};
+[[nodiscard]] AmsSweepDrive ams_drive_for_sweep(
+    const wave::HSweep& sweep, const mag::TimelessConfig& timeless);
+
+/// Runs the VHDL-AMS-style timeless model over the excitation `h_of_t`:
+/// plan_ams_trajectory() for the solver-placed H sequence, then the JA
+/// update replayed over the accepted increments (stage 2). The split is
+/// behaviour-preserving bit for bit — the solver's decisions never depended
+/// on the JA state, and the replay applies the same fields in the same
+/// order the riding-along hook did.
 [[nodiscard]] AmsJaResult run_ams_timeless(const mag::JaParameters& params,
                                            const wave::Waveform& h_of_t,
                                            const AmsJaConfig& config);

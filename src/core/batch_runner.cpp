@@ -5,9 +5,10 @@
 #include <thread>
 #include <utility>
 
+#include "core/frontend_plan.hpp"
 #include "core/result_queue.hpp"
 #include "core/result_sink.hpp"
-#include "core/systemc_ja.hpp"
+#include "mag/ja_trace.hpp"
 
 namespace ferro::core {
 namespace {
@@ -129,19 +130,10 @@ std::vector<ScenarioResult> BatchRunner::run(
 }
 
 bool BatchRunner::packable(const Scenario& scenario) {
-  // kSystemC's process network wraps the same core update, but hard-codes
-  // both clamps, so only configs whose flags say what the network actually
-  // does are routable (JaCoreModule::clamps_match, defined next to the
-  // process body) — anything else must really run the network to reproduce
-  // run()'s bits.
-  const bool frontend_ok =
-      scenario.frontend == Frontend::kDirect ||
-      (scenario.frontend == Frontend::kSystemC &&
-       JaCoreModule::clamps_match(scenario.config));
-  return frontend_ok &&
-         std::holds_alternative<wave::HSweep>(scenario.drive) &&
-         mag::TimelessJaBatch::supports(scenario.config) &&
-         scenario.config.dhmax > 0.0 && scenario.params.is_valid();
+  // Routability lives on the FrontendPlan (core/frontend_plan.hpp) — one
+  // definition shared with dispatch_packed, no per-frontend special cases
+  // here.
+  return plan_route(scenario) != PlanRoute::kFallback;
 }
 
 void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
@@ -149,80 +141,115 @@ void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
                                   const EmitFn& emit) const {
   if (scenarios.empty()) return;
 
-  std::vector<std::size_t> packed;
+  // Stage 1 (plan): route every scenario and collect the concrete H work —
+  // sweep samples for kDirect/kSystemC, deduplicated JA-free trajectory
+  // solves for kAms (core/frontend_plan.hpp). The solves themselves are
+  // work items fanned across the pool below, not done here.
+  FrontendPlanSet plans(scenarios);
+
   std::vector<std::size_t> fallback;
-  packed.reserve(scenarios.size());
+  std::vector<std::size_t> sweep_lanes;
+  std::vector<std::size_t> trace_lanes;
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
-    (packable(scenarios[i]) ? packed : fallback).push_back(i);
+    switch (plans.plan(i).route) {
+      case PlanRoute::kPackedSweep: sweep_lanes.push_back(i); break;
+      case PlanRoute::kPackedTrace: trace_lanes.push_back(i); break;
+      case PlanRoute::kFallback: fallback.push_back(i); break;
+    }
   }
 
   // Group kindred lanes into the same vector registers: same anhysteretic
-  // kind keeps kernel spans long, and similar dhmax keeps field events
-  // roughly synchronised inside a vector group — desynchronised events drag
-  // a whole group through the expensive integration path for one lane's
-  // threshold crossing. Pure scheduling: lanes are independent and
-  // grouping-invariant, so results (emitted under their original scenario
-  // indices) are bitwise unchanged; stable sort keeps the order
-  // deterministic.
-  std::stable_sort(packed.begin(), packed.end(),
-                   [&](std::size_t x, std::size_t y) {
-                     const Scenario& a = scenarios[x];
-                     const Scenario& b = scenarios[y];
-                     if (a.params.kind != b.params.kind) {
-                       return a.params.kind < b.params.kind;
-                     }
-                     return a.config.dhmax < b.config.dhmax;
-                   });
+  // kind keeps kernel spans long, similar dhmax keeps field events roughly
+  // synchronised inside a vector group — desynchronised events drag a whole
+  // group through the expensive integration path for one lane's threshold
+  // crossing — and similar planned length keeps a group's masked-out ragged
+  // tail short (a lone long lane would otherwise drag its group through
+  // rows every other lane has finished). Pure scheduling: lanes are
+  // independent and grouping-invariant, so results (emitted under their
+  // original scenario indices) are bitwise unchanged; stable sort keeps the
+  // order deterministic whatever the thread count.
+  const auto lane_sort = [&](std::vector<std::size_t>& lanes,
+                             const auto& rows_of) {
+    std::stable_sort(lanes.begin(), lanes.end(),
+                     [&](std::size_t x, std::size_t y) {
+                       const Scenario& a = scenarios[x];
+                       const Scenario& b = scenarios[y];
+                       if (a.params.kind != b.params.kind) {
+                         return a.params.kind < b.params.kind;
+                       }
+                       if (a.config.dhmax != b.config.dhmax) {
+                         return a.config.dhmax < b.config.dhmax;
+                       }
+                       return rows_of(x) < rows_of(y);
+                     });
+  };
+  lane_sort(sweep_lanes,
+            [&](std::size_t i) { return plans.sweep(i).size(); });
 
-  // One SoA lane block: contiguous slice [begin, end) of `packed`. Lanes are
-  // independent, so any block partition yields identical per-lane results —
-  // thread-count and chunk-size invariance for free. The kernel advances all
-  // lanes of a block together, so a failure there (allocation, fundamentally)
-  // is reported on every lane of the block; the per-lane metrics step keeps
-  // per-job capture like run_scenario does. Each lane's result is emitted as
-  // soon as its metrics are done, so streaming consumers see lane results
-  // while other blocks are still computing.
-  const auto run_block = [&](std::size_t begin, std::size_t end) {
+  const unsigned threads = resolved_threads(scenarios.size());
+  const auto width =
+      static_cast<std::size_t>(mag::TimelessJaBatch::active_simd_width());
+
+  // Lane blocks sized like ThreadPool::default_chunk would size them —
+  // rounded up to the active SIMD width so the partition never splits a
+  // vector group mid-register. Lanes are independent, so any block
+  // partition yields identical per-lane results: thread-count and
+  // chunk-size invariance for free.
+  const auto make_blocks = [&](std::size_t n) {
+    const std::size_t block =
+        threads <= 1 ? std::max<std::size_t>(n, 1)
+                     : ThreadPool::default_chunk(n, threads, width);
+    std::vector<std::pair<std::size_t, std::size_t>> blocks;
+    for (std::size_t b = 0; b < n; b += block) {
+      blocks.emplace_back(b, std::min(n, b + block));
+    }
+    return blocks;
+  };
+
+  const auto emit_block_error = [&](const std::vector<std::size_t>& lanes,
+                                    std::size_t begin, std::size_t end,
+                                    const char* what) {
+    for (std::size_t p = begin; p < end; ++p) {
+      ScenarioResult r;
+      r.name = scenarios[lanes[p]].name;
+      r.error = what;
+      emit(lanes[p], std::move(r));
+    }
+  };
+
+  // One SoA lane block: contiguous slice [begin, end) of a sorted lane
+  // list. The kernel advances all lanes of a block together, so a failure
+  // there (allocation, fundamentally) is reported on every lane of the
+  // block; the per-lane metrics step keeps per-job capture like
+  // run_scenario does. Each lane's result is emitted as soon as its metrics
+  // are done, so streaming consumers see lane results while other blocks
+  // are still computing.
+  const auto run_sweep_block = [&](std::size_t begin, std::size_t end) {
     mag::TimelessJaBatch batch(math);
     std::vector<mag::BhCurve> curves;
     try {
       std::vector<const wave::HSweep*> sweeps;
       sweeps.reserve(end - begin);
       for (std::size_t p = begin; p < end; ++p) {
-        const Scenario& s = scenarios[packed[p]];
-        batch.add_lane(s.params, s.config);
-        sweeps.push_back(&std::get<wave::HSweep>(s.drive));
+        const std::size_t i = sweep_lanes[p];
+        batch.add_lane(scenarios[i].params, scenarios[i].config);
+        sweeps.push_back(&plans.sweep(i));
       }
       batch.run(sweeps, curves);
     } catch (const std::exception& e) {
-      for (std::size_t p = begin; p < end; ++p) {
-        ScenarioResult r;
-        r.name = scenarios[packed[p]].name;
-        r.error = e.what();
-        emit(packed[p], std::move(r));
-      }
+      emit_block_error(sweep_lanes, begin, end, e.what());
       return;
     } catch (...) {
-      for (std::size_t p = begin; p < end; ++p) {
-        ScenarioResult r;
-        r.name = scenarios[packed[p]].name;
-        r.error = "unknown exception";
-        emit(packed[p], std::move(r));
-      }
+      emit_block_error(sweep_lanes, begin, end, "unknown exception");
       return;
     }
     for (std::size_t p = begin; p < end; ++p) {
-      const std::size_t i = packed[p];
+      const std::size_t i = sweep_lanes[p];
       ScenarioResult r;
       r.name = scenarios[i].name;
       try {
         r.curve = std::move(curves[p - begin]);
-        // Only kDirect results carry the model's counters — run() leaves
-        // stats defaulted for kSystemC (the facade does not expose the
-        // network's), and bitwise parity includes the stats.
-        if (scenarios[i].frontend == Frontend::kDirect) {
-          r.stats = batch.stats(p - begin);
-        }
+        r.stats = batch.stats(p - begin);
         fill_metrics(r, scenarios[i].metrics_window);
       } catch (const std::exception& e) {
         r.error = e.what();
@@ -233,41 +260,140 @@ void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
     }
   };
 
-  // Lane blocks sized like ThreadPool::default_chunk would size them —
-  // rounded up to the active SIMD width so the partition never splits a
-  // vector group mid-register — then dispatched TOGETHER with the fallback
-  // jobs in one parallel_for: a slow non-packable job overlaps the packed
-  // blocks instead of serialising before them. Every work unit emits
-  // disjoint scenario indices, so the fused dispatch changes nothing about
-  // determinism (and lane results are partition-invariant anyway).
-  const unsigned threads = resolved_threads(scenarios.size());
-  const auto width =
-      static_cast<std::size_t>(mag::TimelessJaBatch::active_simd_width());
-  const std::size_t block =
-      threads <= 1 ? std::max<std::size_t>(packed.size(), 1)
-                   : ThreadPool::default_chunk(packed.size(), threads, width);
-  std::vector<std::pair<std::size_t, std::size_t>> blocks;
-  for (std::size_t b = 0; b < packed.size(); b += block) {
-    blocks.emplace_back(b, std::min(packed.size(), b + block));
-  }
-
-  const std::size_t n_units = fallback.size() + blocks.size();
-  const auto run_unit = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t u = begin; u < end; ++u) {
-      if (u < fallback.size()) {
-        emit(fallback[u], run_scenario(scenarios[fallback[u]]));
+  // Stage 2 for kAms lanes: unroll each scenario's trace over its shared
+  // trajectory (TimelessJa::apply expanded into rows — sub-steps included —
+  // by mag::build_ja_trace), replay the rows through the kernel, and keep
+  // the published rows plus the initial virgin-state point exactly like the
+  // serial frontend. The planned counters join the kernel's clamp counters
+  // to reproduce run()'s stats bit for bit.
+  const auto run_trace_block = [&](const std::vector<std::size_t>& lanes,
+                                   std::size_t begin, std::size_t end) {
+    std::vector<std::size_t> live;
+    live.reserve(end - begin);
+    for (std::size_t p = begin; p < end; ++p) {
+      const std::size_t i = lanes[p];
+      const TrajectoryJob& job = plans.trajectory(plans.plan(i).trajectory);
+      if (!job.error.empty()) {
+        ScenarioResult r;
+        r.name = scenarios[i].name;
+        r.error = job.error;
+        emit(i, std::move(r));
       } else {
-        const auto& [b0, b1] = blocks[u - fallback.size()];
-        run_block(b0, b1);
+        live.push_back(i);
       }
+    }
+    if (live.empty()) return;
+
+    mag::TimelessJaBatch batch(math);
+    std::vector<mag::JaTrace> traces;
+    std::vector<mag::TimelessJaBatch::TraceView> views;
+    std::vector<std::vector<mag::BhPoint>> points;
+    std::vector<mag::BhPoint> virgin;
+    try {
+      traces.reserve(live.size());
+      views.reserve(live.size());
+      virgin.reserve(live.size());
+      for (const std::size_t i : live) {
+        const Scenario& s = scenarios[i];
+        // The trace already unrolled any sub-stepping, so the lane registers
+        // with the kernel-subset config (the clamp flags still matter).
+        mag::TimelessConfig lane_config = s.config;
+        lane_config.substep_max = 0.0;
+        const std::size_t lane = batch.add_lane(s.params, lane_config);
+        const AmsTrajectory& trajectory =
+            plans.trajectory(plans.plan(i).trajectory).result;
+        traces.push_back(mag::build_ja_trace(
+            trajectory.h, ams_effective_timeless(s.config)));
+        views.push_back({traces.back().h.data(), traces.back().dh.data(),
+                         traces.back().rows()});
+        // The initial trajectory point publishes the virgin state before
+        // any update (present_h still 0 in the flux term) — capture it
+        // before the rows run.
+        virgin.push_back(mag::BhPoint{0.0, batch.magnetisation(lane),
+                                      batch.flux_density(lane)});
+      }
+      batch.run_traces(views, points);
+    } catch (const std::exception& e) {
+      emit_block_error(live, 0, live.size(), e.what());
+      return;
+    } catch (...) {
+      emit_block_error(live, 0, live.size(), "unknown exception");
+      return;
+    }
+    for (std::size_t l = 0; l < live.size(); ++l) {
+      const std::size_t i = live[l];
+      ScenarioResult r;
+      r.name = scenarios[i].name;
+      try {
+        const mag::JaTrace& trace = traces[l];
+        const AmsTrajectory& trajectory =
+            plans.trajectory(plans.plan(i).trajectory).result;
+        r.curve.reserve(trajectory.h.size());
+        if (!trajectory.h.empty()) {
+          r.curve.append(trajectory.h.front(), virgin[l].m, virgin[l].b);
+          for (const std::uint32_t row : trace.record_rows) {
+            r.curve.append(points[l][row]);
+          }
+        }
+        r.stats = batch.stats(l);  // the executed clamp counters
+        r.stats.samples = trace.planned.samples;
+        r.stats.field_events = trace.planned.field_events;
+        r.stats.integration_steps = trace.planned.integration_steps;
+        fill_metrics(r, scenarios[i].metrics_window);
+      } catch (const std::exception& e) {
+        r.error = e.what();
+      } catch (...) {
+        r.error = "unknown exception";
+      }
+      emit(i, std::move(r));
     }
   };
 
-  if (threads <= 1) {
-    run_unit(0, n_units);
-  } else {
-    pool().parallel_for(n_units, 1, run_unit);
-  }
+  // Dispatch shape. The trace blocks need their trajectory solves done
+  // (and the ragged-row sort key needs the solved lengths), so when kAms
+  // lanes are present the solves run as their own small parallel_for
+  // first — they are bounded, JA-free, and deduplicated, so the barrier is
+  // one cheap ODE solve wide — and EVERYTHING else (fallback jobs, sweep
+  // blocks, trace blocks) fuses into one dispatch behind it. That way no
+  // unbounded-latency unit (a whole serial frontend in a fallback job)
+  // ever gates other work, and the trace replay overlaps both block kinds
+  // and the fallbacks. Every work unit emits or writes disjoint state, so
+  // the phase split changes nothing about determinism.
+  const auto run_units = [&](std::size_t n, const ThreadPool::RangeFn& fn) {
+    if (n == 0) return;
+    if (threads <= 1) {
+      fn(0, n);
+    } else {
+      pool().parallel_for(n, 1, fn);
+    }
+  };
+
+  run_units(plans.trajectory_jobs(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t u = begin; u < end; ++u) plans.solve_trajectory(u);
+  });
+
+  // Planned lengths (the trajectories' accepted step counts) exist now.
+  lane_sort(trace_lanes, [&](std::size_t i) {
+    return plans.trajectory(plans.plan(i).trajectory).result.h.size();
+  });
+  const auto sweep_blocks = make_blocks(sweep_lanes.size());
+  const auto trace_blocks = make_blocks(trace_lanes.size());
+  run_units(
+      fallback.size() + sweep_blocks.size() + trace_blocks.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t u = begin; u < end; ++u) {
+          if (u < fallback.size()) {
+            emit(fallback[u], run_scenario(scenarios[fallback[u]]));
+          } else if (u < fallback.size() + sweep_blocks.size()) {
+            const auto& [b0, b1] = sweep_blocks[u - fallback.size()];
+            run_sweep_block(b0, b1);
+          } else {
+            const auto& block =
+                trace_blocks[u - fallback.size() - sweep_blocks.size()];
+            run_trace_block(trace_lanes, block.first, block.second);
+          }
+        }
+      });
 }
 
 std::vector<ScenarioResult> BatchRunner::run_packed(

@@ -23,11 +23,17 @@
 // The pool (core/thread_pool.hpp) is constructed lazily on the first
 // multi-threaded run and reused across all run variants, so sweeping many
 // batches through one runner pays thread start-up exactly once.
-// run_packed*() additionally routes supported sweep scenarios — kDirect,
-// and kSystemC configs matching what the process network hard-codes —
-// through the SoA batch kernel (mag::TimelessJaBatch) in lane blocks sized
-// to the active SIMD width — the cheap path for large material x config
-// sweeps — falling back to the per-scenario path for everything else.
+// run_packed*() additionally routes scenarios through a two-stage
+// plan/execute pipeline (core/frontend_plan.hpp): stage 1 turns each
+// scenario into concrete H work — sweep samples for kDirect and for
+// kSystemC configs matching what the process network hard-codes, and for
+// kAms one JA-free H(t) trajectory solve per *distinct* excitation (shared
+// by every material driving it, fanned across the pool alongside the other
+// work) — and stage 2 executes the planned sequences as SoA lane blocks
+// (mag::TimelessJaBatch) sized to the active SIMD width, with ragged lanes
+// masked out of their vector groups as they finish. Scenarios outside the
+// packed executors' bitwise-reproducible subset fall back to the
+// per-scenario path.
 #pragma once
 
 #include <cstddef>
@@ -79,15 +85,19 @@ class BatchRunner {
   [[nodiscard]] std::vector<ScenarioResult> run(
       const std::vector<Scenario>& scenarios) const;
 
-  /// Like run(), but scenarios the SoA kernel supports (kDirect — or
-  /// kSystemC with both clamps on, the subset the process network
-  /// hard-codes — HSweep drive, Forward Euler, no sub-stepping, valid
-  /// parameters) are packed into mag::TimelessJaBatch lane blocks; the rest
-  /// fall back to the per-scenario path. Results arrive in scenario order
-  /// either way. With BatchMath::kExact the results are bitwise identical
-  /// to run() (the frontend-parity property — SystemC == direct, bit for
-  /// bit — is what licenses the kSystemC routing); kFast opts in to the
-  /// polynomial FastMath lane (bounded error, faster).
+  /// Like run(), but routable scenarios (see core/frontend_plan.hpp: all
+  /// three frontends qualify — kDirect and clamp-matching kSystemC sweeps
+  /// and time drives on the kernel's Forward-Euler subset, kAms drives with
+  /// Forward Euler, any drive kind) are planned and packed into
+  /// mag::TimelessJaBatch lane blocks; the rest fall back to the
+  /// per-scenario path. kAms planning solves the JA-free H(t) ODE once per
+  /// distinct excitation and replays each material over the shared
+  /// trajectory as a planner-trace lane. Results arrive in scenario order
+  /// either way. With BatchMath::kExact the results — curve, metrics, AND
+  /// stats — are bitwise identical to run() (the frontend-parity property
+  /// is what licenses the kSystemC routing; the trace expansion of
+  /// TimelessJa::apply licenses kAms); kFast opts in to the polynomial
+  /// FastMath lane (bounded error, faster).
   [[nodiscard]] std::vector<ScenarioResult> run_packed(
       const std::vector<Scenario>& scenarios,
       mag::BatchMath math = mag::BatchMath::kExact) const;

@@ -23,21 +23,10 @@ mag::BhCurve JaFacade::run(const wave::HSweep& sweep, Frontend frontend) const {
     case Frontend::kSystemC:
       return run_systemc_sweep(params_, config_.dhmax, sweep).curve;
     case Frontend::kAms: {
-      // Synthesise a 1 s piecewise-linear traversal of the sweep samples and
-      // hand it to the analogue solver.
-      std::vector<wave::PwlPoint> points;
-      points.reserve(sweep.h.size());
-      const double dt = 1.0 / static_cast<double>(sweep.h.size());
-      for (std::size_t i = 0; i < sweep.h.size(); ++i) {
-        points.push_back({dt * static_cast<double>(i), sweep.h[i]});
-      }
-      const wave::Pwl pwl(std::move(points));
-      AmsJaConfig config;
-      config.t_start = 0.0;
-      config.t_end = pwl.points().back().t;
-      config.timeless = config_;
-      config.solver.breakpoints = pwl.breakpoints();
-      return run_ams_timeless(params_, pwl, config).curve;
+      // The sweep-to-excitation synthesis lives next to the AMS frontend
+      // (ams_drive_for_sweep) so the packed planner reproduces it exactly.
+      const AmsSweepDrive drive = ams_drive_for_sweep(sweep, config_);
+      return run_ams_timeless(params_, drive.pwl, drive.config).curve;
     }
   }
   return {};

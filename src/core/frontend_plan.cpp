@@ -1,0 +1,146 @@
+#include "core/frontend_plan.hpp"
+
+#include <exception>
+#include <map>
+#include <tuple>
+#include <variant>
+
+#include "core/systemc_ja.hpp"
+#include "mag/timeless_ja_batch.hpp"
+
+namespace ferro::core {
+
+PlanRoute plan_route(const Scenario& scenario) {
+  if (!scenario.params.is_valid() || scenario.config.dhmax <= 0.0) {
+    return PlanRoute::kFallback;
+  }
+
+  if (scenario.frontend == Frontend::kAms) {
+    // Sub-stepping is unrolled by the trace planner, so only the extension
+    // integration schemes (which probe trial states no row program can
+    // express) force the serial frontend.
+    if (scenario.config.scheme != mag::HIntegrator::kForwardEuler) {
+      return PlanRoute::kFallback;
+    }
+    if (const auto* drive = std::get_if<TimeDrive>(&scenario.drive)) {
+      return drive->waveform ? PlanRoute::kPackedTrace : PlanRoute::kFallback;
+    }
+    return std::get<wave::HSweep>(scenario.drive).empty()
+               ? PlanRoute::kFallback
+               : PlanRoute::kPackedTrace;
+  }
+
+  if (!mag::TimelessJaBatch::supports(scenario.config)) {
+    return PlanRoute::kFallback;
+  }
+  // kSystemC's process network wraps the same core update but hard-codes
+  // both clamps, so only configs whose flags say what the network actually
+  // does are routable — anything else must really run the network to
+  // reproduce run()'s bits.
+  if (scenario.frontend == Frontend::kSystemC &&
+      !JaCoreModule::clamps_match(scenario.config)) {
+    return PlanRoute::kFallback;
+  }
+  if (const auto* drive = std::get_if<TimeDrive>(&scenario.drive)) {
+    return drive->waveform ? PlanRoute::kPackedSweep : PlanRoute::kFallback;
+  }
+  return PlanRoute::kPackedSweep;
+}
+
+namespace {
+
+/// Orders sweep-keyed trajectory jobs by excitation *content*, so scenarios
+/// that drive identical (by value) sweeps share one solve.
+struct DerefLess {
+  bool operator()(const std::vector<double>* a,
+                  const std::vector<double>* b) const {
+    return *a < *b;
+  }
+};
+
+}  // namespace
+
+FrontendPlanSet::FrontendPlanSet(const std::vector<Scenario>& scenarios)
+    : scenarios_(&scenarios) {
+  plans_.resize(scenarios.size());
+
+  // Trajectory dedup: the JA-free H(t) solve depends only on the excitation
+  // and the solver window — never on the material or the discretisation —
+  // so scenarios sharing a drive share one job. TimeDrive excitations key
+  // on (waveform identity, window); sweep drives key on the sample values.
+  std::map<std::tuple<const wave::Waveform*, double, double>, std::size_t>
+      time_jobs;
+  std::map<const std::vector<double>*, std::size_t, DerefLess> sweep_jobs;
+
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& s = scenarios[i];
+    FrontendPlan& p = plans_[i];
+    try {
+      p.route = plan_route(s);
+      if (p.route == PlanRoute::kPackedSweep) {
+        if (const auto* drive = std::get_if<TimeDrive>(&s.drive)) {
+          // The uniform grid the frontend itself would sample.
+          p.owned_sweep = wave::sweep_from_waveform(
+              *drive->waveform, drive->t0, drive->t1, drive->n_samples);
+        }
+      } else if (p.route == PlanRoute::kPackedTrace) {
+        if (const auto* drive = std::get_if<TimeDrive>(&s.drive)) {
+          const auto key = std::make_tuple(drive->waveform.get(), drive->t0,
+                                           drive->t1);
+          const auto it = time_jobs.find(key);
+          if (it != time_jobs.end()) {
+            p.trajectory = it->second;
+          } else {
+            TrajectoryJob job;
+            job.waveform = drive->waveform;
+            job.config.t_start = drive->t0;
+            job.config.t_end = drive->t1;
+            // Register the job before the dedup entry: an allocation
+            // failure between the two must never leave the map pointing at
+            // a job that does not exist.
+            jobs_.push_back(std::move(job));
+            p.trajectory = jobs_.size() - 1;
+            time_jobs.emplace(key, p.trajectory);
+          }
+        } else {
+          const auto& sweep = std::get<wave::HSweep>(s.drive);
+          const auto it = sweep_jobs.find(&sweep.h);
+          if (it != sweep_jobs.end()) {
+            p.trajectory = it->second;
+          } else {
+            AmsSweepDrive drive = ams_drive_for_sweep(sweep, s.config);
+            TrajectoryJob job;
+            job.pwl = std::move(drive.pwl);
+            job.config = drive.config;
+            jobs_.push_back(std::move(job));
+            p.trajectory = jobs_.size() - 1;
+            sweep_jobs.emplace(&sweep.h, p.trajectory);
+          }
+        }
+      }
+    } catch (...) {
+      // Whatever planning tripped over, the serial frontend will trip over
+      // identically — let run_scenario report it as the per-job error.
+      p = FrontendPlan{};
+    }
+  }
+}
+
+const wave::HSweep& FrontendPlanSet::sweep(std::size_t i) const {
+  const FrontendPlan& p = plans_[i];
+  if (p.owned_sweep) return *p.owned_sweep;
+  return std::get<wave::HSweep>((*scenarios_)[i].drive);
+}
+
+void FrontendPlanSet::solve_trajectory(std::size_t j) {
+  TrajectoryJob& job = jobs_[j];
+  try {
+    job.result = plan_ams_trajectory(job.source(), job.config);
+  } catch (const std::exception& e) {
+    job.error = e.what();
+  } catch (...) {
+    job.error = "unknown exception";
+  }
+}
+
+}  // namespace ferro::core

@@ -3,7 +3,9 @@
 #include <exception>
 #include <vector>
 
+#include "core/ams_ja.hpp"
 #include "core/dc_sweep.hpp"
+#include "core/systemc_ja.hpp"
 
 namespace ferro::core {
 namespace {
@@ -15,6 +17,36 @@ std::string join_violations(const std::vector<std::string>& violations) {
     out += violations[i];
   }
   return out;
+}
+
+/// Runs a sweep-driven frontend, keeping each one's discretisation
+/// counters: the direct model's, the SystemC module's, or the JA stats of
+/// the AMS replay. kAms synthesises the same 1 s excitation JaFacade does
+/// (ams_drive_for_sweep — one definition for both).
+void run_sweep_frontend(const Scenario& scenario, const wave::HSweep& sweep,
+                        ScenarioResult& result) {
+  switch (scenario.frontend) {
+    case Frontend::kDirect: {
+      auto dc = run_dc_sweep(scenario.params, scenario.config, sweep);
+      result.curve = std::move(dc.curve);
+      result.stats = dc.stats;
+      break;
+    }
+    case Frontend::kSystemC: {
+      auto sc = run_systemc_sweep(scenario.params, scenario.config.dhmax,
+                                  sweep);
+      result.curve = std::move(sc.curve);
+      result.stats = sc.stats;
+      break;
+    }
+    case Frontend::kAms: {
+      const AmsSweepDrive drive = ams_drive_for_sweep(sweep, scenario.config);
+      auto ams = run_ams_timeless(scenario.params, drive.pwl, drive.config);
+      result.curve = std::move(ams.curve);
+      result.stats = ams.ja_stats;
+      break;
+    }
+  }
 }
 
 }  // namespace
@@ -57,20 +89,26 @@ ScenarioResult run_scenario(const Scenario& scenario) {
         result.error = "time-driven scenario has no waveform";
         return result;
       }
-      const JaFacade facade(scenario.params, scenario.config);
-      result.curve = facade.run(*drive->waveform, drive->t0, drive->t1,
-                                drive->n_samples, scenario.frontend);
-    } else {
-      const auto& sweep = std::get<wave::HSweep>(scenario.drive);
-      if (scenario.frontend == Frontend::kDirect) {
-        // Direct sweeps keep the model's discretisation counters.
-        auto dc = run_dc_sweep(scenario.params, scenario.config, sweep);
-        result.curve = std::move(dc.curve);
-        result.stats = dc.stats;
+      if (scenario.frontend == Frontend::kAms) {
+        // The analogue solver owns the time axis and places its own steps.
+        AmsJaConfig config;
+        config.t_start = drive->t0;
+        config.t_end = drive->t1;
+        config.timeless = scenario.config;
+        auto ams =
+            run_ams_timeless(scenario.params, *drive->waveform, config);
+        result.curve = std::move(ams.curve);
+        result.stats = ams.ja_stats;
       } else {
-        const JaFacade facade(scenario.params, scenario.config);
-        result.curve = facade.run(sweep, scenario.frontend);
+        // kDirect/kSystemC sample the waveform onto a uniform grid and run
+        // it as a timeless sweep.
+        const wave::HSweep sweep = wave::sweep_from_waveform(
+            *drive->waveform, drive->t0, drive->t1, drive->n_samples);
+        run_sweep_frontend(scenario, sweep, result);
       }
+    } else {
+      run_sweep_frontend(scenario, std::get<wave::HSweep>(scenario.drive),
+                         result);
     }
   } catch (const std::exception& e) {
     result.error = e.what();

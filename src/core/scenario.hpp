@@ -58,8 +58,10 @@ struct ScenarioResult {
   std::string name;
   mag::BhCurve curve;
   analysis::LoopMetrics metrics;
-  /// Discretisation counters; populated for kDirect sweep jobs (the other
-  /// frontends do not expose their model's counters through the facade).
+  /// Discretisation counters, populated for every frontend: the direct
+  /// model's own, the SystemC module's (counted where its processes fire),
+  /// or the JA stats of the AMS replay over the solver-placed trajectory.
+  /// The packed paths reproduce them bitwise.
   mag::TimelessStats stats;
   /// Empty on success, otherwise a human-readable failure description.
   std::string error;

@@ -69,6 +69,8 @@ bool JaCoreModule::clamps_match(const mag::TimelessConfig& config) {
 }
 
 void JaCoreModule::integral() {
+  ++stats_.field_events;
+
   // Get the field direction. delta*one_pc_k with delta = +-1 is exact, so
   // the sign select reproduces TimelessJa's multiply bit-for-bit.
   const double dk1pc = deltah_ > 0.0 ? one_pc_k_ : -one_pc_k_;
@@ -77,11 +79,19 @@ void JaCoreModule::integral() {
   // the precomputed denominator terms exactly like TimelessJa.
   const double dh = deltah_;
   const double deltam = man_ - mtotal_;
-  const double dmdh1 = deltam / (dk1pc - one_pc_alpha_ms_ * deltam);
+  const double denom = dk1pc - one_pc_alpha_ms_ * deltam;
+  const double dmdh1 = deltam / denom;
   const double dmdh = dmdh1 > 0.0 ? dmdh1 : 0.0;  // assure positive derivative
+  // TimelessJa counts a degenerate denominator and a clamped negative slope
+  // in the same bucket (at most one per event — the || short-circuits).
+  if (denom == 0.0 || dmdh1 < 0.0) ++stats_.slope_clamps;
   double dm = dh * dmdh;
-  if (dm * dh < 0.0) dm = 0.0;
+  if (dm * dh < 0.0) {
+    ++stats_.direction_clamps;
+    dm = 0.0;
+  }
   mirr_ += dm;
+  ++stats_.integration_steps;
 
   // Republish through core() so Msig/Bsig include this event's dm.
   refresh_.write(++refresh_count_);
@@ -112,6 +122,14 @@ SystemCSweepResult run_systemc_sweep(const mag::JaParameters& params,
     vcd->value(vcd_b, module.Bsig.read());
   };
 
+  // One sample per sweep entry applied, like TimelessJa counts apply()
+  // calls — the module cannot observe writes its signal deduplicates.
+  const auto finish = [&]() {
+    result.kernel_stats = kernel.stats();
+    result.stats = module.stats();
+    result.stats.samples = static_cast<std::uint64_t>(sweep.h.size());
+  };
+
   if (sample_period > hdl::SimTime{}) {
     // Timed testbench: write one sweep sample per period; record half a
     // period later, after the write's delta cycles have settled.
@@ -126,7 +144,7 @@ SystemCSweepResult run_systemc_sweep(const mag::JaParameters& params,
       });
     }
     kernel.run_until(sample_period * static_cast<std::int64_t>(sweep.h.size()));
-    result.kernel_stats = kernel.stats();
+    finish();
     return result;
   }
 
@@ -136,7 +154,7 @@ SystemCSweepResult run_systemc_sweep(const mag::JaParameters& params,
     result.curve.append(h, params.ms * module.Msig.read(), module.Bsig.read());
     trace_sample();
   }
-  result.kernel_stats = kernel.stats();
+  finish();
   return result;
 }
 

@@ -39,6 +39,15 @@ class JaCoreModule final : public hdl::Module {
   [[nodiscard]] const mag::JaParameters& params() const { return params_; }
   [[nodiscard]] double m_irr() const { return mirr_; }
 
+  /// Discretisation counters, mirroring TimelessJa's: field events and
+  /// integration steps counted where Integral() fires, the clamp counters
+  /// where its guards trigger (denominator-zero and negative-slope both
+  /// land in slope_clamps, like the scalar model). `samples` is the
+  /// testbench's to count — the module cannot tell a field write from a
+  /// refresh republish, so run_systemc_sweep records one sample per sweep
+  /// entry it applies.
+  [[nodiscard]] const mag::TimelessStats& stats() const { return stats_; }
+
   /// True when `config`'s clamp flags describe exactly what Integral()
   /// hard-codes (the listing's "assure positive derivative" slope clamp and
   /// the dm*dh rejection, both always on). Other executors — BatchRunner's
@@ -65,6 +74,8 @@ class JaCoreModule final : public hdl::Module {
   hdl::Signal<int> trig_;
   hdl::Signal<int> refresh_;
 
+  mag::TimelessStats stats_;
+
   // Plain members, exactly like the listing's member variables.
   double lasth_ = 0.0;
   double deltah_ = 0.0;
@@ -79,6 +90,10 @@ class JaCoreModule final : public hdl::Module {
 struct SystemCSweepResult {
   mag::BhCurve curve;
   hdl::KernelStats kernel_stats;
+  /// The module's discretisation counters plus one sample per sweep entry;
+  /// for configs within the network's clamp subset these match TimelessJa's
+  /// counters exactly (the frontend-parity property extends to the stats).
+  mag::TimelessStats stats;
 };
 
 /// Builds a kernel + JaCoreModule, applies each sweep sample (settling all

@@ -210,6 +210,8 @@ void TimelessJaBatch::dispatch_fast_rect(AnhystereticKind kind,
                                          std::size_t begin, std::size_t end,
                                          std::size_t j0, std::size_t j1,
                                          const double* const* h,
+                                         const double* const* dh,
+                                         const std::size_t* len,
                                          BhPoint* const* out) {
   detail::FastRunArgs args;
   args.begin = begin;
@@ -217,6 +219,8 @@ void TimelessJaBatch::dispatch_fast_rect(AnhystereticKind kind,
   args.j0 = j0;
   args.j1 = j1;
   args.h = h;
+  args.dh = dh;
+  args.len = len;
   args.alpha_ms = alpha_ms_.data();
   args.c_over_1pc = c_over_1pc_.data();
   args.one_pc_k = one_pc_k_.data();
@@ -239,13 +243,16 @@ void TimelessJaBatch::dispatch_fast_rect(AnhystereticKind kind,
   active_span().load(std::memory_order_relaxed)->fn(kind, args);
 }
 
-void TimelessJaBatch::fold_fast_counters(std::size_t i) {
+void TimelessJaBatch::fold_fast_counters(std::size_t i,
+                                         bool planned_counters) {
   TimelessStats& st = stats_[i];
-  const auto events = static_cast<std::uint64_t>(cnt_events_[i]);
-  st.field_events += events;
-  // Forward Euler without sub-stepping: exactly one integration step per
-  // field event, matching the scalar counters.
-  st.integration_steps += events;
+  if (!planned_counters) {
+    const auto events = static_cast<std::uint64_t>(cnt_events_[i]);
+    st.field_events += events;
+    // Forward Euler without sub-stepping: exactly one integration step per
+    // field event, matching the scalar counters.
+    st.integration_steps += events;
+  }
   st.slope_clamps += static_cast<std::uint64_t>(cnt_slope_clamps_[i]);
   st.direction_clamps += static_cast<std::uint64_t>(cnt_direction_clamps_[i]);
   cnt_events_[i] = 0.0;
@@ -257,7 +264,8 @@ template <bool kFastMath>
 void TimelessJaBatch::step_lane(std::size_t i, double h) {
   if constexpr (kFastMath) {
     const double* stream = &h;
-    dispatch_fast_rect(kind_[i], i, i + 1, 0, 1, &stream, nullptr);
+    dispatch_fast_rect(kind_[i], i, i + 1, 0, 1, &stream, nullptr, nullptr,
+                       nullptr);
     present_h_[i] = h;
     ++stats_[i].samples;
     fold_fast_counters(i);
@@ -318,6 +326,48 @@ void TimelessJaBatch::step_lane(std::size_t i, double h) {
   present_h_[i] = h;
 }
 
+void TimelessJaBatch::step_lane_trace(std::size_t i, double h, double dh) {
+  // core(): algebraic refresh from the previous total magnetisation. The
+  // planner's row program carries the refresh-only rows explicitly, so
+  // there is no threshold check and no feedback refresh here — this is
+  // TimelessJa::apply() unrolled one row at a time (mag/ja_trace.hpp).
+  const double he = h + alpha_ms_[i] * m_total_[i];
+  const double man = man_exact(i, he);
+  const double mt = c_over_1pc_[i] * man + m_irr_[i];
+  m_total_[i] = mt;
+  present_h_[i] = h;
+
+  if (dh == 0.0) return;
+
+  // Integral(): one Forward-Euler step of the planned width, slope from the
+  // man/mtotal pair just published — the scalar model's exact operation
+  // sequence inside its event/sub-step path.
+  TimelessStats& st = stats_[i];
+  const double delta = dh > 0.0 ? 1.0 : -1.0;
+  const double delta_m = man - mt;
+  const double denom = delta * one_pc_k_[i] - one_pc_alpha_ms_[i] * delta_m;
+  double s;
+  if (denom == 0.0) {
+    ++st.slope_clamps;
+    s = 0.0;
+  } else {
+    s = delta_m / denom;
+    if (clamp_slope_[i] != 0 && s < 0.0) {
+      ++st.slope_clamps;
+      s = 0.0;
+    }
+  }
+
+  double dm = dh * s;
+  if (clamp_direction_[i] != 0 && dm * dh < 0.0) {
+    ++st.direction_clamps;
+    dm = 0.0;
+  }
+
+  m_irr_[i] += dm;
+  last_slope_[i] = s;
+}
+
 void TimelessJaBatch::apply(const double* h) {
   if (math_ == BatchMath::kFast) {
     for (std::size_t i = 0; i < n_; ++i) step_lane<true>(i, h[i]);
@@ -357,54 +407,114 @@ void TimelessJaBatch::run_exact(const std::vector<const wave::HSweep*>& sweeps,
   }
 }
 
+namespace {
+/// Stand-in stream for zero-length lanes: the masked gather clamps a
+/// finished lane's row index to its last row, which for an empty lane must
+/// still be a readable element (the value is computed and discarded).
+constexpr double kEmptyLaneRow[1] = {0.0};
+}  // namespace
+
 void TimelessJaBatch::run_fast(const std::vector<const wave::HSweep*>& sweeps,
                                std::vector<BhCurve>& curves) {
   std::vector<std::vector<BhPoint>> store(n_);
   std::vector<BhPoint*> out(n_);
   std::vector<const double*> h_ptr(n_);
   std::vector<std::size_t> len(n_);
+  std::size_t max_len = 0;
   for (std::size_t i = 0; i < n_; ++i) {
     len[i] = sweeps[i]->size();
     store[i].resize(len[i]);
     out[i] = store[i].data();
-    h_ptr[i] = sweeps[i]->h.data();
+    h_ptr[i] = len[i] != 0 ? sweeps[i]->h.data() : kEmptyLaneRow;
+    max_len = std::max(max_len, len[i]);
   }
 
-  // Ragged sweeps cut into row segments at the distinct lengths, so the
-  // active-lane set is constant inside a segment; within one, each maximal
-  // contiguous run of active lanes sharing an anhysteretic kind sweeps its
-  // whole row range in a single dispatch — the pass keeps the lane state in
-  // registers across the rows. Per-lane trajectories are independent of the
-  // segmentation and grouping (same op sequence per lane either way).
-  std::vector<std::size_t> bounds(len);
-  std::sort(bounds.begin(), bounds.end());
-  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
-
-  std::size_t j0 = 0;
-  for (const std::size_t j1 : bounds) {
-    if (j1 == 0) continue;
-    std::size_t i = 0;
-    while (i < n_) {
-      if (len[i] <= j0) {
-        ++i;
-        continue;
-      }
-      const std::size_t begin = i;
-      const AnhystereticKind kind = kind_[i];
-      while (i < n_ && len[i] > j0 && kind_[i] == kind) ++i;
-      dispatch_fast_rect(kind, begin, i, j0, j1, h_ptr.data() + begin,
-                         out.data());
-    }
-    j0 = j1;
+  // Each maximal contiguous run of lanes sharing an anhysteretic kind
+  // sweeps the whole row range in a single dispatch — the pass keeps the
+  // lane state in registers across every row and masks ragged lanes out of
+  // their vector group as they finish (per-lane `len`). Per-lane
+  // trajectories are independent of the grouping and of where the masked
+  // tail begins (same op sequence per lane either way).
+  std::size_t i = 0;
+  while (i < n_) {
+    const std::size_t begin = i;
+    const AnhystereticKind kind = kind_[i];
+    while (i < n_ && kind_[i] == kind) ++i;
+    dispatch_fast_rect(kind, begin, i, 0, max_len, h_ptr.data() + begin,
+                       nullptr, len.data(), out.data());
   }
 
   curves.clear();
   curves.reserve(n_);
+  for (std::size_t lane = 0; lane < n_; ++lane) {
+    if (len[lane] > 0) present_h_[lane] = h_ptr[lane][len[lane] - 1];
+    stats_[lane].samples += len[lane];
+    fold_fast_counters(lane);
+    curves.emplace_back(std::move(store[lane]));
+  }
+}
+
+void TimelessJaBatch::run_traces_exact(
+    const std::vector<TraceView>& traces,
+    std::vector<std::vector<BhPoint>>& points) {
+  points.assign(n_, {});
+  // Lane-major: each lane replays its whole row program with its state hot,
+  // recording every row (the caller keeps only the published ones). Lanes
+  // never interact, so the loop order is a pure scheduling choice.
   for (std::size_t i = 0; i < n_; ++i) {
-    if (len[i] > 0) present_h_[i] = h_ptr[i][len[i] - 1];
-    stats_[i].samples += len[i];
-    fold_fast_counters(i);
-    curves.emplace_back(std::move(store[i]));
+    const TraceView& t = traces[i];
+    points[i].resize(t.rows);
+    for (std::size_t j = 0; j < t.rows; ++j) {
+      const double h = t.h[j];
+      step_lane_trace(i, h, t.dh[j]);
+      const double m = ms_[i] * m_total_[i];
+      points[i][j] = BhPoint{h, m, util::kMu0 * (m + h)};
+    }
+  }
+}
+
+void TimelessJaBatch::run_traces_fast(
+    const std::vector<TraceView>& traces,
+    std::vector<std::vector<BhPoint>>& points) {
+  points.assign(n_, {});
+  std::vector<BhPoint*> out(n_);
+  std::vector<const double*> h_ptr(n_);
+  std::vector<const double*> dh_ptr(n_);
+  std::vector<std::size_t> len(n_);
+  std::size_t max_len = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    len[i] = traces[i].rows;
+    points[i].resize(len[i]);
+    out[i] = points[i].data();
+    h_ptr[i] = len[i] != 0 ? traces[i].h : kEmptyLaneRow;
+    dh_ptr[i] = len[i] != 0 ? traces[i].dh : kEmptyLaneRow;
+    max_len = std::max(max_len, len[i]);
+  }
+
+  // Same grouping as run_fast — contiguous same-kind runs, ragged lanes
+  // masked out as their row programs end — with the pass in trace mode.
+  std::size_t i = 0;
+  while (i < n_) {
+    const std::size_t begin = i;
+    const AnhystereticKind kind = kind_[i];
+    while (i < n_ && kind_[i] == kind) ++i;
+    dispatch_fast_rect(kind, begin, i, 0, max_len, h_ptr.data() + begin,
+                       dh_ptr.data() + begin, len.data(), out.data());
+  }
+
+  for (std::size_t lane = 0; lane < n_; ++lane) {
+    if (len[lane] > 0) present_h_[lane] = h_ptr[lane][len[lane] - 1];
+    fold_fast_counters(lane, /*planned_counters=*/true);
+  }
+}
+
+void TimelessJaBatch::run_traces(const std::vector<TraceView>& traces,
+                                 std::vector<std::vector<BhPoint>>& points) {
+  assert(traces.size() == n_);
+  if (math_ == BatchMath::kFast) {
+    run_traces_fast(traces, points);
+  } else {
+    run_traces_exact(traces, points);
   }
 }
 

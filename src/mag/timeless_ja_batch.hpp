@@ -91,6 +91,28 @@ class TimelessJaBatch {
   void run(const std::vector<const wave::HSweep*>& sweeps,
            std::vector<BhCurve>& curves);
 
+  /// One lane's planner-decided row program (a view of mag::JaTrace): row j
+  /// refreshes the algebraic part at h[j] and, when dh[j] != 0, takes one
+  /// Forward-Euler integration step of exactly that width — no threshold
+  /// detection, no feedback refresh (the planner emits explicit refresh
+  /// rows; see mag/ja_trace.hpp for the apply() expansion).
+  struct TraceView {
+    const double* h = nullptr;
+    const double* dh = nullptr;
+    std::size_t rows = 0;
+  };
+
+  /// Drives lane i through traces[i] (ragged row counts allowed), recording
+  /// EVERY row of lane i into points[i] — callers keep only the rows their
+  /// trace marks as published samples (JaTrace::record_rows). Both spans
+  /// must have lanes() entries; points are overwritten. Only the clamp
+  /// counters are added to stats(): samples / field_events /
+  /// integration_steps are plan-time facts the rows alone cannot
+  /// reconstruct (one event may span several sub-step rows), so the caller
+  /// folds in JaTrace::planned.
+  void run_traces(const std::vector<TraceView>& traces,
+                  std::vector<std::vector<BhPoint>>& points);
+
   // Per-lane views, mirroring the scalar accessors.
   [[nodiscard]] double m_total(std::size_t lane) const { return m_total_[lane]; }
   [[nodiscard]] double magnetisation(std::size_t lane) const {
@@ -115,23 +137,38 @@ class TimelessJaBatch {
   template <bool kFastMath>
   void step_lane(std::size_t i, double h);
 
+  /// One trace row for lane i on the exact path: algebraic refresh at h,
+  /// then (when dh != 0) one Forward-Euler step of width dh — the unrolled
+  /// body of TimelessJa::apply(), bitwise identical to the scalar model
+  /// replaying the same rows. Counts only the clamp counters.
+  void step_lane_trace(std::size_t i, double h, double dh);
+
   void run_exact(const std::vector<const wave::HSweep*>& sweeps,
                  std::vector<BhCurve>& curves);
   void run_fast(const std::vector<const wave::HSweep*>& sweeps,
                 std::vector<BhCurve>& curves);
+  void run_traces_exact(const std::vector<TraceView>& traces,
+                        std::vector<std::vector<BhPoint>>& points);
+  void run_traces_fast(const std::vector<TraceView>& traces,
+                       std::vector<std::vector<BhPoint>>& points);
 
   /// Runs the branch-free FastMath pass over the rectangle lanes
   /// [begin, end) x sample rows [j0, j1), through the per-process
   /// width-dispatched entry point; h[i - begin] is lane i's sample stream.
-  /// When `out` is non-null, sample j of lane i is recorded into out[i][j]
-  /// directly from the pass's registers.
+  /// `len` (per-lane row counts, absolute-indexed) masks ragged lanes out
+  /// of their vector groups as they finish; `dh` switches the pass to the
+  /// planner-trace row program. When `out` is non-null, sample j of lane i
+  /// is recorded into out[i][j] directly from the pass's registers.
   void dispatch_fast_rect(AnhystereticKind kind, std::size_t begin,
                           std::size_t end, std::size_t j0, std::size_t j1,
-                          const double* const* h, BhPoint* const* out);
+                          const double* const* h, const double* const* dh,
+                          const std::size_t* len, BhPoint* const* out);
 
   /// Folds the SoA event counters written by the FastMath pass into the
-  /// per-lane TimelessStats and clears them.
-  void fold_fast_counters(std::size_t i);
+  /// per-lane TimelessStats and clears them. Threshold mode: one
+  /// integration step per event; trace mode (`planned_counters`): only the
+  /// clamp counters are the kernel's to report.
+  void fold_fast_counters(std::size_t i, bool planned_counters = false);
 
   /// Exact anhysteretic (shared scalar evaluator — bitwise identical).
   [[nodiscard]] double man_exact(std::size_t i, double he) const {

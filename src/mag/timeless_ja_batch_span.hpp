@@ -14,14 +14,31 @@
 // (optionally) one curve-point store — no state traffic. Lanes left over
 // after the W-tiles cascade to the W/2 pass and finally a scalar loop.
 //
+// Two row programs share the pass:
+//   * threshold mode (dh == nullptr) — the classic sweep: each row applies
+//     one field sample, events fire on |h - anchor| > dhmax and include the
+//     feedback refresh;
+//   * trace mode (dh != nullptr) — planner-decided rows (mag/ja_trace.hpp):
+//     each row refreshes at h and, when its planned dh is nonzero, takes one
+//     Forward-Euler step of exactly that width. No anchor, no feedback
+//     refresh — the planner emits explicit refresh rows instead, unrolling
+//     TimelessJa::apply() (sub-steps included) into a branch-free stream.
+//
+// Rows are ragged per lane: `len` gives each lane's row count, and a lane
+// whose rows are exhausted is masked out of its vector group — its state
+// freezes and it stops storing samples — instead of forcing the caller to
+// re-segment and re-group lanes at every distinct length. The row loop is
+// split so the shared prefix (rows every tile lane still owns) runs the
+// unmasked body; only the ragged tail pays for the per-lane active mask.
+//
 // The step body is fully branch-free (selects and copysign, the feedback
 // refresh computed unconditionally and masked by the event flag). Every
 // operation is lane-wise and identical in sequence at every width — scalar
 // tail included — so a lane's trajectory never depends on the vector width,
-// on which lanes share a register, or on how lanes are grouped into tiles,
-// row segments or blocks: width, pairing, partition and thread-count
-// invariance by construction (property-tested in
-// tests/test_timeless_batch.cpp).
+// on which lanes share a register, on how lanes are grouped into tiles,
+// row segments or blocks, or on which lanes around it have already
+// finished: width, pairing, partition and thread-count invariance by
+// construction (property-tested in tests/test_timeless_batch.cpp).
 //
 // ABI note: FastRunArgs and FastRunFn sit OUTSIDE the ISA inline namespace
 // — their layout is flag-independent and the function-pointer type must
@@ -31,10 +48,12 @@
 // executing an AVX-compiled copy of a deduplicated inline function).
 #pragma once
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 
 #include "mag/anhysteretic.hpp"
 #include "mag/bh.hpp"
@@ -44,17 +63,23 @@
 namespace ferro::mag::detail {
 
 /// One rectangle of FastMath work: lanes [begin, end) over sample rows
-/// [j0, j1). h[i - begin] points at lane i's sample stream, valid for every
-/// row in the range (ragged sweeps are cut into row segments by the
-/// caller). The SoA constant/state arrays are indexed by the absolute lane
-/// index. When `out` is non-null, sample j of lane i is recorded into
-/// out[i][j] straight from the pass's registers.
+/// [j0, j1). h[i - begin] points at lane i's sample stream; when `len` is
+/// non-null it holds per-lane row counts (absolute lane index) and lane i
+/// only executes rows [j0, min(j1, len[i])) — a zero-length lane must still
+/// point `h` (and `dh`) at one readable element, which the masked gather
+/// clamps to. When `dh` is non-null the pass runs in trace mode (see the
+/// header comment): dh[i - begin][j] is row j's planned step width, 0 for
+/// refresh-only rows. The SoA constant/state arrays are indexed by the
+/// absolute lane index. When `out` is non-null, sample j of lane i is
+/// recorded into out[i][j] straight from the pass's registers.
 struct FastRunArgs {
   std::size_t begin = 0;
   std::size_t end = 0;
   std::size_t j0 = 0;
   std::size_t j1 = 0;
   const double* const* h = nullptr;
+  const double* const* dh = nullptr;
+  const std::size_t* len = nullptr;
   const double* alpha_ms = nullptr;
   const double* c_over_1pc = nullptr;
   const double* one_pc_k = nullptr;
@@ -117,6 +142,15 @@ struct FastPass {
   }
 
   static void run(const FastRunArgs& a) {
+    if (a.dh != nullptr) {
+      run_mode<true>(a);
+    } else {
+      run_mode<false>(a);
+    }
+  }
+
+  template <bool kTrace>
+  static void run_mode(const FastRunArgs& a) {
     std::size_t i = a.begin;
 
 #if defined(FERRO_FASTMATH_SIMD)
@@ -126,10 +160,10 @@ struct FastPass {
       // between samples; a second independent chain roughly doubles the
       // occupancy. More tiles stop paying — the constants spill.
       for (; i + 2 * W <= a.end; i += static_cast<std::size_t>(2 * W)) {
-        tile_rows_n<2>(a, i);
+        tile_dispatch<2, kTrace>(a, i);
       }
       for (; i + W <= a.end; i += static_cast<std::size_t>(W)) {
-        tile_rows_n<1>(a, i);
+        tile_dispatch<1, kTrace>(a, i);
       }
     }
 #endif
@@ -140,13 +174,14 @@ struct FastPass {
       FastRunArgs tail = a;
       tail.begin = i;
       tail.h = a.h + (i - a.begin);
-      FastPass<kKind, W / 2>::run(tail);
+      if constexpr (kTrace) tail.dh = a.dh + (i - a.begin);
+      FastPass<kKind, W / 2>::template run_mode<kTrace>(tail);
       return;
     }
 
     // Scalar lanes, four at a time for the same latency-hiding reason.
-    for (; i + 4 <= a.end; i += 4) scalar_rows_n<4>(a, i);
-    for (; i < a.end; ++i) scalar_rows_n<1>(a, i);
+    for (; i + 4 <= a.end; i += 4) scalar_rows_n<4, kTrace>(a, i);
+    for (; i < a.end; ++i) scalar_rows_n<1, kTrace>(a, i);
   }
 
 #if defined(FERRO_FASTMATH_SIMD)
@@ -169,12 +204,43 @@ struct FastPass {
     }
   }
 
+  /// Splits a tile's row range at its shortest lane: rows every tile lane
+  /// still owns run the unmasked instantiation (bit-identical codegen to a
+  /// lenless pass — the masked machinery is constexpr-pruned out of it);
+  /// only the ragged tail (lanes with fewer planned rows than their
+  /// tile-mates) pays for the per-lane active mask. Same lane-wise
+  /// operation sequence in both, so where the split falls changes no bits.
+  /// State is stored and reloaded at the phase boundary — once per tile,
+  /// amortised over the whole row range.
+  template <int kTiles, bool kTrace>
+  static void tile_dispatch(const FastRunArgs& a, std::size_t i) {
+    std::size_t tile_min = a.j1;
+    std::size_t tile_max = a.j1;
+    if (a.len != nullptr) {
+      tile_max = a.j0;
+      for (int k = 0; k < kTiles * W; ++k) {
+        const std::size_t len =
+            std::min(a.len[i + static_cast<std::size_t>(k)], a.j1);
+        tile_min = std::min(tile_min, len);
+        tile_max = std::max(tile_max, len);
+      }
+    }
+    const std::size_t lo = std::max(a.j0, std::min(tile_min, a.j1));
+    const std::size_t hi = std::max(lo, tile_max);
+    if (a.j0 < lo) tile_rows_n<kTiles, kTrace, false>(a, i, a.j0, lo);
+    if (lo < hi) tile_rows_n<kTiles, kTrace, true>(a, i, lo, hi);
+  }
+
   /// kTiles W-lane tiles (lanes [i, i + kTiles*W)) through rows [j0, j1)
   /// with all state in registers; the tiles' independent dependency chains
   /// interleave in the row loop. The per-tile arrays are indexed only by
-  /// constants after unrolling, so they stay in registers.
-  template <int kTiles>
-  static void tile_rows_n(const FastRunArgs& a, std::size_t i) {
+  /// constants after unrolling, so they stay in registers. The kMasked
+  /// instantiation additionally carries each lane's row count and freezes
+  /// lanes whose rows are exhausted (state kept, stores suppressed, gather
+  /// clamped to their last row).
+  template <int kTiles, bool kTrace, bool kMasked>
+  static void tile_rows_n(const FastRunArgs& a, std::size_t i,
+                          std::size_t j0, std::size_t j1) {
     using V = fastmath::VecD<W>;
     using R = typename V::Reg;
     using M = typename V::Mask;
@@ -188,7 +254,13 @@ struct FastPass {
     // Per-lane state, register-resident across the whole row range.
     R mi[kTiles], mt[kTiles], anchor[kTiles], slope[kTiles], ce[kTiles],
         csc[kTiles], cdc[kTiles];
+    // Per-lane row counts, as doubles for the lane-active compare (exact
+    // for any realistic count) — masked instantiation only.
+    R lenv[kTiles];
     const double* hp[kTiles * W];
+    const double* dhp[kTiles * W];
+    std::size_t last[kTiles * W];
+    std::size_t lens[kTiles * W];
 
     for (int t = 0; t < kTiles; ++t) {
       const std::size_t o = i + static_cast<std::size_t>(t * W);
@@ -211,13 +283,36 @@ struct FastPass {
       csc[t] = V::load(a.cnt_slope_clamps + o);
       cdc[t] = V::load(a.cnt_direction_clamps + o);
     }
-    for (int k = 0; k < kTiles * W; ++k) hp[k] = a.h[(i - a.begin) + k];
+    for (int k = 0; k < kTiles * W; ++k) {
+      hp[k] = a.h[(i - a.begin) + k];
+      dhp[k] = kTrace ? a.dh[(i - a.begin) + k] : nullptr;
+    }
+    if constexpr (kMasked) {
+      for (int k = 0; k < kTiles * W; ++k) {
+        const std::size_t o = i + static_cast<std::size_t>(k);
+        lens[k] = std::min(a.len[o], a.j1);
+        last[k] = lens[k] != 0 ? lens[k] - 1 : 0;
+      }
+      for (int t = 0; t < kTiles; ++t) {
+        double lbuf[W];
+        for (int k = 0; k < W; ++k) {
+          lbuf[k] = static_cast<double>(lens[t * W + k]);
+        }
+        lenv[t] = V::load(lbuf);
+      }
+    }
 
-    for (std::size_t j = a.j0; j < a.j1; ++j) {
-      // Gather the row's field samples (one stream per lane).
+    for (std::size_t j = j0; j < j1; ++j) {
+      // Gather the row's field samples (one stream per lane); finished
+      // lanes re-read their last row — computed then discarded by the
+      // active mask, never out of bounds.
       double hbuf[kTiles * W];
-      for (int k = 0; k < kTiles * W; ++k) hbuf[k] = hp[k][j];
-
+      double dhbuf[kTiles * W];
+      for (int k = 0; k < kTiles * W; ++k) {
+        const std::size_t jj = kMasked ? std::min(j, last[k]) : j;
+        hbuf[k] = hp[k][jj];
+        if constexpr (kTrace) dhbuf[k] = dhp[k][jj];
+      }
       R h[kTiles], mt_new[kTiles];
       for (int t = 0; t < kTiles; ++t) {
         h[t] = V::load(hbuf + t * W);
@@ -227,14 +322,29 @@ struct FastPass {
         const R m_an = man_v<V>(he, ia[t], ia2[t], bl[t]);
         const R mt1 = V::add(V::mul(c1[t], m_an), mi[t]);
 
-        const R dh = V::sub(h[t], anchor[t]);
-        const M event = V::cmp_gt(V::abs(dh), dmax[t]);
+        // Threshold mode detects the event from the anchored field motion;
+        // trace mode takes the planner's word (dh != 0) and its exact step
+        // width. Either way `dh` is the width the integration consumes.
+        R dh;
+        M event;
+        if constexpr (kTrace) {
+          dh = V::load(dhbuf + t * W);
+          event = V::cmp_neq(dh, vzero);
+        } else {
+          dh = V::sub(h[t], anchor[t]);
+          event = V::cmp_gt(V::abs(dh), dmax[t]);
+        }
+        M active{};
+        if constexpr (kMasked) {
+          active = V::cmp_lt(V::set1(static_cast<double>(j)), lenv[t]);
+          event = V::mask_and(event, active);
+        }
 
-        // Integral() + feedback refresh only when at least one lane of the
-        // tile crossed its threshold: skipping pure-discard work changes
-        // no bits (the selects below would keep the old values anyway) and
-        // saves a second anhysteretic evaluation plus the divide on most
-        // samples.
+        // Integral() + (threshold mode) feedback refresh only when at least
+        // one live lane of the tile crossed its threshold: skipping
+        // pure-discard work changes no bits (the selects below would keep
+        // the old values anyway) and saves a second anhysteretic evaluation
+        // plus the divide on most samples.
         mt_new[t] = mt1;
         if (V::any(event)) {
           const R delta = V::copysign(vone, dh);
@@ -254,13 +364,14 @@ struct FastPass {
           dm = V::select(rejected, dm, vzero);
           const R mi_next = V::add(mi[t], dm);
 
-          const R he2 = V::add(h[t], V::mul(am[t], mt1));
-          const R mt2 = V::add(
-              V::mul(c1[t], man_v<V>(he2, ia[t], ia2[t], bl[t])), mi_next);
-
-          mt_new[t] = V::select(event, mt1, mt2);
+          if constexpr (!kTrace) {
+            const R he2 = V::add(h[t], V::mul(am[t], mt1));
+            const R mt2 = V::add(
+                V::mul(c1[t], man_v<V>(he2, ia[t], ia2[t], bl[t])), mi_next);
+            mt_new[t] = V::select(event, mt1, mt2);
+            anchor[t] = V::select(event, anchor[t], h[t]);
+          }
           mi[t] = V::select(event, mi[t], mi_next);
-          anchor[t] = V::select(event, anchor[t], h[t]);
           slope[t] = V::select(event, slope[t], s);
           ce[t] = V::add(ce[t], V::one_where(event, vone));
           csc[t] =
@@ -268,12 +379,17 @@ struct FastPass {
           cdc[t] =
               V::add(cdc[t], V::one_where(V::mask_and(event, rejected), vone));
         }
-        mt[t] = mt_new[t];
+        if constexpr (kMasked) {
+          mt[t] = V::select(active, mt[t], mt_new[t]);
+        } else {
+          mt[t] = mt_new[t];
+        }
       }
 
       // Fused sample recording: bounce the tiles' curve points through a
       // stack buffer (the stores forward straight from the registers);
-      // same m/b arithmetic as the scalar path.
+      // same m/b arithmetic as the scalar path. Finished lanes stop
+      // storing — their out rows do not exist.
       if (a.out != nullptr) {
         for (int t = 0; t < kTiles; ++t) {
           const R m = V::mul(msr[t], mt_new[t]);
@@ -282,8 +398,9 @@ struct FastPass {
           V::store(mb, m);
           V::store(bb, b);
           for (int k = 0; k < W; ++k) {
-            a.out[i + static_cast<std::size_t>(t * W + k)][j] =
-                BhPoint{hbuf[t * W + k], mb[k], bb[k]};
+            const std::size_t lane = static_cast<std::size_t>(t * W + k);
+            if (kMasked && j >= lens[lane]) continue;
+            a.out[i + lane][j] = BhPoint{hbuf[lane], mb[k], bb[k]};
           }
         }
       }
@@ -306,14 +423,17 @@ struct FastPass {
   /// state in locals, lanes interleaved in the row loop — the same IEEE
   /// operation sequence as the vector tiles (bitwise &/| and bit_select,
   /// not &&/|| — short-circuit evaluation would reintroduce control flow).
-  template <int kLanes>
+  /// Ragged lanes simply skip rows past their count, like the masked tiles.
+  template <int kLanes, bool kTrace>
   static void scalar_rows_n(const FastRunArgs& a, std::size_t i) {
     double am[kLanes], c1[kLanes], opk[kLanes], opam[kLanes], ia[kLanes],
         ia2[kLanes], bl[kLanes], dmax[kLanes], clamp_s[kLanes],
         clamp_d[kLanes], msr[kLanes];
     double mi[kLanes], mt[kLanes], anchor[kLanes], slope[kLanes], ce[kLanes],
         csc[kLanes], cdc[kLanes];
+    std::size_t lens[kLanes];
     const double* hp[kLanes];
+    const double* dhp[kLanes];
     BhPoint* op[kLanes];
 
     for (int k = 0; k < kLanes; ++k) {
@@ -336,12 +456,21 @@ struct FastPass {
       ce[k] = a.cnt_events[o];
       csc[k] = a.cnt_slope_clamps[o];
       cdc[k] = a.cnt_direction_clamps[o];
+      lens[k] = std::min(a.len != nullptr ? a.len[o] : a.j1, a.j1);
       hp[k] = a.h[(i - a.begin) + k];
+      dhp[k] = kTrace ? a.dh[(i - a.begin) + k] : nullptr;
       op[k] = a.out != nullptr ? a.out[o] : nullptr;
     }
+    // Clamp the row range to this group's own longest lane — the
+    // rectangle's j1 is the whole dispatch's maximum, and spinning empty
+    // guard iterations past every local lane's end would waste the tail.
+    std::size_t j1 = a.j0;
+    for (int k = 0; k < kLanes; ++k) j1 = std::max(j1, lens[k]);
+    j1 = std::min(j1, a.j1);
 
-    for (std::size_t j = a.j0; j < a.j1; ++j) {
+    for (std::size_t j = a.j0; j < j1; ++j) {
       for (int k = 0; k < kLanes; ++k) {
+        if (j >= lens[k]) continue;
         const double h = hp[k][j];
 
         // core(): algebraic refresh from the previous total magnetisation.
@@ -349,12 +478,20 @@ struct FastPass {
         const double m_an = man(he, ia[k], ia2[k], bl[k]);
         const double mt1 = c1[k] * m_an + mi[k];
 
-        // monitorH(): the non-event skip mirrors the vector tile's
-        // any(event) shortcut — only pure-discard work is elided, so the
-        // values written are the ones the select formulation would
-        // produce.
-        const double dh = h - anchor[k];
-        const bool event = std::fabs(dh) > dmax[k];
+        // Event source: the planner's row program in trace mode, the
+        // anchored threshold otherwise. The non-event skip mirrors the
+        // vector tile's any(event) shortcut — only pure-discard work is
+        // elided, so the values written are the ones the select
+        // formulation would produce.
+        double dh;
+        bool event;
+        if constexpr (kTrace) {
+          dh = dhp[k][j];
+          event = dh != 0.0;
+        } else {
+          dh = h - anchor[k];
+          event = std::fabs(dh) > dmax[k];
+        }
         if (!event) {
           mt[k] = mt1;
           if (op[k] != nullptr) {
@@ -364,9 +501,11 @@ struct FastPass {
           continue;
         }
 
-        // Integral(): select-based clamps, then the feedback refresh with
-        // the effective field from the pre-event total, exactly like the
-        // scalar model's second refresh_algebraic().
+        // Integral(): select-based clamps, then (threshold mode only) the
+        // feedback refresh with the effective field from the pre-event
+        // total, exactly like the scalar model's second
+        // refresh_algebraic(); trace rows leave the refresh to the
+        // planner's explicit follow-up row.
         const double delta = std::copysign(1.0, dh);
         const double delta_m = m_an - mt1;
         const double denom = delta * opk[k] - opam[k] * delta_m;
@@ -379,9 +518,13 @@ struct FastPass {
         dm = bit_select(rejected, dm, 0.0);
 
         mi[k] += dm;
-        const double he2 = h + am[k] * mt1;
-        mt[k] = c1[k] * man(he2, ia[k], ia2[k], bl[k]) + mi[k];
-        anchor[k] = h;
+        if constexpr (kTrace) {
+          mt[k] = mt1;
+        } else {
+          const double he2 = h + am[k] * mt1;
+          mt[k] = c1[k] * man(he2, ia[k], ia2[k], bl[k]) + mi[k];
+          anchor[k] = h;
+        }
         slope[k] = s;
         ce[k] += 1.0;
         csc[k] += clamped ? 1.0 : 0.0;

@@ -199,11 +199,12 @@ TEST(BatchRunner, FrontendsAgreeThroughTheBatchPath) {
 }
 
 TEST(BatchRunner, RunPackedExactMatchesRunBitwise) {
-  // A mixed workload: packable kDirect and kSystemC sweeps plus scenarios
-  // the SoA kernel must refuse (kSystemC with a clamp the process network
-  // hard-codes differently, time drives, extension schemes, bad
-  // parameters). run_packed(kExact) must reproduce run() bit-for-bit on all
-  // of them.
+  // A mixed workload: packable kDirect and kSystemC sweeps — time drives
+  // are planned onto the frontend's own uniform grid and pack too — plus
+  // scenarios the planner must refuse (kSystemC with a clamp the process
+  // network hard-codes differently, extension schemes, sub-stepping on a
+  // sweep frontend, bad parameters). run_packed(kExact) must reproduce
+  // run() bit-for-bit on all of them.
   auto scenarios = material_workload(10);
   scenarios[2].frontend = fc::Frontend::kSystemC;
   scenarios[3].config.scheme = fm::HIntegrator::kHeun;
@@ -211,6 +212,7 @@ TEST(BatchRunner, RunPackedExactMatchesRunBitwise) {
   scenarios[5].params.c = 1.5;  // invalid -> per-job error via the fallback
   scenarios[6].drive = fc::TimeDrive{std::make_shared<fw::Triangular>(10e3, 0.02),
                                      0.0, 0.04, 2000};
+  scenarios[6].metrics_window.reset();
   scenarios[7].frontend = fc::Frontend::kSystemC;
   scenarios[7].config.clamp_negative_slope = false;  // network clamps anyway
 
@@ -219,7 +221,7 @@ TEST(BatchRunner, RunPackedExactMatchesRunBitwise) {
   EXPECT_FALSE(fc::BatchRunner::packable(scenarios[3]));
   EXPECT_FALSE(fc::BatchRunner::packable(scenarios[4]));
   EXPECT_FALSE(fc::BatchRunner::packable(scenarios[5]));
-  EXPECT_FALSE(fc::BatchRunner::packable(scenarios[6]));
+  EXPECT_TRUE(fc::BatchRunner::packable(scenarios[6]));  // planned sampling
   EXPECT_FALSE(fc::BatchRunner::packable(scenarios[7]));
 
   for (const unsigned threads : {1u, 3u}) {
@@ -236,8 +238,9 @@ TEST(BatchRunner, RunPackedExactMatchesRunBitwise) {
 
 TEST(BatchRunner, RunPackedAllFallbackMatchesRunBitwise) {
   // A scenario list with NO packable lanes (kSystemC outside the kernel's
-  // clamp subset, or kAms): run_packed must take the pure fallback path for
-  // everything and still reproduce run() bit-for-bit — previously this
+  // clamp subset, kAms with an extension integration scheme the trace
+  // planner cannot express): run_packed must take the pure fallback path
+  // for everything and still reproduce run() bit-for-bit — previously this
   // shape was only exercised implicitly through mixed workloads.
   auto scenarios = material_workload(6);
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
@@ -249,6 +252,7 @@ TEST(BatchRunner, RunPackedAllFallbackMatchesRunBitwise) {
     } else {
       const double amp = ts::saturation_amplitude(scenarios[i].params);
       scenarios[i].frontend = fc::Frontend::kAms;
+      scenarios[i].config.scheme = fm::HIntegrator::kHeun;
       scenarios[i].drive = fc::TimeDrive{
           std::make_shared<fw::Triangular>(amp, 0.02), 0.0, 0.04, 200};
       scenarios[i].metrics_window.reset();  // kAms places its own steps
@@ -269,12 +273,26 @@ TEST(BatchRunner, RunPackedAllFallbackMatchesRunBitwise) {
   }
 }
 
+void expect_stats_identical(const std::vector<fc::ScenarioResult>& a,
+                            const std::vector<fc::ScenarioResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].stats.samples, b[i].stats.samples) << a[i].name;
+    EXPECT_EQ(a[i].stats.field_events, b[i].stats.field_events) << a[i].name;
+    EXPECT_EQ(a[i].stats.integration_steps, b[i].stats.integration_steps)
+        << a[i].name;
+    EXPECT_EQ(a[i].stats.slope_clamps, b[i].stats.slope_clamps) << a[i].name;
+    EXPECT_EQ(a[i].stats.direction_clamps, b[i].stats.direction_clamps)
+        << a[i].name;
+  }
+}
+
 TEST(BatchRunner, RunPackedMixedDirectAndSystemCMatchesRunBitwise) {
-  // The packed path covers two frontends: alternating kDirect / kSystemC
-  // sweeps all qualify for the SoA kernel (paper-subset configs, both
-  // clamps on), land interleaved in the same lane blocks, and must
+  // The packed path covers the sweep frontends: alternating kDirect /
+  // kSystemC sweeps all qualify for the SoA kernel (paper-subset configs,
+  // both clamps on), land interleaved in the same lane blocks, and must
   // reproduce run() bit-for-bit — curves, metrics, and stats (kSystemC
-  // results carry no counters through either path).
+  // results now carry the module's counters through both paths).
   auto scenarios = material_workload(12);
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     if (i % 2 == 1) scenarios[i].frontend = fc::Frontend::kSystemC;
@@ -288,15 +306,85 @@ TEST(BatchRunner, RunPackedMixedDirectAndSystemCMatchesRunBitwise) {
     const auto plain = runner.run(scenarios);
     const auto packed = runner.run_packed(scenarios);
     expect_identical(plain, packed);
+    expect_stats_identical(plain, packed);
     for (std::size_t i = 0; i < plain.size(); ++i) {
       EXPECT_TRUE(plain[i].ok()) << plain[i].error;
-      EXPECT_EQ(plain[i].stats.samples, packed[i].stats.samples);
-      EXPECT_EQ(plain[i].stats.field_events, packed[i].stats.field_events);
-      EXPECT_EQ(plain[i].stats.slope_clamps, packed[i].stats.slope_clamps);
-      if (scenarios[i].frontend == fc::Frontend::kSystemC) {
-        // No counters from the facade — packed must not invent them.
-        EXPECT_EQ(packed[i].stats.samples, 0u);
+      // The satellite contract: non-kDirect frontends report real counters
+      // now, not defaulted zeros.
+      EXPECT_GT(plain[i].stats.samples, 0u) << plain[i].name;
+      EXPECT_GT(plain[i].stats.field_events, 0u) << plain[i].name;
+    }
+  }
+}
+
+TEST(BatchRunner, RunPackedMixedAllThreeFrontendsMatchesRunBitwise) {
+  // The acceptance workload: kDirect, kSystemC, and kAms interleaved —
+  // sweep drives and time drives — through run_packed(kExact). The kAms
+  // lanes take the plan/execute pipeline (shared JA-free trajectory solve,
+  // planner-trace replay with sub-steps unrolled) and everything must
+  // reproduce run() bit-for-bit: curves, metrics, AND stats.
+  auto scenarios = material_workload(15);
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    switch (i % 3) {
+      case 0: break;  // kDirect sweep
+      case 1:
+        scenarios[i].frontend = fc::Frontend::kSystemC;
+        break;
+      case 2: {
+        scenarios[i].frontend = fc::Frontend::kAms;
+        if (i % 2 == 0) {
+          // Time drive: the analogue solver places its own steps.
+          const double amp = ts::saturation_amplitude(scenarios[i].params);
+          scenarios[i].drive = fc::TimeDrive{
+              std::make_shared<fw::Triangular>(amp, 0.02), 0.0, 0.04, 200};
+        }
+        scenarios[i].metrics_window.reset();  // kAms places its own steps
+        break;
       }
+    }
+    EXPECT_TRUE(fc::BatchRunner::packable(scenarios[i])) << scenarios[i].name;
+  }
+
+  for (const unsigned threads : {1u, 2u, 3u, 8u}) {
+    const fc::BatchRunner runner({.threads = threads});
+    const auto plain = runner.run(scenarios);
+    const auto packed = runner.run_packed(scenarios);
+    expect_identical(plain, packed);
+    expect_stats_identical(plain, packed);
+    for (const auto& r : plain) {
+      EXPECT_TRUE(r.ok()) << r.name << ": " << r.error;
+      EXPECT_GT(r.stats.samples, 0u) << r.name;
+    }
+  }
+}
+
+TEST(BatchRunner, RunPackedAmsSharesTrajectoryAcrossMaterials) {
+  // 8 materials x one shared sweep excitation: the packed planner must
+  // solve the JA-free H(t) ODE once and fan the materials over it, staying
+  // bitwise identical to the serial frontend that re-solves per scenario.
+  // (The sharing itself is pinned by test_frontend_plan; here we pin that
+  // sharing cannot change the results.)
+  const auto& library = fm::material_library();
+  const fw::HSweep sweep = ts::major_loop(25.0, 1);
+  std::vector<fc::Scenario> scenarios;
+  for (std::size_t i = 0; i < 8; ++i) {
+    fc::Scenario s;
+    s.name = "ams#" + std::to_string(i);
+    s.params = library[i % library.size()].params;
+    s.config.dhmax = 20.0 + 5.0 * static_cast<double>(i % 3);
+    s.frontend = fc::Frontend::kAms;
+    s.drive = sweep;
+    scenarios.push_back(std::move(s));
+  }
+  for (const unsigned threads : {1u, 3u}) {
+    const fc::BatchRunner runner({.threads = threads});
+    const auto plain = runner.run(scenarios);
+    const auto packed = runner.run_packed(scenarios);
+    expect_identical(plain, packed);
+    expect_stats_identical(plain, packed);
+    for (const auto& r : plain) {
+      EXPECT_TRUE(r.ok()) << r.name << ": " << r.error;
+      EXPECT_GT(r.curve.size(), 2u) << r.name;
     }
   }
 }
@@ -305,8 +393,16 @@ TEST(BatchRunner, RunPackedIsThreadCountInvariant) {
   // Thread count changes the lane-block partition, so this also pins the
   // batch kernel's grouping invariance — in both arithmetic modes (kFast
   // additionally relies on the SIMD-pair/scalar-tail bitwise equality
-  // pinned by TimelessJaBatch.FastSimdPairAndScalarTailAgreeBitwise).
-  const auto scenarios = material_workload(16);
+  // pinned by TimelessJaBatch.FastSimdPairAndScalarTailAgreeBitwise) and
+  // across all three frontends, ragged kAms trace lanes included.
+  auto scenarios = material_workload(16);
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    if (i % 4 == 1) scenarios[i].frontend = fc::Frontend::kSystemC;
+    if (i % 4 == 3) {
+      scenarios[i].frontend = fc::Frontend::kAms;
+      scenarios[i].metrics_window.reset();
+    }
+  }
   for (const auto math : {fm::BatchMath::kExact, fm::BatchMath::kFast}) {
     const auto serial =
         fc::BatchRunner({.threads = 1}).run_packed(scenarios, math);

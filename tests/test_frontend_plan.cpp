@@ -1,0 +1,209 @@
+// FrontendPlan: the plan stage of the packed pipeline — routability of
+// every (frontend, drive, config) combination, the deduplicated JA-free
+// trajectory solves, the trace expansion's equivalence to the serial AMS
+// frontend, and the MetricsWindow reject-don't-clamp contract on
+// solver-placed kAms curves through both the per-scenario and packed paths.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/ams_ja.hpp"
+#include "core/batch_runner.hpp"
+#include "core/frontend_plan.hpp"
+#include "mag/ja_params.hpp"
+#include "mag/ja_trace.hpp"
+#include "support/fixtures.hpp"
+#include "wave/standard.hpp"
+#include "wave/sweep.hpp"
+
+namespace fm = ferro::mag;
+namespace fw = ferro::wave;
+namespace fc = ferro::core;
+namespace ts = ferro::testsupport;
+
+namespace {
+
+fc::Scenario base_scenario(fc::Frontend frontend) {
+  fc::Scenario s;
+  s.name = "plan";
+  s.params = fm::paper_parameters();
+  s.config = ts::paper_config();
+  s.frontend = frontend;
+  s.drive = ts::major_loop(10.0, 1);
+  return s;
+}
+
+}  // namespace
+
+TEST(FrontendPlan, RoutesEveryFrontendAndRefusesWhatItCannotReproduce) {
+  // Sweep drives: all three frontends pack.
+  EXPECT_EQ(fc::plan_route(base_scenario(fc::Frontend::kDirect)),
+            fc::PlanRoute::kPackedSweep);
+  EXPECT_EQ(fc::plan_route(base_scenario(fc::Frontend::kSystemC)),
+            fc::PlanRoute::kPackedSweep);
+  EXPECT_EQ(fc::plan_route(base_scenario(fc::Frontend::kAms)),
+            fc::PlanRoute::kPackedTrace);
+
+  // Time drives pack too — planned onto the frontend's own grid (or the
+  // solver's own steps for kAms) — unless the waveform is missing.
+  for (const auto frontend : {fc::Frontend::kDirect, fc::Frontend::kSystemC,
+                              fc::Frontend::kAms}) {
+    fc::Scenario timed = base_scenario(frontend);
+    timed.drive = fc::TimeDrive{std::make_shared<fw::Triangular>(10e3, 0.02),
+                                0.0, 0.04, 500};
+    EXPECT_NE(fc::plan_route(timed), fc::PlanRoute::kFallback);
+    timed.drive = fc::TimeDrive{};
+    EXPECT_EQ(fc::plan_route(timed), fc::PlanRoute::kFallback);
+  }
+
+  // The kernel's lockstep subset gates the sweep frontends; the trace
+  // planner unrolls sub-steps, so only the extension schemes gate kAms.
+  fc::Scenario substep = base_scenario(fc::Frontend::kDirect);
+  substep.config.substep_max = 50.0;
+  EXPECT_EQ(fc::plan_route(substep), fc::PlanRoute::kFallback);
+  substep.frontend = fc::Frontend::kAms;
+  EXPECT_EQ(fc::plan_route(substep), fc::PlanRoute::kPackedTrace);
+
+  for (const auto frontend : {fc::Frontend::kDirect, fc::Frontend::kSystemC,
+                              fc::Frontend::kAms}) {
+    fc::Scenario heun = base_scenario(frontend);
+    heun.config.scheme = fm::HIntegrator::kHeun;
+    EXPECT_EQ(fc::plan_route(heun), fc::PlanRoute::kFallback);
+  }
+
+  // kSystemC routability is the clamp pair the process network hard-codes.
+  fc::Scenario clamps = base_scenario(fc::Frontend::kSystemC);
+  clamps.config.clamp_direction = false;
+  EXPECT_EQ(fc::plan_route(clamps), fc::PlanRoute::kFallback);
+  clamps.frontend = fc::Frontend::kAms;  // the trace honours any clamp flags
+  EXPECT_EQ(fc::plan_route(clamps), fc::PlanRoute::kPackedTrace);
+
+  // Invalid parameters always fall back (run_scenario owns the error text).
+  fc::Scenario invalid = base_scenario(fc::Frontend::kDirect);
+  invalid.params.c = 1.5;
+  EXPECT_EQ(fc::plan_route(invalid), fc::PlanRoute::kFallback);
+}
+
+TEST(FrontendPlan, SharesTrajectorySolvesAcrossMaterialsAndWindows) {
+  // Materials and discretisations differ; the excitation does not — the
+  // JA-free H(t) solve must be planned once per distinct drive.
+  const auto waveform = std::make_shared<fw::Triangular>(10e3, 0.02);
+  std::vector<fc::Scenario> scenarios;
+  for (int i = 0; i < 4; ++i) {
+    fc::Scenario s = base_scenario(fc::Frontend::kAms);
+    s.params = fm::material_library()[i % fm::material_library().size()].params;
+    s.config.dhmax = 20.0 + 5.0 * i;
+    s.drive = fc::TimeDrive{waveform, 0.0, 0.04, 100};
+    scenarios.push_back(std::move(s));
+  }
+  // Same waveform, different window: a separate solve.
+  scenarios.push_back(base_scenario(fc::Frontend::kAms));
+  scenarios.back().drive = fc::TimeDrive{waveform, 0.0, 0.02, 100};
+  // Two sweep-driven lanes with identical sample values: one shared solve.
+  scenarios.push_back(base_scenario(fc::Frontend::kAms));
+  scenarios.push_back(base_scenario(fc::Frontend::kAms));
+
+  const fc::FrontendPlanSet plans(scenarios);
+  EXPECT_EQ(plans.trajectory_jobs(), 3u);
+  EXPECT_EQ(plans.plan(0).trajectory, plans.plan(1).trajectory);
+  EXPECT_EQ(plans.plan(0).trajectory, plans.plan(3).trajectory);
+  EXPECT_NE(plans.plan(0).trajectory, plans.plan(4).trajectory);
+  EXPECT_EQ(plans.plan(5).trajectory, plans.plan(6).trajectory);
+  EXPECT_NE(plans.plan(5).trajectory, plans.plan(0).trajectory);
+}
+
+TEST(FrontendPlan, PlannedTrajectoryMatchesTheRidingAlongSolve) {
+  // The JA never enters the solver's residual, so the accepted H sequence
+  // of the JA-free planning solve must equal run_ams_timeless's curve
+  // fields exactly — solver stats included.
+  const fw::Triangular waveform(10e3, 0.02);
+  fc::AmsJaConfig config;
+  config.t_start = 0.0;
+  config.t_end = 0.04;
+  config.timeless = ts::paper_config();
+
+  const fc::AmsTrajectory trajectory =
+      fc::plan_ams_trajectory(waveform, config);
+  const fc::AmsJaResult reference =
+      fc::run_ams_timeless(fm::paper_parameters(), waveform, config);
+
+  ASSERT_EQ(trajectory.h.size(), reference.curve.size());
+  for (std::size_t j = 0; j < trajectory.h.size(); ++j) {
+    ASSERT_EQ(trajectory.h[j], reference.curve.points()[j].h) << "step " << j;
+  }
+  EXPECT_EQ(trajectory.completed, reference.completed);
+  EXPECT_EQ(trajectory.solver_stats.steps_accepted,
+            reference.solver_stats.steps_accepted);
+  EXPECT_EQ(trajectory.solver_stats.newton_iterations,
+            reference.solver_stats.newton_iterations);
+}
+
+TEST(FrontendPlan, TraceExpansionCountsMatchTheScalarModel) {
+  // build_ja_trace's planned counters are H-only facts; they must agree
+  // with the scalar model replaying the same trajectory, across sub-step
+  // policies (0 = single-step events, the AMS dhmax default, a custom one).
+  const fw::HSweep sweep = ts::major_loop(40.0, 1);
+  for (const double substep : {0.0, 25.0, 60.0}) {
+    fm::TimelessConfig config = ts::paper_config();
+    config.substep_max = substep;
+
+    const fm::JaTrace trace = fm::build_ja_trace(sweep.h, config);
+    fm::TimelessJa scalar(fm::paper_parameters(), config);
+    for (std::size_t s = 1; s < sweep.h.size(); ++s) scalar.apply(sweep.h[s]);
+
+    EXPECT_EQ(trace.planned.samples, scalar.stats().samples) << substep;
+    EXPECT_EQ(trace.planned.field_events, scalar.stats().field_events)
+        << substep;
+    EXPECT_EQ(trace.planned.integration_steps,
+              scalar.stats().integration_steps)
+        << substep;
+    EXPECT_EQ(trace.record_rows.size(), sweep.h.size() - 1) << substep;
+  }
+}
+
+TEST(FrontendPlan, AmsMetricsWindowThatFitsIsHonouredInBothPaths) {
+  // The solver places its own steps, so a valid window must be sized from
+  // the curve kAms actually produces. Plan the trajectory first to learn
+  // that length, then run with a window over its second half — run() and
+  // run_packed() must agree on the metrics exactly.
+  fc::Scenario s = base_scenario(fc::Frontend::kAms);
+  const fc::AmsSweepDrive drive =
+      fc::ams_drive_for_sweep(std::get<fw::HSweep>(s.drive), s.config);
+  const std::size_t curve_len =
+      fc::plan_ams_trajectory(drive.pwl, drive.config).h.size();
+  ASSERT_GT(curve_len, 4u);
+  s.metrics_window = fc::MetricsWindow{curve_len / 2, curve_len - 1};
+
+  const fc::ScenarioResult serial = fc::run_scenario(s);
+  ASSERT_TRUE(serial.ok()) << serial.error;
+  EXPECT_EQ(serial.curve.size(), curve_len);
+  EXPECT_NE(serial.metrics.b_peak, 0.0);
+
+  const auto packed = fc::BatchRunner({.threads = 1}).run_packed({s});
+  ASSERT_TRUE(packed[0].ok()) << packed[0].error;
+  EXPECT_EQ(packed[0].metrics.area, serial.metrics.area);
+  EXPECT_EQ(packed[0].metrics.b_peak, serial.metrics.b_peak);
+  EXPECT_EQ(packed[0].metrics.coercivity, serial.metrics.coercivity);
+}
+
+TEST(FrontendPlan, AmsMetricsWindowOverrunIsRejectedInBothPaths) {
+  // The documented reject-don't-clamp contract: a window sized from the
+  // input sweep overruns the solver-placed curve and must surface as a
+  // per-job error (identically through run() and run_packed()), never be
+  // clamped to the curve that exists.
+  fc::Scenario s = base_scenario(fc::Frontend::kAms);
+  const std::size_t sweep_len = std::get<fw::HSweep>(s.drive).size();
+  s.metrics_window = fc::MetricsWindow{0, sweep_len * 10};
+
+  const fc::ScenarioResult serial = fc::run_scenario(s);
+  EXPECT_FALSE(serial.ok());
+  EXPECT_NE(serial.error.find("does not fit"), std::string::npos)
+      << serial.error;
+  // The curve itself completed before the metrics step failed.
+  EXPECT_GT(serial.curve.size(), 0u);
+
+  const auto packed = fc::BatchRunner({.threads = 1}).run_packed({s});
+  EXPECT_FALSE(packed[0].ok());
+  EXPECT_EQ(packed[0].error, serial.error);
+  EXPECT_EQ(packed[0].curve.size(), serial.curve.size());
+}

@@ -13,6 +13,7 @@
 #include "mag/fast_math.hpp"
 #include "mag/ja_params.hpp"
 #include "mag/timeless_ja.hpp"
+#include "mag/ja_trace.hpp"
 #include "mag/timeless_ja_batch.hpp"
 #include "support/fixtures.hpp"
 
@@ -382,4 +383,139 @@ TEST(TimelessJaBatch, FastMathTrajectoriesStayWithinArcRmsBound) {
     EXPECT_LT(rms, 1e-4 * std::max(b_peak, 1.0))
         << "lane " << i << " rms " << rms << " b_peak " << b_peak;
   }
+}
+
+namespace {
+
+/// A solver-like trajectory for trace tests: uneven strides over a lane's
+/// sweep so consecutive accepted fields jump by anything from a fraction of
+/// dhmax to several dhmax — exercising refresh-only rows, single-step
+/// events, and the sub-step expansion in one sequence.
+std::vector<double> trace_trajectory(const LaneSpec& lane, std::size_t seed) {
+  std::vector<double> trajectory;
+  const auto& h = lane.sweep.h;
+  for (std::size_t j = 0; j < h.size();
+       j += 1 + ((j + seed) % (5 + seed % 3)) * 8) {
+    trajectory.push_back(h[j]);
+  }
+  return trajectory;
+}
+
+}  // namespace
+
+TEST(TimelessJaBatch, TraceRowsReplayScalarApplyBitwise) {
+  // The planner-trace contract: build_ja_trace unrolls TimelessJa::apply()
+  // into rows (sub-steps included) and run_traces replays them — the exact
+  // lane must reproduce the scalar model applying the same trajectory
+  // sample by sample, bit for bit, including the stats (planned counters +
+  // executed clamp counters).
+  auto lanes = lane_fixtures();
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    // Mix sub-step policies: the AMS default (substep_max = dhmax), a
+    // custom coarser split, and plain single-step events.
+    if (i % 3 == 0) lanes[i].config.substep_max = lanes[i].config.dhmax;
+    if (i % 3 == 1) lanes[i].config.substep_max = 2.5 * lanes[i].config.dhmax;
+  }
+
+  std::vector<std::vector<double>> trajectories;
+  std::vector<fm::JaTrace> traces;
+  std::vector<fm::TimelessJaBatch::TraceView> views;
+  fm::TimelessJaBatch batch;  // kExact
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    trajectories.push_back(trace_trajectory(lanes[i], i));
+    traces.push_back(fm::build_ja_trace(trajectories.back(), lanes[i].config));
+    // The trace already unrolled the sub-steps; the lane registers with the
+    // kernel-subset config.
+    fm::TimelessConfig lane_config = lanes[i].config;
+    lane_config.substep_max = 0.0;
+    batch.add_lane(lanes[i].params, lane_config);
+  }
+  for (const auto& t : traces) {
+    views.push_back({t.h.data(), t.dh.data(), t.rows()});
+  }
+  std::vector<std::vector<fm::BhPoint>> points;
+  batch.run_traces(views, points);
+
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    const auto& trajectory = trajectories[i];
+    fm::TimelessJa scalar(lanes[i].params, lanes[i].config);
+    ASSERT_EQ(traces[i].record_rows.size(), trajectory.size() - 1);
+    for (std::size_t s = 1; s < trajectory.size(); ++s) {
+      scalar.apply(trajectory[s]);
+      const auto& p = points[i][traces[i].record_rows[s - 1]];
+      ASSERT_EQ(p.h, trajectory[s]) << "lane " << i << " sample " << s;
+      ASSERT_EQ(p.m, scalar.magnetisation()) << "lane " << i << " sample " << s;
+      ASSERT_EQ(p.b, scalar.flux_density()) << "lane " << i << " sample " << s;
+    }
+    EXPECT_EQ(batch.state(i).m_irr, scalar.state().m_irr) << "lane " << i;
+    EXPECT_EQ(batch.state(i).m_total, scalar.state().m_total) << "lane " << i;
+    EXPECT_EQ(batch.last_slope(i), scalar.last_slope()) << "lane " << i;
+
+    fm::TimelessStats replayed = batch.stats(i);  // clamp counters
+    replayed.samples = traces[i].planned.samples;
+    replayed.field_events = traces[i].planned.field_events;
+    replayed.integration_steps = traces[i].planned.integration_steps;
+    expect_stats_eq(replayed, scalar.stats());
+  }
+}
+
+TEST(TimelessJaBatch, TraceRowsBitwiseInvariantAcrossSimdWidths) {
+  // The ragged-row masking contract for planner traces: FastMath lanes
+  // replaying row programs of very different lengths — lanes masked out of
+  // their vector groups as they finish — produce bitwise identical rows,
+  // state, and clamp counters at every compiled width.
+  auto lanes = lane_fixtures();
+  while (lanes.size() < 11) lanes.push_back(lanes[lanes.size() % 3]);
+  std::vector<std::vector<double>> trajectories;
+  std::vector<fm::JaTrace> traces;
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    lanes[i].config.substep_max = lanes[i].config.dhmax;  // the AMS default
+    trajectories.push_back(trace_trajectory(lanes[i], i));
+    // Stagger the row counts hard so vector groups always carry a ragged
+    // masked tail.
+    auto& trajectory = trajectories.back();
+    trajectory.resize(trajectory.size() - trajectory.size() / (2 + i % 5));
+    traces.push_back(fm::build_ja_trace(trajectory, lanes[i].config));
+  }
+
+  const auto run_at_width = [&](int width) {
+    EXPECT_EQ(fm::TimelessJaBatch::force_simd_width(width), width);
+    fm::TimelessJaBatch batch(fm::BatchMath::kFast);
+    std::vector<fm::TimelessJaBatch::TraceView> views;
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      fm::TimelessConfig lane_config = lanes[i].config;
+      lane_config.substep_max = 0.0;
+      batch.add_lane(lanes[i].params, lane_config);
+      views.push_back({traces[i].h.data(), traces[i].dh.data(),
+                       traces[i].rows()});
+    }
+    std::vector<std::vector<fm::BhPoint>> points;
+    batch.run_traces(views, points);
+    return std::make_pair(std::move(points), std::move(batch));
+  };
+
+  const auto widths = fm::TimelessJaBatch::available_simd_widths();
+  auto [ref_points, ref_batch] = run_at_width(widths.front());
+  for (std::size_t k = 1; k < widths.size(); ++k) {
+    auto [points, batch] = run_at_width(widths[k]);
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      ASSERT_EQ(points[i].size(), ref_points[i].size())
+          << "width " << widths[k] << " lane " << i;
+      for (std::size_t j = 0; j < points[i].size(); ++j) {
+        ASSERT_EQ(points[i][j].h, ref_points[i][j].h)
+            << "width " << widths[k] << " lane " << i << " row " << j;
+        ASSERT_EQ(points[i][j].m, ref_points[i][j].m)
+            << "width " << widths[k] << " lane " << i << " row " << j;
+        ASSERT_EQ(points[i][j].b, ref_points[i][j].b)
+            << "width " << widths[k] << " lane " << i << " row " << j;
+      }
+      EXPECT_EQ(batch.state(i).m_irr, ref_batch.state(i).m_irr);
+      EXPECT_EQ(batch.state(i).m_total, ref_batch.state(i).m_total);
+      EXPECT_EQ(batch.last_slope(i), ref_batch.last_slope(i));
+      EXPECT_EQ(batch.stats(i).slope_clamps, ref_batch.stats(i).slope_clamps);
+      EXPECT_EQ(batch.stats(i).direction_clamps,
+                ref_batch.stats(i).direction_clamps);
+    }
+  }
+  fm::TimelessJaBatch::force_simd_width(0);
 }
