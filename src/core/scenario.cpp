@@ -122,4 +122,22 @@ ScenarioResult run_scenario(const Scenario& scenario) {
   return result;
 }
 
+std::vector<Scenario> scenarios_for_parameters(
+    std::span<const mag::JaParameters> params,
+    const mag::TimelessConfig& config, const wave::HSweep& sweep,
+    std::string_view name_prefix) {
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Scenario s;
+    s.name = std::string(name_prefix) + std::to_string(i);
+    s.params = params[i];
+    s.config = config;
+    s.drive = sweep;
+    s.frontend = Frontend::kDirect;
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
 }  // namespace ferro::core

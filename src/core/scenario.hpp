@@ -10,7 +10,9 @@
 #include <cstddef>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <variant>
 
 #include "analysis/loop_metrics.hpp"
@@ -79,5 +81,15 @@ struct ScenarioResult {
 /// SoA lane blocks so both report windows identically.
 void fill_metrics(ScenarioResult& result,
                   const std::optional<MetricsWindow>& window);
+
+/// Maps candidate parameter sets onto a homogeneous kDirect batch sharing
+/// one discretisation and one excitation — the shape run_packed turns into
+/// pure SoA lane blocks with no per-scenario fallback. This is how the
+/// parameter-identification layer (src/fit) evaluates a whole optimizer
+/// generation as a single batch. Scenario i is named "<prefix><i>".
+[[nodiscard]] std::vector<Scenario> scenarios_for_parameters(
+    std::span<const mag::JaParameters> params,
+    const mag::TimelessConfig& config, const wave::HSweep& sweep,
+    std::string_view name_prefix = "candidate/");
 
 }  // namespace ferro::core

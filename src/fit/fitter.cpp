@@ -1,0 +1,198 @@
+#include "fit/fitter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "core/batch_runner.hpp"
+#include "core/scenario.hpp"
+#include "fit/optimizer.hpp"
+
+namespace ferro::fit {
+
+namespace {
+
+constexpr std::size_t kDim = 5;  // (ms, a, k, c, alpha)
+
+/// Steepness of the out-of-box penalty [T per unit of normalised
+/// violation]: large against any physical flux residual (a few tesla at
+/// most), so the simplex is pushed back into the box within a step or two,
+/// yet finite and smooth so Nelder-Mead can still rank exterior points.
+constexpr double kPenaltyScale = 10.0;
+
+struct Encoding {
+  FitBounds bounds;
+
+  [[nodiscard]] static double log_encode(double v, double lo, double hi) {
+    return std::log(v / lo) / std::log(hi / lo);
+  }
+  [[nodiscard]] static double log_decode(double x, double lo, double hi) {
+    return lo * std::pow(hi / lo, std::clamp(x, 0.0, 1.0));
+  }
+
+  [[nodiscard]] std::vector<double> encode(const mag::JaParameters& p) const {
+    return {log_encode(p.ms, bounds.ms_lo, bounds.ms_hi),
+            log_encode(p.a, bounds.a_lo, bounds.a_hi),
+            log_encode(p.k, bounds.k_lo, bounds.k_hi),
+            (p.c - bounds.c_lo) / (bounds.c_hi - bounds.c_lo),
+            log_encode(p.alpha, bounds.alpha_lo, bounds.alpha_hi)};
+  }
+
+  /// Decodes normalised coordinates into a valid parameter set (coordinates
+  /// clamp into the box); non-identified fields come from `tmpl`.
+  [[nodiscard]] mag::JaParameters decode(const std::vector<double>& x,
+                                         const mag::JaParameters& tmpl) const {
+    mag::JaParameters p = tmpl;
+    p.ms = log_decode(x[0], bounds.ms_lo, bounds.ms_hi);
+    p.a = log_decode(x[1], bounds.a_lo, bounds.a_hi);
+    p.k = log_decode(x[2], bounds.k_lo, bounds.k_hi);
+    p.c = bounds.c_lo +
+          std::clamp(x[3], 0.0, 1.0) * (bounds.c_hi - bounds.c_lo);
+    p.alpha = log_decode(x[4], bounds.alpha_lo, bounds.alpha_hi);
+    return p;
+  }
+
+  /// Smooth exterior penalty: linear in the total box violation.
+  [[nodiscard]] static double penalty(const std::vector<double>& x) {
+    double viol = 0.0;
+    for (const double xi : x) {
+      viol += std::max(0.0, -xi) + std::max(0.0, xi - 1.0);
+    }
+    return kPenaltyScale * viol;
+  }
+
+  [[nodiscard]] bool valid() const {
+    return 0.0 < bounds.ms_lo && bounds.ms_lo < bounds.ms_hi &&
+           0.0 < bounds.a_lo && bounds.a_lo < bounds.a_hi &&
+           0.0 < bounds.k_lo && bounds.k_lo < bounds.k_hi &&
+           0.0 <= bounds.c_lo && bounds.c_lo < bounds.c_hi &&
+           bounds.c_hi < 1.0 && 0.0 < bounds.alpha_lo &&
+           bounds.alpha_lo < bounds.alpha_hi;
+  }
+};
+
+/// One multistart instance and its restart budget.
+struct Instance {
+  NelderMead nm;
+  int restarts_left = 0;
+  double scale = 0.0;
+  bool done = false;
+  bool converged_once = false;
+};
+
+}  // namespace
+
+FitResult fit_ja_parameters(const FitObjective& objective,
+                            const FitOptions& options) {
+  const Encoding enc{options.bounds};
+  if (!enc.valid()) {
+    throw std::invalid_argument("fit_ja_parameters: malformed bounds");
+  }
+  if (options.multistarts < 1) {
+    throw std::invalid_argument("fit_ja_parameters: multistarts < 1");
+  }
+
+  // Start points: the template first (clamped into the box), then seeded
+  // uniform positions kept away from the box faces. mt19937 with a fixed
+  // seed makes the whole placement — and with kExact evaluation the whole
+  // fit — deterministic.
+  std::mt19937 rng(options.seed);
+  std::uniform_real_distribution<double> uniform(0.15, 0.85);
+  std::vector<Instance> instances;
+  instances.reserve(static_cast<std::size_t>(options.multistarts));
+  for (int s = 0; s < options.multistarts; ++s) {
+    std::vector<double> x0(kDim);
+    if (s == 0) {
+      x0 = enc.encode(options.start);
+      for (double& xi : x0) {
+        if (!std::isfinite(xi)) xi = 0.5;
+        xi = std::clamp(xi, 0.0, 1.0);
+      }
+    } else {
+      for (double& xi : x0) xi = uniform(rng);
+    }
+    NelderMeadOptions nm_opts;
+    nm_opts.f_tol = options.f_tol;
+    nm_opts.x_tol = options.x_tol;
+    instances.push_back(Instance{
+        NelderMead(std::move(x0), options.initial_scale, nm_opts),
+        options.restarts, options.initial_scale, false, false});
+  }
+
+  core::BatchRunner runner(core::BatchOptions{options.threads});
+  FitResult result;
+  result.residual = std::numeric_limits<double>::infinity();
+
+  for (int gen = 0; gen < options.max_generations; ++gen) {
+    // Gather every live instance's pending points; converged instances
+    // spend a restart or retire.
+    std::vector<std::size_t> owner;           // flat point -> instance
+    std::vector<std::vector<double>> points;  // flat normalised coordinates
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      Instance& inst = instances[i];
+      if (inst.done) continue;
+      if (inst.nm.converged()) {
+        inst.converged_once = true;
+        if (inst.restarts_left == 0) {
+          inst.done = true;
+          continue;
+        }
+        --inst.restarts_left;
+        inst.scale *= 0.5;
+        inst.nm.restart(inst.scale);
+      }
+      for (auto& p : inst.nm.ask()) {
+        owner.push_back(i);
+        points.push_back(std::move(p));
+      }
+    }
+    if (points.empty()) break;
+
+    // Decode and evaluate the whole generation as one packed batch.
+    std::vector<mag::JaParameters> params;
+    params.reserve(points.size());
+    for (const auto& x : points) params.push_back(enc.decode(x, options.start));
+    const auto scenarios = core::scenarios_for_parameters(
+        params, objective.config(), objective.sweep(), "fit/gen/");
+    const auto evaluated = runner.run_packed(scenarios, options.math);
+    ++result.generations;
+    result.evaluations += evaluated.size();
+
+    std::vector<double> values(points.size());
+    for (std::size_t j = 0; j < evaluated.size(); ++j) {
+      const double base = evaluated[j].ok()
+                              ? objective.residual(evaluated[j].curve)
+                              : std::numeric_limits<double>::infinity();
+      values[j] = base + Encoding::penalty(points[j]);
+    }
+
+    // Route each instance's slice of values back, in ask order.
+    std::size_t cursor = 0;
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+      std::vector<double> mine;
+      for (std::size_t j = cursor; j < owner.size() && owner[j] == i; ++j) {
+        mine.push_back(values[j]);
+      }
+      if (mine.empty()) continue;
+      cursor += mine.size();
+      instances[i].nm.tell(mine);
+    }
+  }
+
+  // Winner: smallest incumbent across instances.
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const Instance& inst = instances[i];
+    if (inst.nm.best_value() < result.residual) {
+      result.residual = inst.nm.best_value();
+      result.params = enc.decode(inst.nm.best(), options.start);
+      result.winning_start = static_cast<int>(i);
+      result.converged = inst.converged_once || inst.nm.converged();
+    }
+  }
+  return result;
+}
+
+}  // namespace ferro::fit

@@ -1,0 +1,78 @@
+// fit_ja_parameters — batch-powered identification of the JA parameter set.
+//
+// Forward problem: parameters -> BH loop (what the rest of the repo does).
+// This layer solves the inverse: given a measured loop, find (Ms, a, k, c,
+// alpha) whose simulated loop matches it. The search runs M independent
+// Nelder-Mead instances (multistart, deterministic seeding) in lockstep;
+// every generation gathers each instance's pending trial points, decodes
+// them into parameter sets, and evaluates the whole generation as ONE
+// homogeneous kDirect batch through BatchRunner::run_packed — the SoA
+// kernel treats an optimizer generation exactly like any other material
+// sweep. With BatchMath::kExact the evaluations are bitwise identical to
+// the serial model whatever the thread count, so a fit is reproducible
+// across machines and --threads settings; kFast trades bounded error for
+// speed.
+//
+// Search space: ms, a, k, alpha span decades, so they are encoded
+// log-uniformly over their bounds; c is bounded in [0, 1) and encoded
+// linearly. All five coordinates are normalised to [0, 1], decoded with a
+// clamp, and penalised smoothly outside the box so the unconstrained
+// simplex is steered back instead of wandering.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fit/objective.hpp"
+#include "mag/ja_params.hpp"
+#include "mag/timeless_ja_batch.hpp"
+
+namespace ferro::fit {
+
+/// Box bounds of the identified parameters. ms/a/k/alpha are searched in
+/// log space (their plausible ranges span decades), c linearly.
+struct FitBounds {
+  double ms_lo = 1e4, ms_hi = 1e7;        ///< [A/m]
+  double a_lo = 10.0, a_hi = 1e5;         ///< [A/m]
+  double k_lo = 10.0, k_hi = 1e5;         ///< [A/m]
+  double c_lo = 0.0, c_hi = 0.95;         ///< [-]
+  double alpha_lo = 1e-6, alpha_hi = 0.1; ///< [-]
+};
+
+struct FitOptions {
+  FitBounds bounds;
+  /// Independent Nelder-Mead instances searching in parallel. The first
+  /// starts from `start` (when inside the bounds), the rest from
+  /// deterministic seeded positions.
+  int multistarts = 6;
+  /// Simplex re-seeds around the incumbent after convergence, each at half
+  /// the previous edge length (escapes collapsed simplices).
+  int restarts = 2;
+  /// Generation cap across the whole fit (one generation = one run_packed
+  /// batch covering every live instance).
+  int max_generations = 1500;
+  double f_tol = 1e-14;         ///< simplex value-spread tolerance [T]
+  double x_tol = 1e-10;         ///< simplex diameter tolerance (normalised)
+  double initial_scale = 0.15;  ///< first simplex edge (normalised coords)
+  unsigned threads = 0;         ///< BatchRunner workers (0 = hardware)
+  mag::BatchMath math = mag::BatchMath::kExact;
+  std::uint32_t seed = 2006;    ///< multistart placement seed
+  /// Template for the non-identified fields (anhysteretic kind, a2, blend)
+  /// and the first instance's starting point.
+  mag::JaParameters start;
+};
+
+struct FitResult {
+  mag::JaParameters params;     ///< best parameter set found
+  double residual = 0.0;        ///< objective at `params` [T RMS]
+  std::size_t generations = 0;  ///< run_packed batches executed
+  std::size_t evaluations = 0;  ///< forward curves simulated
+  int winning_start = -1;       ///< which multistart produced `params`
+  bool converged = false;       ///< the winner's simplex met the tolerances
+};
+
+/// Runs the multistart Nelder-Mead search against `objective`.
+[[nodiscard]] FitResult fit_ja_parameters(const FitObjective& objective,
+                                          const FitOptions& options = {});
+
+}  // namespace ferro::fit

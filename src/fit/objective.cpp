@@ -1,0 +1,183 @@
+#include "fit/objective.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "util/interp.hpp"
+#include "util/stats.hpp"
+
+namespace ferro::fit {
+
+namespace {
+
+/// Extracts the [begin, end] slice of (h, b) as an ascending-x table for
+/// lerp_at: a falling branch is reversed, and samples that do not advance
+/// the field (a stalled acquisition, or the sweep's exact turning sample)
+/// are dropped so xs stays strictly increasing.
+void ascending_branch(const std::vector<double>& h, const std::vector<double>& b,
+                      std::size_t begin, std::size_t end,
+                      std::vector<double>& xs, std::vector<double>& ys) {
+  xs.clear();
+  ys.clear();
+  const bool rising = h[end] >= h[begin];
+  const auto push = [&](std::size_t i) {
+    if (!xs.empty() && h[i] <= xs.back()) return;
+    xs.push_back(h[i]);
+    ys.push_back(b[i]);
+  };
+  if (rising) {
+    for (std::size_t i = begin; i <= end; ++i) push(i);
+  } else {
+    for (std::size_t i = end + 1; i-- > begin;) push(i);
+  }
+}
+
+}  // namespace
+
+FitObjective::FitObjective(const mag::BhCurve& target,
+                           mag::TimelessConfig config,
+                           FitObjectiveOptions options)
+    : FitObjective(target.h_values(), target.b_values(), config, options) {}
+
+FitObjective::FitObjective(std::vector<double> h, std::vector<double> b,
+                           mag::TimelessConfig config,
+                           FitObjectiveOptions options)
+    : config_(config), options_(options) {
+  if (h.size() != b.size()) {
+    throw std::invalid_argument("fit target: h and b column sizes differ");
+  }
+  if (h.size() < 2) {
+    throw std::invalid_argument("fit target: needs at least two samples");
+  }
+  if (options_.grid_per_segment < 2) {
+    throw std::invalid_argument("fit objective: grid_per_segment must be >= 2");
+  }
+  for (const double v : h) {
+    if (!std::isfinite(v)) {
+      throw std::invalid_argument("fit target: non-finite field sample");
+    }
+    h_max_ = std::max(h_max_, std::fabs(v));
+  }
+  if (h_max_ == 0.0) {
+    throw std::invalid_argument("fit target: field is identically zero");
+  }
+
+  sweep_.h = std::move(h);
+  sweep_.turning_points = wave::find_turning_points(sweep_.h);
+
+  // Branch boundaries: start, every turning point, end.
+  std::vector<std::size_t> bounds;
+  bounds.push_back(0);
+  for (const std::size_t t : sweep_.turning_points) {
+    if (t > bounds.back() && t < sweep_.h.size() - 1) bounds.push_back(t);
+  }
+  bounds.push_back(sweep_.h.size() - 1);
+
+  const FitWeights& w = options_.weights;
+  uniform_weights_ = w.tip == 1.0 && w.coercive == 1.0;
+  std::vector<double> xs, ys;
+  for (std::size_t s = 0; s + 1 < bounds.size(); ++s) {
+    Segment seg;
+    seg.begin = bounds[s];
+    seg.end = bounds[s + 1];
+    ascending_branch(sweep_.h, b, seg.begin, seg.end, xs, ys);
+    if (xs.size() < 2) {
+      throw std::invalid_argument(
+          "fit target: a branch has fewer than two distinct field values");
+    }
+    seg.grid_begin = grid_h_.size();
+    const auto grid =
+        util::linspace(xs.front(), xs.back(), options_.grid_per_segment);
+    for (const double hq : grid) {
+      grid_h_.push_back(hq);
+      target_b_.push_back(util::lerp_at(xs, ys, hq));
+      const double ah = std::fabs(hq);
+      double weight = 1.0;
+      if (ah >= w.tip_fraction * h_max_) {
+        weight = w.tip;
+      } else if (ah <= w.coercive_fraction * h_max_) {
+        weight = w.coercive;
+      }
+      grid_weight_.push_back(weight);
+      weight_sum_ += weight;
+    }
+    seg.grid_end = grid_h_.size();
+    segments_.push_back(seg);
+  }
+  if (weight_sum_ <= 0.0) {
+    throw std::invalid_argument("fit objective: weights sum to zero");
+  }
+}
+
+core::Scenario FitObjective::scenario(const mag::JaParameters& params,
+                                      std::string name) const {
+  core::Scenario s;
+  s.name = std::move(name);
+  s.params = params;
+  s.config = config_;
+  s.drive = sweep_;
+  s.frontend = core::Frontend::kDirect;
+  return s;
+}
+
+void FitObjective::resample_segment(const Segment& segment,
+                                    const std::vector<double>& h,
+                                    const std::vector<double>& b,
+                                    std::vector<double>& out) const {
+  std::vector<double> xs, ys;
+  ascending_branch(h, b, segment.begin, segment.end, xs, ys);
+  for (std::size_t g = segment.grid_begin; g < segment.grid_end; ++g) {
+    out[g] = util::lerp_at(xs, ys, grid_h_[g]);
+  }
+}
+
+double FitObjective::residual(const mag::BhCurve& candidate) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (candidate.size() != sweep_.size()) return kInf;
+
+  const std::vector<double> h = candidate.h_values();
+  const std::vector<double> b = candidate.b_values();
+  std::vector<double> resampled(grid_h_.size());
+  for (const Segment& seg : segments_) resample_segment(seg, h, b, resampled);
+
+  if (uniform_weights_) {
+    // The unweighted score is exactly the RMS flux difference over the grid;
+    // use the shared primitive so the fit and the analysis layer agree.
+    const double r = util::rms_diff(resampled, target_b_);
+    return std::isfinite(r) ? r : kInf;
+  }
+  double acc = 0.0;
+  for (std::size_t g = 0; g < grid_h_.size(); ++g) {
+    const double d = resampled[g] - target_b_[g];
+    acc += grid_weight_[g] * d * d;
+  }
+  const double r = std::sqrt(acc / weight_sum_);
+  return std::isfinite(r) ? r : kInf;
+}
+
+ResidualReport FitObjective::report(const mag::BhCurve& candidate) const {
+  ResidualReport rep;
+  rep.weighted_rms = residual(candidate);
+  if (!std::isfinite(rep.weighted_rms)) return rep;
+
+  const std::vector<double> h = candidate.h_values();
+  const std::vector<double> b = candidate.b_values();
+  std::vector<double> resampled(grid_h_.size());
+  for (const Segment& seg : segments_) {
+    resample_segment(seg, h, b, resampled);
+    ResidualReport::Segment out;
+    out.h_begin = sweep_.h[seg.begin];
+    out.h_end = sweep_.h[seg.end];
+    const auto n = seg.grid_end - seg.grid_begin;
+    out.rms_b = util::rms_diff(
+        {resampled.data() + seg.grid_begin, n},
+        {target_b_.data() + seg.grid_begin, n});
+    rep.segments.push_back(out);
+  }
+  return rep;
+}
+
+}  // namespace ferro::fit

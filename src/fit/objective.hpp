@@ -1,0 +1,132 @@
+// FitObjective — the measurement side of JA parameter identification.
+//
+// A measured B-H loop and a candidate simulation generally sample different
+// field points (a data-acquisition system logs wherever it triggered; the
+// model emits one point per sweep sample), and B(H) is multivalued over a
+// hysteresis loop, so the two curves cannot be compared pointwise. The
+// objective splits the target at its turning points into monotone branches,
+// lays a uniform H grid over each branch, resamples target and candidate
+// onto those grids by linear interpolation, and scores the candidate as the
+// weighted RMS flux-density difference over all grid points.
+//
+// The excitation replayed into every candidate is the target's own H
+// sequence, so branch k of the candidate curve covers the same field span
+// as branch k of the target and the per-branch grids compare like with
+// like. Optional region weights emphasise the loop tips (saturation level,
+// where Ms dominates) or the coercive zone (loop width, where k dominates)
+// relative to the shoulders.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "mag/bh.hpp"
+#include "mag/ja_params.hpp"
+#include "mag/timeless_ja.hpp"
+#include "wave/sweep.hpp"
+
+namespace ferro::fit {
+
+/// Per-region emphasis of the residual. All-1 weights reduce the score to
+/// the plain RMS flux difference. Regions are classified by |H| relative to
+/// the largest target field: tips are |H| >= tip_fraction * h_max, the
+/// coercive zone is |H| <= coercive_fraction * h_max.
+struct FitWeights {
+  double tip = 1.0;               ///< weight of the near-saturation points
+  double coercive = 1.0;          ///< weight of the low-field (loop-width) points
+  double tip_fraction = 0.75;     ///< |H|/h_max above which a point is a tip
+  double coercive_fraction = 0.15;  ///< |H|/h_max below which it is coercive
+};
+
+struct FitObjectiveOptions {
+  /// Resample grid points per monotone branch of the target.
+  std::size_t grid_per_segment = 64;
+  FitWeights weights;
+};
+
+/// Residual breakdown of one candidate against the target (per monotone
+/// branch plus the aggregate) — what ferro_fit prints as its report.
+struct ResidualReport {
+  struct Segment {
+    double h_begin = 0.0;  ///< field at the branch start [A/m]
+    double h_end = 0.0;    ///< field at the branch end [A/m]
+    double rms_b = 0.0;    ///< unweighted RMS flux difference [T]
+  };
+  std::vector<Segment> segments;
+  double weighted_rms = 0.0;  ///< the value residual() returns [T]
+};
+
+class FitObjective {
+ public:
+  /// Builds the objective from measured (h, b) samples in sweep order. The
+  /// forward-model discretisation `config` is what every candidate runs
+  /// with; its default (Forward Euler, no sub-stepping) keeps the whole
+  /// generation inside run_packed's SoA subset. Throws std::invalid_argument
+  /// when the target has fewer than two samples or a non-monotone branch
+  /// that cannot be resampled.
+  FitObjective(std::vector<double> h, std::vector<double> b,
+               mag::TimelessConfig config = {}, FitObjectiveOptions options = {});
+
+  /// Convenience: target from a simulated/loaded BhCurve.
+  explicit FitObjective(const mag::BhCurve& target,
+                        mag::TimelessConfig config = {},
+                        FitObjectiveOptions options = {});
+
+  /// The excitation every candidate replays (the target's own H sequence).
+  [[nodiscard]] const wave::HSweep& sweep() const { return sweep_; }
+
+  /// The discretisation every candidate runs with.
+  [[nodiscard]] const mag::TimelessConfig& config() const { return config_; }
+
+  /// One candidate as a batch job (kDirect, packable with the default
+  /// config). Whole generations go through core::scenarios_for_parameters
+  /// with sweep() and config() instead.
+  [[nodiscard]] core::Scenario scenario(const mag::JaParameters& params,
+                                        std::string name = "candidate") const;
+
+  /// Weighted RMS flux-density difference [T] between `candidate` (sampled
+  /// at sweep()'s points, i.e. a result of scenario()) and the target.
+  /// Returns +infinity when the candidate cannot be compared (wrong sample
+  /// count or non-finite flux), so failed simulations lose to any valid fit.
+  [[nodiscard]] double residual(const mag::BhCurve& candidate) const;
+
+  /// residual() plus the per-branch breakdown.
+  [[nodiscard]] ResidualReport report(const mag::BhCurve& candidate) const;
+
+  /// Total resample grid points across all branches.
+  [[nodiscard]] std::size_t grid_size() const { return grid_h_.size(); }
+
+  /// Largest |H| of the target [A/m] (the region-weight reference).
+  [[nodiscard]] double h_max() const { return h_max_; }
+
+ private:
+  /// One monotone branch of the target: the index range [begin, end] into
+  /// the sweep and the range [grid_begin, grid_end) into the flat grids.
+  struct Segment {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t grid_begin = 0;
+    std::size_t grid_end = 0;
+  };
+
+  /// Resamples curve values `b` (sampled at sweep_.h) onto `segment`'s grid
+  /// slice, writing into out[grid_begin..grid_end).
+  void resample_segment(const Segment& segment, const std::vector<double>& h,
+                        const std::vector<double>& b,
+                        std::vector<double>& out) const;
+
+  wave::HSweep sweep_;
+  mag::TimelessConfig config_;
+  FitObjectiveOptions options_;
+  std::vector<Segment> segments_;
+  std::vector<double> grid_h_;       ///< flat resample grid (all branches)
+  std::vector<double> grid_weight_;  ///< per-grid-point region weight
+  std::vector<double> target_b_;     ///< target resampled onto grid_h_
+  double h_max_ = 0.0;
+  double weight_sum_ = 0.0;
+  bool uniform_weights_ = true;
+};
+
+}  // namespace ferro::fit

@@ -1,0 +1,210 @@
+#include "fit/optimizer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace ferro::fit {
+
+namespace {
+
+/// NaN loses every comparison in a minimiser, which would wedge the simplex
+/// ordering; map it to +inf so failed evaluations sort last deterministically.
+double sanitise(double v) {
+  return std::isnan(v) ? std::numeric_limits<double>::infinity() : v;
+}
+
+}  // namespace
+
+NelderMead::NelderMead(std::vector<double> x0, double scale,
+                       NelderMeadOptions options)
+    : dim_(x0.size()),
+      options_(options),
+      best_point_(x0),
+      best_value_(std::numeric_limits<double>::infinity()) {
+  if (dim_ == 0) throw std::invalid_argument("NelderMead: empty start point");
+  if (!(scale > 0.0)) throw std::invalid_argument("NelderMead: scale <= 0");
+  seed_simplex(x0, scale);
+}
+
+void NelderMead::seed_simplex(const std::vector<double>& centre, double scale) {
+  vertices_.clear();
+  values_.clear();
+  pending_.clear();
+  vertices_.push_back(centre);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    std::vector<double> v = centre;
+    v[i] += scale;
+    vertices_.push_back(std::move(v));
+  }
+  pending_ = vertices_;
+  stage_ = Stage::kInit;
+}
+
+std::vector<std::vector<double>> NelderMead::ask() const { return pending_; }
+
+const std::vector<double>& NelderMead::best() const { return best_point_; }
+
+double NelderMead::best_value() const { return best_value_; }
+
+void NelderMead::restart(double scale) {
+  if (!(scale > 0.0)) throw std::invalid_argument("NelderMead: scale <= 0");
+  seed_simplex(best_point_, scale);
+}
+
+std::vector<double> NelderMead::centroid_excluding_worst() const {
+  std::vector<double> c(dim_, 0.0);
+  for (std::size_t v = 0; v + 1 < vertices_.size(); ++v) {
+    for (std::size_t i = 0; i < dim_; ++i) c[i] += vertices_[v][i];
+  }
+  for (double& x : c) x /= static_cast<double>(dim_);
+  return c;
+}
+
+std::vector<double> NelderMead::affine(const std::vector<double>& from,
+                                       const std::vector<double>& to,
+                                       double t) const {
+  // from + t * (to - from)
+  std::vector<double> out(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) out[i] = from[i] + t * (to[i] - from[i]);
+  return out;
+}
+
+void NelderMead::order_and_maybe_finish() {
+  // Sort vertices best-first (stable so ties keep insertion order and the
+  // whole trajectory stays deterministic).
+  std::vector<std::size_t> idx(vertices_.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return values_[a] < values_[b];
+  });
+  std::vector<std::vector<double>> sv;
+  std::vector<double> sf;
+  sv.reserve(idx.size());
+  sf.reserve(idx.size());
+  for (const std::size_t i : idx) {
+    sv.push_back(std::move(vertices_[i]));
+    sf.push_back(values_[i]);
+  }
+  vertices_ = std::move(sv);
+  values_ = std::move(sf);
+
+  if (values_.front() < best_value_) {
+    best_value_ = values_.front();
+    best_point_ = vertices_.front();
+  }
+
+  // Convergence: value spread and simplex diameter both small.
+  const double f0 = values_.front();
+  const double f_spread = values_.back() - f0;
+  bool tight_f =
+      std::isfinite(f_spread) &&
+      f_spread <= options_.f_tol * (1.0 + std::fabs(f0));
+  bool tight_x = true;
+  for (std::size_t v = 1; v < vertices_.size() && tight_x; ++v) {
+    for (std::size_t i = 0; i < dim_; ++i) {
+      if (std::fabs(vertices_[v][i] - vertices_[0][i]) > options_.x_tol) {
+        tight_x = false;
+        break;
+      }
+    }
+  }
+  if (tight_f && tight_x) {
+    stage_ = Stage::kDone;
+    pending_.clear();
+    return;
+  }
+
+  // Next reflection.
+  const std::vector<double> c = centroid_excluding_worst();
+  reflected_ = affine(c, vertices_.back(), -options_.reflection);
+  pending_ = {reflected_};
+  stage_ = Stage::kReflect;
+}
+
+void NelderMead::tell(const std::vector<double>& values) {
+  if (values.size() != pending_.size()) {
+    throw std::invalid_argument("NelderMead::tell: value count != ask count");
+  }
+  if (stage_ == Stage::kDone) return;
+  evaluations_ += values.size();
+
+  switch (stage_) {
+    case Stage::kInit: {
+      values_.resize(values.size());
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        values_[i] = sanitise(values[i]);
+      }
+      order_and_maybe_finish();
+      break;
+    }
+    case Stage::kReflect: {
+      reflected_value_ = sanitise(values[0]);
+      if (reflected_value_ < values_.front()) {
+        // Best so far: try going further the same way.
+        const std::vector<double> c = centroid_excluding_worst();
+        pending_ = {affine(c, reflected_, options_.expansion)};
+        stage_ = Stage::kExpand;
+      } else if (reflected_value_ < values_[values_.size() - 2]) {
+        // Better than the second worst: accept the reflection.
+        vertices_.back() = reflected_;
+        values_.back() = reflected_value_;
+        order_and_maybe_finish();
+      } else {
+        // Contract toward the better of (reflected, worst).
+        const std::vector<double> c = centroid_excluding_worst();
+        const bool outside = reflected_value_ < values_.back();
+        pending_ = {outside ? affine(c, reflected_, options_.contraction)
+                            : affine(c, vertices_.back(), options_.contraction)};
+        stage_ = Stage::kContract;
+      }
+      break;
+    }
+    case Stage::kExpand: {
+      const double expanded_value = sanitise(values[0]);
+      if (expanded_value < reflected_value_) {
+        vertices_.back() = pending_[0];
+        values_.back() = expanded_value;
+      } else {
+        vertices_.back() = reflected_;
+        values_.back() = reflected_value_;
+      }
+      order_and_maybe_finish();
+      break;
+    }
+    case Stage::kContract: {
+      const double contracted_value = sanitise(values[0]);
+      const bool outside = reflected_value_ < values_.back();
+      const double bar = outside ? reflected_value_ : values_.back();
+      if (contracted_value <= bar) {
+        vertices_.back() = pending_[0];
+        values_.back() = contracted_value;
+        order_and_maybe_finish();
+      } else {
+        // Shrink everything toward the best vertex.
+        pending_.clear();
+        for (std::size_t v = 1; v < vertices_.size(); ++v) {
+          pending_.push_back(
+              affine(vertices_[0], vertices_[v], options_.shrink));
+        }
+        stage_ = Stage::kShrink;
+      }
+      break;
+    }
+    case Stage::kShrink: {
+      for (std::size_t v = 1; v < vertices_.size(); ++v) {
+        vertices_[v] = pending_[v - 1];
+        values_[v] = sanitise(values[v - 1]);
+      }
+      order_and_maybe_finish();
+      break;
+    }
+    case Stage::kDone:
+      break;
+  }
+}
+
+}  // namespace ferro::fit

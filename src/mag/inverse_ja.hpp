@@ -41,6 +41,19 @@ class InverseTimelessJa {
   /// Total scalar-solve iterations across all samples (cost observable).
   [[nodiscard]] std::uint64_t solve_iterations() const { return iterations_; }
 
+  /// True when the last apply_b() bracketed its target and met tolerance_b
+  /// (vacuously true before the first call). False means the returned field
+  /// does NOT realise the requested flux — either the bracket expansion
+  /// failed (the model then stays at its previous field rather than
+  /// committing a wrong one) or the iteration budget ran out.
+  [[nodiscard]] bool converged() const { return converged_; }
+
+  /// apply_b() calls whose bracket expansion failed outright (possible only
+  /// in the unclamped negative-slope regime, where B(H) is not monotone).
+  [[nodiscard]] std::uint64_t bracket_failures() const {
+    return bracket_failures_;
+  }
+
   void reset();
 
  private:
@@ -51,6 +64,8 @@ class InverseTimelessJa {
   InverseConfig config_;
   TimelessJa model_;
   std::uint64_t iterations_ = 0;
+  std::uint64_t bracket_failures_ = 0;
+  bool converged_ = true;
 };
 
 }  // namespace ferro::mag

@@ -158,11 +158,13 @@ double TimelessJa::apply(double h) {
     ++stats_.field_events;
 
     if (config_.substep_max > 0.0 && std::fabs(dh_total) > config_.substep_max) {
-      const auto n = static_cast<int>(
+      // int64: an inverse-solve bracket probe can span fields where the
+      // substep count exceeds INT_MAX, and the int cast was UB there.
+      const auto n = static_cast<std::int64_t>(
           std::ceil(std::fabs(dh_total) / config_.substep_max));
       const double sub = dh_total / static_cast<double>(n);
       const double h0 = state_.anchor_h;
-      for (int i = 1; i <= n; ++i) {
+      for (std::int64_t i = 1; i <= n; ++i) {
         const double h_i = h0 + sub * static_cast<double>(i);
         refresh_algebraic(h_i);
         integrate_step(h_i, sub);

@@ -11,7 +11,8 @@
 namespace ferro::util {
 
 /// Linear interpolation of y(x) at `xq`, where `xs` is strictly increasing.
-/// Values outside the range clamp to the end values.
+/// Values outside the range clamp to the end values; a NaN query propagates
+/// as NaN instead of being silently interpolated.
 [[nodiscard]] double lerp_at(std::span<const double> xs, std::span<const double> ys,
                              double xq);
 
@@ -20,7 +21,8 @@ namespace ferro::util {
                                            std::span<const double> ys,
                                            std::span<const double> xq);
 
-/// Uniformly spaced grid of `n` points spanning [lo, hi] (n >= 2).
+/// Uniformly spaced grid of `n` points spanning [lo, hi]. Degenerate counts
+/// are well-defined: n == 0 gives an empty grid, n == 1 gives {lo}.
 [[nodiscard]] std::vector<double> linspace(double lo, double hi, std::size_t n);
 
 /// Trapezoidal integral of y dx over the sampled curve. The x values need

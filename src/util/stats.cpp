@@ -25,6 +25,10 @@ void RunningStats::reset() { *this = RunningStats{}; }
 
 double RunningStats::variance() const {
   if (n_ < 2) return 0.0;
+  // Welford's m2 update is not exactly non-negative in floating point:
+  // near-identical samples around a large mean can cancel catastrophically
+  // and leave a tiny negative residue, which would make stddev() NaN.
+  if (m2_ <= 0.0) return 0.0;
   return m2_ / static_cast<double>(n_ - 1);
 }
 

@@ -14,7 +14,9 @@ class RunningStats {
 
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
-  /// Unbiased sample variance (0 for fewer than two samples).
+  /// Unbiased sample variance (0 for fewer than two samples). Clamped at 0
+  /// so floating-point cancellation can never surface a negative variance —
+  /// and stddev() therefore never returns NaN.
   [[nodiscard]] double variance() const;
   [[nodiscard]] double stddev() const;
   [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }

@@ -1,0 +1,276 @@
+// Tests for the parameter-identification layer (src/fit): the resampling
+// objective, the ask/tell Nelder-Mead core, the core batch-evaluation
+// helper, and the end-to-end acceptance property — a synthetic ground
+// truth must be recovered to 1e-3 relative on every parameter, on both
+// batch math lanes, deterministically across thread counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/batch_runner.hpp"
+#include "core/scenario.hpp"
+#include "fit/fitter.hpp"
+#include "fit/objective.hpp"
+#include "fit/optimizer.hpp"
+#include "mag/ja_params.hpp"
+#include "wave/sweep.hpp"
+
+namespace fc = ferro::core;
+namespace ff = ferro::fit;
+namespace fm = ferro::mag;
+namespace fw = ferro::wave;
+
+namespace {
+
+fm::JaParameters ground_truth() {
+  fm::JaParameters p;
+  p.ms = 1.25e6;
+  p.a = 1600.0;
+  p.k = 3200.0;
+  p.c = 0.18;
+  p.alpha = 0.0022;
+  return p;
+}
+
+fw::HSweep measurement_sweep() {
+  return fw::SweepBuilder(25.0).to(8000.0).cycles(8000.0, 1).build();
+}
+
+fm::BhCurve simulate(const fm::JaParameters& params,
+                     fm::BatchMath math = fm::BatchMath::kExact) {
+  const auto scenarios = fc::scenarios_for_parameters(
+      {&params, 1}, fm::TimelessConfig{}, measurement_sweep(), "truth/");
+  const fc::BatchRunner runner(fc::BatchOptions{1});
+  auto results = runner.run_packed(scenarios, math);
+  EXPECT_TRUE(results[0].ok()) << results[0].error;
+  return std::move(results[0].curve);
+}
+
+void expect_recovered(const fm::JaParameters& fitted,
+                      const fm::JaParameters& truth, double tol) {
+  EXPECT_NEAR(fitted.ms, truth.ms, tol * truth.ms);
+  EXPECT_NEAR(fitted.a, truth.a, tol * truth.a);
+  EXPECT_NEAR(fitted.k, truth.k, tol * truth.k);
+  EXPECT_NEAR(fitted.c, truth.c, tol * truth.c);
+  EXPECT_NEAR(fitted.alpha, truth.alpha, tol * truth.alpha);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- objective --
+
+TEST(FitObjective, ZeroResidualAgainstItself) {
+  const fm::BhCurve target = simulate(ground_truth());
+  const ff::FitObjective objective(target);
+  EXPECT_EQ(objective.residual(target), 0.0);
+  EXPECT_EQ(objective.sweep().size(), target.size());
+}
+
+TEST(FitObjective, ResidualGrowsWithParameterError) {
+  const fm::JaParameters truth = ground_truth();
+  const ff::FitObjective objective(simulate(truth));
+
+  fm::JaParameters off = truth;
+  off.ms *= 1.01;
+  const double small = objective.residual(simulate(off));
+  off.ms = truth.ms * 1.2;
+  const double large = objective.residual(simulate(off));
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, small);
+}
+
+TEST(FitObjective, SegmentsCoverTheWholeSweep) {
+  const ff::FitObjective objective(simulate(ground_truth()));
+  // Virgin rise + down branch + up branch.
+  const auto rep = objective.report(simulate(ground_truth()));
+  ASSERT_EQ(rep.segments.size(), 3u);
+  EXPECT_DOUBLE_EQ(rep.segments[0].h_begin, 0.0);
+  EXPECT_DOUBLE_EQ(rep.segments[0].h_end, 8000.0);
+  EXPECT_DOUBLE_EQ(rep.segments[1].h_end, -8000.0);
+  EXPECT_DOUBLE_EQ(rep.segments[2].h_end, 8000.0);
+  EXPECT_EQ(rep.weighted_rms, 0.0);
+}
+
+TEST(FitObjective, RegionWeightsEmphasiseTheTips) {
+  const fm::JaParameters truth = ground_truth();
+  const fm::BhCurve target = simulate(truth);
+
+  // A candidate wrong mostly in saturation level: tips disagree, coercive
+  // zone is close. Weighting the tips up must raise the score relative to
+  // weighting them down.
+  fm::JaParameters off = truth;
+  off.ms *= 1.1;
+  const fm::BhCurve candidate = simulate(off);
+
+  ff::FitObjectiveOptions tips_up;
+  tips_up.weights.tip = 10.0;
+  ff::FitObjectiveOptions tips_down;
+  tips_down.weights.coercive = 10.0;
+  const ff::FitObjective obj_up(target, {}, tips_up);
+  const ff::FitObjective obj_down(target, {}, tips_down);
+  EXPECT_GT(obj_up.residual(candidate), obj_down.residual(candidate));
+}
+
+TEST(FitObjective, MismatchedCandidateScoresInfinite) {
+  const ff::FitObjective objective(simulate(ground_truth()));
+  fm::BhCurve short_curve;
+  short_curve.append(0.0, 0.0, 0.0);
+  short_curve.append(1.0, 0.0, 0.0);
+  EXPECT_TRUE(std::isinf(objective.residual(short_curve)));
+}
+
+TEST(FitObjective, RejectsDegenerateTargets) {
+  EXPECT_THROW(ff::FitObjective({1.0}, {0.5}), std::invalid_argument);
+  EXPECT_THROW(ff::FitObjective({1.0, 2.0}, {0.5}), std::invalid_argument);
+  EXPECT_THROW(ff::FitObjective({0.0, 0.0, 0.0}, {0.1, 0.2, 0.3}),
+               std::invalid_argument);
+}
+
+TEST(FitObjective, ScenarioIsPackable) {
+  const ff::FitObjective objective(simulate(ground_truth()));
+  const fc::Scenario s = objective.scenario(ground_truth());
+  EXPECT_TRUE(fc::BatchRunner::packable(s));
+}
+
+// -------------------------------------------------- core batch helper ----
+
+TEST(ScenariosForParameters, BuildsHomogeneousPackableBatch) {
+  const std::vector<fm::JaParameters> params(7, ground_truth());
+  const auto scenarios = fc::scenarios_for_parameters(
+      params, fm::TimelessConfig{}, measurement_sweep(), "gen/");
+  ASSERT_EQ(scenarios.size(), 7u);
+  EXPECT_EQ(scenarios.front().name, "gen/0");
+  EXPECT_EQ(scenarios.back().name, "gen/6");
+  for (const auto& s : scenarios) {
+    EXPECT_EQ(s.frontend, fc::Frontend::kDirect);
+    EXPECT_TRUE(fc::BatchRunner::packable(s));
+  }
+}
+
+// -------------------------------------------------------------- optimizer --
+
+TEST(NelderMead, MinimisesAShiftedQuadratic) {
+  // f(x) = |x - t|^2 with t = (0.3, -1.2, 2.5).
+  const std::vector<double> t = {0.3, -1.2, 2.5};
+  ff::NelderMead nm({0.0, 0.0, 0.0}, 0.5);
+  int safety = 0;
+  while (!nm.converged() && ++safety < 2000) {
+    const auto points = nm.ask();
+    std::vector<double> values;
+    for (const auto& x : points) {
+      double f = 0.0;
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        f += (x[i] - t[i]) * (x[i] - t[i]);
+      }
+      values.push_back(f);
+    }
+    nm.tell(values);
+  }
+  ASSERT_TRUE(nm.converged());
+  EXPECT_LT(nm.best_value(), 1e-10);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_NEAR(nm.best()[i], t[i], 1e-4);
+  }
+}
+
+TEST(NelderMead, TreatsNanAsWorstInsteadOfWedging) {
+  // A NaN pocket in the objective must not poison the ordering.
+  ff::NelderMead nm({1.0, 1.0}, 0.4);
+  int safety = 0;
+  while (!nm.converged() && ++safety < 2000) {
+    const auto points = nm.ask();
+    std::vector<double> values;
+    for (const auto& x : points) {
+      const double f = x[0] * x[0] + x[1] * x[1];
+      values.push_back(f < 0.01 ? std::nan("") : f);
+    }
+    nm.tell(values);
+  }
+  ASSERT_TRUE(nm.converged());
+  EXPECT_TRUE(std::isfinite(nm.best_value()));
+  EXPECT_GE(nm.best_value(), 0.01 - 1e-6);
+}
+
+TEST(NelderMead, RestartKeepsTheIncumbent) {
+  ff::NelderMead nm({0.0}, 0.25);
+  const auto quad = [](const std::vector<double>& x) {
+    return (x[0] - 2.0) * (x[0] - 2.0);
+  };
+  int safety = 0;
+  while (!nm.converged() && ++safety < 500) {
+    std::vector<double> values;
+    for (const auto& x : nm.ask()) values.push_back(quad(x));
+    nm.tell(values);
+  }
+  const double best_before = nm.best_value();
+  nm.restart(0.1);
+  EXPECT_FALSE(nm.converged());
+  EXPECT_EQ(nm.best_value(), best_before);  // incumbent survives the re-seed
+}
+
+// ----------------------------------------------------------- end to end ---
+
+TEST(FitJaParameters, RecoversGroundTruthExact) {
+  const fm::JaParameters truth = ground_truth();
+  const ff::FitObjective objective(simulate(truth));
+  const ff::FitResult result = ff::fit_ja_parameters(objective, {});
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.residual, 1e-8);
+  expect_recovered(result.params, truth, 1e-3);
+}
+
+TEST(FitJaParameters, RecoversGroundTruthFastMathLane) {
+  // Self-consistent on the FastMath lane: the target is generated with
+  // kFast too, so the model can reach residual 0 and the acceptance bound
+  // applies unchanged.
+  const fm::JaParameters truth = ground_truth();
+  const ff::FitObjective objective(simulate(truth, fm::BatchMath::kFast));
+  ff::FitOptions options;
+  options.math = fm::BatchMath::kFast;
+  const ff::FitResult result = ff::fit_ja_parameters(objective, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.residual, 1e-8);
+  expect_recovered(result.params, truth, 1e-3);
+}
+
+TEST(FitJaParameters, DeterministicAcrossThreadCounts) {
+  // The whole fit — placement RNG, simplex arithmetic, and kExact packed
+  // evaluation — is thread-count invariant, so every field of the result
+  // must match bitwise between serial, 4 workers, and hardware concurrency.
+  const ff::FitObjective objective(simulate(ground_truth()));
+  ff::FitOptions options;
+  options.multistarts = 3;
+  options.restarts = 0;
+  options.max_generations = 80;
+
+  ff::FitOptions serial = options;
+  serial.threads = 1;
+  const ff::FitResult base = ff::fit_ja_parameters(objective, serial);
+  for (const unsigned threads : {4u, 0u}) {
+    ff::FitOptions opt = options;
+    opt.threads = threads;
+    const ff::FitResult r = ff::fit_ja_parameters(objective, opt);
+    EXPECT_EQ(r.params.ms, base.params.ms) << "threads=" << threads;
+    EXPECT_EQ(r.params.a, base.params.a) << "threads=" << threads;
+    EXPECT_EQ(r.params.k, base.params.k) << "threads=" << threads;
+    EXPECT_EQ(r.params.c, base.params.c) << "threads=" << threads;
+    EXPECT_EQ(r.params.alpha, base.params.alpha) << "threads=" << threads;
+    EXPECT_EQ(r.residual, base.residual) << "threads=" << threads;
+    EXPECT_EQ(r.evaluations, base.evaluations) << "threads=" << threads;
+    EXPECT_EQ(r.winning_start, base.winning_start) << "threads=" << threads;
+  }
+}
+
+TEST(FitJaParameters, RejectsMalformedOptions) {
+  const ff::FitObjective objective(simulate(ground_truth()));
+  ff::FitOptions bad_bounds;
+  bad_bounds.bounds.ms_lo = -1.0;
+  EXPECT_THROW((void)ff::fit_ja_parameters(objective, bad_bounds),
+               std::invalid_argument);
+  ff::FitOptions no_starts;
+  no_starts.multistarts = 0;
+  EXPECT_THROW((void)ff::fit_ja_parameters(objective, no_starts),
+               std::invalid_argument);
+}

@@ -99,6 +99,81 @@ TEST(InverseJa, IterationCountStaysModest) {
   EXPECT_LT(per_sample, 40.0);
 }
 
+TEST(InverseJa, ConvergedFlagTracksEverySolve) {
+  fm::InverseTimelessJa inv(fm::paper_parameters(), test_config());
+  EXPECT_TRUE(inv.converged());  // vacuously true before the first solve
+  for (const double b : {0.5, 1.4, -1.0, 0.0}) {
+    inv.apply_b(b);
+    EXPECT_TRUE(inv.converged()) << "target " << b;
+  }
+  EXPECT_EQ(inv.bracket_failures(), 0u);
+}
+
+TEST(InverseJa, SurfacesBracketFailureNearSaturationInUnclampedRegime) {
+  // Regression: the raw (unclamped) model with alpha*ms > k is the
+  // negative-slope regime, where a downward trial from near saturation
+  // *raises* the trial magnetisation faster than H falls — B recedes from
+  // the target as the probe advances, so no finite expansion brackets it.
+  // The old fixed-stride expansion (8 rounds of the same mu0 stride) fell
+  // off the end of its loop and silently committed a field whose flux was
+  // off by thousands of tesla. The solve must now surface the failure and
+  // leave the committed state untouched.
+  fm::JaParameters p = fm::paper_parameters();
+  p.k = 2000.0;  // coupling_field() = alpha*ms = 4800 > k
+  fm::InverseConfig cfg;
+  cfg.forward.dhmax = 10.0;
+  cfg.forward.substep_max = 25.0;  // trial resolution: coarser than dhmax
+  cfg.forward.clamp_negative_slope = false;
+  cfg.forward.clamp_direction = false;
+  fm::InverseTimelessJa inv(p, cfg);
+
+  // Drive near saturation through the solver's own commit path; the upward
+  // branch is well-posed even without the clamps.
+  for (double b = 0.1; b <= 1.3 + 1e-12; b += 0.1) {
+    inv.apply_b(b);
+    ASSERT_TRUE(inv.converged()) << "pre-drive target " << b;
+  }
+  inv.apply_b(1.35);
+  ASSERT_TRUE(inv.converged());
+  const double h_before = inv.field();
+  const double b_before = inv.flux_density();
+
+  // The near-saturation downward target that previously failed to bracket.
+  const double h = inv.apply_b(0.0);
+  EXPECT_FALSE(inv.converged());
+  EXPECT_EQ(inv.bracket_failures(), 1u);
+  EXPECT_DOUBLE_EQ(h, h_before);  // no commit happened
+  EXPECT_DOUBLE_EQ(inv.field(), h_before);
+  EXPECT_DOUBLE_EQ(inv.flux_density(), b_before);
+
+  // From the intact state the solver still serves well-posed targets.
+  inv.apply_b(1.4);
+  EXPECT_TRUE(inv.converged());
+  EXPECT_NEAR(inv.flux_density(), 1.4, 1e-6);
+}
+
+TEST(InverseJa, BracketFailureLeavesModelAtPresentField) {
+  // Force an unbracketable solve: a NaN target can never satisfy the
+  // bracket predicate, so apply_b must report failure and keep the model's
+  // committed state instead of driving it somewhere arbitrary.
+  fm::InverseTimelessJa inv(fm::paper_parameters(), test_config());
+  inv.apply_b(1.0);
+  const double h_before = inv.field();
+  const double b_before = inv.flux_density();
+
+  const double h = inv.apply_b(std::nan(""));
+  EXPECT_FALSE(inv.converged());
+  EXPECT_EQ(inv.bracket_failures(), 1u);
+  EXPECT_DOUBLE_EQ(h, h_before);
+  EXPECT_DOUBLE_EQ(inv.field(), h_before);
+  EXPECT_DOUBLE_EQ(inv.flux_density(), b_before);
+
+  // The solver recovers on the next well-posed target.
+  inv.apply_b(0.5);
+  EXPECT_TRUE(inv.converged());
+  EXPECT_NEAR(inv.flux_density(), 0.5, 1e-6);
+}
+
 TEST(InverseJa, WorksAcrossMaterials) {
   for (const auto& material : fm::material_library()) {
     fm::InverseConfig cfg;

@@ -116,6 +116,34 @@ TEST(Stats, RunningStatsEmptyAndReset) {
   EXPECT_EQ(s.count(), 0u);
 }
 
+TEST(Stats, RunningStatsCatastrophicCancellationNeverNansStddev) {
+  // Near-identical samples around a huge mean: the squared deviations are
+  // ~30 orders of magnitude below mean^2, the regime where a sum-of-squares
+  // accumulator cancels catastrophically. The Welford accumulator plus the
+  // variance() clamp must keep variance >= 0 and stddev finite (not NaN)
+  // for every prefix of the stream.
+  fu::RunningStats s;
+  const double base = 1e15;
+  const double ulp = std::nextafter(base, 2.0 * base) - base;
+  const double jitter[] = {0.0, ulp, -ulp, 0.0, 2.0 * ulp, ulp, -2.0 * ulp,
+                           0.0, -ulp, ulp};
+  for (const double j : jitter) {
+    s.add(base + j);
+    EXPECT_GE(s.variance(), 0.0);
+    EXPECT_FALSE(std::isnan(s.stddev()));
+    EXPECT_TRUE(std::isfinite(s.stddev()));
+  }
+  // All samples within a few ulps of base: stddev must reflect that scale.
+  EXPECT_LE(s.stddev(), 4.0 * ulp);
+}
+
+TEST(Stats, RunningStatsIdenticalLargeSamplesHaveZeroVariance) {
+  fu::RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1.0e18 + 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
 TEST(Stats, RmsAndDiffs) {
   const std::vector<double> a = {3.0, 4.0};
   const std::vector<double> b = {0.0, 0.0};
@@ -150,6 +178,35 @@ TEST(Interp, Linspace) {
   EXPECT_DOUBLE_EQ(g.front(), -1.0);
   EXPECT_DOUBLE_EQ(g[2], 0.0);
   EXPECT_DOUBLE_EQ(g.back(), 1.0);
+}
+
+TEST(Interp, LinspaceDegenerateCountsAreWellDefined) {
+  // Release-mode regression: n == 0 used to underflow n - 1 and call
+  // .back() on an empty vector (UB); n == 1 divided the span by zero.
+  EXPECT_TRUE(fu::linspace(0.0, 1.0, 0).empty());
+  const auto one = fu::linspace(3.5, 9.0, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one.front(), 3.5);
+  const auto two = fu::linspace(-2.0, 2.0, 2);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_DOUBLE_EQ(two.front(), -2.0);
+  EXPECT_DOUBLE_EQ(two.back(), 2.0);
+}
+
+TEST(Interp, LerpPropagatesNanQueries) {
+  // A NaN query compares false against every grid point; it used to fall
+  // through the clamp branches into upper_bound (unordered predicate, index
+  // underflow). It must come back as NaN, not as a silently interpolated
+  // value.
+  const std::vector<double> xs = {0.0, 1.0, 2.0};
+  const std::vector<double> ys = {0.0, 10.0, 40.0};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(fu::lerp_at(xs, ys, nan)));
+  const auto out = fu::resample(xs, ys, std::vector<double>{0.5, nan, 1.5});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 5.0);
+  EXPECT_TRUE(std::isnan(out[1]));
+  EXPECT_DOUBLE_EQ(out[2], 25.0);
 }
 
 TEST(Interp, TrapezoidIntegral) {
