@@ -14,7 +14,9 @@
 // (backpressure pressure-test).
 #include <sys/resource.h>
 
+#include <chrono>
 #include <cstdio>
+#include <utility>
 
 #include "bench_common.hpp"
 #include "core/batch_runner.hpp"
@@ -151,6 +153,60 @@ void bm_stream_ordered(benchmark::State& state) {
 }
 BENCHMARK(bm_stream_ordered)
     ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/// Cancels the shared token on its first delivery and timestamps the
+/// moment, so the harness can measure cancel() -> return drain latency.
+class CancelOnFirstSink : public core::ResultSink {
+ public:
+  explicit CancelOnFirstSink(core::CancelToken token)
+      : token_(std::move(token)) {}
+  void on_result(std::size_t, core::ScenarioResult&&) override {
+    if (!fired_) {
+      fired_ = true;
+      cancelled_at_ = std::chrono::steady_clock::now();
+      token_.cancel();
+    }
+  }
+  [[nodiscard]] std::chrono::steady_clock::time_point cancelled_at() const {
+    return cancelled_at_;
+  }
+
+ private:
+  core::CancelToken token_;
+  bool fired_ = false;
+  std::chrono::steady_clock::time_point cancelled_at_{};
+};
+
+void bm_stream_cancellation_latency(benchmark::State& state) {
+  // Robustness telemetry: how long a cancelled batch takes to DRAIN — from
+  // the token firing (first delivery) to run_streaming returning with every
+  // index delivered. The drain_ms counter is the cancellation latency; the
+  // iteration time itself is dominated by the one computed chunk per worker
+  // that cooperative cancellation lets finish.
+  const auto scenarios = workload(256, 1500);
+  const core::BatchRunner runner({.threads = 0});
+  double drain_s = 0.0;
+  std::size_t cancelled_jobs = 0;
+  for (auto _ : state) {
+    core::RunLimits limits;
+    CancelOnFirstSink sink(limits.cancel);
+    auto summary = runner.run_streaming(scenarios, sink, {}, limits);
+    drain_s += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - sink.cancelled_at())
+                   .count();
+    cancelled_jobs += summary.cancelled_jobs;
+    benchmark::DoNotOptimize(summary);
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["drain_ms"] =
+      benchmark::Counter(1e3 * drain_s / iters);
+  state.counters["cancelled_jobs"] =
+      benchmark::Counter(static_cast<double>(cancelled_jobs) / iters);
+}
+BENCHMARK(bm_stream_cancellation_latency)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();

@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
       core::scenarios_for_parameters({&truth, 1}, config, sweep, "truth/")[0]);
   if (!measured.ok()) {
     std::fprintf(stderr, "synthetic measurement failed: %s\n",
-                 measured.error.c_str());
+                 measured.error.message().c_str());
     return 1;
   }
   std::printf("synthetic measurement: %zu samples to %.0f A/m\n",

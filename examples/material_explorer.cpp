@@ -33,7 +33,7 @@ void print_header() {
 
 void print_row(const ferro::core::ScenarioResult& r) {
   if (!r.ok()) {
-    std::printf("%-20s FAILED: %s\n", r.name.c_str(), r.error.c_str());
+    std::printf("%-20s FAILED: %s\n", r.name.c_str(), r.error.message().c_str());
     return;
   }
   std::printf("%-20s %10.3f %10.3f %12.1f %14.1f %14llu\n", r.name.c_str(),

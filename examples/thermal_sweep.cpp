@@ -46,7 +46,7 @@ int main() {
           [&](std::size_t j, const core::ScenarioResult& r) {
             const double t = temperatures[j];
             if (!r.ok()) {
-              std::printf("%10.0f FAILED: %s\n", t, r.error.c_str());
+              std::printf("%10.0f FAILED: %s\n", t, r.error.message().c_str());
               return;
             }
             std::printf("%10.0f %10.3f %10.3f %12.1f %14.1f\n", t,
@@ -65,7 +65,7 @@ int main() {
   core::OrderedSink ordered(consumer);
   const auto summary = core::BatchRunner().run_streaming(scenarios, ordered);
   if (!summary.ok()) {
-    std::printf("sink error: %s\n", summary.sink_error.c_str());
+    std::printf("sink error: %s\n", summary.sink_error.message().c_str());
     return 1;
   }
 

@@ -1,10 +1,15 @@
 #include "core/batch_runner.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <exception>
+#include <limits>
+#include <new>
 #include <thread>
 #include <utility>
 
+#include "core/fault_injection.hpp"
 #include "core/frontend_plan.hpp"
 #include "core/result_queue.hpp"
 #include "core/result_sink.hpp"
@@ -13,9 +18,16 @@
 namespace ferro::core {
 namespace {
 
-/// Serialises every sink callback behind try/catch: the first exception is
-/// recorded in the summary and later results are counted as discarded, so a
-/// broken consumer can never deadlock the workers or tear down the pool.
+[[nodiscard]] bool is_stop_code(ErrorCode code) {
+  return code == ErrorCode::kCancelled || code == ErrorCode::kDeadlineExceeded;
+}
+
+/// Serialises every sink callback behind try/catch so a broken consumer can
+/// never deadlock the workers or tear down the pool. Policy: an on_result
+/// that throws loses THAT delivery only — later results are still offered
+/// (sink_error_count tells one hiccup from systematic failure) — but an
+/// on_start that throws withholds every delivery, because the sink never
+/// initialised (e.g. CollectingSink's backing vector was never sized).
 /// Driven from exactly one thread (the caller or the consumer thread).
 class SinkDriver {
  public:
@@ -23,51 +35,61 @@ class SinkDriver {
       : sink_(sink), summary_(summary) {}
 
   void start(std::size_t total) {
-    guard([&] { sink_.on_start(total); });
+    started_ = guard([&] { sink_.on_start(total); });
   }
 
   void deliver(std::size_t index, ScenarioResult&& result) {
-    if (!result.ok()) ++summary_.failed_jobs;
-    if (!summary_.ok()) {
-      ++summary_.discarded;
+    if (!result.ok()) {
+      if (is_stop_code(result.error.code)) {
+        ++summary_.cancelled_jobs;
+      } else {
+        ++summary_.failed_jobs;
+      }
+    }
+    if (!started_) {
+      ++summary_.discarded_deliveries;
       return;
     }
-    if (guard([&] { sink_.on_result(index, std::move(result)); })) {
+    if (guard([&] {
+          (void)FERRO_FAULT_HIT(FaultSite::kSinkDeliver);
+          sink_.on_result(index, std::move(result));
+        })) {
       ++summary_.delivered;
     } else {
-      ++summary_.discarded;
+      ++summary_.discarded_deliveries;
     }
   }
 
   void finish() {
-    // on_complete always fires, even after an earlier sink failure — it's
-    // the sink's chance to close files. Only the FIRST error is reported.
-    try {
-      sink_.on_complete();
-    } catch (const std::exception& e) {
-      if (summary_.ok()) summary_.sink_error = e.what();
-    } catch (...) {
-      if (summary_.ok()) summary_.sink_error = "unknown exception from sink";
-    }
+    // on_complete always fires, even after earlier sink failures — it's the
+    // sink's chance to close files.
+    guard([&] { sink_.on_complete(); });
   }
 
  private:
   template <typename Fn>
   bool guard(const Fn& fn) {
-    if (!summary_.ok()) return false;
     try {
       fn();
       return true;
     } catch (const std::exception& e) {
-      summary_.sink_error = e.what();
+      record(e.what());
     } catch (...) {
-      summary_.sink_error = "unknown exception from sink";
+      record("unknown exception from sink");
     }
     return false;
   }
 
+  void record(std::string detail) {
+    ++summary_.sink_error_count;
+    if (summary_.sink_error.ok()) {
+      summary_.sink_error = {ErrorCode::kSinkError, std::move(detail)};
+    }
+  }
+
   ResultSink& sink_;
   StreamSummary& summary_;
+  bool started_ = false;
 };
 
 }  // namespace
@@ -98,34 +120,61 @@ ThreadPool& BatchRunner::pool() const {
 }
 
 void BatchRunner::dispatch(const std::vector<Scenario>& scenarios,
-                           const EmitFn& emit) const {
+                           const EmitFn& emit, RunGate& gate) const {
   if (scenarios.empty()) return;
 
-  if (resolved_threads(scenarios.size()) <= 1) {
-    for (std::size_t i = 0; i < scenarios.size(); ++i) {
-      emit(i, run_scenario(scenarios[i]));
+  // Every job emits its own index exactly once, whether it computed or was
+  // cancelled, so the result mapping never depends on scheduling OR on when
+  // the gate fired.
+  const auto run_one = [&](std::size_t i, bool stopped) {
+    if (stopped || gate.stopped()) {
+      gate.count_cancelled();
+      ScenarioResult r;
+      r.name = scenarios[i].name;
+      r.error = gate.stop_error();
+      emit(i, std::move(r));
+      return;
     }
+    ScenarioResult r = run_scenario(scenarios[i]);
+    if (!r.ok()) gate.count_failure();
+    emit(i, std::move(r));
+  };
+
+  if (resolved_threads(scenarios.size()) <= 1) {
+    for (std::size_t i = 0; i < scenarios.size(); ++i) run_one(i, false);
     return;
   }
 
-  // Every job emits its own index exactly once, so the result mapping never
-  // depends on scheduling; scenario jobs are coarse, so one job per chunk
-  // lets the work-stealing deques balance heterogeneous runtimes.
+  // Scenario jobs are coarse, so one job per chunk lets the work-stealing
+  // deques balance heterogeneous runtimes — and gives cancellation
+  // per-scenario granularity.
   pool().parallel_for(
-      scenarios.size(), 1, [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          emit(i, run_scenario(scenarios[i]));
-        }
-      });
+      scenarios.size(), 1,
+      [&](std::size_t begin, std::size_t end, bool stopped) {
+        for (std::size_t i = begin; i < end; ++i) run_one(i, stopped);
+      },
+      [&] { return gate.stopped(); });
 }
 
 std::vector<ScenarioResult> BatchRunner::run(
     const std::vector<Scenario>& scenarios) const {
+  return run(scenarios, RunLimits{}, nullptr);
+}
+
+std::vector<ScenarioResult> BatchRunner::run(
+    const std::vector<Scenario>& scenarios, const RunLimits& limits,
+    BatchReport* report) const {
+  RunGate gate(limits);
   std::vector<ScenarioResult> results(scenarios.size());
   // Disjoint slot writes: no synchronisation needed, no queue overhead.
-  dispatch(scenarios, [&](std::size_t i, ScenarioResult&& r) {
-    results[i] = std::move(r);
-  });
+  dispatch(
+      scenarios,
+      [&](std::size_t i, ScenarioResult&& r) { results[i] = std::move(r); },
+      gate);
+  if (report) {
+    report->jobs = scenarios.size();
+    gate.fill(*report);
+  }
   return results;
 }
 
@@ -137,8 +186,8 @@ bool BatchRunner::packable(const Scenario& scenario) {
 }
 
 void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
-                                  mag::BatchMath math,
-                                  const EmitFn& emit) const {
+                                  mag::BatchMath math, const EmitFn& emit,
+                                  RunGate& gate) const {
   if (scenarios.empty()) return;
 
   // Stage 1 (plan): route every scenario and collect the concrete H work —
@@ -147,10 +196,36 @@ void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
   // work items fanned across the pool below, not done here.
   FrontendPlanSet plans(scenarios);
 
+  /// Emits an error-only result for scenario i, counting it against the
+  /// failure or cancellation tally by its code.
+  const auto emit_error = [&](std::size_t i, Error e) {
+    if (is_stop_code(e.code)) {
+      gate.count_cancelled();
+    } else {
+      gate.count_failure();
+    }
+    ScenarioResult r;
+    r.name = scenarios[i].name;
+    r.error = std::move(e);
+    emit(i, std::move(r));
+  };
+
   std::vector<std::size_t> fallback;
   std::vector<std::size_t> sweep_lanes;
   std::vector<std::size_t> trace_lanes;
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    if (gate.stopped()) {
+      emit_error(i, gate.stop_error());
+      continue;
+    }
+    // Pre-dispatch guardrail: reject what validate() rejects before any
+    // lane or solver sees it — the same verdict run_scenario would reach,
+    // reported without burning a fallback slot on a doomed job.
+    Error invalid = validate(scenarios[i]);
+    if (!invalid.ok()) {
+      emit_error(i, std::move(invalid));
+      continue;
+    }
     switch (plans.plan(i).route) {
       case PlanRoute::kPackedSweep: sweep_lanes.push_back(i); break;
       case PlanRoute::kPackedTrace: trace_lanes.push_back(i); break;
@@ -208,23 +283,64 @@ void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
 
   const auto emit_block_error = [&](const std::vector<std::size_t>& lanes,
                                     std::size_t begin, std::size_t end,
-                                    const char* what) {
+                                    const Error& error) {
     for (std::size_t p = begin; p < end; ++p) {
-      ScenarioResult r;
-      r.name = scenarios[lanes[p]].name;
-      r.error = what;
-      emit(lanes[p], std::move(r));
+      emit_error(lanes[p], error);
     }
+  };
+
+  /// A whole block that never ran because the gate stopped first: every
+  /// lane reports the stop verdict.
+  const auto emit_block_cancelled = [&](const std::vector<std::size_t>& lanes,
+                                        std::size_t begin, std::size_t end) {
+    emit_block_error(lanes, begin, end, gate.stop_error());
+  };
+
+  /// The non-finite quarantine (shared by both block kinds): a lane whose
+  /// curve carries NaN/Inf is retried once through the scalar exact path
+  /// (run_scenario — no recursion, no kernel), which either reproduces the
+  /// garbage as a diagnosed kNonFinite error or, for FastMath-only
+  /// blow-ups, recovers a clean exact result. Either way the lane's verdict
+  /// matches what run() reports for the same scenario.
+  const auto finalize_lane = [&](std::size_t i, ScenarioResult&& r) {
+    bool poison = false;
+    try {
+      poison = FERRO_FAULT_HIT(FaultSite::kLaneCompute);
+    } catch (const std::exception& e) {
+      // An injected throw models the lane assembly dying: this lane reports
+      // kInternal, its neighbours are untouched, and nothing unwinds into
+      // the pool worker.
+      r.error = {ErrorCode::kInternal, e.what()};
+    }
+    if (poison && !r.curve.empty()) {
+      // Injected poison: corrupt the lane output exactly like a kernel
+      // blow-up would, driving the same quarantine machinery.
+      std::vector<mag::BhPoint> pts = r.curve.points();
+      pts[0].m = std::numeric_limits<double>::quiet_NaN();
+      r.curve = mag::BhCurve(std::move(pts));
+    }
+    if (r.ok() && first_non_finite(r.curve) != r.curve.size()) {
+      gate.count_quarantined();
+      r = run_scenario(scenarios[i]);
+    } else if (r.ok()) {
+      fill_metrics(r, scenarios[i].metrics_window);
+    }
+    if (!r.ok()) gate.count_failure();
+    emit(i, std::move(r));
   };
 
   // One SoA lane block: contiguous slice [begin, end) of a sorted lane
   // list. The kernel advances all lanes of a block together, so a failure
   // there (allocation, fundamentally) is reported on every lane of the
-  // block; the per-lane metrics step keeps per-job capture like
+  // block; the per-lane finalize step keeps per-job capture like
   // run_scenario does. Each lane's result is emitted as soon as its metrics
   // are done, so streaming consumers see lane results while other blocks
   // are still computing.
   const auto run_sweep_block = [&](std::size_t begin, std::size_t end) {
+    if (gate.stopped()) {
+      emit_block_cancelled(sweep_lanes, begin, end);
+      return;
+    }
     mag::TimelessJaBatch batch(math);
     std::vector<mag::BhCurve> curves;
     try {
@@ -237,10 +353,12 @@ void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
       }
       batch.run(sweeps, curves);
     } catch (const std::exception& e) {
-      emit_block_error(sweep_lanes, begin, end, e.what());
+      emit_block_error(sweep_lanes, begin, end,
+                       {ErrorCode::kInternal, e.what()});
       return;
     } catch (...) {
-      emit_block_error(sweep_lanes, begin, end, "unknown exception");
+      emit_block_error(sweep_lanes, begin, end,
+                       {ErrorCode::kInternal, "unknown exception"});
       return;
     }
     for (std::size_t p = begin; p < end; ++p) {
@@ -250,13 +368,12 @@ void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
       try {
         r.curve = std::move(curves[p - begin]);
         r.stats = batch.stats(p - begin);
-        fill_metrics(r, scenarios[i].metrics_window);
       } catch (const std::exception& e) {
-        r.error = e.what();
+        r.error = {ErrorCode::kInternal, e.what()};
       } catch (...) {
-        r.error = "unknown exception";
+        r.error = {ErrorCode::kInternal, "unknown exception"};
       }
-      emit(i, std::move(r));
+      finalize_lane(i, std::move(r));
     }
   };
 
@@ -268,16 +385,17 @@ void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
   // to reproduce run()'s stats bit for bit.
   const auto run_trace_block = [&](const std::vector<std::size_t>& lanes,
                                    std::size_t begin, std::size_t end) {
+    if (gate.stopped()) {
+      emit_block_cancelled(lanes, begin, end);
+      return;
+    }
     std::vector<std::size_t> live;
     live.reserve(end - begin);
     for (std::size_t p = begin; p < end; ++p) {
       const std::size_t i = lanes[p];
       const TrajectoryJob& job = plans.trajectory(plans.plan(i).trajectory);
-      if (!job.error.empty()) {
-        ScenarioResult r;
-        r.name = scenarios[i].name;
-        r.error = job.error;
-        emit(i, std::move(r));
+      if (!job.error.ok()) {
+        emit_error(i, job.error);
       } else {
         live.push_back(i);
       }
@@ -314,10 +432,11 @@ void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
       }
       batch.run_traces(views, points);
     } catch (const std::exception& e) {
-      emit_block_error(live, 0, live.size(), e.what());
+      emit_block_error(live, 0, live.size(), {ErrorCode::kInternal, e.what()});
       return;
     } catch (...) {
-      emit_block_error(live, 0, live.size(), "unknown exception");
+      emit_block_error(live, 0, live.size(),
+                       {ErrorCode::kInternal, "unknown exception"});
       return;
     }
     for (std::size_t l = 0; l < live.size(); ++l) {
@@ -339,13 +458,12 @@ void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
         r.stats.samples = trace.planned.samples;
         r.stats.field_events = trace.planned.field_events;
         r.stats.integration_steps = trace.planned.integration_steps;
-        fill_metrics(r, scenarios[i].metrics_window);
       } catch (const std::exception& e) {
-        r.error = e.what();
+        r.error = {ErrorCode::kInternal, e.what()};
       } catch (...) {
-        r.error = "unknown exception";
+        r.error = {ErrorCode::kInternal, "unknown exception"};
       }
-      emit(i, std::move(r));
+      finalize_lane(i, std::move(r));
     }
   };
 
@@ -359,18 +477,28 @@ void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
   // ever gates other work, and the trace replay overlaps both block kinds
   // and the fallbacks. Every work unit emits or writes disjoint state, so
   // the phase split changes nothing about determinism.
-  const auto run_units = [&](std::size_t n, const ThreadPool::RangeFn& fn) {
+  const auto run_units = [&](std::size_t n,
+                             const ThreadPool::StoppableRangeFn& fn) {
     if (n == 0) return;
     if (threads <= 1) {
-      fn(0, n);
+      fn(0, n, gate.stopped());
     } else {
-      pool().parallel_for(n, 1, fn);
+      pool().parallel_for(n, 1, fn, [&] { return gate.stopped(); });
     }
   };
 
-  run_units(plans.trajectory_jobs(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t u = begin; u < end; ++u) plans.solve_trajectory(u);
-  });
+  run_units(plans.trajectory_jobs(),
+            [&](std::size_t begin, std::size_t end, bool stopped) {
+              for (std::size_t u = begin; u < end; ++u) {
+                if (stopped || gate.stopped()) {
+                  // The scenarios referencing this job report the verdict
+                  // when their trace block runs.
+                  plans.skip_trajectory(u, gate.stop_error());
+                } else {
+                  plans.solve_trajectory(u);
+                }
+              }
+            });
 
   // Planned lengths (the trajectories' accepted step counts) exist now.
   lane_sort(trace_lanes, [&](std::size_t i) {
@@ -380,10 +508,17 @@ void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
   const auto trace_blocks = make_blocks(trace_lanes.size());
   run_units(
       fallback.size() + sweep_blocks.size() + trace_blocks.size(),
-      [&](std::size_t begin, std::size_t end) {
+      [&](std::size_t begin, std::size_t end, bool stopped) {
         for (std::size_t u = begin; u < end; ++u) {
           if (u < fallback.size()) {
-            emit(fallback[u], run_scenario(scenarios[fallback[u]]));
+            const std::size_t i = fallback[u];
+            if (stopped || gate.stopped()) {
+              emit_error(i, gate.stop_error());
+            } else {
+              ScenarioResult r = run_scenario(scenarios[i]);
+              if (!r.ok()) gate.count_failure();
+              emit(i, std::move(r));
+            }
           } else if (u < fallback.size() + sweep_blocks.size()) {
             const auto& [b0, b1] = sweep_blocks[u - fallback.size()];
             run_sweep_block(b0, b1);
@@ -398,22 +533,41 @@ void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
 
 std::vector<ScenarioResult> BatchRunner::run_packed(
     const std::vector<Scenario>& scenarios, mag::BatchMath math) const {
+  return run_packed(scenarios, math, RunLimits{}, nullptr);
+}
+
+std::vector<ScenarioResult> BatchRunner::run_packed(
+    const std::vector<Scenario>& scenarios, mag::BatchMath math,
+    const RunLimits& limits, BatchReport* report) const {
+  RunGate gate(limits);
   std::vector<ScenarioResult> results(scenarios.size());
-  dispatch_packed(scenarios, math, [&](std::size_t i, ScenarioResult&& r) {
-    results[i] = std::move(r);
-  });
+  dispatch_packed(
+      scenarios, math,
+      [&](std::size_t i, ScenarioResult&& r) { results[i] = std::move(r); },
+      gate);
+  if (report) {
+    report->jobs = scenarios.size();
+    gate.fill(*report);
+  }
   return results;
 }
 
 StreamSummary BatchRunner::stream_shell(
     std::size_t n_jobs, ResultSink& sink, const StreamOptions& stream,
+    RunGate& gate,
     const std::function<void(const EmitFn&)>& dispatch_fn) const {
   StreamSummary summary;
   SinkDriver driver(sink, summary);
   driver.start(n_jobs);
 
-  if (n_jobs == 0) {
+  const auto finalize = [&] {
     driver.finish();
+    summary.quarantined = gate.quarantined();
+    summary.stop = gate.stopped() ? gate.stop_error() : Error{};
+  };
+
+  if (n_jobs == 0) {
+    finalize();
     return summary;
   }
 
@@ -423,7 +577,7 @@ StreamSummary BatchRunner::stream_shell(
     dispatch_fn([&](std::size_t i, ScenarioResult&& r) {
       driver.deliver(i, std::move(r));
     });
-    driver.finish();
+    finalize();
     return summary;
   }
 
@@ -433,10 +587,17 @@ StreamSummary BatchRunner::stream_shell(
           : static_cast<std::size_t>(resolved_threads(n_jobs)) * 2;
   ResultQueue queue(capacity);
 
+  // A failed hand-off (only possible through fault injection or allocation
+  // death inside push) loses that result but must not unwind a pool worker:
+  // count it so delivered + discarded still covers every scenario.
+  std::atomic<std::size_t> lost_pushes{0};
+  std::mutex lost_mutex;
+  Error first_lost;
+
   // One consumer drains the queue for the whole batch, so the sink sees a
   // single-threaded, serialised call sequence. It keeps popping even after
-  // a sink error (deliver() then just counts discards) — otherwise workers
-  // blocked on a full queue would deadlock the pool.
+  // a sink error (deliver() then counts that delivery as discarded) —
+  // otherwise workers blocked on a full queue would deadlock the pool.
   std::thread consumer([&] {
     StreamItem item;
     while (queue.pop(item)) {
@@ -449,7 +610,22 @@ StreamSummary BatchRunner::stream_shell(
   // joinable std::thread unwind calls std::terminate.
   try {
     dispatch_fn([&](std::size_t i, ScenarioResult&& r) {
-      queue.push(StreamItem{i, std::move(r)});
+      try {
+        queue.push(StreamItem{i, std::move(r)});
+      } catch (const std::exception& e) {
+        lost_pushes.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lk(lost_mutex);
+        if (first_lost.ok()) {
+          first_lost = {ErrorCode::kInternal,
+                        std::string("result hand-off failed: ") + e.what()};
+        }
+      } catch (...) {
+        lost_pushes.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lk(lost_mutex);
+        if (first_lost.ok()) {
+          first_lost = {ErrorCode::kInternal, "result hand-off failed"};
+        }
+      }
     });
   } catch (...) {
     queue.close();
@@ -459,23 +635,32 @@ StreamSummary BatchRunner::stream_shell(
 
   queue.close();
   consumer.join();
-  driver.finish();
+  summary.discarded_deliveries += lost_pushes.load(std::memory_order_relaxed);
+  if (!first_lost.ok() && summary.sink_error.ok()) {
+    summary.sink_error = std::move(first_lost);
+  }
+  finalize();
   return summary;
 }
 
-StreamSummary BatchRunner::run_streaming(
-    const std::vector<Scenario>& scenarios, ResultSink& sink,
-    const StreamOptions& stream) const {
-  return stream_shell(scenarios.size(), sink, stream,
-                      [&](const EmitFn& emit) { dispatch(scenarios, emit); });
+StreamSummary BatchRunner::run_streaming(const std::vector<Scenario>& scenarios,
+                                         ResultSink& sink,
+                                         const StreamOptions& stream,
+                                         const RunLimits& limits) const {
+  RunGate gate(limits);
+  return stream_shell(
+      scenarios.size(), sink, stream, gate,
+      [&](const EmitFn& emit) { dispatch(scenarios, emit, gate); });
 }
 
 StreamSummary BatchRunner::run_packed_streaming(
     const std::vector<Scenario>& scenarios, ResultSink& sink,
-    mag::BatchMath math, const StreamOptions& stream) const {
-  return stream_shell(scenarios.size(), sink, stream,
+    mag::BatchMath math, const StreamOptions& stream,
+    const RunLimits& limits) const {
+  RunGate gate(limits);
+  return stream_shell(scenarios.size(), sink, stream, gate,
                       [&](const EmitFn& emit) {
-                        dispatch_packed(scenarios, math, emit);
+                        dispatch_packed(scenarios, math, emit, gate);
                       });
 }
 

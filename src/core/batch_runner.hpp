@@ -8,7 +8,18 @@
 // state): result index i always corresponds to scenarios[i] and the payload
 // is bitwise identical whatever the thread count, including the serial
 // fallback. Failures (invalid parameters, a throwing solver) are captured
-// per job instead of aborting the batch.
+// per job as structured core::Error codes instead of aborting the batch.
+//
+// Fault tolerance (core/cancel.hpp): every run variant accepts RunLimits —
+// a shared CancelToken, a wall-clock deadline, and an error budget. The
+// limits are polled at chunk boundaries; when one fires the batch drains
+// gracefully: in-flight scenarios finish, every unfinished scenario is
+// emitted with a kCancelled/kDeadlineExceeded result, streaming sinks still
+// receive every index exactly once and then on_complete(). Packed lanes get
+// a non-finite guardrail on top: a lane whose curve came back NaN/Inf is
+// quarantined and retried once through the scalar exact path, so FastMath
+// garbage demotes to a per-scenario kNonFinite error (or a clean scalar
+// result), never a poisoned "success".
 //
 // The streaming path decouples production from consumption with a bounded
 // MPSC queue (core/result_queue.hpp): workers push results as they finish,
@@ -17,8 +28,8 @@
 // in scheduling order but each carries its scenario index; wrap the sink in
 // OrderedSink (core/result_sink.hpp) to recover exactly run()'s order. A
 // sink callback that throws does not tear down the pool: the batch drains,
-// later deliveries are discarded, and the first error lands in the returned
-// StreamSummary.
+// that one delivery is discarded, later results are still offered, and the
+// first error (plus counters) lands in the returned StreamSummary.
 //
 // The pool (core/thread_pool.hpp) is constructed lazily on the first
 // multi-threaded run and reused across all run variants, so sweeping many
@@ -40,9 +51,10 @@
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <string>
 #include <vector>
 
+#include "core/cancel.hpp"
+#include "core/error.hpp"
 #include "core/scenario.hpp"
 #include "core/thread_pool.hpp"
 #include "mag/timeless_ja_batch.hpp"
@@ -64,17 +76,29 @@ struct StreamOptions {
   std::size_t queue_capacity = 0;
 };
 
-/// What run_streaming reports back. delivered + discarded always equals the
-/// scenario count: a result is discarded (never silently dropped elsewhere)
-/// only after a sink callback has already thrown.
+/// What the streaming paths report back. Invariant: delivered +
+/// discarded_deliveries always equals the scenario count — a result is
+/// discarded (never silently dropped elsewhere) only when its own delivery
+/// failed, when on_start threw (the sink was never initialised, so every
+/// delivery is withheld), or when its queue hand-off failed.
 struct StreamSummary {
   std::size_t delivered = 0;  ///< on_result calls that returned normally
-  std::size_t discarded = 0;  ///< results skipped after the sink failed
-  std::size_t failed_jobs = 0;  ///< results carrying a per-job error
-  /// First exception text from on_start/on_result/on_complete, else empty.
-  std::string sink_error;
+  /// Results withheld from or refused by the sink (see invariant above).
+  std::size_t discarded_deliveries = 0;
+  std::size_t failed_jobs = 0;     ///< results carrying a per-job error
+  std::size_t cancelled_jobs = 0;  ///< kCancelled/kDeadlineExceeded results
+  std::size_t quarantined = 0;     ///< packed lanes retried via the exact path
+  /// Sink callbacks (on_start/on_result/on_complete) that threw — tells
+  /// "one hiccup" (1, and delivery continued) from "the sink kept failing".
+  std::size_t sink_error_count = 0;
+  /// First pipeline failure: kSinkError for a throwing sink callback,
+  /// kInternal for a failed queue hand-off. kOk when the stream was clean.
+  Error sink_error;
+  /// Why the batch stopped early (kCancelled/kDeadlineExceeded — the same
+  /// code stamped on every unfinished scenario); kOk when it ran out.
+  Error stop;
 
-  [[nodiscard]] bool ok() const { return sink_error.empty(); }
+  [[nodiscard]] bool ok() const { return sink_error.ok(); }
 };
 
 class BatchRunner {
@@ -84,6 +108,14 @@ class BatchRunner {
   /// Runs every scenario and returns results in scenario order.
   [[nodiscard]] std::vector<ScenarioResult> run(
       const std::vector<Scenario>& scenarios) const;
+
+  /// Like run(), under fault-tolerance limits: results keep scenario order
+  /// and length (unfinished scenarios hold their kCancelled/
+  /// kDeadlineExceeded verdicts), and `report` (optional) receives the
+  /// counters and stop cause.
+  [[nodiscard]] std::vector<ScenarioResult> run(
+      const std::vector<Scenario>& scenarios, const RunLimits& limits,
+      BatchReport* report = nullptr) const;
 
   /// Like run(), but routable scenarios (see core/frontend_plan.hpp: all
   /// three frontends qualify — kDirect and clamp-matching kSystemC sweeps
@@ -102,14 +134,22 @@ class BatchRunner {
       const std::vector<Scenario>& scenarios,
       mag::BatchMath math = mag::BatchMath::kExact) const;
 
+  /// run_packed under fault-tolerance limits (see run(limits)), plus the
+  /// packed-only quarantine counter in the report.
+  [[nodiscard]] std::vector<ScenarioResult> run_packed(
+      const std::vector<Scenario>& scenarios, mag::BatchMath math,
+      const RunLimits& limits, BatchReport* report = nullptr) const;
+
   /// Streams every scenario's result to `sink` as it completes (see the
   /// header comment and ResultSink for the full contract). The payload
   /// delivered for scenario i is bitwise identical to run()[i]; only the
   /// arrival order is scheduling-dependent. Blocks until the batch has
-  /// drained and on_complete returned.
+  /// drained and on_complete returned. `limits` cancels/deadlines the batch
+  /// cooperatively: unfinished scenarios are still delivered, carrying
+  /// their stop verdict.
   StreamSummary run_streaming(const std::vector<Scenario>& scenarios,
-                              ResultSink& sink,
-                              const StreamOptions& stream = {}) const;
+                              ResultSink& sink, const StreamOptions& stream = {},
+                              const RunLimits& limits = {}) const;
 
   /// run_packed's streaming twin: SoA lane blocks emit each lane's result
   /// through the sink as the block finishes; everything else matches
@@ -117,7 +157,8 @@ class BatchRunner {
   StreamSummary run_packed_streaming(const std::vector<Scenario>& scenarios,
                                      ResultSink& sink,
                                      mag::BatchMath math = mag::BatchMath::kExact,
-                                     const StreamOptions& stream = {}) const;
+                                     const StreamOptions& stream = {},
+                                     const RunLimits& limits = {}) const;
 
   /// True when run_packed() would route `scenario` through the SoA kernel.
   [[nodiscard]] static bool packable(const Scenario& scenario);
@@ -135,19 +176,24 @@ class BatchRunner {
   using EmitFn = std::function<void(std::size_t, ScenarioResult&&)>;
 
   /// Per-scenario dispatch (the run()/run_streaming work distribution).
-  void dispatch(const std::vector<Scenario>& scenarios,
-                const EmitFn& emit) const;
+  /// `gate` is polled per scenario; once it stops, remaining scenarios are
+  /// emitted with its verdict instead of computed.
+  void dispatch(const std::vector<Scenario>& scenarios, const EmitFn& emit,
+                RunGate& gate) const;
 
   /// Packed dispatch: SoA lane blocks fused with per-scenario fallback jobs
-  /// (the run_packed()/run_packed_streaming work distribution).
+  /// (the run_packed()/run_packed_streaming work distribution). `gate` is
+  /// polled per work unit (fallback job / lane block / trajectory solve).
   void dispatch_packed(const std::vector<Scenario>& scenarios,
-                       mag::BatchMath math, const EmitFn& emit) const;
+                       mag::BatchMath math, const EmitFn& emit,
+                       RunGate& gate) const;
 
   /// Shared streaming shell: drives `sink` from a single consumer thread fed
   /// by a bounded queue (or inline when the batch runs serially), with sink
   /// exceptions captured into the summary.
   StreamSummary stream_shell(
       std::size_t n_jobs, ResultSink& sink, const StreamOptions& stream,
+      RunGate& gate,
       const std::function<void(const EmitFn&)>& dispatch_fn) const;
 
   /// The persistent pool, created on first use and reused for the runner's

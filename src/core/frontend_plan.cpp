@@ -2,9 +2,11 @@
 
 #include <exception>
 #include <map>
+#include <new>
 #include <tuple>
 #include <variant>
 
+#include "core/fault_injection.hpp"
 #include "core/systemc_ja.hpp"
 #include "mag/timeless_ja_batch.hpp"
 
@@ -12,6 +14,10 @@ namespace ferro::core {
 
 PlanRoute plan_route(const Scenario& scenario) {
   if (!scenario.params.is_valid() || scenario.config.dhmax <= 0.0) {
+    return PlanRoute::kFallback;
+  }
+  // Flux drives run the per-sample inverse solve — no SoA row program.
+  if (std::holds_alternative<FluxDrive>(scenario.drive)) {
     return PlanRoute::kFallback;
   }
 
@@ -135,12 +141,19 @@ const wave::HSweep& FrontendPlanSet::sweep(std::size_t i) const {
 void FrontendPlanSet::solve_trajectory(std::size_t j) {
   TrajectoryJob& job = jobs_[j];
   try {
+    (void)FERRO_FAULT_HIT(FaultSite::kTrajectorySolve);
     job.result = plan_ams_trajectory(job.source(), job.config);
+  } catch (const std::bad_alloc&) {
+    job.error = {ErrorCode::kInternal, "allocation failure"};
   } catch (const std::exception& e) {
-    job.error = e.what();
+    job.error = {ErrorCode::kSolverDiverged, e.what()};
   } catch (...) {
-    job.error = "unknown exception";
+    job.error = {ErrorCode::kSolverDiverged, "unknown exception"};
   }
+}
+
+void FrontendPlanSet::skip_trajectory(std::size_t j, const Error& reason) {
+  jobs_[j].error = reason;
 }
 
 }  // namespace ferro::core

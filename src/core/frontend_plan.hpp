@@ -51,7 +51,10 @@ struct TrajectoryJob {
   std::optional<wave::Pwl> pwl;  ///< sweep-synthesised excitation
   AmsJaConfig config;
   AmsTrajectory result;
-  std::string error;  ///< exception text from the solve; empty on success
+  /// kOk on success; a failed solve (kSolverDiverged) propagates to every
+  /// scenario sharing this trajectory, a skipped one (batch stopped early)
+  /// carries the gate's kCancelled/kDeadlineExceeded verdict.
+  Error error;
 
   [[nodiscard]] const wave::Waveform& source() const {
     return pwl ? static_cast<const wave::Waveform&>(*pwl) : *waveform;
@@ -95,6 +98,10 @@ class FrontendPlanSet {
 
   /// Runs trajectory job j, capturing exceptions into the job's error.
   void solve_trajectory(std::size_t j);
+
+  /// Marks job j as not run (batch cancelled before its solve started):
+  /// the plans referencing it report `reason` instead of executing.
+  void skip_trajectory(std::size_t j, const Error& reason);
 
  private:
   const std::vector<Scenario>* scenarios_;

@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/fault_injection.hpp"
+
 namespace ferro::core {
 
 ResultQueue::ResultQueue(std::size_t capacity)
     : capacity_(std::max<std::size_t>(capacity, 1)) {}
 
 bool ResultQueue::push(StreamItem&& item) {
+  // Fault site BEFORE the lock: an injected throw or stall here models a
+  // producer dying in the hand-off, never a producer unwinding mid-queue.
+  (void)FERRO_FAULT_HIT(FaultSite::kQueuePush);
   std::unique_lock<std::mutex> lk(mutex_);
   can_push_.wait(lk, [this] { return closed_ || items_.size() < capacity_; });
   if (closed_) return false;

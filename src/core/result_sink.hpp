@@ -8,9 +8,16 @@
 //   * on_result(index, result) may arrive in ANY order; `index` is the
 //     position in the scenario list, and every index in [0, total) arrives
 //     exactly once (wrap in OrderedSink for in-order delivery);
-//   * a sink callback may throw: the batch still runs to completion, further
-//     deliveries are discarded, and the first error is reported in the
-//     returned StreamSummary — a broken consumer never tears down the pool;
+//   * a sink callback may throw: the batch still runs to completion and a
+//     broken consumer never tears down the pool. A throw from on_result
+//     loses THAT delivery only — later results are still offered, the first
+//     error plus sink_error_count/discarded_deliveries land in the returned
+//     StreamSummary (delivered + discarded_deliveries == total always). A
+//     throw from on_start withholds every delivery (the sink was never
+//     initialised); on_complete still runs either way;
+//   * under RunLimits cancellation/deadline, unfinished scenarios are still
+//     delivered — exactly once per index — carrying their kCancelled /
+//     kDeadlineExceeded verdict in ScenarioResult::error;
 //   * results are delivered while workers are still computing; a slow sink
 //     backpressures the workers through the bounded ResultQueue rather than
 //     buffering unboundedly.

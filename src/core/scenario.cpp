@@ -1,11 +1,15 @@
 #include "core/scenario.hpp"
 
+#include <cmath>
 #include <exception>
+#include <new>
+#include <string>
 #include <vector>
 
 #include "core/ams_ja.hpp"
 #include "core/dc_sweep.hpp"
 #include "core/systemc_ja.hpp"
+#include "mag/inverse_ja.hpp"
 
 namespace ferro::core {
 namespace {
@@ -49,7 +53,105 @@ void run_sweep_frontend(const Scenario& scenario, const wave::HSweep& sweep,
   }
 }
 
+/// Runs a flux-driven scenario through the inverse model, committing state
+/// only on converged solves. A failed sample stops the drive there: the
+/// partial curve is kept for diagnostics under a kBracketFailure (the
+/// bracket expansion found no sign change — PR 6's surfaced failure mode)
+/// or kSolverDiverged (iteration budget exhausted) error.
+void run_flux_drive(const Scenario& scenario, const FluxDrive& flux,
+                    ScenarioResult& result) {
+  mag::InverseConfig config;
+  config.forward = scenario.config;
+  config.tolerance_b = flux.tolerance_b;
+  config.max_iterations = flux.max_iterations;
+  mag::InverseTimelessJa inverse(scenario.params, config);
+
+  result.curve.reserve(flux.b.size());
+  for (std::size_t j = 0; j < flux.b.size(); ++j) {
+    const std::uint64_t failures_before = inverse.bracket_failures();
+    const double h = inverse.apply_b(flux.b[j]);
+    if (!inverse.converged()) {
+      const bool bracket = inverse.bracket_failures() > failures_before;
+      const std::string where = " at sample " + std::to_string(j) +
+                                " (target B=" + std::to_string(flux.b[j]) +
+                                " T)";
+      result.error =
+          bracket ? Error{ErrorCode::kBracketFailure,
+                          "inverse solve failed to bracket the target" + where}
+                  : Error{ErrorCode::kSolverDiverged,
+                          "inverse solve exhausted its iteration budget" +
+                              where};
+      break;
+    }
+    result.curve.append(h, inverse.magnetisation(), inverse.flux_density());
+  }
+  result.stats = inverse.forward().stats();
+}
+
 }  // namespace
+
+Error validate(const Scenario& scenario) {
+  const auto violations = scenario.params.validate();
+  if (!violations.empty()) {
+    return {ErrorCode::kInvalidScenario, join_violations(violations)};
+  }
+  if (!std::isfinite(scenario.config.dhmax) || scenario.config.dhmax <= 0.0) {
+    return {ErrorCode::kInvalidScenario,
+            "invalid config: dhmax must be finite and > 0"};
+  }
+  if (!std::isfinite(scenario.config.substep_max) ||
+      scenario.config.substep_max < 0.0) {
+    return {ErrorCode::kInvalidScenario,
+            "invalid config: substep_max must be finite and >= 0"};
+  }
+
+  if (const auto* sweep = std::get_if<wave::HSweep>(&scenario.drive)) {
+    for (std::size_t j = 0; j < sweep->h.size(); ++j) {
+      if (!std::isfinite(sweep->h[j])) {
+        return {ErrorCode::kInvalidScenario,
+                "non-finite field sample at index " + std::to_string(j)};
+      }
+    }
+  } else if (const auto* time = std::get_if<TimeDrive>(&scenario.drive)) {
+    if (!time->waveform) {
+      return {ErrorCode::kInvalidScenario,
+              "time-driven scenario has no waveform"};
+    }
+    if (!std::isfinite(time->t0) || !std::isfinite(time->t1) ||
+        time->t1 <= time->t0) {
+      return {ErrorCode::kInvalidScenario,
+              "time-driven scenario needs a finite window with t1 > t0"};
+    }
+  } else if (const auto* flux = std::get_if<FluxDrive>(&scenario.drive)) {
+    if (scenario.frontend != Frontend::kDirect) {
+      return {ErrorCode::kInvalidScenario,
+              "flux drive supports the direct frontend only"};
+    }
+    if (!std::isfinite(flux->tolerance_b) || flux->tolerance_b <= 0.0 ||
+        flux->max_iterations < 1) {
+      return {ErrorCode::kInvalidScenario,
+              "flux drive needs tolerance_b > 0 and max_iterations >= 1"};
+    }
+    for (std::size_t j = 0; j < flux->b.size(); ++j) {
+      if (!std::isfinite(flux->b[j])) {
+        return {ErrorCode::kInvalidScenario,
+                "non-finite flux target at index " + std::to_string(j)};
+      }
+    }
+  }
+  return {};
+}
+
+std::size_t first_non_finite(const mag::BhCurve& curve) {
+  const auto& points = curve.points();
+  for (std::size_t j = 0; j < points.size(); ++j) {
+    if (!std::isfinite(points[j].h) || !std::isfinite(points[j].m) ||
+        !std::isfinite(points[j].b)) {
+      return j;
+    }
+  }
+  return points.size();
+}
 
 void fill_metrics(ScenarioResult& result,
                   const std::optional<MetricsWindow>& window) {
@@ -60,10 +162,11 @@ void fill_metrics(ScenarioResult& result,
     // sized from the input sweep can miss the actual trajectory entirely.
     const std::size_t last = result.curve.size() - 1;
     if (window->begin >= window->end || window->end > last) {
-      result.error = "metrics window [" + std::to_string(window->begin) + ", " +
-                     std::to_string(window->end) +
-                     "] does not fit a curve of " +
-                     std::to_string(result.curve.size()) + " points";
+      result.error = {ErrorCode::kInvalidScenario,
+                      "metrics window [" + std::to_string(window->begin) +
+                          ", " + std::to_string(window->end) +
+                          "] does not fit a curve of " +
+                          std::to_string(result.curve.size()) + " points"};
       return;
     }
     result.metrics = analysis::analyze_loop(result.curve, window->begin,
@@ -77,18 +180,11 @@ ScenarioResult run_scenario(const Scenario& scenario) {
   ScenarioResult result;
   result.name = scenario.name;
 
-  const auto violations = scenario.params.validate();
-  if (!violations.empty()) {
-    result.error = join_violations(violations);
-    return result;
-  }
+  result.error = validate(scenario);
+  if (!result.error.ok()) return result;
 
   try {
     if (const auto* drive = std::get_if<TimeDrive>(&scenario.drive)) {
-      if (!drive->waveform) {
-        result.error = "time-driven scenario has no waveform";
-        return result;
-      }
       if (scenario.frontend == Frontend::kAms) {
         // The analogue solver owns the time axis and places its own steps.
         AmsJaConfig config;
@@ -106,15 +202,33 @@ ScenarioResult run_scenario(const Scenario& scenario) {
             *drive->waveform, drive->t0, drive->t1, drive->n_samples);
         run_sweep_frontend(scenario, sweep, result);
       }
+    } else if (const auto* flux = std::get_if<FluxDrive>(&scenario.drive)) {
+      run_flux_drive(scenario, *flux, result);
+      if (!result.error.ok()) return result;
     } else {
       run_sweep_frontend(scenario, std::get<wave::HSweep>(scenario.drive),
                          result);
     }
+  } catch (const std::bad_alloc&) {
+    result.error = {ErrorCode::kInternal, "allocation failure"};
+    return result;
   } catch (const std::exception& e) {
-    result.error = e.what();
+    result.error = {ErrorCode::kSolverDiverged, e.what()};
     return result;
   } catch (...) {
-    result.error = "unknown exception";
+    result.error = {ErrorCode::kSolverDiverged, "unknown exception"};
+    return result;
+  }
+
+  // Post-run guardrail: a frontend that silently produced NaN/Inf (e.g. a
+  // pathological waveform fed through the kernel) is a kNonFinite error,
+  // never a "successful" garbage curve. Shared verdict with the packed
+  // lane quarantine, so run() and run_packed() agree.
+  const std::size_t bad = first_non_finite(result.curve);
+  if (bad != result.curve.size()) {
+    result.error = {ErrorCode::kNonFinite,
+                    "non-finite value in simulated curve at point " +
+                        std::to_string(bad)};
     return result;
   }
 

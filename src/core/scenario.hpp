@@ -14,8 +14,10 @@
 #include <string>
 #include <string_view>
 #include <variant>
+#include <vector>
 
 #include "analysis/loop_metrics.hpp"
+#include "core/error.hpp"
 #include "core/facade.hpp"
 #include "mag/bh.hpp"
 #include "mag/ja_params.hpp"
@@ -34,6 +36,20 @@ struct TimeDrive {
   std::size_t n_samples = 1000;
 };
 
+/// Flux-driven excitation (the inverse workload RHINO-MAG frames): the
+/// drive prescribes flux-density targets and the scenario recovers the
+/// field per sample through the flux-driven model (mag/inverse_ja.hpp),
+/// committing hysteresis state only on converged solves. kDirect only and
+/// never packed — the per-sample Newton/bisection solve has no SoA row
+/// program. A sample whose bracket expansion fails surfaces as a
+/// kBracketFailure result (an exhausted iteration budget as
+/// kSolverDiverged) instead of committing a wrong field.
+struct FluxDrive {
+  std::vector<double> b;      ///< target flux densities [T], in drive order
+  double tolerance_b = 1e-9;  ///< per-sample |B - target| acceptance [T]
+  int max_iterations = 60;    ///< solve budget per sample
+};
+
 /// Closed index window [begin, end] of the *result curve* over which the
 /// loop metrics are computed (e.g. the converged second cycle of a 2-cycle
 /// sweep). The window must fit the curve the frontend actually produced —
@@ -50,7 +66,7 @@ struct Scenario {
   std::string name;
   mag::JaParameters params;
   mag::TimelessConfig config;
-  std::variant<wave::HSweep, TimeDrive> drive;
+  std::variant<wave::HSweep, TimeDrive, FluxDrive> drive;
   Frontend frontend = Frontend::kDirect;
   /// When absent, metrics cover the whole curve.
   std::optional<MetricsWindow> metrics_window;
@@ -65,11 +81,24 @@ struct ScenarioResult {
   /// or the JA stats of the AMS replay over the solver-placed trajectory.
   /// The packed paths reproduce them bitwise.
   mag::TimelessStats stats;
-  /// Empty on success, otherwise a human-readable failure description.
-  std::string error;
+  /// kOk on success; otherwise the structured failure (core/error.hpp) —
+  /// branch on error.code, print error.detail.
+  Error error;
 
-  [[nodiscard]] bool ok() const { return error.empty(); }
+  [[nodiscard]] bool ok() const { return error.ok(); }
 };
+
+/// Pre-dispatch validation: rejects non-finite/degenerate parameters,
+/// discretisation, and drives before any solver runs. Returns kOk for a
+/// runnable scenario, else kInvalidScenario with the reason. run_scenario
+/// applies it first thing, and the packed dispatcher applies it before
+/// routing, so both paths reject identically.
+[[nodiscard]] Error validate(const Scenario& scenario);
+
+/// Index of the first curve point whose h/m/b is not finite, or
+/// curve.size() when the whole curve is finite. The non-finite guardrail
+/// shared by run_scenario's post-run sweep and the packed lane quarantine.
+[[nodiscard]] std::size_t first_non_finite(const mag::BhCurve& curve);
 
 /// Runs one scenario in the calling thread — the unit of work BatchRunner
 /// fans out, exposed for tests and for callers that want serial control.

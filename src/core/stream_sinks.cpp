@@ -34,7 +34,8 @@ void JsonlMetricsSink::on_result(std::size_t index, ScenarioResult&& result) {
       {"area", result.metrics.area},
       {"field_events", static_cast<std::uint64_t>(result.stats.field_events)},
       {"slope_clamps", static_cast<std::uint64_t>(result.stats.slope_clamps)},
-      {"error", std::string_view(result.error)},
+      {"error_code", to_string(result.error.code)},
+      {"error", std::string_view(result.error.detail)},
   });
 }
 

@@ -67,7 +67,10 @@ bool ThreadPool::try_claim(unsigned self, Chunk& out) {
 void ThreadPool::drain(unsigned self) {
   Chunk c{0, 0};
   while (try_claim(self, c)) {
-    (*active_fn_)(c.begin, c.end);
+    // One stop poll per claimed chunk: the cancellation granularity the
+    // batch layers are specified against.
+    const bool stopped = active_stop_ != nullptr && (*active_stop_)();
+    (*active_fn_)(c.begin, c.end, stopped);
     if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         total_.load(std::memory_order_relaxed)) {
       // Lock-then-notify so the submitter's predicate check cannot miss it.
@@ -92,13 +95,22 @@ void ThreadPool::worker_loop(unsigned self) {
 
 void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
                               const RangeFn& fn) {
+  parallel_for(
+      n, chunk,
+      [&fn](std::size_t begin, std::size_t end, bool) { fn(begin, end); },
+      StopQuery{});
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
+                              const StoppableRangeFn& fn,
+                              const StopQuery& stop) {
   if (n == 0) return;
   if (chunk == 0) chunk = 1;
   std::lock_guard<std::mutex> submit(submit_mutex_);
 
   const unsigned w = workers();
   if (w <= 1 || n <= chunk) {
-    fn(0, n);
+    fn(0, n, stop && stop());
     return;
   }
 
@@ -106,6 +118,7 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
   {
     std::lock_guard<std::mutex> lk(coord_mutex_);
     active_fn_ = &fn;
+    active_stop_ = stop ? &stop : nullptr;
     total_.store(n_chunks, std::memory_order_relaxed);
     completed_.store(0, std::memory_order_relaxed);
     // Published before any chunk is pushed: a pop (and its decrement) can
@@ -129,6 +142,7 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t chunk,
            total_.load(std::memory_order_relaxed);
   });
   active_fn_ = nullptr;
+  active_stop_ = nullptr;
 }
 
 }  // namespace ferro::core

@@ -32,6 +32,14 @@ namespace ferro::core {
 class ThreadPool {
  public:
   using RangeFn = std::function<void(std::size_t begin, std::size_t end)>;
+  /// Cancellable variant: `stopped` is the stop predicate's verdict at the
+  /// moment this chunk was claimed.
+  using StoppableRangeFn =
+      std::function<void(std::size_t begin, std::size_t end, bool stopped)>;
+  /// Polled once per claimed chunk; must be callable concurrently from every
+  /// worker. Once it returns true it must keep returning true (a latched
+  /// RunGate, not a momentary condition).
+  using StopQuery = std::function<bool()>;
 
   /// `workers` is the total worker count including the calling thread:
   /// workers - 1 threads are spawned. 0 is treated as 1 (serial).
@@ -45,6 +53,15 @@ class ThreadPool {
   /// shorter) and blocks until every chunk has finished. The calling thread
   /// works too. Not reentrant: one parallel_for at a time per pool.
   void parallel_for(std::size_t n, std::size_t chunk, const RangeFn& fn);
+
+  /// Cooperative cancellation: `stop` is polled once per claimed chunk, and
+  /// its verdict is handed to fn as `stopped`. Coverage of [0, n) stays
+  /// exact — every chunk still reaches fn exactly once — so fn can emit
+  /// cancellation markers for ranges it no longer computes; what stops is
+  /// the *work*, decided by fn, not the bookkeeping. An empty `stop` makes
+  /// this identical to the plain overload.
+  void parallel_for(std::size_t n, std::size_t chunk,
+                    const StoppableRangeFn& fn, const StopQuery& stop);
 
   /// Total worker count (spawned threads + the calling thread).
   [[nodiscard]] unsigned workers() const {
@@ -98,7 +115,9 @@ class ThreadPool {
   /// still in flight. A stale read only mis-skips a notify the old batch no
   /// longer needs (or fires a spurious one the predicate absorbs).
   std::atomic<std::size_t> total_{0};
-  const RangeFn* active_fn_ = nullptr;
+  const StoppableRangeFn* active_fn_ = nullptr;
+  /// Stop predicate of the active batch; nullptr = never stopped.
+  const StopQuery* active_stop_ = nullptr;
   bool stop_ = false;
 
   std::mutex submit_mutex_;  ///< serialises concurrent parallel_for callers

@@ -123,10 +123,18 @@ FitResult fit_ja_parameters(const FitObjective& objective,
   }
 
   core::BatchRunner runner(core::BatchOptions{options.threads});
+  // One gate for the whole fit: the deadline is anchored here, and every
+  // generation's batch gets the same token plus whatever wall-clock is
+  // left, so a deadline can interrupt even a single long generation.
+  core::RunGate gate(options.limits);
   FitResult result;
   result.residual = std::numeric_limits<double>::infinity();
 
   for (int gen = 0; gen < options.max_generations; ++gen) {
+    if (gate.stopped()) {
+      result.stop = gate.stop_error();
+      break;
+    }
     // Gather every live instance's pending points; converged instances
     // spend a restart or retire.
     std::vector<std::size_t> owner;           // flat point -> instance
@@ -157,9 +165,22 @@ FitResult fit_ja_parameters(const FitObjective& objective,
     for (const auto& x : points) params.push_back(enc.decode(x, options.start));
     const auto scenarios = core::scenarios_for_parameters(
         params, objective.config(), objective.sweep(), "fit/gen/");
-    const auto evaluated = runner.run_packed(scenarios, options.math);
+    core::RunLimits batch_limits;
+    batch_limits.cancel = options.limits.cancel;
+    if (options.limits.deadline_s > 0.0) {
+      batch_limits.deadline_s = gate.remaining_seconds();
+    }
+    const auto evaluated =
+        runner.run_packed(scenarios, options.math, batch_limits, nullptr);
     ++result.generations;
     result.evaluations += evaluated.size();
+    if (gate.stopped()) {
+      // A generation interrupted mid-batch carries kCancelled results;
+      // telling those into the simplices would poison the incumbents, so
+      // the fit ends at this boundary with the pre-generation state.
+      result.stop = gate.stop_error();
+      break;
+    }
 
     std::vector<double> values(points.size());
     for (std::size_t j = 0; j < evaluated.size(); ++j) {

@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "core/cancel.hpp"
 #include "fit/objective.hpp"
 #include "mag/ja_params.hpp"
 #include "mag/timeless_ja_batch.hpp"
@@ -60,6 +61,14 @@ struct FitOptions {
   /// Template for the non-identified fields (anhysteretic kind, a2, blend)
   /// and the first instance's starting point.
   mag::JaParameters start;
+  /// Cooperative cancellation/deadline for the whole fit. The token and the
+  /// remaining deadline are threaded into every generation's packed batch,
+  /// and the fit itself stops at the next generation boundary — the
+  /// incumbent best found so far is still returned (FitResult::stop says
+  /// why the search ended early). max_errors is not applied at the fit
+  /// level: an out-of-box candidate failing to simulate is a normal,
+  /// infinitely-penalised probe, not a fault.
+  core::RunLimits limits;
 };
 
 struct FitResult {
@@ -69,6 +78,10 @@ struct FitResult {
   std::size_t evaluations = 0;  ///< forward curves simulated
   int winning_start = -1;       ///< which multistart produced `params`
   bool converged = false;       ///< the winner's simplex met the tolerances
+  /// kOk when the search ran to its natural end; kCancelled /
+  /// kDeadlineExceeded when FitOptions::limits stopped it early (params
+  /// then hold the best point seen before the stop).
+  core::Error stop;
 };
 
 /// Runs the multistart Nelder-Mead search against `objective`.

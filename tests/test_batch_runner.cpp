@@ -2,7 +2,12 @@
 // fallback, per-job error capture, and the scenario unit itself.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <limits>
 #include <memory>
+#include <thread>
 
 #include "core/batch_runner.hpp"
 #include "core/dc_sweep.hpp"
@@ -105,7 +110,7 @@ TEST(BatchRunner, InvalidParametersAreCapturedPerJob) {
   ASSERT_EQ(results.size(), 3u);
   EXPECT_TRUE(results[0].ok()) << results[0].error;
   EXPECT_FALSE(results[1].ok());
-  EXPECT_NE(results[1].error.find("invalid parameters"), std::string::npos)
+  EXPECT_NE(results[1].error.detail.find("invalid parameters"), std::string::npos)
       << results[1].error;
   EXPECT_TRUE(results[1].curve.empty());
   EXPECT_TRUE(results[2].ok()) << results[2].error;
@@ -118,7 +123,7 @@ TEST(BatchRunner, MissingWaveformIsCaptured) {
   s.drive = fc::TimeDrive{};  // null waveform
   const auto result = fc::run_scenario(s);
   EXPECT_FALSE(result.ok());
-  EXPECT_NE(result.error.find("waveform"), std::string::npos) << result.error;
+  EXPECT_NE(result.error.detail.find("waveform"), std::string::npos) << result.error;
 }
 
 TEST(BatchRunner, EmptyMetricsWindowIsCaptured) {
@@ -130,7 +135,7 @@ TEST(BatchRunner, EmptyMetricsWindowIsCaptured) {
   s.metrics_window = fc::MetricsWindow{500, 500};
   const auto result = fc::run_scenario(s);
   EXPECT_FALSE(result.ok());
-  EXPECT_NE(result.error.find("metrics window"), std::string::npos)
+  EXPECT_NE(result.error.detail.find("metrics window"), std::string::npos)
       << result.error;
   // The curve itself still completed before the metrics step failed.
   EXPECT_GT(result.curve.size(), 0u);
@@ -150,7 +155,7 @@ TEST(BatchRunner, OversizedMetricsWindowIsCapturedNotClamped) {
   s.drive = sweep;
   const auto result = fc::run_scenario(s);
   EXPECT_FALSE(result.ok());
-  EXPECT_NE(result.error.find("does not fit"), std::string::npos)
+  EXPECT_NE(result.error.detail.find("does not fit"), std::string::npos)
       << result.error;
 }
 
@@ -463,4 +468,279 @@ TEST(BatchRunner, ResolvedThreadsNeverExceedsJobs) {
   EXPECT_EQ(runner.resolved_threads(0), 1u);
   const fc::BatchRunner defaults;
   EXPECT_GE(defaults.resolved_threads(100), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance: cancellation, deadlines, error budgets, quarantine, and
+// the flux-driven (inverse-solve) scenario path.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A waveform that emits NaN: the one way a *valid-looking* scenario can
+/// poison a packed lane (validate() rejects non-finite sweep samples, but a
+/// time drive is sampled after validation, at planning time).
+class NanWaveform final : public fw::Waveform {
+ public:
+  [[nodiscard]] double value(double) const override {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+};
+
+/// The unclamped negative-slope regime from test_inverse_ja: alpha*ms > k
+/// makes the near-saturation downward solve unbracketable.
+fc::Scenario bracket_failure_scenario() {
+  fc::Scenario s;
+  s.name = "unbracketable";
+  s.params = fm::paper_parameters();
+  s.params.k = 2000.0;  // coupling_field() = alpha*ms = 4800 > k
+  s.config.dhmax = 10.0;
+  s.config.substep_max = 25.0;
+  s.config.clamp_negative_slope = false;
+  s.config.clamp_direction = false;
+  fc::FluxDrive drive;
+  for (double b = 0.1; b <= 1.3 + 1e-12; b += 0.1) drive.b.push_back(b);
+  drive.b.push_back(1.35);
+  drive.b.push_back(0.0);  // recedes from every probe: bracket failure
+  s.drive = std::move(drive);
+  return s;
+}
+
+}  // namespace
+
+TEST(BatchRunner, RunWithEmptyLimitsMatchesPlainRun) {
+  const auto scenarios = material_workload(6);
+  const fc::BatchRunner runner({.threads = 2});
+  fc::BatchReport report;
+  const auto limited = runner.run(scenarios, fc::RunLimits{}, &report);
+  expect_identical(runner.run(scenarios), limited);
+  EXPECT_TRUE(report.completed());
+  EXPECT_EQ(report.jobs, scenarios.size());
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.cancelled, 0u);
+  EXPECT_EQ(report.quarantined, 0u);
+}
+
+TEST(BatchRunner, PreCancelledTokenCancelsEveryScenario) {
+  const auto scenarios = material_workload(5);
+  fc::RunLimits limits;
+  limits.cancel.cancel();
+  fc::BatchReport report;
+  const auto results =
+      fc::BatchRunner({.threads = 2}).run(scenarios, limits, &report);
+  ASSERT_EQ(results.size(), scenarios.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].error.code, fc::ErrorCode::kCancelled) << i;
+    EXPECT_EQ(results[i].name, scenarios[i].name);  // identity survives
+    EXPECT_TRUE(results[i].curve.empty());
+  }
+  EXPECT_FALSE(report.completed());
+  EXPECT_EQ(report.stop.code, fc::ErrorCode::kCancelled);
+  EXPECT_EQ(report.cancelled, scenarios.size());
+  EXPECT_EQ(report.failed, 0u);
+}
+
+TEST(BatchRunner, CancellationMidBatchDeliversPartialResults) {
+  // The acceptance scenario: cancel from outside while workers are mid
+  // batch. Which scenarios finished is scheduling-dependent; what is NOT
+  // negotiable is that every index reports (ok or kCancelled, nothing
+  // else), the counters reconcile, and the call returns (no deadlock).
+  const auto scenarios = material_workload(64);
+  fc::RunLimits limits;
+  fc::BatchReport report;
+  const fc::BatchRunner runner({.threads = 4});
+  std::thread canceller([&limits] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    limits.cancel.cancel();
+  });
+  const auto results = runner.run(scenarios, limits, &report);
+  canceller.join();
+
+  ASSERT_EQ(results.size(), scenarios.size());
+  std::size_t ok = 0, cancelled = 0;
+  for (const auto& r : results) {
+    if (r.ok()) {
+      ++ok;
+      EXPECT_GT(r.curve.size(), 0u);  // partial results are COMPLETE results
+    } else {
+      ASSERT_EQ(r.error.code, fc::ErrorCode::kCancelled) << r.name;
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(ok + cancelled, scenarios.size());
+  EXPECT_EQ(report.cancelled, cancelled);
+  EXPECT_EQ(report.failed, 0u);
+  if (cancelled > 0) {
+    EXPECT_EQ(report.stop.code, fc::ErrorCode::kCancelled);
+  }
+}
+
+TEST(BatchRunner, ExpiredDeadlineStampsDeadlineExceeded) {
+  const auto scenarios = material_workload(4);
+  fc::RunLimits limits;
+  limits.deadline_s = 1e-9;  // expired by the first poll
+  fc::BatchReport report;
+  const auto results =
+      fc::BatchRunner({.threads = 1}).run(scenarios, limits, &report);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.error.code, fc::ErrorCode::kDeadlineExceeded) << r.name;
+  }
+  EXPECT_EQ(report.stop.code, fc::ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(report.cancelled, scenarios.size());
+}
+
+TEST(BatchRunner, ErrorBudgetStopsTheBatch) {
+  // Serial order makes the budget trip deterministic: scenario 0 fails,
+  // tripping max_errors=1, so every later scenario is cancelled rather
+  // than computed.
+  auto scenarios = material_workload(4);
+  scenarios[0].params.c = 1.5;  // invalid
+  fc::RunLimits limits;
+  limits.max_errors = 1;
+  fc::BatchReport report;
+  const auto results =
+      fc::BatchRunner({.threads = 1}).run(scenarios, limits, &report);
+  EXPECT_EQ(results[0].error.code, fc::ErrorCode::kInvalidScenario);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].error.code, fc::ErrorCode::kCancelled) << i;
+    EXPECT_NE(results[i].error.detail.find("error budget"), std::string::npos)
+        << results[i].error;
+  }
+  EXPECT_EQ(report.failed, 1u);
+  EXPECT_EQ(report.cancelled, results.size() - 1);
+  EXPECT_EQ(report.stop.code, fc::ErrorCode::kCancelled);
+}
+
+TEST(BatchRunner, RunPackedHonoursLimits) {
+  const auto scenarios = material_workload(6);
+  fc::RunLimits limits;
+  limits.cancel.cancel();
+  fc::BatchReport report;
+  const auto results = fc::BatchRunner({.threads = 2})
+                           .run_packed(scenarios, fm::BatchMath::kExact,
+                                       limits, &report);
+  ASSERT_EQ(results.size(), scenarios.size());
+  for (const auto& r : results) {
+    EXPECT_EQ(r.error.code, fc::ErrorCode::kCancelled) << r.name;
+  }
+  EXPECT_EQ(report.cancelled, scenarios.size());
+}
+
+TEST(BatchRunner, PackedNanScenarioQuarantinesWithoutPoisoningNeighbours) {
+  // THE acceptance property: one scenario that goes non-finite inside the
+  // packed kernel must surface as a structured per-job error while every
+  // healthy lane stays bitwise identical to the baseline — grouping
+  // invariance means a NaN lane cannot leak into its SIMD neighbours.
+  auto scenarios = material_workload(8);
+  const std::size_t nan_at = 3;
+  scenarios[nan_at].name = "nan-lane";
+  scenarios[nan_at].drive =
+      fc::TimeDrive{std::make_shared<NanWaveform>(), 0.0, 0.04, 500};
+  scenarios[nan_at].metrics_window.reset();
+
+  for (const auto math : {fm::BatchMath::kExact, fm::BatchMath::kFast}) {
+    fc::BatchReport report;
+    const fc::BatchRunner runner({.threads = 2});
+    const auto packed =
+        runner.run_packed(scenarios, math, fc::RunLimits{}, &report);
+    ASSERT_EQ(packed.size(), scenarios.size());
+
+    // The poisoned lane: quarantined, retried through the scalar exact
+    // path, and diagnosed there — the same verdict run() reaches.
+    EXPECT_EQ(packed[nan_at].error.code, fc::ErrorCode::kNonFinite)
+        << packed[nan_at].error;
+    EXPECT_GE(report.quarantined, 1u);
+    EXPECT_EQ(report.failed, 1u);
+    EXPECT_TRUE(report.completed());  // a lane failure does not stop a batch
+    const auto solo = fc::run_scenario(scenarios[nan_at]);
+    EXPECT_EQ(solo.error.code, fc::ErrorCode::kNonFinite);
+
+    // Healthy lanes: bitwise equal to the same-math baseline (run() for
+    // kExact; for kFast, the packed run of the healthy subset — lane
+    // grouping invariance makes the partition irrelevant).
+    auto healthy = scenarios;
+    healthy.erase(healthy.begin() + static_cast<std::ptrdiff_t>(nan_at));
+    const auto baseline = math == fm::BatchMath::kExact
+                              ? runner.run(healthy)
+                              : runner.run_packed(healthy, math);
+    for (std::size_t i = 0, j = 0; i < packed.size(); ++i) {
+      if (i == nan_at) continue;
+      ASSERT_TRUE(packed[i].ok()) << packed[i].name << ": " << packed[i].error;
+      ASSERT_EQ(packed[i].curve.size(), baseline[j].curve.size());
+      for (std::size_t p = 0; p < packed[i].curve.size(); ++p) {
+        ASSERT_EQ(packed[i].curve.points()[p].b, baseline[j].curve.points()[p].b)
+            << packed[i].name << " point " << p;
+      }
+      ++j;
+    }
+  }
+}
+
+TEST(BatchRunner, FluxDriveScenarioRunsThroughInverseSolver) {
+  fc::Scenario s;
+  s.name = "flux-driven";
+  s.params = fm::paper_parameters();
+  s.config = ts::paper_config();
+  fc::FluxDrive drive;
+  for (double b = 0.1; b <= 1.2 + 1e-12; b += 0.1) drive.b.push_back(b);
+  s.drive = std::move(drive);
+  const auto result = fc::run_scenario(s);
+  ASSERT_TRUE(result.ok()) << result.error;
+  ASSERT_EQ(result.curve.size(), 12u);
+  for (std::size_t j = 0; j < result.curve.size(); ++j) {
+    // The inverse solve realises each commanded flux to tolerance.
+    EXPECT_NEAR(result.curve.points()[j].b, 0.1 * static_cast<double>(j + 1),
+                1e-6)
+        << "sample " << j;
+  }
+}
+
+TEST(BatchRunner, FluxDriveBracketFailureSurfacesAsStructuredError) {
+  // Satellite: InverseTimelessJa::bracket_failures() wired into the
+  // taxonomy — the unbracketable solve reports kBracketFailure (not a
+  // generic solver error) and keeps the partial curve up to the failure.
+  const fc::Scenario s = bracket_failure_scenario();
+  const auto result = fc::run_scenario(s);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error.code, fc::ErrorCode::kBracketFailure);
+  EXPECT_NE(result.error.detail.find("bracket"), std::string::npos)
+      << result.error;
+  // 14 targets converged before the downward one failed.
+  EXPECT_EQ(result.curve.size(), 14u);
+
+  // Through the batch (run_packed routes FluxDrive to the fallback path).
+  fc::BatchReport report;
+  const auto batch = fc::BatchRunner({.threads = 2})
+                         .run_packed({s}, fm::BatchMath::kExact,
+                                     fc::RunLimits{}, &report);
+  EXPECT_EQ(batch[0].error.code, fc::ErrorCode::kBracketFailure);
+  EXPECT_EQ(report.failed, 1u);
+}
+
+TEST(BatchRunner, ValidateRejectsMalformedScenarios) {
+  fc::Scenario good = material_workload(1)[0];
+  EXPECT_TRUE(fc::validate(good).ok());
+
+  fc::Scenario bad_params = good;
+  bad_params.params.c = 1.5;
+  EXPECT_EQ(fc::validate(bad_params).code, fc::ErrorCode::kInvalidScenario);
+
+  fc::Scenario bad_config = good;
+  bad_config.config.dhmax = 0.0;
+  EXPECT_EQ(fc::validate(bad_config).code, fc::ErrorCode::kInvalidScenario);
+
+  fc::Scenario bad_sweep = good;
+  fw::HSweep sweep;
+  sweep.h.push_back(std::numeric_limits<double>::infinity());
+  bad_sweep.drive = std::move(sweep);
+  EXPECT_EQ(fc::validate(bad_sweep).code, fc::ErrorCode::kInvalidScenario);
+
+  fc::Scenario bad_time = good;
+  bad_time.drive = fc::TimeDrive{};  // null waveform
+  EXPECT_EQ(fc::validate(bad_time).code, fc::ErrorCode::kInvalidScenario);
+
+  fc::Scenario bad_flux = good;
+  bad_flux.frontend = fc::Frontend::kAms;  // FluxDrive is kDirect-only
+  bad_flux.drive = fc::FluxDrive{{0.1, 0.2}};
+  EXPECT_EQ(fc::validate(bad_flux).code, fc::ErrorCode::kInvalidScenario);
 }

@@ -5,8 +5,10 @@
 // batch math lanes, deterministically across thread counts.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/batch_runner.hpp"
@@ -260,6 +262,60 @@ TEST(FitJaParameters, DeterministicAcrossThreadCounts) {
     EXPECT_EQ(r.residual, base.residual) << "threads=" << threads;
     EXPECT_EQ(r.evaluations, base.evaluations) << "threads=" << threads;
     EXPECT_EQ(r.winning_start, base.winning_start) << "threads=" << threads;
+  }
+}
+
+TEST(FitJaParameters, PreCancelledTokenStopsBeforeAnyGeneration) {
+  const ff::FitObjective objective(simulate(ground_truth()));
+  ff::FitOptions options;
+  options.limits.cancel.cancel();
+  const ff::FitResult result = ff::fit_ja_parameters(objective, options);
+  EXPECT_EQ(result.stop.code, fc::ErrorCode::kCancelled);
+  EXPECT_EQ(result.generations, 0u);
+  EXPECT_EQ(result.evaluations, 0u);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(FitJaParameters, DeadlineStopsAtAGenerationBoundaryWithIncumbent) {
+  // An already-expired deadline still runs zero generations; a generous one
+  // behaves exactly like no limit. Between the two, whatever generation the
+  // clock interrupts, the incumbent from completed generations survives.
+  const ff::FitObjective objective(simulate(ground_truth()));
+
+  ff::FitOptions expired;
+  expired.limits.deadline_s = 1e-9;
+  const ff::FitResult none = ff::fit_ja_parameters(objective, expired);
+  EXPECT_EQ(none.stop.code, fc::ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(none.generations, 0u);
+
+  ff::FitOptions generous;
+  generous.multistarts = 2;
+  generous.restarts = 0;
+  generous.max_generations = 40;
+  generous.limits.deadline_s = 3600.0;
+  const ff::FitResult full = ff::fit_ja_parameters(objective, generous);
+  EXPECT_TRUE(full.stop.ok());
+  EXPECT_GT(full.generations, 0u);
+  EXPECT_TRUE(std::isfinite(full.residual));
+}
+
+TEST(FitJaParameters, CancellationMidSearchKeepsBestSoFar) {
+  // Cancel from another thread while the search is running: the fit must
+  // return promptly with stop == kCancelled and, if any generation
+  // completed, a finite incumbent — never throw, never wedge.
+  const ff::FitObjective objective(simulate(ground_truth()));
+  ff::FitOptions options;
+  options.threads = 2;
+  options.max_generations = 100000;  // the cancel is what ends the search
+  std::thread canceller([&options] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    options.limits.cancel.cancel();
+  });
+  const ff::FitResult result = ff::fit_ja_parameters(objective, options);
+  canceller.join();
+  EXPECT_EQ(result.stop.code, fc::ErrorCode::kCancelled);
+  if (result.generations > 0) {
+    EXPECT_TRUE(std::isfinite(result.residual));
   }
 }
 

@@ -197,7 +197,7 @@ TEST(FrontendPlan, AmsMetricsWindowOverrunIsRejectedInBothPaths) {
 
   const fc::ScenarioResult serial = fc::run_scenario(s);
   EXPECT_FALSE(serial.ok());
-  EXPECT_NE(serial.error.find("does not fit"), std::string::npos)
+  EXPECT_NE(serial.error.detail.find("does not fit"), std::string::npos)
       << serial.error;
   // The curve itself completed before the metrics step failed.
   EXPECT_GT(serial.curve.size(), 0u);

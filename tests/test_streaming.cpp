@@ -7,6 +7,7 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <thread>
@@ -181,8 +182,9 @@ TEST(Streaming, CollectedStreamMatchesRunBitwiseAcrossThreadCounts) {
     const auto summary = runner.run_streaming(scenarios, sink);
     EXPECT_TRUE(summary.ok()) << summary.sink_error;
     EXPECT_EQ(summary.delivered, scenarios.size());
-    EXPECT_EQ(summary.discarded, 0u);
+    EXPECT_EQ(summary.discarded_deliveries, 0u);
     EXPECT_EQ(summary.failed_jobs, 1u);  // the invalid-parameter job
+    EXPECT_TRUE(summary.stop.ok());      // ran to completion
     expect_identical(reference, sink.results());
   }
 }
@@ -300,13 +302,18 @@ TEST(Streaming, ThrowingSinkSurfacesErrorWithoutKillingTheBatch) {
   const fc::BatchRunner runner({.threads = 4});
   const auto summary = runner.run_streaming(scenarios, sink);
   EXPECT_FALSE(summary.ok());
-  EXPECT_NE(summary.sink_error.find("sink exploded"), std::string::npos)
+  EXPECT_EQ(summary.sink_error.code, fc::ErrorCode::kSinkError);
+  EXPECT_NE(summary.sink_error.detail.find("sink exploded"), std::string::npos)
       << summary.sink_error;
-  // Two deliveries succeeded before the throw; everything after the failure
-  // is accounted for as discarded, never silently lost.
-  EXPECT_EQ(summary.delivered, 2u);
-  EXPECT_EQ(summary.delivered + summary.discarded, scenarios.size());
-  EXPECT_TRUE(sink.completed);  // lifecycle still closes
+  // One delivery blew up; the batch keeps offering the rest (a single
+  // hiccup must not discard an entire run), and every scenario is still
+  // accounted for — delivered or discarded, never silently lost.
+  EXPECT_EQ(summary.sink_error_count, 1u);
+  EXPECT_EQ(summary.discarded_deliveries, 1u);
+  EXPECT_EQ(summary.delivered, scenarios.size() - 1);
+  EXPECT_EQ(summary.delivered + summary.discarded_deliveries, scenarios.size());
+  EXPECT_EQ(sink.count, scenarios.size());  // every delivery was attempted
+  EXPECT_TRUE(sink.completed);              // lifecycle still closes
 
   // The pool survives a broken consumer: the same runner keeps working.
   const auto after = runner.run(scenarios);
@@ -329,9 +336,141 @@ TEST(Streaming, ThrowingOnStartDiscardsEverythingButStillCompletes) {
   const auto summary =
       fc::BatchRunner({.threads = 2}).run_streaming(scenarios, sink);
   EXPECT_FALSE(summary.ok());
+  EXPECT_EQ(summary.sink_error.code, fc::ErrorCode::kSinkError);
   EXPECT_EQ(summary.delivered, 0u);
-  EXPECT_EQ(summary.discarded, scenarios.size());
+  EXPECT_EQ(summary.discarded_deliveries, scenarios.size());
   EXPECT_EQ(sink.count, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation and mixed outcomes
+// ---------------------------------------------------------------------------
+
+TEST(Streaming, SinkCancellationDrainsRemainderAsCancelled) {
+  // A consumer that has seen enough cancels the batch from inside its own
+  // callback. Serial runner: the gate is polled before every scenario, so
+  // exactly one result computes and the remainder arrive as kCancelled —
+  // still delivered, still one per index.
+  const auto scenarios = mixed_frontend_workload(8);
+  fc::RunLimits limits;
+
+  class CancellingSink : public fc::ResultSink {
+   public:
+    explicit CancellingSink(fc::CancelToken token) : token_(std::move(token)) {}
+    void on_result(std::size_t, fc::ScenarioResult&& r) override {
+      token_.cancel();
+      if (r.ok() || r.error.code != fc::ErrorCode::kCancelled) ++computed;
+      ++count;
+    }
+    std::size_t count = 0;
+    std::size_t computed = 0;
+
+   private:
+    fc::CancelToken token_;
+  } sink(limits.cancel);
+
+  const auto summary = fc::BatchRunner({.threads = 1})
+                           .run_streaming(scenarios, sink, {}, limits);
+  EXPECT_TRUE(summary.ok());  // cancellation is not a sink failure
+  EXPECT_EQ(summary.stop.code, fc::ErrorCode::kCancelled);
+  EXPECT_EQ(summary.delivered, scenarios.size());
+  EXPECT_EQ(sink.count, scenarios.size());
+  EXPECT_EQ(sink.computed, 1u);
+  EXPECT_EQ(summary.cancelled_jobs, scenarios.size() - 1);
+}
+
+TEST(Streaming, ParallelCancellationMidStreamStaysAccounted) {
+  // The TSan-facing shape: workers, queue, consumer thread, and an external
+  // canceller all racing. Whatever finishes finishes; the accounting and
+  // the lifecycle must hold regardless.
+  const auto scenarios = mixed_frontend_workload(48);
+  fc::RunLimits limits;
+  RecordingSink sink;
+  std::thread canceller([&limits] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    limits.cancel.cancel();
+  });
+  const auto summary = fc::BatchRunner({.threads = 4})
+                           .run_streaming(scenarios, sink, {}, limits);
+  canceller.join();
+  EXPECT_TRUE(summary.ok());
+  EXPECT_EQ(summary.delivered, scenarios.size());
+  EXPECT_EQ(sink.starts, 1);
+  EXPECT_EQ(sink.completes, 1);
+  std::size_t cancelled = 0;
+  for (const auto& [index, result] : sink.received) {
+    if (!result.ok()) {
+      EXPECT_EQ(result.error.code, fc::ErrorCode::kCancelled) << index;
+      ++cancelled;
+    }
+  }
+  EXPECT_EQ(summary.cancelled_jobs, cancelled);
+  // mixed_frontend_workload's "broken" job may have computed (failed) or
+  // been cancelled first; either way nothing is unaccounted.
+  EXPECT_LE(summary.failed_jobs, 1u);
+}
+
+TEST(Streaming, MixedOutcomeBatchKeepsHealthyLanesBitwise) {
+  // Satellite: one batch mixing a throwing waveform, a NaN-producing
+  // waveform, and healthy scenarios across all three frontends. Healthy
+  // results stay bitwise identical to run(); the sick ones carry the right
+  // code on the right index; the summary reconciles.
+  class ThrowingWaveform final : public fw::Waveform {
+   public:
+    [[nodiscard]] double value(double) const override {
+      throw std::runtime_error("waveform exploded");
+    }
+  };
+  class NanWaveform final : public fw::Waveform {
+   public:
+    [[nodiscard]] double value(double) const override {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+  };
+
+  auto scenarios = mixed_frontend_workload(12);  // [4] is "broken" (invalid)
+  const std::size_t throw_at = 2;   // kDirect time drive slot
+  const std::size_t nan_at = 7;     // replace a sweep slot with a time drive
+  scenarios[throw_at].name = "throwing";
+  scenarios[throw_at].drive =
+      fc::TimeDrive{std::make_shared<ThrowingWaveform>(), 0.0, 0.04, 100};
+  scenarios[throw_at].metrics_window.reset();
+  scenarios[nan_at].name = "nan";
+  scenarios[nan_at].drive =
+      fc::TimeDrive{std::make_shared<NanWaveform>(), 0.0, 0.04, 100};
+  scenarios[nan_at].metrics_window.reset();
+
+  const auto reference = fc::BatchRunner({.threads = 1}).run(scenarios);
+  ASSERT_EQ(reference[throw_at].error.code, fc::ErrorCode::kSolverDiverged);
+  ASSERT_EQ(reference[nan_at].error.code, fc::ErrorCode::kNonFinite);
+  ASSERT_EQ(reference[4].error.code, fc::ErrorCode::kInvalidScenario);
+
+  for (const unsigned threads : {1u, 4u}) {
+    const fc::BatchRunner runner({.threads = threads});
+    fc::CollectingSink sink;
+    const auto summary = runner.run_packed_streaming(scenarios, sink);
+    EXPECT_TRUE(summary.ok()) << summary.sink_error;
+    EXPECT_EQ(summary.delivered, scenarios.size());
+    EXPECT_EQ(summary.failed_jobs, 3u);  // throwing, nan, broken
+    EXPECT_EQ(summary.cancelled_jobs, 0u);
+    const auto& results = sink.results();
+    EXPECT_EQ(results[throw_at].error.code, fc::ErrorCode::kSolverDiverged);
+    EXPECT_NE(results[throw_at].error.detail.find("waveform exploded"),
+              std::string::npos)
+        << results[throw_at].error;
+    EXPECT_EQ(results[nan_at].error.code, fc::ErrorCode::kNonFinite);
+    // Healthy lanes (and the deterministic failures): bitwise vs run().
+    // The NaN lane is pinned by code above and excluded here only because
+    // NaN payloads defeat ASSERT_EQ (NaN != NaN), not because it may drift.
+    std::vector<fc::ScenarioResult> ref_cmp;
+    std::vector<fc::ScenarioResult> res_cmp;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (i == nan_at) continue;
+      ref_cmp.push_back(reference[i]);
+      res_cmp.push_back(results[i]);
+    }
+    expect_identical(ref_cmp, res_cmp);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -13,6 +13,7 @@
 //   ferro_fit --input measured.csv
 //   ferro_fit --input measured.csv --tip-weight 4 --coercive-weight 2 \
 //             --multistarts 8 --out fitted_curve.csv
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +26,7 @@
 #include "fit/objective.hpp"
 #include "mag/ja_params.hpp"
 #include "util/csv.hpp"
+#include "wave/sweep.hpp"
 
 namespace {
 
@@ -140,6 +142,36 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Input hardening: reject malformed measurements before the fitter sees
+  // them. A NaN row would poison every candidate's residual silently, a
+  // one-row or monotone drive has no loop to fit — each gets exit code 3
+  // and a one-line diagnostic instead of a confusing downstream failure.
+  if (h.size() < 2) {
+    std::fprintf(stderr,
+                 "%s: need at least 2 samples to fit a curve (got %zu)\n",
+                 input.c_str(), h.size());
+    return 3;
+  }
+  for (std::size_t r = 0; r < h.size(); ++r) {
+    if (!std::isfinite(h[r])) {
+      std::fprintf(stderr, "%s: non-finite '%s' value at data row %zu\n",
+                   input.c_str(), h_col.c_str(), r);
+      return 3;
+    }
+    if (!std::isfinite(b[r])) {
+      std::fprintf(stderr, "%s: non-finite '%s' value at data row %zu\n",
+                   input.c_str(), b_col.c_str(), r);
+      return 3;
+    }
+  }
+  if (wave::find_turning_points(h).empty()) {
+    std::fprintf(stderr,
+                 "%s: field sweep is monotone (no turning points) — a "
+                 "hysteresis fit needs at least one reversal\n",
+                 input.c_str());
+    return 3;
+  }
+
   try {
     const fit::FitObjective objective(std::move(h), std::move(b), config,
                                       obj_opts);
@@ -167,7 +199,7 @@ int main(int argc, char** argv) {
         core::run_scenario(objective.scenario(result.params, "fitted"));
     if (!fitted.ok()) {
       std::fprintf(stderr, "fitted model failed to simulate: %s\n",
-                   fitted.error.c_str());
+                   fitted.error.message().c_str());
       return 1;
     }
     const fit::ResidualReport report = objective.report(fitted.curve);
