@@ -5,12 +5,12 @@
 //   * heterogeneous: the material library tiled with per-scenario dhmax
 //     jitter (the original PR-1 determinism workload);
 //   * homogeneous: 64 scenarios of one material and one sweep shape with
-//     dhmax jitter only — the shape run_packed() is built for.
+//     dhmax jitter only — the shape the packed path is built for.
 //
 // The report section checks that every thread count reproduces the serial
-// results bit-for-bit and that run_packed(kExact) matches run() bit-for-bit;
-// the timing section measures scenarios/second for run(), run_packed(exact)
-// and run_packed(fast). The PR acceptance threshold is run_packed at >= 1.5x
+// results bit-for-bit and that Packing::kExact matches plain run() bit-for-bit;
+// the timing section measures scenarios/second for plain, packed-exact and
+// packed-fast runs. The PR acceptance threshold is the packed path at >= 1.5x
 // run() on the homogeneous workload at equal thread count.
 #include <cstdio>
 
@@ -35,9 +35,11 @@ std::vector<core::Scenario> heterogeneous_workload() {
     const double amp = 5.0 * (material.params.a + material.params.k);
     core::Scenario s;
     s.name = material.name + "#" + std::to_string(i);
-    s.params = material.params;
+    core::JaSpec spec;
+    spec.params = material.params;
     // Jitter the event threshold so jobs are distinct work units.
-    s.config.dhmax = amp / (300.0 + 10.0 * static_cast<double>(i % 8));
+    spec.config.dhmax = amp / (300.0 + 10.0 * static_cast<double>(i % 8));
+    s.model = spec;
     wave::HSweep sweep = wave::SweepBuilder(amp / 1500.0).cycles(amp, 2).build();
     s.metrics_window = core::MetricsWindow{sweep.size() / 2, sweep.size() - 1};
     s.drive = std::move(sweep);
@@ -54,8 +56,10 @@ std::vector<core::Scenario> homogeneous_workload() {
   for (std::size_t i = 0; i < kScenarios; ++i) {
     core::Scenario s;
     s.name = material.name + "#" + std::to_string(i);
-    s.params = material.params;
-    s.config.dhmax = amp / (300.0 + 10.0 * static_cast<double>(i % 8));
+    core::JaSpec spec;
+    spec.params = material.params;
+    spec.config.dhmax = amp / (300.0 + 10.0 * static_cast<double>(i % 8));
+    s.model = spec;
     wave::HSweep sweep = wave::SweepBuilder(amp / 1500.0).cycles(amp, 2).build();
     s.metrics_window = core::MetricsWindow{sweep.size() / 2, sweep.size() - 1};
     s.drive = std::move(sweep);
@@ -100,14 +104,15 @@ void report() {
   }
   for (const unsigned threads : {1u, 4u}) {
     const core::BatchRunner runner({.threads = threads});
-    const auto packed = runner.run_packed(scenarios);
+    const auto packed =
+        runner.run(scenarios, {.packing = core::Packing::kExact});
     std::printf("  %-4u (packed)    %10zu %10s\n",
                 runner.resolved_threads(scenarios.size()), packed.size(),
                 identical(serial, packed) ? "yes" : "NO");
   }
   benchutil::footnote(
       "jobs are claimed from per-worker deques (work-stealing) and write "
-      "their own result slots; run_packed(kExact) lanes execute the exact "
+      "their own result slots; Packing::kExact lanes execute the exact "
       "scalar arithmetic, so every row must compare bitwise equal.");
 }
 
@@ -160,7 +165,7 @@ void bm_homogeneous_run_packed(benchmark::State& state) {
   const auto math = state.range(1) == 0 ? mag::BatchMath::kExact
                                         : mag::BatchMath::kFast;
   for (auto _ : state) {
-    auto results = runner.run_packed(scenarios, math);
+    auto results = runner.run(scenarios, {.packing = core::packing_for(math)});
     benchmark::DoNotOptimize(results);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -191,8 +196,10 @@ std::vector<core::Scenario> ams_workload() {
   for (std::size_t i = 0; i < kScenarios; ++i) {
     core::Scenario s;
     s.name = material.name + "#ams" + std::to_string(i);
-    s.params = material.params;
-    s.config.dhmax = amp / (300.0 + 10.0 * static_cast<double>(i % 8));
+    core::JaSpec spec;
+    spec.params = material.params;
+    spec.config.dhmax = amp / (300.0 + 10.0 * static_cast<double>(i % 8));
+    s.model = spec;
     s.frontend = core::Frontend::kAms;
     s.drive = sweep;  // identical samples -> one shared trajectory solve
     scenarios.push_back(std::move(s));
@@ -229,7 +236,7 @@ void bm_packed_ams(benchmark::State& state) {
   const auto math = state.range(1) == 0 ? mag::BatchMath::kExact
                                         : mag::BatchMath::kFast;
   for (auto _ : state) {
-    auto results = runner.run_packed(scenarios, math);
+    auto results = runner.run(scenarios, {.packing = core::packing_for(math)});
     benchmark::DoNotOptimize(results);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -245,7 +252,7 @@ BENCHMARK(bm_packed_ams)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 
-/// Width sweep of the acceptance workload: run_packed(kFast) on the 64
+/// Width sweep of the acceptance workload: Packing::kFast on the 64
 /// homogeneous scenarios with the FastMath dispatch pinned to each SIMD
 /// width, single-threaded so the numbers isolate the vector width. Items
 /// are field samples, so the JSON reports samples/sec per width; the
@@ -267,7 +274,7 @@ void bm_packed_fast_width(benchmark::State& state) {
   }
   const core::BatchRunner runner({.threads = 1});
   for (auto _ : state) {
-    auto results = runner.run_packed(scenarios, mag::BatchMath::kFast);
+    auto results = runner.run(scenarios, {.packing = core::Packing::kFast});
     benchmark::DoNotOptimize(results);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *

@@ -5,7 +5,8 @@
 // The workload is the identification inner loop isolated: N candidate
 // parameter sets (one optimizer generation) simulated over the same
 // measured excitation. BM_GenerationPacked drives them through
-// BatchRunner::run_packed exactly like fit_ja_parameters does;
+// BatchRunner::run with Packing::kExact exactly like fit_ja_parameters
+// does;
 // BM_GenerationSerial runs the same candidates through run_scenario one at
 // a time in the calling thread — the way a fitter without the batch layer
 // would. BM_FitSynthetic times a complete (budget-capped) fit.
@@ -77,7 +78,8 @@ void BM_GenerationPacked(benchmark::State& state) {
   for (auto _ : state) {
     const auto scenarios =
         core::scenarios_for_parameters(params, objective.config(), sweep);
-    auto results = runner.run_packed(scenarios);
+    auto results =
+        runner.run(scenarios, {.packing = core::Packing::kExact});
     double acc = 0.0;
     for (const auto& r : results) acc += objective.residual(r.curve);
     benchmark::DoNotOptimize(acc);

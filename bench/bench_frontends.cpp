@@ -21,7 +21,7 @@ wave::HSweep excitation() {
 void report() {
   benchutil::header("CLM4", "frontend equivalence (SystemC / VHDL-AMS / direct)");
 
-  const core::JaFacade facade(mag::paper_parameters(), {kDhmax});
+  const core::Facade facade(mag::paper_parameters(), {kDhmax});
   const wave::HSweep sweep = excitation();
 
   const mag::BhCurve direct = facade.run(sweep, core::Frontend::kDirect);
@@ -45,7 +45,7 @@ void report() {
 }
 
 void bm_frontend_direct(benchmark::State& state) {
-  const core::JaFacade facade(mag::paper_parameters(), {kDhmax});
+  const core::Facade facade(mag::paper_parameters(), {kDhmax});
   const wave::HSweep sweep = excitation();
   for (auto _ : state) {
     auto curve = facade.run(sweep, core::Frontend::kDirect);
@@ -57,7 +57,7 @@ void bm_frontend_direct(benchmark::State& state) {
 BENCHMARK(bm_frontend_direct)->Unit(benchmark::kMillisecond);
 
 void bm_frontend_systemc(benchmark::State& state) {
-  const core::JaFacade facade(mag::paper_parameters(), {kDhmax});
+  const core::Facade facade(mag::paper_parameters(), {kDhmax});
   const wave::HSweep sweep = excitation();
   for (auto _ : state) {
     auto curve = facade.run(sweep, core::Frontend::kSystemC);
@@ -69,7 +69,7 @@ void bm_frontend_systemc(benchmark::State& state) {
 BENCHMARK(bm_frontend_systemc)->Unit(benchmark::kMillisecond);
 
 void bm_frontend_ams(benchmark::State& state) {
-  const core::JaFacade facade(mag::paper_parameters(), {kDhmax});
+  const core::Facade facade(mag::paper_parameters(), {kDhmax});
   const wave::HSweep sweep = excitation();
   for (auto _ : state) {
     auto curve = facade.run(sweep, core::Frontend::kAms);

@@ -1,0 +1,167 @@
+// MODEL — cross-backend throughput: the same batch machinery drives both
+// physics models, so this bench answers "what does a scenario cost per
+// model, and does mixing models in one batch cost anything beyond the sum
+// of its parts?"
+//
+// Workloads are homogeneous JA, homogeneous energy-based, and a 50/50 mix,
+// all kDirect major-loop sweeps routed through BatchRunner::run with
+// Packing::kExact — the configuration where JA lanes hit TimelessJaBatch,
+// energy lanes hit EnergyBasedBatch, and the mixed batch exercises the
+// per-model lane grouping.
+//
+// The report section prints the loop figures of both models on the shared
+// reference excitation — the cross-model sanity anchor (comparable
+// saturation and loop width by construction of the reference pairing) —
+// plus the energy model's measured pinning dissipation against its loop
+// area, which must agree to ~2% (the dissipation-functional identity).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/loop_metrics.hpp"
+#include "bench_common.hpp"
+#include "core/batch_runner.hpp"
+#include "core/scenario.hpp"
+#include "mag/energy_based.hpp"
+#include "mag/ja_params.hpp"
+#include "wave/sweep.hpp"
+
+namespace {
+
+using namespace ferro;
+
+wave::HSweep reference_sweep(int cycles = 2) {
+  return wave::SweepBuilder(10.0).cycles(10e3, cycles).build();
+}
+
+core::Scenario ja_job(std::size_t i) {
+  core::Scenario s;
+  s.name = "ja/" + std::to_string(i);
+  core::JaSpec spec;
+  spec.params = mag::paper_parameters();
+  spec.params.k = 3000.0 + 200.0 * static_cast<double>(i % 12);
+  spec.config.dhmax = 25.0;
+  s.model = spec;
+  s.drive = reference_sweep();
+  return s;
+}
+
+core::Scenario energy_job(std::size_t i) {
+  core::Scenario s;
+  s.name = "energy/" + std::to_string(i);
+  core::EnergySpec spec;
+  spec.params = mag::energy_reference_parameters();
+  spec.params.kappa_max = 3000.0 + 200.0 * static_cast<double>(i % 12);
+  s.model = spec;
+  s.drive = reference_sweep();
+  return s;
+}
+
+enum class Mix { kJa, kEnergy, kMixed };
+
+std::vector<core::Scenario> workload(Mix mix, std::size_t n) {
+  std::vector<core::Scenario> scenarios;
+  scenarios.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool energy =
+        mix == Mix::kEnergy || (mix == Mix::kMixed && i % 2 == 1);
+    scenarios.push_back(energy ? energy_job(i) : ja_job(i));
+  }
+  return scenarios;
+}
+
+void run_mix(benchmark::State& state, Mix mix) {
+  const auto scenarios =
+      workload(mix, static_cast<std::size_t>(state.range(0)));
+  const core::BatchRunner runner;
+  for (auto _ : state) {
+    auto results = runner.run(scenarios, {.packing = core::Packing::kExact});
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.counters["scenarios/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * scenarios.size()),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_JaBatch(benchmark::State& state) { run_mix(state, Mix::kJa); }
+void BM_EnergyBatch(benchmark::State& state) { run_mix(state, Mix::kEnergy); }
+void BM_MixedBatch(benchmark::State& state) { run_mix(state, Mix::kMixed); }
+
+void BM_EnergyScalarKernel(benchmark::State& state) {
+  // The scalar play update alone (no batch machinery): samples/s of one
+  // EnergyBased through the reference sweep, the energy counterpart of
+  // bench_kernel's JA numbers.
+  const wave::HSweep sweep = reference_sweep();
+  mag::EnergyBased model(mag::energy_reference_parameters());
+  for (auto _ : state) {
+    model.reset();
+    double acc = 0.0;
+    for (const double h : sweep.h) acc += model.apply(h);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["samples/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * sweep.size()),
+      benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_JaBatch)->Arg(16)->Arg(64)->UseRealTime();
+BENCHMARK(BM_EnergyBatch)->Arg(16)->Arg(64)->UseRealTime();
+BENCHMARK(BM_MixedBatch)->Arg(16)->Arg(64)->UseRealTime();
+BENCHMARK(BM_EnergyScalarKernel);
+
+void report() {
+  benchutil::header("MODEL", "cross-model comparison (JA vs energy-based)");
+
+  const core::BatchRunner runner;
+  std::vector<core::Scenario> pair;
+  core::Scenario ja = ja_job(0);
+  ja.ja().params = mag::paper_parameters();
+  core::Scenario energy = energy_job(0);
+  energy.energy().params = mag::energy_reference_parameters();
+  const auto sweep = reference_sweep();
+  const std::size_t half = sweep.size() / 2;
+  ja.metrics_window = core::MetricsWindow{half, sweep.size() - 1};
+  energy.metrics_window = core::MetricsWindow{half, sweep.size() - 1};
+  pair.push_back(std::move(ja));
+  pair.push_back(std::move(energy));
+  const auto results = runner.run(pair, {.packing = core::Packing::kExact});
+
+  std::printf("  %-8s %10s %10s %12s %14s\n", "model", "Bpeak[T]", "Br [T]",
+              "Hc [A/m]", "loss[J/m^3]");
+  for (const auto& r : results) {
+    std::printf("  %-8s %10.3f %10.3f %12.1f %14.1f\n",
+                std::string(mag::to_string(r.model)).c_str(), r.metrics.b_peak,
+                r.metrics.remanence, r.metrics.coercivity, r.metrics.area);
+  }
+
+  // Dissipation-functional identity: last closed cycle's loop area vs the
+  // pinning energy accounted over the same cycle (re-run serially to window
+  // it; the sweep ends at +A, so [n - 1 - 2*leg, n - 1] is one +A -> -A ->
+  // +A contour).
+  mag::EnergyBased model(mag::energy_reference_parameters());
+  const auto leg = static_cast<std::size_t>(2.0 * 10e3 / 10.0);
+  const std::size_t begin = sweep.size() - 1 - 2 * leg;
+  double diss_before = 0.0;
+  mag::BhCurve curve;
+  for (std::size_t i = 0; i < sweep.h.size(); ++i) {
+    model.apply(sweep.h[i]);
+    if (i == begin) diss_before = model.stats().dissipated_energy;
+    curve.append(sweep.h[i], model.magnetisation(), model.flux_density());
+  }
+  const double diss = model.stats().dissipated_energy - diss_before;
+  const double area =
+      analysis::analyze_loop(curve, begin, sweep.size() - 1).area;
+  std::printf("  energy model pinning dissipation %.1f J/m^3 vs loop area "
+              "%.1f J/m^3 (ratio %.4f)\n",
+              diss, area, diss / area);
+  std::printf("  acceptance (|ratio - 1| <= 0.02): %s\n",
+              std::fabs(diss / area - 1.0) <= 0.02 ? "PASS" : "FAIL");
+  benchutil::footnote(
+      "JA and energy scenarios share the reference excitation; the mixed "
+      "batch groups lanes per model, so scenarios/s of the mix should track "
+      "the harmonic blend of the homogeneous runs.");
+}
+
+}  // namespace
+
+FERRO_BENCH_MAIN(report)

@@ -8,7 +8,7 @@
 // is monotonic within a process, any increase after the collect phase is
 // memory the streaming phase never needed.
 //
-// The timing section compares run() against run_streaming() with a
+// The timing section compares collected run() against the sink overload with a
 // do-nothing sink (pure pipeline overhead: queue hand-off + consumer
 // thread), an OrderedSink (re-sequencing cost), and a tiny queue
 // (backpressure pressure-test).
@@ -50,8 +50,10 @@ std::vector<core::Scenario> workload(std::size_t count,
     const double amp = 5.0 * (material.params.a + material.params.k);
     core::Scenario s;
     s.name = material.name + "#" + std::to_string(i);
-    s.params = material.params;
-    s.config.dhmax = amp / (300.0 + 10.0 * static_cast<double>(i % 8));
+    core::JaSpec spec;
+    spec.params = material.params;
+    spec.config.dhmax = amp / (300.0 + 10.0 * static_cast<double>(i % 8));
+    s.model = spec;
     s.drive = wave::SweepBuilder(amp / static_cast<double>(samples_per_leg))
                   .cycles(amp, 2)
                   .build();
@@ -76,7 +78,7 @@ void report() {
 
   const long rss_before = peak_rss_kb();
   NullSink sink;
-  const auto summary = runner.run_streaming(scenarios, sink);
+  const auto summary = runner.run(scenarios, sink);
   const long rss_stream = peak_rss_kb();
   const auto collected = runner.run(scenarios);
   const long rss_collect = peak_rss_kb();
@@ -125,7 +127,7 @@ void bm_stream_null_sink(benchmark::State& state) {
       {.threads = static_cast<unsigned>(state.range(0))});
   for (auto _ : state) {
     NullSink sink;
-    auto summary = runner.run_streaming(scenarios, sink);
+    auto summary = runner.run(scenarios, sink);
     benchmark::DoNotOptimize(summary);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -145,7 +147,7 @@ void bm_stream_ordered(benchmark::State& state) {
   for (auto _ : state) {
     NullSink inner;
     core::OrderedSink ordered(inner);
-    auto summary = runner.run_streaming(scenarios, ordered);
+    auto summary = runner.run(scenarios, ordered);
     benchmark::DoNotOptimize(summary);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -182,7 +184,7 @@ class CancelOnFirstSink : public core::ResultSink {
 
 void bm_stream_cancellation_latency(benchmark::State& state) {
   // Robustness telemetry: how long a cancelled batch takes to DRAIN — from
-  // the token firing (first delivery) to run_streaming returning with every
+  // the token firing (first delivery) to the streaming run returning with every
   // index delivered. The drain_ms counter is the cancellation latency; the
   // iteration time itself is dominated by the one computed chunk per worker
   // that cooperative cancellation lets finish.
@@ -193,7 +195,7 @@ void bm_stream_cancellation_latency(benchmark::State& state) {
   for (auto _ : state) {
     core::RunLimits limits;
     CancelOnFirstSink sink(limits.cancel);
-    auto summary = runner.run_streaming(scenarios, sink, {}, limits);
+    auto summary = runner.run(scenarios, sink, {.limits = limits});
     drain_s += std::chrono::duration<double>(
                    std::chrono::steady_clock::now() - sink.cancelled_at())
                    .count();
@@ -219,7 +221,7 @@ void bm_stream_tiny_queue(benchmark::State& state) {
   for (auto _ : state) {
     NullSink sink;
     auto summary =
-        runner.run_streaming(scenarios, sink, {.queue_capacity = 1});
+        runner.run(scenarios, sink, {.stream = {.queue_capacity = 1}});
     benchmark::DoNotOptimize(summary);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *

@@ -14,7 +14,7 @@
 int main() {
   using namespace ferro;
 
-  const core::JaFacade facade(mag::paper_parameters(), {/*dhmax=*/25.0});
+  const core::Facade facade(mag::paper_parameters(), {/*dhmax=*/25.0});
   const wave::HSweep sweep = wave::SweepBuilder(10.0).cycles(10e3, 2).build();
 
   std::printf("running three frontends over a %zu-sample major-loop sweep\n",
@@ -48,15 +48,14 @@ int main() {
         core::Frontend::kAms}) {
     core::Scenario s;
     s.name = std::string(core::to_string(frontend));
-    s.params = facade.params();
-    s.config = facade.config();
+    s.model = core::JaSpec{facade.params(), facade.config()};
     s.drive = sweep;
     scenarios.push_back(std::move(s));
     scenarios.back().frontend = frontend;
   }
   const core::BatchRunner runner({.threads = 0});
   const auto serial = runner.run(scenarios);
-  const auto packed = runner.run_packed(scenarios);
+  const auto packed = runner.run(scenarios, {.packing = core::Packing::kExact});
 
   std::printf("\npacked plan/execute pipeline vs the serial frontends:\n");
   const mag::BhCurve* reference[] = {&direct, &systemc, &ams};

@@ -3,7 +3,7 @@
 // curve: saturation flux density, remanence, coercivity, loss per cycle.
 //
 // The materials are independent jobs, so they go through BatchRunner's
-// packed path: every scenario here is a plain kDirect sweep, so run_packed()
+// packed path: every scenario here is a plain kDirect sweep, so packed run()
 // routes the whole library through the SoA batch kernel (TimelessJaBatch)
 // in lane blocks — results in library order, bitwise identical to the
 // per-scenario path in the default exact mode.
@@ -60,8 +60,10 @@ int main(int argc, char** argv) {
     const double amp = 5.0 * (material.params.a + material.params.k);
     core::Scenario s;
     s.name = material.name;
-    s.params = material.params;
-    s.config.dhmax = amp / 400.0;
+    core::JaSpec spec;
+    spec.params = material.params;
+    spec.config.dhmax = amp / 400.0;
+    s.model = spec;
     wave::HSweep sweep = wave::SweepBuilder(amp / 2000.0).cycles(amp, 2).build();
     // Metrics over the converged second cycle.
     s.metrics_window = core::MetricsWindow{sweep.size() / 2, sweep.size() - 1};
@@ -84,14 +86,16 @@ int main(int argc, char** argv) {
     });
     core::TeeSink tee({&curves, &table});
     core::OrderedSink ordered(tee);
-    const auto summary = runner.run_packed_streaming(scenarios, ordered, math);
+    const auto summary = runner.run(
+        scenarios, ordered, {.packing = core::packing_for(math)});
     std::printf("\nstreamed %zu results (%zu failed jobs) — "
                 "material_curves.csv holds %zu curve rows, flushed per "
                 "material%s.\n",
                 summary.delivered, summary.failed_jobs, curves.rows_written(),
                 summary.ok() ? "" : " (sink error!)");
   } else {
-    const auto results = runner.run_packed(scenarios, math);
+    const auto results =
+        runner.run(scenarios, {.packing = core::packing_for(math)});
     for (const auto& r : results) print_row(r);
   }
 

@@ -20,7 +20,7 @@ int main() {
 
   const wave::HSweep sweep = wave::SweepBuilder(10.0).cycles(10e3, 1).build();
 
-  const core::JaFacade facade(params, config);
+  const core::Facade facade(params, config);
   const mag::BhCurve curve = facade.run(sweep);
 
   curve.write_csv("quickstart_bh.csv");

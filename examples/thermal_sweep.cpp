@@ -28,8 +28,10 @@ int main() {
   for (const double t : temperatures) {
     core::Scenario s;
     s.name = "T=" + std::to_string(t);
-    s.params = thermal.at(base, t);
-    s.config.dhmax = (s.params.a + s.params.k) / 600.0;
+    core::JaSpec spec;
+    spec.params = thermal.at(base, t);
+    spec.config.dhmax = (spec.params.a + spec.params.k) / 600.0;
+    s.model = spec;
     wave::HSweep sweep = wave::SweepBuilder(10.0).cycles(10e3, 2).build();
     s.metrics_window = core::MetricsWindow{sweep.size() / 2, sweep.size() - 1};
     s.drive = std::move(sweep);
@@ -63,7 +65,7 @@ int main() {
           },
   });
   core::OrderedSink ordered(consumer);
-  const auto summary = core::BatchRunner().run_streaming(scenarios, ordered);
+  const auto summary = core::BatchRunner().run(scenarios, ordered);
   if (!summary.ok()) {
     std::printf("sink error: %s\n", summary.sink_error.message().c_str());
     return 1;

@@ -103,7 +103,7 @@ AmsJaResult run_ams_timeless(const mag::JaParameters& params,
                           ja.flux_density());
     }
   }
-  result.ja_stats = ja.stats();
+  result.stats = ja.stats();
   return result;
 }
 

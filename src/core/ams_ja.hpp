@@ -35,7 +35,16 @@ struct AmsJaConfig {
 struct AmsJaResult {
   mag::BhCurve curve;            ///< (H, M, B) at accepted solver steps
   ams::TransientStats solver_stats;
-  mag::TimelessStats ja_stats;
+  /// Discretisation counters of the timeless model replayed over the
+  /// solver-placed trajectory. Model-neutral name; `ja_stats` is the
+  /// deprecated pre-redesign alias.
+  mag::TimelessStats stats;
+  /// Deprecated alias of `stats` (the field was called `ja_stats` before
+  /// the model contract made the seam model-neutral).
+  [[deprecated("use AmsJaResult::stats")]]
+  [[nodiscard]] const mag::TimelessStats& ja_stats() const {
+    return stats;
+  }
   bool completed = false;
 };
 

@@ -13,6 +13,7 @@
 #include "core/frontend_plan.hpp"
 #include "core/result_queue.hpp"
 #include "core/result_sink.hpp"
+#include "mag/energy_based_batch.hpp"
 #include "mag/ja_trace.hpp"
 
 namespace ferro::core {
@@ -131,6 +132,7 @@ void BatchRunner::dispatch(const std::vector<Scenario>& scenarios,
       gate.count_cancelled();
       ScenarioResult r;
       r.name = scenarios[i].name;
+      r.model = scenarios[i].kind();
       r.error = gate.stop_error();
       emit(i, std::move(r));
       return;
@@ -158,19 +160,26 @@ void BatchRunner::dispatch(const std::vector<Scenario>& scenarios,
 
 std::vector<ScenarioResult> BatchRunner::run(
     const std::vector<Scenario>& scenarios) const {
-  return run(scenarios, RunLimits{}, nullptr);
+  return run(scenarios, RunOptions{}, nullptr);
 }
 
 std::vector<ScenarioResult> BatchRunner::run(
-    const std::vector<Scenario>& scenarios, const RunLimits& limits,
+    const std::vector<Scenario>& scenarios, const RunOptions& options,
     BatchReport* report) const {
-  RunGate gate(limits);
+  RunGate gate(options.limits);
   std::vector<ScenarioResult> results(scenarios.size());
   // Disjoint slot writes: no synchronisation needed, no queue overhead.
-  dispatch(
-      scenarios,
-      [&](std::size_t i, ScenarioResult&& r) { results[i] = std::move(r); },
-      gate);
+  const EmitFn emit = [&](std::size_t i, ScenarioResult&& r) {
+    results[i] = std::move(r);
+  };
+  if (options.packing == Packing::kNone) {
+    dispatch(scenarios, emit, gate);
+  } else {
+    dispatch_packed(scenarios,
+                    options.packing == Packing::kFast ? mag::BatchMath::kFast
+                                                      : mag::BatchMath::kExact,
+                    emit, gate);
+  }
   if (report) {
     report->jobs = scenarios.size();
     gate.fill(*report);
@@ -206,13 +215,18 @@ void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
     }
     ScenarioResult r;
     r.name = scenarios[i].name;
+    r.model = scenarios[i].kind();
     r.error = std::move(e);
     emit(i, std::move(r));
   };
 
+  // Lanes group by model: the SoA executors are per-model kernels, so a
+  // mixed batch splits into homogeneous lane lists (plus the shared
+  // fallback list) and each list blocks independently.
   std::vector<std::size_t> fallback;
-  std::vector<std::size_t> sweep_lanes;
-  std::vector<std::size_t> trace_lanes;
+  std::vector<std::size_t> sweep_lanes;   // JA, threshold row program
+  std::vector<std::size_t> energy_lanes;  // energy-based, play update
+  std::vector<std::size_t> trace_lanes;   // JA, planner-trace rows (kAms)
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     if (gate.stopped()) {
       emit_error(i, gate.stop_error());
@@ -227,7 +241,11 @@ void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
       continue;
     }
     switch (plans.plan(i).route) {
-      case PlanRoute::kPackedSweep: sweep_lanes.push_back(i); break;
+      case PlanRoute::kPackedSweep:
+        (scenarios[i].kind() == mag::ModelKind::kEnergyBased ? energy_lanes
+                                                             : sweep_lanes)
+            .push_back(i);
+        break;
       case PlanRoute::kPackedTrace: trace_lanes.push_back(i); break;
       case PlanRoute::kFallback: fallback.push_back(i); break;
     }
@@ -247,8 +265,8 @@ void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
                              const auto& rows_of) {
     std::stable_sort(lanes.begin(), lanes.end(),
                      [&](std::size_t x, std::size_t y) {
-                       const Scenario& a = scenarios[x];
-                       const Scenario& b = scenarios[y];
+                       const JaSpec& a = scenarios[x].ja();
+                       const JaSpec& b = scenarios[y].ja();
                        if (a.params.kind != b.params.kind) {
                          return a.params.kind < b.params.kind;
                        }
@@ -260,6 +278,17 @@ void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
   };
   lane_sort(sweep_lanes,
             [&](std::size_t i) { return plans.sweep(i).size(); });
+
+  // Energy lanes have no vector lockstep to protect — grouping only serves
+  // cache locality, so similar cell counts (state slab sizes) and planned
+  // lengths suffice. Stable sort keeps determinism like the JA sort.
+  std::stable_sort(energy_lanes.begin(), energy_lanes.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     const auto& a = scenarios[x].energy().params;
+                     const auto& b = scenarios[y].energy().params;
+                     if (a.cells != b.cells) return a.cells < b.cells;
+                     return plans.sweep(x).size() < plans.sweep(y).size();
+                   });
 
   const unsigned threads = resolved_threads(scenarios.size());
   const auto width =
@@ -348,7 +377,7 @@ void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
       sweeps.reserve(end - begin);
       for (std::size_t p = begin; p < end; ++p) {
         const std::size_t i = sweep_lanes[p];
-        batch.add_lane(scenarios[i].params, scenarios[i].config);
+        batch.add_lane(scenarios[i].ja().params, scenarios[i].ja().config);
         sweeps.push_back(&plans.sweep(i));
       }
       batch.run(sweeps, curves);
@@ -368,6 +397,51 @@ void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
       try {
         r.curve = std::move(curves[p - begin]);
         r.stats = batch.stats(p - begin);
+      } catch (const std::exception& e) {
+        r.error = {ErrorCode::kInternal, e.what()};
+      } catch (...) {
+        r.error = {ErrorCode::kInternal, "unknown exception"};
+      }
+      finalize_lane(i, std::move(r));
+    }
+  };
+
+  // One energy-model SoA lane block: same shape as run_sweep_block but on
+  // mag::EnergyBasedBatch, whose shared play update makes the lane results
+  // bitwise identical to run_scenario's scalar path by construction.
+  const auto run_energy_block = [&](std::size_t begin, std::size_t end) {
+    if (gate.stopped()) {
+      emit_block_cancelled(energy_lanes, begin, end);
+      return;
+    }
+    mag::EnergyBasedBatch batch(math);
+    std::vector<mag::BhCurve> curves;
+    try {
+      std::vector<const wave::HSweep*> sweeps;
+      sweeps.reserve(end - begin);
+      for (std::size_t p = begin; p < end; ++p) {
+        const std::size_t i = energy_lanes[p];
+        batch.add_lane(scenarios[i].energy().params);
+        sweeps.push_back(&plans.sweep(i));
+      }
+      batch.run(sweeps, curves);
+    } catch (const std::exception& e) {
+      emit_block_error(energy_lanes, begin, end,
+                       {ErrorCode::kInternal, e.what()});
+      return;
+    } catch (...) {
+      emit_block_error(energy_lanes, begin, end,
+                       {ErrorCode::kInternal, "unknown exception"});
+      return;
+    }
+    for (std::size_t p = begin; p < end; ++p) {
+      const std::size_t i = energy_lanes[p];
+      ScenarioResult r;
+      r.name = scenarios[i].name;
+      r.model = mag::ModelKind::kEnergyBased;
+      try {
+        r.curve = std::move(curves[p - begin]);
+        r.energy_stats = batch.stats(p - begin);
       } catch (const std::exception& e) {
         r.error = {ErrorCode::kInternal, e.what()};
       } catch (...) {
@@ -412,7 +486,7 @@ void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
       views.reserve(live.size());
       virgin.reserve(live.size());
       for (const std::size_t i : live) {
-        const Scenario& s = scenarios[i];
+        const JaSpec& s = scenarios[i].ja();
         // The trace already unrolled any sub-stepping, so the lane registers
         // with the kernel-subset config (the clamp flags still matter).
         mag::TimelessConfig lane_config = s.config;
@@ -505,9 +579,11 @@ void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
     return plans.trajectory(plans.plan(i).trajectory).result.h.size();
   });
   const auto sweep_blocks = make_blocks(sweep_lanes.size());
+  const auto energy_blocks = make_blocks(energy_lanes.size());
   const auto trace_blocks = make_blocks(trace_lanes.size());
   run_units(
-      fallback.size() + sweep_blocks.size() + trace_blocks.size(),
+      fallback.size() + sweep_blocks.size() + energy_blocks.size() +
+          trace_blocks.size(),
       [&](std::size_t begin, std::size_t end, bool stopped) {
         for (std::size_t u = begin; u < end; ++u) {
           if (u < fallback.size()) {
@@ -522,34 +598,37 @@ void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
           } else if (u < fallback.size() + sweep_blocks.size()) {
             const auto& [b0, b1] = sweep_blocks[u - fallback.size()];
             run_sweep_block(b0, b1);
+          } else if (u < fallback.size() + sweep_blocks.size() +
+                             energy_blocks.size()) {
+            const auto& [b0, b1] =
+                energy_blocks[u - fallback.size() - sweep_blocks.size()];
+            run_energy_block(b0, b1);
           } else {
             const auto& block =
-                trace_blocks[u - fallback.size() - sweep_blocks.size()];
+                trace_blocks[u - fallback.size() - sweep_blocks.size() -
+                             energy_blocks.size()];
             run_trace_block(trace_lanes, block.first, block.second);
           }
         }
       });
 }
 
-std::vector<ScenarioResult> BatchRunner::run_packed(
-    const std::vector<Scenario>& scenarios, mag::BatchMath math) const {
-  return run_packed(scenarios, math, RunLimits{}, nullptr);
-}
-
-std::vector<ScenarioResult> BatchRunner::run_packed(
-    const std::vector<Scenario>& scenarios, mag::BatchMath math,
-    const RunLimits& limits, BatchReport* report) const {
-  RunGate gate(limits);
-  std::vector<ScenarioResult> results(scenarios.size());
-  dispatch_packed(
-      scenarios, math,
-      [&](std::size_t i, ScenarioResult&& r) { results[i] = std::move(r); },
-      gate);
-  if (report) {
-    report->jobs = scenarios.size();
-    gate.fill(*report);
-  }
-  return results;
+StreamSummary BatchRunner::run(const std::vector<Scenario>& scenarios,
+                               ResultSink& sink,
+                               const RunOptions& options) const {
+  RunGate gate(options.limits);
+  return stream_shell(scenarios.size(), sink, options.stream, gate,
+                      [&](const EmitFn& emit) {
+                        if (options.packing == Packing::kNone) {
+                          dispatch(scenarios, emit, gate);
+                        } else {
+                          dispatch_packed(scenarios,
+                                          options.packing == Packing::kFast
+                                              ? mag::BatchMath::kFast
+                                              : mag::BatchMath::kExact,
+                                          emit, gate);
+                        }
+                      });
 }
 
 StreamSummary BatchRunner::stream_shell(
@@ -641,27 +720,6 @@ StreamSummary BatchRunner::stream_shell(
   }
   finalize();
   return summary;
-}
-
-StreamSummary BatchRunner::run_streaming(const std::vector<Scenario>& scenarios,
-                                         ResultSink& sink,
-                                         const StreamOptions& stream,
-                                         const RunLimits& limits) const {
-  RunGate gate(limits);
-  return stream_shell(
-      scenarios.size(), sink, stream, gate,
-      [&](const EmitFn& emit) { dispatch(scenarios, emit, gate); });
-}
-
-StreamSummary BatchRunner::run_packed_streaming(
-    const std::vector<Scenario>& scenarios, ResultSink& sink,
-    mag::BatchMath math, const StreamOptions& stream,
-    const RunLimits& limits) const {
-  RunGate gate(limits);
-  return stream_shell(scenarios.size(), sink, stream, gate,
-                      [&](const EmitFn& emit) {
-                        dispatch_packed(scenarios, math, emit, gate);
-                      });
 }
 
 }  // namespace ferro::core

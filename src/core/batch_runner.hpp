@@ -1,8 +1,10 @@
-// BatchRunner — fan a vector of (material, discretisation, excitation,
-// frontend) scenarios across a persistent work-stealing thread pool, either
-// collecting BH curves plus loop metrics in deterministic job order (run /
-// run_packed) or streaming them to a ResultSink while workers are still
-// computing (run_streaming / run_packed_streaming).
+// BatchRunner — fan a vector of (model, excitation, frontend) scenarios
+// across a persistent work-stealing thread pool, either collecting BH
+// curves plus loop metrics in deterministic job order or streaming them to
+// a ResultSink while workers are still computing. One entry-point family:
+// run(scenarios[, sink], RunOptions{packing, limits, stream}); the
+// pre-redesign run_packed/run_streaming/run_packed_streaming overloads
+// survive as deprecated shims.
 //
 // Each scenario is an independent simulation (the frontends share no mutable
 // state): result index i always corresponds to scenarios[i] and the payload
@@ -34,17 +36,18 @@
 // The pool (core/thread_pool.hpp) is constructed lazily on the first
 // multi-threaded run and reused across all run variants, so sweeping many
 // batches through one runner pays thread start-up exactly once.
-// run_packed*() additionally routes scenarios through a two-stage
+// Packing::kExact/kFast additionally route scenarios through a two-stage
 // plan/execute pipeline (core/frontend_plan.hpp): stage 1 turns each
 // scenario into concrete H work — sweep samples for kDirect and for
 // kSystemC configs matching what the process network hard-codes, and for
 // kAms one JA-free H(t) trajectory solve per *distinct* excitation (shared
 // by every material driving it, fanned across the pool alongside the other
 // work) — and stage 2 executes the planned sequences as SoA lane blocks
-// (mag::TimelessJaBatch) sized to the active SIMD width, with ragged lanes
-// masked out of their vector groups as they finish. Scenarios outside the
-// packed executors' bitwise-reproducible subset fall back to the
-// per-scenario path.
+// sized to the active SIMD width, with ragged lanes masked out of their
+// vector groups as they finish. Lanes group by model: JA lanes run on
+// mag::TimelessJaBatch, quasi-static energy-based lanes on
+// mag::EnergyBasedBatch. Scenarios outside the packed executors'
+// bitwise-reproducible subset fall back to the per-scenario path.
 #pragma once
 
 #include <cstddef>
@@ -68,6 +71,25 @@ struct BatchOptions {
   /// job serially in the calling thread (no threads spawned).
   unsigned threads = 0;
 };
+
+/// How run() distributes a batch across the executors.
+enum class Packing {
+  /// Per-scenario dispatch: one run_scenario per job (the reference path).
+  kNone,
+  /// SoA lane packing with exact math — results (curve, metrics, stats) are
+  /// bitwise identical to kNone for every scenario, packable or not.
+  kExact,
+  /// SoA lane packing with the polynomial FastMath JA lanes (bounded error,
+  /// faster). Energy-based lanes have no approximate path and execute
+  /// exactly under either packing.
+  kFast,
+};
+
+/// The packing a mag::BatchMath selection maps onto (the pre-RunOptions
+/// run_packed overloads took the kernel enum directly).
+[[nodiscard]] constexpr Packing packing_for(mag::BatchMath math) {
+  return math == mag::BatchMath::kFast ? Packing::kFast : Packing::kExact;
+}
 
 struct StreamOptions {
   /// Bound of the worker→sink queue (results in flight). 0 picks a default
@@ -101,6 +123,19 @@ struct StreamSummary {
   [[nodiscard]] bool ok() const { return sink_error.ok(); }
 };
 
+/// Everything one batch execution can be configured with. The pre-redesign
+/// overload sprawl (run/run_packed/run_streaming/run_packed_streaming, each
+/// times a limits variant) collapsed into this: pick a Packing, attach
+/// RunLimits, and — for the streaming overload — size the queue.
+struct RunOptions {
+  Packing packing = Packing::kNone;
+  /// Fault-tolerance limits: shared CancelToken, wall-clock deadline, error
+  /// budget. Default = run to completion.
+  RunLimits limits{};
+  /// Streaming-only knobs; the collecting overload ignores them.
+  StreamOptions stream{};
+};
+
 class BatchRunner {
  public:
   explicit BatchRunner(BatchOptions options = {});
@@ -109,56 +144,76 @@ class BatchRunner {
   [[nodiscard]] std::vector<ScenarioResult> run(
       const std::vector<Scenario>& scenarios) const;
 
-  /// Like run(), under fault-tolerance limits: results keep scenario order
-  /// and length (unfinished scenarios hold their kCancelled/
-  /// kDeadlineExceeded verdicts), and `report` (optional) receives the
+  /// The configurable entry point. Results keep scenario order and length
+  /// whatever the options: unfinished scenarios hold their kCancelled/
+  /// kDeadlineExceeded verdicts, and `report` (optional) receives the
   /// counters and stop cause.
+  ///
+  /// With Packing::kExact/kFast, routable scenarios (core/frontend_plan.hpp)
+  /// are planned and packed into each model's SoA lane blocks —
+  /// mag::TimelessJaBatch for JA lanes (all three frontends qualify: kDirect
+  /// and clamp-matching kSystemC sweeps and time drives on the kernel's
+  /// Forward-Euler subset, kAms drives with Forward Euler), and
+  /// mag::EnergyBasedBatch for quasi-static energy lanes — while the rest
+  /// fall back to the per-scenario path. kAms planning solves the JA-free
+  /// H(t) ODE once per distinct excitation and replays each material over
+  /// the shared trajectory as a planner-trace lane. With Packing::kExact the
+  /// results — curve, metrics, AND stats — are bitwise identical to
+  /// Packing::kNone (the frontend-parity property is what licenses the
+  /// kSystemC routing; the trace expansion of TimelessJa::apply licenses
+  /// kAms; the shared play update licenses the energy lanes); kFast opts the
+  /// JA lanes into the polynomial FastMath path (bounded error, faster).
   [[nodiscard]] std::vector<ScenarioResult> run(
-      const std::vector<Scenario>& scenarios, const RunLimits& limits,
+      const std::vector<Scenario>& scenarios, const RunOptions& options,
       BatchReport* report = nullptr) const;
 
-  /// Like run(), but routable scenarios (see core/frontend_plan.hpp: all
-  /// three frontends qualify — kDirect and clamp-matching kSystemC sweeps
-  /// and time drives on the kernel's Forward-Euler subset, kAms drives with
-  /// Forward Euler, any drive kind) are planned and packed into
-  /// mag::TimelessJaBatch lane blocks; the rest fall back to the
-  /// per-scenario path. kAms planning solves the JA-free H(t) ODE once per
-  /// distinct excitation and replays each material over the shared
-  /// trajectory as a planner-trace lane. Results arrive in scenario order
-  /// either way. With BatchMath::kExact the results — curve, metrics, AND
-  /// stats — are bitwise identical to run() (the frontend-parity property
-  /// is what licenses the kSystemC routing; the trace expansion of
-  /// TimelessJa::apply licenses kAms); kFast opts in to the polynomial
-  /// FastMath lane (bounded error, faster).
+  /// Streaming twin: delivers every scenario's result to `sink` as it
+  /// completes (see the header comment and ResultSink for the full
+  /// contract). The payload delivered for scenario i is bitwise identical
+  /// to the collecting overload's [i] under the same options; only the
+  /// arrival order is scheduling-dependent. Blocks until the batch has
+  /// drained and on_complete returned.
+  StreamSummary run(const std::vector<Scenario>& scenarios, ResultSink& sink,
+                    const RunOptions& options = {}) const;
+
+  // -- Deprecated pre-RunOptions entry points (thin shims) -----------------
+
+  [[deprecated("use run(scenarios, RunOptions{.limits = ...}, report)")]]
+  [[nodiscard]] std::vector<ScenarioResult> run(
+      const std::vector<Scenario>& scenarios, const RunLimits& limits,
+      BatchReport* report = nullptr) const {
+    return run(scenarios, RunOptions{Packing::kNone, limits, {}}, report);
+  }
+
+  [[deprecated("use run(scenarios, RunOptions{.packing = ...})")]]
   [[nodiscard]] std::vector<ScenarioResult> run_packed(
       const std::vector<Scenario>& scenarios,
-      mag::BatchMath math = mag::BatchMath::kExact) const;
+      mag::BatchMath math = mag::BatchMath::kExact) const {
+    return run(scenarios, RunOptions{packing_for(math), {}, {}}, nullptr);
+  }
 
-  /// run_packed under fault-tolerance limits (see run(limits)), plus the
-  /// packed-only quarantine counter in the report.
+  [[deprecated("use run(scenarios, RunOptions{.packing = ..., .limits = ...})")]]
   [[nodiscard]] std::vector<ScenarioResult> run_packed(
       const std::vector<Scenario>& scenarios, mag::BatchMath math,
-      const RunLimits& limits, BatchReport* report = nullptr) const;
+      const RunLimits& limits, BatchReport* report = nullptr) const {
+    return run(scenarios, RunOptions{packing_for(math), limits, {}}, report);
+  }
 
-  /// Streams every scenario's result to `sink` as it completes (see the
-  /// header comment and ResultSink for the full contract). The payload
-  /// delivered for scenario i is bitwise identical to run()[i]; only the
-  /// arrival order is scheduling-dependent. Blocks until the batch has
-  /// drained and on_complete returned. `limits` cancels/deadlines the batch
-  /// cooperatively: unfinished scenarios are still delivered, carrying
-  /// their stop verdict.
+  [[deprecated("use run(scenarios, sink, RunOptions{...})")]]
   StreamSummary run_streaming(const std::vector<Scenario>& scenarios,
-                              ResultSink& sink, const StreamOptions& stream = {},
-                              const RunLimits& limits = {}) const;
+                              ResultSink& sink,
+                              const StreamOptions& stream = {},
+                              const RunLimits& limits = {}) const {
+    return run(scenarios, sink, RunOptions{Packing::kNone, limits, stream});
+  }
 
-  /// run_packed's streaming twin: SoA lane blocks emit each lane's result
-  /// through the sink as the block finishes; everything else matches
-  /// run_streaming.
-  StreamSummary run_packed_streaming(const std::vector<Scenario>& scenarios,
-                                     ResultSink& sink,
-                                     mag::BatchMath math = mag::BatchMath::kExact,
-                                     const StreamOptions& stream = {},
-                                     const RunLimits& limits = {}) const;
+  [[deprecated("use run(scenarios, sink, RunOptions{.packing = ...})")]]
+  StreamSummary run_packed_streaming(
+      const std::vector<Scenario>& scenarios, ResultSink& sink,
+      mag::BatchMath math = mag::BatchMath::kExact,
+      const StreamOptions& stream = {}, const RunLimits& limits = {}) const {
+    return run(scenarios, sink, RunOptions{packing_for(math), limits, stream});
+  }
 
   /// True when run_packed() would route `scenario` through the SoA kernel.
   [[nodiscard]] static bool packable(const Scenario& scenario);

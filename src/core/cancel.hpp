@@ -55,7 +55,7 @@ struct RunLimits {
 };
 
 /// How a batch ended and what it shed along the way — the collect-path
-/// counterpart of StreamSummary (run/run_packed fill one on request).
+/// counterpart of StreamSummary (run() fills one on request).
 struct BatchReport {
   std::size_t jobs = 0;         ///< scenarios dispatched
   std::size_t failed = 0;       ///< results carrying a per-job error

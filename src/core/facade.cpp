@@ -1,8 +1,25 @@
 #include "core/facade.hpp"
 
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/ams_ja.hpp"
+#include "core/dc_sweep.hpp"
+#include "core/systemc_ja.hpp"
 #include "wave/pwl.hpp"
 
 namespace ferro::core {
+namespace {
+
+[[noreturn]] void throw_unsupported(const ModelSpec& spec, Frontend frontend) {
+  throw std::invalid_argument(
+      std::string("frontend '") + std::string(to_string(frontend)) +
+      "' cannot execute model '" +
+      std::string(mag::to_string(model_kind(spec))) + "'");
+}
+
+}  // namespace
 
 std::string_view to_string(Frontend f) {
   switch (f) {
@@ -13,39 +30,78 @@ std::string_view to_string(Frontend f) {
   return "?";
 }
 
-JaFacade::JaFacade(mag::JaParameters params, mag::TimelessConfig config)
-    : params_(params), config_(config) {}
+bool frontend_supports(const ModelSpec& spec, Frontend frontend) {
+  // The SystemC process network and the AMS solver replay implement the
+  // paper's JA discretisation specifically; the energy-based play update
+  // has no event/analogue port yet.
+  return std::holds_alternative<JaSpec>(spec) || frontend == Frontend::kDirect;
+}
 
-mag::BhCurve JaFacade::run(const wave::HSweep& sweep, Frontend frontend) const {
+Facade::Facade(ModelSpec spec) : spec_(std::move(spec)) {}
+
+Facade::Facade(mag::JaParameters params, mag::TimelessConfig config)
+    : spec_(JaSpec{params, config}) {}
+
+mag::BhCurve Facade::run(const wave::HSweep& sweep, Frontend frontend) const {
+  if (!frontend_supports(spec_, frontend)) throw_unsupported(spec_, frontend);
+
+  if (const auto* energy = std::get_if<EnergySpec>(&spec_)) {
+    mag::EnergyBased model(energy->params);
+    return mag::run_sweep(model, sweep);
+  }
+
+  const auto& ja = std::get<JaSpec>(spec_);
   switch (frontend) {
     case Frontend::kDirect:
-      return run_dc_sweep(params_, config_, sweep).curve;
+      return run_dc_sweep(ja.params, ja.config, sweep).curve;
     case Frontend::kSystemC:
-      return run_systemc_sweep(params_, config_.dhmax, sweep).curve;
+      return run_systemc_sweep(ja.params, ja.config.dhmax, sweep).curve;
     case Frontend::kAms: {
       // The sweep-to-excitation synthesis lives next to the AMS frontend
       // (ams_drive_for_sweep) so the packed planner reproduces it exactly.
-      const AmsSweepDrive drive = ams_drive_for_sweep(sweep, config_);
-      return run_ams_timeless(params_, drive.pwl, drive.config).curve;
+      const AmsSweepDrive drive = ams_drive_for_sweep(sweep, ja.config);
+      return run_ams_timeless(ja.params, drive.pwl, drive.config).curve;
     }
   }
   return {};
 }
 
-mag::BhCurve JaFacade::run(const wave::Waveform& h_of_t, double t0, double t1,
-                           std::size_t n_samples, Frontend frontend) const {
+mag::BhCurve Facade::run(const wave::Waveform& h_of_t, double t0, double t1,
+                         std::size_t n_samples, Frontend frontend) const {
+  if (!frontend_supports(spec_, frontend)) throw_unsupported(spec_, frontend);
+
+  if (const auto* energy = std::get_if<EnergySpec>(&spec_)) {
+    // Uniform sampling like the other direct time-driven paths; dt feeds
+    // the dynamic/excess-loss term when the parameters carry one.
+    const wave::HSweep sweep =
+        wave::sweep_from_waveform(h_of_t, t0, t1, n_samples);
+    const double dt =
+        sweep.size() > 1 ? (t1 - t0) / static_cast<double>(sweep.size() - 1)
+                         : 0.0;
+    mag::EnergyBased model(energy->params);
+    mag::BhCurve curve;
+    curve.reserve(sweep.size());
+    for (const double h : sweep.h) {
+      model.apply(h, dt);
+      curve.append(h, model.magnetisation(), model.flux_density());
+    }
+    return curve;
+  }
+
+  const auto& ja = std::get<JaSpec>(spec_);
   switch (frontend) {
     case Frontend::kDirect:
     case Frontend::kSystemC: {
-      const wave::HSweep sweep = wave::sweep_from_waveform(h_of_t, t0, t1, n_samples);
+      const wave::HSweep sweep =
+          wave::sweep_from_waveform(h_of_t, t0, t1, n_samples);
       return run(sweep, frontend);
     }
     case Frontend::kAms: {
       AmsJaConfig config;
       config.t_start = t0;
       config.t_end = t1;
-      config.timeless = config_;
-      return run_ams_timeless(params_, h_of_t, config).curve;
+      config.timeless = ja.config;
+      return run_ams_timeless(ja.params, h_of_t, config).curve;
     }
   }
   return {};

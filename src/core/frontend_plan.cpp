@@ -8,16 +8,34 @@
 
 #include "core/fault_injection.hpp"
 #include "core/systemc_ja.hpp"
+#include "mag/energy_based_batch.hpp"
 #include "mag/timeless_ja_batch.hpp"
 
 namespace ferro::core {
 
 PlanRoute plan_route(const Scenario& scenario) {
-  if (!scenario.params.is_valid() || scenario.config.dhmax <= 0.0) {
-    return PlanRoute::kFallback;
-  }
   // Flux drives run the per-sample inverse solve — no SoA row program.
   if (std::holds_alternative<FluxDrive>(scenario.drive)) {
+    return PlanRoute::kFallback;
+  }
+
+  if (const auto* energy = std::get_if<EnergySpec>(&scenario.model)) {
+    // Energy jobs pack only on the direct frontend (the only one that can
+    // execute them) with quasi-static parameters (EnergyBasedBatch's
+    // lockstep subset). Everything else falls back so run_scenario issues
+    // the validity verdict — the same split of responsibilities as JA.
+    if (!energy->params.is_valid() || scenario.frontend != Frontend::kDirect ||
+        !mag::EnergyBasedBatch::supports(energy->params)) {
+      return PlanRoute::kFallback;
+    }
+    if (const auto* drive = std::get_if<TimeDrive>(&scenario.drive)) {
+      return drive->waveform ? PlanRoute::kPackedSweep : PlanRoute::kFallback;
+    }
+    return PlanRoute::kPackedSweep;
+  }
+
+  const JaSpec& ja = std::get<JaSpec>(scenario.model);
+  if (!ja.params.is_valid() || ja.config.dhmax <= 0.0) {
     return PlanRoute::kFallback;
   }
 
@@ -25,7 +43,7 @@ PlanRoute plan_route(const Scenario& scenario) {
     // Sub-stepping is unrolled by the trace planner, so only the extension
     // integration schemes (which probe trial states no row program can
     // express) force the serial frontend.
-    if (scenario.config.scheme != mag::HIntegrator::kForwardEuler) {
+    if (ja.config.scheme != mag::HIntegrator::kForwardEuler) {
       return PlanRoute::kFallback;
     }
     if (const auto* drive = std::get_if<TimeDrive>(&scenario.drive)) {
@@ -36,7 +54,7 @@ PlanRoute plan_route(const Scenario& scenario) {
                : PlanRoute::kPackedTrace;
   }
 
-  if (!mag::TimelessJaBatch::supports(scenario.config)) {
+  if (!mag::TimelessJaBatch::supports(ja.config)) {
     return PlanRoute::kFallback;
   }
   // kSystemC's process network wraps the same core update but hard-codes
@@ -44,7 +62,7 @@ PlanRoute plan_route(const Scenario& scenario) {
   // does are routable — anything else must really run the network to
   // reproduce run()'s bits.
   if (scenario.frontend == Frontend::kSystemC &&
-      !JaCoreModule::clamps_match(scenario.config)) {
+      !JaCoreModule::clamps_match(ja.config)) {
     return PlanRoute::kFallback;
   }
   if (const auto* drive = std::get_if<TimeDrive>(&scenario.drive)) {
@@ -114,7 +132,7 @@ FrontendPlanSet::FrontendPlanSet(const std::vector<Scenario>& scenarios)
           if (it != sweep_jobs.end()) {
             p.trajectory = it->second;
           } else {
-            AmsSweepDrive drive = ams_drive_for_sweep(sweep, s.config);
+            AmsSweepDrive drive = ams_drive_for_sweep(sweep, s.ja().config);
             TrajectoryJob job;
             job.pwl = std::move(drive.pwl);
             job.config = drive.config;

@@ -1,0 +1,44 @@
+// ModelSpec — the per-model parameter spec a Scenario carries: which
+// physics backend runs the job and with what parameters/discretisation.
+//
+// A small closed variant instead of a virtual base keeps the planning layer
+// (frontend_plan, batch_runner) free to dispatch per model at plan time —
+// grouping homogeneous lanes into each model's SoA kernel — while the
+// models' hot paths stay devirtualised.
+#pragma once
+
+#include <variant>
+
+#include "mag/energy_based.hpp"
+#include "mag/ja_params.hpp"
+#include "mag/model.hpp"
+#include "mag/timeless_ja.hpp"
+
+namespace ferro::core {
+
+/// Timeless Jiles-Atherton job: material parameters plus the paper's
+/// discretisation controls (the fields Scenario carried before the model
+/// contract existed).
+struct JaSpec {
+  mag::JaParameters params;
+  mag::TimelessConfig config;
+};
+
+/// Energy-based (play-operator) job. The model has no separate
+/// discretisation config: the cell count and pinning distribution live in
+/// the parameter set itself.
+struct EnergySpec {
+  mag::EnergyBasedParams params;
+};
+
+/// Which backend runs the scenario. JaSpec is the first alternative on
+/// purpose: a default-constructed Scenario is a paper-faithful JA job,
+/// exactly as before the redesign.
+using ModelSpec = std::variant<JaSpec, EnergySpec>;
+
+[[nodiscard]] inline mag::ModelKind model_kind(const ModelSpec& spec) {
+  return std::holds_alternative<JaSpec>(spec) ? mag::ModelKind::kJilesAtherton
+                                              : mag::ModelKind::kEnergyBased;
+}
+
+}  // namespace ferro::core

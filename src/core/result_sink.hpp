@@ -1,7 +1,7 @@
 // ResultSink — the consumer side of BatchRunner's streaming path, plus the
 // stock adapters most callers compose from.
 //
-// Contract (what BatchRunner::run_streaming guarantees a sink):
+// Contract (what BatchRunner::run(scenarios, sink) guarantees a sink):
 //   * on_start(total) once, then zero or more on_result calls, then
 //     on_complete() once — all from ONE thread, never concurrently, so sinks
 //     need no locking of their own;

@@ -10,6 +10,7 @@
 #include "core/dc_sweep.hpp"
 #include "core/systemc_ja.hpp"
 #include "mag/inverse_ja.hpp"
+#include "wave/sweep.hpp"
 
 namespace ferro::core {
 namespace {
@@ -23,31 +24,31 @@ std::string join_violations(const std::vector<std::string>& violations) {
   return out;
 }
 
-/// Runs a sweep-driven frontend, keeping each one's discretisation
-/// counters: the direct model's, the SystemC module's, or the JA stats of
-/// the AMS replay. kAms synthesises the same 1 s excitation JaFacade does
+/// Runs a sweep-driven JA frontend, keeping each one's discretisation
+/// counters: the direct model's, the SystemC module's, or the stats of the
+/// AMS replay. kAms synthesises the same 1 s excitation core::Facade does
 /// (ams_drive_for_sweep — one definition for both).
 void run_sweep_frontend(const Scenario& scenario, const wave::HSweep& sweep,
                         ScenarioResult& result) {
+  const JaSpec& ja = scenario.ja();
   switch (scenario.frontend) {
     case Frontend::kDirect: {
-      auto dc = run_dc_sweep(scenario.params, scenario.config, sweep);
+      auto dc = run_dc_sweep(ja.params, ja.config, sweep);
       result.curve = std::move(dc.curve);
       result.stats = dc.stats;
       break;
     }
     case Frontend::kSystemC: {
-      auto sc = run_systemc_sweep(scenario.params, scenario.config.dhmax,
-                                  sweep);
+      auto sc = run_systemc_sweep(ja.params, ja.config.dhmax, sweep);
       result.curve = std::move(sc.curve);
       result.stats = sc.stats;
       break;
     }
     case Frontend::kAms: {
-      const AmsSweepDrive drive = ams_drive_for_sweep(sweep, scenario.config);
-      auto ams = run_ams_timeless(scenario.params, drive.pwl, drive.config);
+      const AmsSweepDrive drive = ams_drive_for_sweep(sweep, ja.config);
+      auto ams = run_ams_timeless(ja.params, drive.pwl, drive.config);
       result.curve = std::move(ams.curve);
-      result.stats = ams.ja_stats;
+      result.stats = ams.stats;
       break;
     }
   }
@@ -60,11 +61,12 @@ void run_sweep_frontend(const Scenario& scenario, const wave::HSweep& sweep,
 /// or kSolverDiverged (iteration budget exhausted) error.
 void run_flux_drive(const Scenario& scenario, const FluxDrive& flux,
                     ScenarioResult& result) {
+  const JaSpec& ja = scenario.ja();
   mag::InverseConfig config;
-  config.forward = scenario.config;
+  config.forward = ja.config;
   config.tolerance_b = flux.tolerance_b;
   config.max_iterations = flux.max_iterations;
-  mag::InverseTimelessJa inverse(scenario.params, config);
+  mag::InverseTimelessJa inverse(ja.params, config);
 
   result.curve.reserve(flux.b.size());
   for (std::size_t j = 0; j < flux.b.size(); ++j) {
@@ -88,22 +90,78 @@ void run_flux_drive(const Scenario& scenario, const FluxDrive& flux,
   result.stats = inverse.forward().stats();
 }
 
-}  // namespace
+/// Runs an energy-based scenario (kDirect only — validate() rejects the
+/// rest): sweeps apply the quasi-static update, time drives sample the
+/// waveform onto a uniform grid and feed dt to the dynamic term.
+void run_energy(const Scenario& scenario, ScenarioResult& result) {
+  mag::EnergyBased model(scenario.energy().params);
+  if (const auto* time = std::get_if<TimeDrive>(&scenario.drive)) {
+    const wave::HSweep sweep = wave::sweep_from_waveform(
+        *time->waveform, time->t0, time->t1, time->n_samples);
+    const double dt = sweep.size() > 1
+                          ? (time->t1 - time->t0) /
+                                static_cast<double>(sweep.size() - 1)
+                          : 0.0;
+    result.curve.reserve(sweep.size());
+    for (const double h : sweep.h) {
+      model.apply(h, dt);
+      result.curve.append(h, model.magnetisation(), model.flux_density());
+    }
+  } else {
+    result.curve =
+        mag::run_sweep(model, std::get<wave::HSweep>(scenario.drive));
+  }
+  result.energy_stats = model.stats();
+}
 
-Error validate(const Scenario& scenario) {
-  const auto violations = scenario.params.validate();
+Error validate_ja_spec(const JaSpec& ja) {
+  const auto violations = ja.params.validate();
   if (!violations.empty()) {
     return {ErrorCode::kInvalidScenario, join_violations(violations)};
   }
-  if (!std::isfinite(scenario.config.dhmax) || scenario.config.dhmax <= 0.0) {
+  if (!std::isfinite(ja.config.dhmax) || ja.config.dhmax <= 0.0) {
     return {ErrorCode::kInvalidScenario,
             "invalid config: dhmax must be finite and > 0"};
   }
-  if (!std::isfinite(scenario.config.substep_max) ||
-      scenario.config.substep_max < 0.0) {
+  if (!std::isfinite(ja.config.substep_max) || ja.config.substep_max < 0.0) {
     return {ErrorCode::kInvalidScenario,
             "invalid config: substep_max must be finite and >= 0"};
   }
+  return {};
+}
+
+Error validate_energy_spec(const Scenario& scenario, const EnergySpec& spec) {
+  const auto violations = spec.params.validate();
+  if (!violations.empty()) {
+    return {ErrorCode::kInvalidScenario, join_violations(violations)};
+  }
+  if (scenario.frontend != Frontend::kDirect) {
+    return {ErrorCode::kInvalidScenario,
+            "energy-based model supports the direct frontend only"};
+  }
+  if (std::holds_alternative<FluxDrive>(scenario.drive)) {
+    return {ErrorCode::kInvalidScenario,
+            "energy-based model has no flux-driven (inverse) solver"};
+  }
+  if (spec.params.tau_dyn > 0.0 &&
+      !std::holds_alternative<TimeDrive>(scenario.drive)) {
+    return {ErrorCode::kInvalidScenario,
+            "energy-based dynamic term (tau_dyn > 0) needs a time-driven "
+            "scenario"};
+  }
+  return {};
+}
+
+}  // namespace
+
+Error validate(const Scenario& scenario) {
+  Error spec_error;
+  if (const auto* ja = std::get_if<JaSpec>(&scenario.model)) {
+    spec_error = validate_ja_spec(*ja);
+  } else {
+    spec_error = validate_energy_spec(scenario, scenario.energy());
+  }
+  if (!spec_error.ok()) return spec_error;
 
   if (const auto* sweep = std::get_if<wave::HSweep>(&scenario.drive)) {
     for (std::size_t j = 0; j < sweep->h.size(); ++j) {
@@ -179,22 +237,25 @@ void fill_metrics(ScenarioResult& result,
 ScenarioResult run_scenario(const Scenario& scenario) {
   ScenarioResult result;
   result.name = scenario.name;
+  result.model = scenario.kind();
 
   result.error = validate(scenario);
   if (!result.error.ok()) return result;
 
   try {
-    if (const auto* drive = std::get_if<TimeDrive>(&scenario.drive)) {
+    if (std::holds_alternative<EnergySpec>(scenario.model)) {
+      run_energy(scenario, result);
+    } else if (const auto* drive = std::get_if<TimeDrive>(&scenario.drive)) {
       if (scenario.frontend == Frontend::kAms) {
         // The analogue solver owns the time axis and places its own steps.
         AmsJaConfig config;
         config.t_start = drive->t0;
         config.t_end = drive->t1;
-        config.timeless = scenario.config;
+        config.timeless = scenario.ja().config;
         auto ams =
-            run_ams_timeless(scenario.params, *drive->waveform, config);
+            run_ams_timeless(scenario.ja().params, *drive->waveform, config);
         result.curve = std::move(ams.curve);
-        result.stats = ams.ja_stats;
+        result.stats = ams.stats;
       } else {
         // kDirect/kSystemC sample the waveform onto a uniform grid and run
         // it as a timeless sweep.
@@ -223,7 +284,7 @@ ScenarioResult run_scenario(const Scenario& scenario) {
   // Post-run guardrail: a frontend that silently produced NaN/Inf (e.g. a
   // pathological waveform fed through the kernel) is a kNonFinite error,
   // never a "successful" garbage curve. Shared verdict with the packed
-  // lane quarantine, so run() and run_packed() agree.
+  // lane quarantine, so run() and packed runs agree.
   const std::size_t bad = first_non_finite(result.curve);
   if (bad != result.curve.size()) {
     result.error = {ErrorCode::kNonFinite,
@@ -245,8 +306,23 @@ std::vector<Scenario> scenarios_for_parameters(
   for (std::size_t i = 0; i < params.size(); ++i) {
     Scenario s;
     s.name = std::string(name_prefix) + std::to_string(i);
-    s.params = params[i];
-    s.config = config;
+    s.model = JaSpec{params[i], config};
+    s.drive = sweep;
+    s.frontend = Frontend::kDirect;
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+std::vector<Scenario> scenarios_for_parameters(std::span<const ModelSpec> specs,
+                                               const wave::HSweep& sweep,
+                                               std::string_view name_prefix) {
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    Scenario s;
+    s.name = std::string(name_prefix) + std::to_string(i);
+    s.model = specs[i];
     s.drive = sweep;
     s.frontend = Frontend::kDirect;
     scenarios.push_back(std::move(s));

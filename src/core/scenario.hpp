@@ -19,8 +19,11 @@
 #include "analysis/loop_metrics.hpp"
 #include "core/error.hpp"
 #include "core/facade.hpp"
+#include "core/model_spec.hpp"
 #include "mag/bh.hpp"
+#include "mag/energy_based.hpp"
 #include "mag/ja_params.hpp"
+#include "mag/model.hpp"
 #include "mag/timeless_ja.hpp"
 #include "wave/sweep.hpp"
 #include "wave/waveform.hpp"
@@ -62,25 +65,46 @@ struct MetricsWindow {
 };
 
 /// One batch job: everything needed to run a simulation and name its result.
+/// The physics backend is selected by `model` (core/model_spec.hpp); the
+/// default is a paper-faithful JA job, exactly what the pre-contract
+/// Scenario (with bare `params`/`config` members) described.
 struct Scenario {
   std::string name;
-  mag::JaParameters params;
-  mag::TimelessConfig config;
+  ModelSpec model = JaSpec{};
   std::variant<wave::HSweep, TimeDrive, FluxDrive> drive;
   Frontend frontend = Frontend::kDirect;
   /// When absent, metrics cover the whole curve.
   std::optional<MetricsWindow> metrics_window;
+
+  [[nodiscard]] mag::ModelKind kind() const { return model_kind(model); }
+
+  /// Checked spec views (std::get semantics: throws std::bad_variant_access
+  /// on a model mismatch). The mutable overloads let builders write
+  /// `s.ja().params.ms = ...` where they used to write `s.params.ms = ...`.
+  [[nodiscard]] JaSpec& ja() { return std::get<JaSpec>(model); }
+  [[nodiscard]] const JaSpec& ja() const { return std::get<JaSpec>(model); }
+  [[nodiscard]] EnergySpec& energy() { return std::get<EnergySpec>(model); }
+  [[nodiscard]] const EnergySpec& energy() const {
+    return std::get<EnergySpec>(model);
+  }
 };
 
 struct ScenarioResult {
   std::string name;
+  /// Which backend produced the result (echoed by the file sinks).
+  mag::ModelKind model = mag::ModelKind::kJilesAtherton;
   mag::BhCurve curve;
   analysis::LoopMetrics metrics;
-  /// Discretisation counters, populated for every frontend: the direct
-  /// model's own, the SystemC module's (counted where its processes fire),
-  /// or the JA stats of the AMS replay over the solver-placed trajectory.
-  /// The packed paths reproduce them bitwise.
+  /// JA discretisation counters, populated for every JA frontend: the
+  /// direct model's own, the SystemC module's (counted where its processes
+  /// fire), or the stats of the AMS replay over the solver-placed
+  /// trajectory. Zero for energy-based jobs. The packed paths reproduce
+  /// them bitwise.
   mag::TimelessStats stats;
+  /// The energy model's counters (play-cell yields, pinning dissipation).
+  /// Zero for JA jobs — each model reports through its own surface rather
+  /// than a lossy common denominator.
+  mag::EnergyStats energy_stats;
   /// kOk on success; otherwise the structured failure (core/error.hpp) —
   /// branch on error.code, print error.detail.
   Error error;
@@ -112,13 +136,21 @@ void fill_metrics(ScenarioResult& result,
                   const std::optional<MetricsWindow>& window);
 
 /// Maps candidate parameter sets onto a homogeneous kDirect batch sharing
-/// one discretisation and one excitation — the shape run_packed turns into
+/// one discretisation and one excitation — the shape the packed path turns into
 /// pure SoA lane blocks with no per-scenario fallback. This is how the
 /// parameter-identification layer (src/fit) evaluates a whole optimizer
 /// generation as a single batch. Scenario i is named "<prefix><i>".
 [[nodiscard]] std::vector<Scenario> scenarios_for_parameters(
     std::span<const mag::JaParameters> params,
     const mag::TimelessConfig& config, const wave::HSweep& sweep,
+    std::string_view name_prefix = "candidate/");
+
+/// Model-agnostic overload: one spec per scenario, any mix of backends.
+/// Homogeneous sub-batches still pack (the dispatcher groups lanes by
+/// model), so a pure-energy sweep routes through the energy SoA kernel the
+/// same way a pure-JA sweep always has.
+[[nodiscard]] std::vector<Scenario> scenarios_for_parameters(
+    std::span<const ModelSpec> specs, const wave::HSweep& sweep,
     std::string_view name_prefix = "candidate/");
 
 }  // namespace ferro::core

@@ -2,11 +2,13 @@
 // into artefacts on disk while the workers are still computing.
 //
 //   * CsvCurveSink — every BH point of every result as
-//     `scenario_index,h,m,b` rows (flushed once per scenario), the bulk
-//     trajectory format plotting scripts tail;
-//   * JsonlMetricsSink — one JSON line per scenario with its name, loop
-//     metrics, discretisation counters, and error string: the compact
-//     figure-of-merit record for sweep dashboards.
+//     `scenario_index,model,h,m,b` rows (flushed once per scenario), the
+//     bulk trajectory format plotting scripts tail; `model` is the numeric
+//     mag::ModelKind tag (0 = ja, 1 = energy), so mixed-model batches split
+//     with one column filter;
+//   * JsonlMetricsSink — one JSON line per scenario with its name, model,
+//     loop metrics, per-model discretisation counters, and error string:
+//     the compact figure-of-merit record for sweep dashboards.
 //
 // Both honour the ResultSink threading contract (single-threaded delivery),
 // so they need no locks; wrap in OrderedSink when row order must equal
@@ -22,8 +24,9 @@ namespace ferro::core {
 
 class CsvCurveSink : public ResultSink {
  public:
-  /// Writes `scenario_index,h,m,b` rows to `path`; `point_stride` keeps
-  /// every point by default, or decimates (every Nth point) for plotting.
+  /// Writes `scenario_index,model,h,m,b` rows to `path`; `point_stride`
+  /// keeps every point by default, or decimates (every Nth point) for
+  /// plotting.
   explicit CsvCurveSink(const std::string& path, std::size_t point_stride = 1);
 
   void on_result(std::size_t index, ScenarioResult&& result) override;

@@ -94,6 +94,20 @@ FitResult fit_ja_parameters(const FitObjective& objective,
   if (options.multistarts < 1) {
     throw std::invalid_argument("fit_ja_parameters: multistarts < 1");
   }
+  // Model-contract gate: this entry point identifies JA parameters, so an
+  // objective built over any other ModelSpec is a structured mismatch (the
+  // candidates it would score cannot run on that spec), reported like every
+  // other pre-run rejection rather than thrown.
+  if (!std::holds_alternative<core::JaSpec>(objective.model())) {
+    FitResult mismatch;
+    mismatch.residual = std::numeric_limits<double>::infinity();
+    mismatch.stop = {core::ErrorCode::kInvalidScenario,
+                     "fit_ja_parameters: objective is built over model '" +
+                         std::string(mag::to_string(
+                             core::model_kind(objective.model()))) +
+                         "', not 'ja'"};
+    return mismatch;
+  }
 
   // Start points: the template first (clamped into the box), then seeded
   // uniform positions kept away from the box faces. mt19937 with a fixed
@@ -170,8 +184,10 @@ FitResult fit_ja_parameters(const FitObjective& objective,
     if (options.limits.deadline_s > 0.0) {
       batch_limits.deadline_s = gate.remaining_seconds();
     }
-    const auto evaluated =
-        runner.run_packed(scenarios, options.math, batch_limits, nullptr);
+    const auto evaluated = runner.run(
+        scenarios,
+        core::RunOptions{core::packing_for(options.math), batch_limits, {}},
+        nullptr);
     ++result.generations;
     result.evaluations += evaluated.size();
     if (gate.stopped()) {

@@ -6,7 +6,7 @@
 // Nelder-Mead instances (multistart, deterministic seeding) in lockstep;
 // every generation gathers each instance's pending trial points, decodes
 // them into parameter sets, and evaluates the whole generation as ONE
-// homogeneous kDirect batch through BatchRunner::run_packed — the SoA
+// homogeneous kDirect batch through one packed BatchRunner::run — the SoA
 // kernel treats an optimizer generation exactly like any other material
 // sweep. With BatchMath::kExact the evaluations are bitwise identical to
 // the serial model whatever the thread count, so a fit is reproducible
@@ -49,7 +49,7 @@ struct FitOptions {
   /// Simplex re-seeds around the incumbent after convergence, each at half
   /// the previous edge length (escapes collapsed simplices).
   int restarts = 2;
-  /// Generation cap across the whole fit (one generation = one run_packed
+  /// Generation cap across the whole fit (one generation = one packed
   /// batch covering every live instance).
   int max_generations = 1500;
   double f_tol = 1e-14;         ///< simplex value-spread tolerance [T]
@@ -74,7 +74,7 @@ struct FitOptions {
 struct FitResult {
   mag::JaParameters params;     ///< best parameter set found
   double residual = 0.0;        ///< objective at `params` [T RMS]
-  std::size_t generations = 0;  ///< run_packed batches executed
+  std::size_t generations = 0;  ///< packed batches executed
   std::size_t evaluations = 0;  ///< forward curves simulated
   int winning_start = -1;       ///< which multistart produced `params`
   bool converged = false;       ///< the winner's simplex met the tolerances

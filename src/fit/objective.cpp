@@ -45,7 +45,13 @@ FitObjective::FitObjective(const mag::BhCurve& target,
 FitObjective::FitObjective(std::vector<double> h, std::vector<double> b,
                            mag::TimelessConfig config,
                            FitObjectiveOptions options)
-    : config_(config), options_(options) {
+    : FitObjective(std::move(h), std::move(b),
+                   core::ModelSpec(core::JaSpec{{}, config}),
+                   std::move(options)) {}
+
+FitObjective::FitObjective(std::vector<double> h, std::vector<double> b,
+                           core::ModelSpec model, FitObjectiveOptions options)
+    : model_(std::move(model)), options_(options) {
   if (h.size() != b.size()) {
     throw std::invalid_argument("fit target: h and b column sizes differ");
   }
@@ -116,8 +122,7 @@ core::Scenario FitObjective::scenario(const mag::JaParameters& params,
                                       std::string name) const {
   core::Scenario s;
   s.name = std::move(name);
-  s.params = params;
-  s.config = config_;
+  s.model = core::JaSpec{params, config()};
   s.drive = sweep_;
   s.frontend = core::Frontend::kDirect;
   return s;

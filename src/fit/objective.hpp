@@ -63,7 +63,7 @@ class FitObjective {
   /// Builds the objective from measured (h, b) samples in sweep order. The
   /// forward-model discretisation `config` is what every candidate runs
   /// with; its default (Forward Euler, no sub-stepping) keeps the whole
-  /// generation inside run_packed's SoA subset. Throws std::invalid_argument
+  /// generation inside the packed SoA subset. Throws std::invalid_argument
   /// when the target has fewer than two samples or a non-monotone branch
   /// that cannot be resampled.
   FitObjective(std::vector<double> h, std::vector<double> b,
@@ -74,11 +74,25 @@ class FitObjective {
                         mag::TimelessConfig config = {},
                         FitObjectiveOptions options = {});
 
+  /// Model-contract constructor: the spec names which backend candidates
+  /// run on. For a JaSpec only its `config` matters here (candidates
+  /// supply the parameters); the JA identification entry point
+  /// (fit_ja_parameters) rejects any other spec with kInvalidScenario
+  /// before evaluating a single candidate.
+  FitObjective(std::vector<double> h, std::vector<double> b,
+               core::ModelSpec model, FitObjectiveOptions options = {});
+
   /// The excitation every candidate replays (the target's own H sequence).
   [[nodiscard]] const wave::HSweep& sweep() const { return sweep_; }
 
-  /// The discretisation every candidate runs with.
-  [[nodiscard]] const mag::TimelessConfig& config() const { return config_; }
+  /// The model spec candidates are scored against (JaSpec by default).
+  [[nodiscard]] const core::ModelSpec& model() const { return model_; }
+
+  /// The JA discretisation every candidate runs with (std::get semantics:
+  /// throws when the objective was built over a non-JA spec).
+  [[nodiscard]] const mag::TimelessConfig& config() const {
+    return std::get<core::JaSpec>(model_).config;
+  }
 
   /// One candidate as a batch job (kDirect, packable with the default
   /// config). Whole generations go through core::scenarios_for_parameters
@@ -118,7 +132,7 @@ class FitObjective {
                         std::vector<double>& out) const;
 
   wave::HSweep sweep_;
-  mag::TimelessConfig config_;
+  core::ModelSpec model_;
   FitObjectiveOptions options_;
   std::vector<Segment> segments_;
   std::vector<double> grid_h_;       ///< flat resample grid (all branches)

@@ -41,12 +41,16 @@ double atan_langevin_derivative(double x) {
 }
 
 Anhysteretic::Anhysteretic(const JaParameters& p)
-    : kind_(p.kind),
-      a_(p.a),
-      a2_(p.a2),
-      blend_(p.blend),
-      inv_a_(1.0 / p.a),
-      inv_a2_(1.0 / p.a2) {}
+    : Anhysteretic(p.kind, p.a, p.a2, p.blend) {}
+
+Anhysteretic::Anhysteretic(AnhystereticKind kind, double a, double a2,
+                           double blend)
+    : kind_(kind),
+      a_(a),
+      a2_(a2),
+      blend_(blend),
+      inv_a_(1.0 / a),
+      inv_a2_(1.0 / a2) {}
 
 double Anhysteretic::man(double he) const {
   // He is scaled by the precomputed reciprocal instead of divided by the

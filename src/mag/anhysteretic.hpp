@@ -32,6 +32,12 @@ class Anhysteretic {
  public:
   explicit Anhysteretic(const JaParameters& p);
 
+  /// Shape-only constructor for models that are not parameterised by the
+  /// full JA set (mag::EnergyBased shares the anhysteretic curves without
+  /// inventing a JaParameters to carry them). `a2`/`blend` only matter for
+  /// kDualAtan.
+  Anhysteretic(AnhystereticKind kind, double a, double a2, double blend);
+
   /// Normalised anhysteretic m_an(He) = Man(He)/Ms for effective field He [A/m].
   [[nodiscard]] double man(double he) const;
 

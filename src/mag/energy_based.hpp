@@ -1,0 +1,230 @@
+// EnergyBased — scalar energy-based hysteresis: a play-operator
+// discretisation of the dissipation functional, the second physics backend
+// behind the mag::Model contract (mag/model.hpp).
+//
+// Three of the retrieved papers (Moll et al., fast-ramping magnets;
+// Egger & Engertsberger, vector-potential formulation; Prigozhin et al.,
+// variational model) build hysteresis from an energy balance instead of the
+// Jiles-Atherton rate equation: the magnetic state minimises stored energy
+// plus a pinning dissipation term, which in the scalar case collapses to a
+// family of *play operators*. Cell k carries a pinning strength kappa_k (the
+// dissipation functional's |dM| weight) and a state xi_k — the "reversible
+// field" the cell's magnetisation actually follows:
+//
+//     xi_k <- h - clamp(h - xi_k, -kappa_k, +kappa_k)
+//
+// i.e. xi_k moves only when the applied field has dragged more than kappa_k
+// away from it (the cell "yields" against its pinning force). The
+// magnetisation superposes the cells through the shared anhysteretic curve:
+//
+//     m = c_rev * man(h) + sum_k omega_k * man(xi_k)
+//
+// with a pinning-force distribution omega_k (exponential density over
+// kappa in (0, kappa_max], plus the explicit kappa = 0 reversible branch
+// c_rev). Energy bookkeeping falls out of the formulation: every yield
+// dissipates mu0 * kappa_k * |dM_k| [J/m^3], accumulated in
+// EnergyStats::dissipated_energy — the hysteresis loss, measured instead of
+// inferred from loop area.
+//
+// Optional dynamic/excess-loss term (Moll et al.): with tau_dyn > 0 the
+// time-aware apply(h, dt) lags the field the cells see by
+// tau_dyn * dM/dt (explicit, previous-step rate), widening the loop with
+// frequency exactly like the paper's rate-dependent loss term. The
+// quasi-static apply(h) — what sweep scenarios use — is the tau_dyn = 0
+// limit and is bitwise independent of the dynamic machinery.
+//
+// Contrast with TimelessJa: no slope integration, no dhmax event threshold,
+// no negative-slope or direction clamps — the play update is
+// unconditionally stable and exactly rate-independent, which is why the
+// model needs no trace program to pack (see mag/energy_based_batch.hpp).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mag/anhysteretic.hpp"
+#include "mag/ja_params.hpp"
+#include "mag/model.hpp"
+
+namespace ferro::mag {
+
+/// Parameters of the scalar energy-based model. SI units (A/m where
+/// dimensional).
+struct EnergyBasedParams {
+  double ms = 1.6e6;      ///< saturation magnetisation [A/m]
+  double a = 2000.0;      ///< anhysteretic shape parameter [A/m]
+  double a2 = 3500.0;     ///< second shape parameter [A/m] (kDualAtan)
+  double blend = 0.5;     ///< weight of the `a` term in kDualAtan, in [0,1]
+  AnhystereticKind kind = AnhystereticKind::kAtan;
+
+  /// Play cells discretising the pinning-force distribution. Cell k
+  /// (k = 0..cells-1) gets kappa_k = kappa_max * (k+1)/cells.
+  int cells = 8;
+  /// Strongest pinning field [A/m] — sets the loop width like JA's k.
+  double kappa_max = 4000.0;
+  /// Decay rate of the exponential pinning density: cell weights
+  /// omega_k ~ exp(-pinning_decay * kappa_k / kappa_max). 0 = uniform.
+  double pinning_decay = 2.0;
+  /// Weight of the kappa = 0 branch (purely reversible anhysteretic
+  /// response), in [0, 1) — the energy model's analogue of JA's c.
+  double c_rev = 0.1;
+  /// Dynamic/excess-loss time constant [s] (Moll et al.): the field the
+  /// cells see lags the applied field by tau_dyn * dM/dt. 0 (default)
+  /// keeps the model exactly rate-independent; > 0 needs the time-aware
+  /// apply(h, dt), so scenarios carrying it require a time-driven drive.
+  double tau_dyn = 0.0;
+
+  /// Empty if valid; otherwise a human-readable list of violations.
+  [[nodiscard]] std::vector<std::string> validate() const;
+  [[nodiscard]] bool is_valid() const { return validate().empty(); }
+};
+
+/// Parameter set matched to the paper's JA material (same Ms, anhysteretic
+/// shape, and a pinning strength equal to the JA k), so cross-model
+/// comparison scenarios drive comparable loops.
+[[nodiscard]] EnergyBasedParams energy_reference_parameters();
+
+/// The energy model's discretisation counters — its side of the contract's
+/// per-model stats surface (TimelessStats is the JA side).
+struct EnergyStats {
+  std::uint64_t samples = 0;         ///< calls to apply()
+  std::uint64_t cell_updates = 0;    ///< play cells that yielded
+  std::uint64_t pinned_samples = 0;  ///< samples where no cell yielded
+  /// Pinning dissipation sum_yields mu0 * kappa_k * |dM_k| [J/m^3] — the
+  /// hysteresis loss the energy formulation accounts per update.
+  double dissipated_energy = 0.0;
+};
+
+/// State snapshot: the play states (and their cached anhysteretic values)
+/// plus the observers the scalar accessors publish.
+struct EnergyState {
+  std::vector<double> xi;   ///< per-cell play state [A/m]
+  std::vector<double> man;  ///< cached man(xi_k), kept in lockstep with xi
+  double m_total = 0.0;     ///< total normalised magnetisation
+  double present_h = 0.0;   ///< most recently applied field
+  double rate = 0.0;        ///< last dM/dt estimate [A/(m s)] (dynamic term)
+};
+
+namespace energy_detail {
+
+/// Flat views of one lane's cell tables — shared between the scalar model
+/// and EnergyBasedBatch's SoA slices so both execute the identical update.
+struct CellArrays {
+  const double* kappa;   ///< pinning strengths, ascending
+  const double* weight;  ///< omega_k (already scaled by 1 - c_rev)
+  const double* diss;    ///< mu0 * ms * kappa_k * omega_k (dissipation scale)
+  double* xi;            ///< play states (mutated)
+  double* man;           ///< cached man(xi_k) (mutated)
+  int cells;
+};
+
+/// One quasi-static play update at field h: advances the cells, accumulates
+/// the yield counters and the pinning dissipation, and returns the
+/// hysteretic part sum_k omega_k * man(xi_k). Defined inline in the header
+/// on purpose: the scalar model and the SoA batch kernel both call THIS
+/// function, so their bitwise-identity contract holds by construction
+/// rather than by parallel maintenance.
+inline double play_update(const Anhysteretic& an, double h,
+                          const CellArrays& c, EnergyStats& stats) {
+  double m_hyst = 0.0;
+  std::uint64_t moved = 0;
+  for (int k = 0; k < c.cells; ++k) {
+    const double kappa = c.kappa[k];
+    const double d = h - c.xi[k];
+    if (d > kappa) {
+      c.xi[k] = h - kappa;
+    } else if (d < -kappa) {
+      c.xi[k] = h + kappa;
+    } else {
+      m_hyst += c.weight[k] * c.man[k];
+      continue;
+    }
+    const double man_new = an.man(c.xi[k]);
+    stats.dissipated_energy += c.diss[k] * std::fabs(man_new - c.man[k]);
+    c.man[k] = man_new;
+    m_hyst += c.weight[k] * man_new;
+    ++moved;
+  }
+  stats.cell_updates += moved;
+  if (moved == 0) ++stats.pinned_samples;
+  return m_hyst;
+}
+
+}  // namespace energy_detail
+
+/// The scalar energy-based hysteresis model (see the header comment).
+///
+/// Typical use mirrors TimelessJa:
+/// ```
+/// EnergyBased eb(energy_reference_parameters());
+/// for (double h : sweep.h) eb.apply(h);
+/// double b = eb.flux_density();
+/// ```
+class EnergyBased {
+ public:
+  explicit EnergyBased(const EnergyBasedParams& params);
+
+  [[nodiscard]] static constexpr ModelKind kind() {
+    return ModelKind::kEnergyBased;
+  }
+
+  /// Quasi-static update at field h [A/m]; returns the normalised total
+  /// magnetisation. Exactly the tau_dyn = 0 response whatever the params.
+  double apply(double h);
+
+  /// Time-aware update: like apply(h), but when tau_dyn > 0 the cells see
+  /// the applied field lagged by tau_dyn * dM/dt (previous-step rate,
+  /// explicit first order) — the dynamic/excess-loss term. With
+  /// tau_dyn == 0 this is bitwise apply(h).
+  double apply(double h, double dt);
+
+  /// Magnetisation M [A/m] = Ms * m_total.
+  [[nodiscard]] double magnetisation() const;
+
+  /// Flux density B [T] = mu0 * (M + H) at the present applied field.
+  [[nodiscard]] double flux_density() const;
+
+  [[nodiscard]] const EnergyState& state() const { return state_; }
+  [[nodiscard]] const EnergyStats& stats() const { return stats_; }
+  [[nodiscard]] const EnergyBasedParams& params() const { return params_; }
+
+  /// Returns to the demagnetised virgin state at H = 0.
+  void reset();
+
+  /// Restores an explicit snapshot (sizes must match the cell count).
+  void set_state(const EnergyState& s);
+
+  /// Precomputed cell tables, exposed so EnergyBasedBatch::add_lane copies
+  /// them instead of re-deriving — one place the distribution arithmetic
+  /// lives, like TimelessJa's hot-path constants.
+  [[nodiscard]] const std::vector<double>& kappa_table() const {
+    return kappa_;
+  }
+  [[nodiscard]] const std::vector<double>& weight_table() const {
+    return weight_;
+  }
+  [[nodiscard]] const std::vector<double>& dissipation_table() const {
+    return diss_;
+  }
+  [[nodiscard]] const Anhysteretic& anhysteretic() const { return an_; }
+
+ private:
+  /// The shared update at the (possibly lagged) field h_eff, recording the
+  /// applied field h as present_h.
+  double step(double h, double h_eff);
+
+  EnergyBasedParams params_;
+  Anhysteretic an_;
+  std::vector<double> kappa_;
+  std::vector<double> weight_;
+  std::vector<double> diss_;
+  double tau_dyn_ms_;  ///< tau_dyn * Ms — the dM/dt lag gain [A s / m]
+  EnergyState state_;
+  EnergyStats stats_;
+};
+
+static_assert(HysteresisModel<EnergyBased>);
+
+}  // namespace ferro::mag

@@ -1,0 +1,117 @@
+#include "mag/energy_based_batch.hpp"
+
+#include <cassert>
+
+#include "util/constants.hpp"
+
+namespace ferro::mag {
+
+EnergyBasedBatch::EnergyBasedBatch(BatchMath math) : math_(math) {}
+
+std::size_t EnergyBasedBatch::add_lane(const EnergyBasedParams& params) {
+  assert(params.is_valid());
+  assert(supports(params));
+  // The scalar model is the single source of truth for the pinning tables:
+  // constructing one and copying its slabs guarantees the batch lane starts
+  // from bitwise-identical constants and virgin state.
+  const EnergyBased scalar(params);
+  const std::size_t offset = xi_.size();
+
+  offset_.push_back(offset);
+  cells_.push_back(params.cells);
+  xi_.insert(xi_.end(), scalar.state().xi.begin(), scalar.state().xi.end());
+  man_.insert(man_.end(), scalar.state().man.begin(), scalar.state().man.end());
+  kappa_.insert(kappa_.end(), scalar.kappa_table().begin(),
+                scalar.kappa_table().end());
+  weight_.insert(weight_.end(), scalar.weight_table().begin(),
+                 scalar.weight_table().end());
+  diss_.insert(diss_.end(), scalar.dissipation_table().begin(),
+               scalar.dissipation_table().end());
+  assert(xi_.size() == offset + static_cast<std::size_t>(params.cells));
+
+  m_total_.push_back(0.0);
+  present_h_.push_back(0.0);
+  c_rev_.push_back(params.c_rev);
+  ms_.push_back(params.ms);
+  an_.push_back(scalar.anhysteretic());
+  stats_.emplace_back();
+  params_.push_back(params);
+  return n_++;
+}
+
+void EnergyBasedBatch::reset() {
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t off = offset_[i];
+    const auto cells = static_cast<std::size_t>(cells_[i]);
+    const double man0 = an_[i].man(0.0);
+    for (std::size_t k = off; k < off + cells; ++k) {
+      xi_[k] = 0.0;
+      man_[k] = man0;
+    }
+    m_total_[i] = 0.0;
+    present_h_[i] = 0.0;
+    stats_[i] = {};
+  }
+}
+
+void EnergyBasedBatch::step_lane(std::size_t i, double h) {
+  ++stats_[i].samples;
+  const std::size_t off = offset_[i];
+  const energy_detail::CellArrays cells{kappa_.data() + off,
+                                        weight_.data() + off,
+                                        diss_.data() + off,
+                                        xi_.data() + off,
+                                        man_.data() + off,
+                                        cells_[i]};
+  const double m_hyst = energy_detail::play_update(an_[i], h, cells, stats_[i]);
+  m_total_[i] = c_rev_[i] * an_[i].man(h) + m_hyst;
+  present_h_[i] = h;
+}
+
+void EnergyBasedBatch::apply(const double* h) {
+  for (std::size_t i = 0; i < n_; ++i) step_lane(i, h[i]);
+}
+
+void EnergyBasedBatch::apply_all(double h) {
+  for (std::size_t i = 0; i < n_; ++i) step_lane(i, h);
+}
+
+void EnergyBasedBatch::run(const std::vector<const wave::HSweep*>& sweeps,
+                           std::vector<BhCurve>& curves) {
+  assert(sweeps.size() == n_);
+  curves.assign(n_, BhCurve{});
+  // Lane-major: each lane runs its full (possibly ragged) sweep to
+  // completion. The play update is branch-dominated, so there is no SIMD
+  // lockstep to preserve across lanes, and lane-major keeps each lane's
+  // cell slab hot in cache for the whole sweep.
+  for (std::size_t i = 0; i < n_; ++i) {
+    const wave::HSweep& sweep = *sweeps[i];
+    BhCurve& curve = curves[i];
+    curve.reserve(sweep.h.size());
+    for (const double h : sweep.h) {
+      step_lane(i, h);
+      const double m = ms_[i] * m_total_[i];
+      curve.append(h, m, util::kMu0 * (m + h));
+    }
+  }
+}
+
+double EnergyBasedBatch::flux_density(std::size_t lane) const {
+  return util::kMu0 * (magnetisation(lane) + present_h_[lane]);
+}
+
+EnergyState EnergyBasedBatch::state(std::size_t lane) const {
+  EnergyState s;
+  const std::size_t off = offset_[lane];
+  const auto cells = static_cast<std::size_t>(cells_[lane]);
+  s.xi.assign(xi_.begin() + static_cast<std::ptrdiff_t>(off),
+              xi_.begin() + static_cast<std::ptrdiff_t>(off + cells));
+  s.man.assign(man_.begin() + static_cast<std::ptrdiff_t>(off),
+               man_.begin() + static_cast<std::ptrdiff_t>(off + cells));
+  s.m_total = m_total_[lane];
+  s.present_h = present_h_[lane];
+  s.rate = 0.0;
+  return s;
+}
+
+}  // namespace ferro::mag

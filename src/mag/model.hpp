@@ -1,0 +1,68 @@
+// The model-facing contract of the batch engine.
+//
+// Everything above the mag/ layer — the scenario types, the frontend
+// planner, the SoA packing, the sinks, the fit objective — used to assume
+// the hysteresis model was TimelessJa. This header names the contract those
+// layers actually rely on, so a second physics backend (mag::EnergyBased,
+// the play-operator dissipation-functional model of the energy-based
+// papers) can plug into the same machinery:
+//
+//   * ModelKind          — the runtime tag results and sinks carry;
+//   * HysteresisModel    — the compile-time concept the templated layers
+//                          (mag::run_sweep, the conformance suite) check:
+//                          apply(h) -> normalised magnetisation,
+//                          magnetisation()/flux_density() observers,
+//                          reset() back to the demagnetised virgin state,
+//                          and a static kind() tag.
+//
+// The planning layer (core/scenario.hpp) dispatches on a small variant of
+// per-model parameter specs rather than a virtual base: the models' hot
+// paths stay devirtualised and the SoA kernels (TimelessJaBatch,
+// EnergyBasedBatch) stay free to lay out state per model.
+//
+// Capabilities the contract deliberately leaves optional:
+//   * trace replay (mag/ja_trace.hpp) — the timeless JA discretisation's
+//     control flow is H-only, which is what makes a planner-decided row
+//     program possible; the play-operator model needs no trace at all
+//     (its update has no threshold/sub-step control flow to unroll);
+//   * per-model counters — each model reports its own stats struct
+//     (TimelessStats / EnergyStats); ScenarioResult carries both, tagged
+//     by ModelKind.
+#pragma once
+
+#include <concepts>
+#include <string_view>
+
+namespace ferro::mag {
+
+/// Which physics backend produced a result. Carried by ScenarioResult and
+/// emitted by the file sinks, so downstream consumers can split mixed
+/// batches without re-deriving the model from the scenario list.
+enum class ModelKind {
+  kJilesAtherton,  ///< timeless Jiles-Atherton (the paper's model)
+  kEnergyBased,    ///< play-operator dissipation functional (energy-based)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kJilesAtherton: return "ja";
+    case ModelKind::kEnergyBased: return "energy";
+  }
+  return "?";
+}
+
+/// The scalar-model surface the generic layers consume. apply() returns the
+/// *normalised* magnetisation (fractions of Ms) like the paper's listing;
+/// magnetisation()/flux_density() are the SI observers; reset() restores
+/// the demagnetised virgin state bitwise (conformance-tested per model in
+/// tests/test_model_contract.cpp).
+template <typename M>
+concept HysteresisModel = requires(M m, const M cm, double h) {
+  { m.apply(h) } -> std::convertible_to<double>;
+  { cm.magnetisation() } -> std::convertible_to<double>;
+  { cm.flux_density() } -> std::convertible_to<double>;
+  { m.reset() };
+  { M::kind() } -> std::same_as<ModelKind>;
+};
+
+}  // namespace ferro::mag

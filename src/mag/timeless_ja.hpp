@@ -24,6 +24,7 @@
 
 #include "mag/anhysteretic.hpp"
 #include "mag/ja_params.hpp"
+#include "mag/model.hpp"
 
 namespace ferro::mag {
 
@@ -85,6 +86,10 @@ struct TimelessState {
 class TimelessJa {
  public:
   explicit TimelessJa(const JaParameters& params, const TimelessConfig& config = {});
+
+  [[nodiscard]] static constexpr ModelKind kind() {
+    return ModelKind::kJilesAtherton;
+  }
 
   /// Applies a new field sample H [A/m]: refreshes the algebraic part and,
   /// when |H - anchor| exceeds dhmax, integrates the slope. Returns the
@@ -156,5 +161,7 @@ class TimelessJa {
   [[nodiscard]] double one_pc_k() const { return one_pc_k_; }
   [[nodiscard]] double one_pc_alpha_ms() const { return one_pc_alpha_ms_; }
 };
+
+static_assert(HysteresisModel<TimelessJa>);
 
 }  // namespace ferro::mag

@@ -13,7 +13,7 @@
 //     deviation from exact, measured as an arc-RMS by the tests.
 //
 // The kernel covers the paper-faithful discretisation subset — Forward Euler,
-// no sub-stepping (`supports()`); BatchRunner::run_packed() routes scenarios
+// no sub-stepping (`supports()`); BatchRunner's packed path routes scenarios
 // here when they qualify and falls back to scalar per-scenario jobs otherwise.
 #pragma once
 

@@ -1,0 +1,33 @@
+// Regenerates tests/data/energy_staircase.csv — the golden trajectory of
+// the energy-based play-operator model on the reference material
+// (energy_reference_parameters(): atan anhysteretic, 8 cells,
+// kappa_max = 4000 A/m, exponential pinning density, c_rev = 0.1) through
+// two +-10 kA/m cycles sampled every 10 A/m. With 8 play cells the
+// staircase of pinning thresholds is visible in the ascending branch —
+// that structure is exactly what the golden pins down.
+//
+// Run from the repo root after an *intentional* model change:
+//   ./build/gen_energy_golden tests/data/energy_staircase.csv
+// and commit the refreshed file. test_energy_based asserts the live model
+// stays within RMS tolerance of the committed curve.
+#include <cstdio>
+
+#include "mag/bh.hpp"
+#include "mag/energy_based.hpp"
+#include "wave/sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ferro;
+  const char* path = argc > 1 ? argv[1] : "tests/data/energy_staircase.csv";
+
+  mag::EnergyBased model(mag::energy_reference_parameters());
+  const wave::HSweep sweep = wave::SweepBuilder(10.0).cycles(10e3, 2).build();
+  const mag::BhCurve curve = mag::run_sweep(model, sweep);
+
+  if (!curve.write_csv(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path);
+    return 1;
+  }
+  std::printf("wrote %zu points to %s\n", curve.size(), path);
+  return 0;
+}

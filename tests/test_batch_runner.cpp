@@ -32,8 +32,8 @@ std::vector<fc::Scenario> material_workload(std::size_t count) {
     const auto& material = library[i % library.size()];
     fc::Scenario s;
     s.name = material.name + "#" + std::to_string(i);
-    s.params = material.params;
-    s.config.dhmax = (material.params.a + material.params.k) /
+    s.ja().params = material.params;
+    s.ja().config.dhmax = (material.params.a + material.params.k) /
                      (200.0 + 50.0 * static_cast<double>(i % 4));
     fw::HSweep sweep = ts::saturating_major_loop(material.params);
     s.metrics_window = fc::MetricsWindow{sweep.size() / 2, sweep.size() - 1};
@@ -103,7 +103,7 @@ TEST(BatchRunner, SerialMatchesRunScenario) {
 
 TEST(BatchRunner, InvalidParametersAreCapturedPerJob) {
   auto scenarios = material_workload(3);
-  scenarios[1].params.c = 1.5;  // reversibility must satisfy 0 <= c < 1
+  scenarios[1].ja().params.c = 1.5;  // reversibility must satisfy 0 <= c < 1
   scenarios[1].name = "broken";
 
   const auto results = fc::BatchRunner({.threads = 2}).run(scenarios);
@@ -119,7 +119,7 @@ TEST(BatchRunner, InvalidParametersAreCapturedPerJob) {
 TEST(BatchRunner, MissingWaveformIsCaptured) {
   fc::Scenario s;
   s.name = "no-waveform";
-  s.params = fm::paper_parameters();
+  s.ja().params = fm::paper_parameters();
   s.drive = fc::TimeDrive{};  // null waveform
   const auto result = fc::run_scenario(s);
   EXPECT_FALSE(result.ok());
@@ -129,8 +129,8 @@ TEST(BatchRunner, MissingWaveformIsCaptured) {
 TEST(BatchRunner, EmptyMetricsWindowIsCaptured) {
   fc::Scenario s;
   s.name = "bad-window";
-  s.params = fm::paper_parameters();
-  s.config = ts::paper_config();
+  s.ja().params = fm::paper_parameters();
+  s.ja().config = ts::paper_config();
   s.drive = ts::major_loop(10.0, 1);
   s.metrics_window = fc::MetricsWindow{500, 500};
   const auto result = fc::run_scenario(s);
@@ -148,8 +148,8 @@ TEST(BatchRunner, OversizedMetricsWindowIsCapturedNotClamped) {
   // slice.
   fc::Scenario s;
   s.name = "oversized-window";
-  s.params = fm::paper_parameters();
-  s.config = ts::paper_config();
+  s.ja().params = fm::paper_parameters();
+  s.ja().config = ts::paper_config();
   const fw::HSweep sweep = ts::major_loop(10.0, 1);
   s.metrics_window = fc::MetricsWindow{0, sweep.size() + 1000};
   s.drive = sweep;
@@ -162,8 +162,8 @@ TEST(BatchRunner, OversizedMetricsWindowIsCapturedNotClamped) {
 TEST(BatchRunner, TimeDrivenScenarioRuns) {
   fc::Scenario s;
   s.name = "triangular";
-  s.params = fm::paper_parameters();
-  s.config = ts::paper_config();
+  s.ja().params = fm::paper_parameters();
+  s.ja().config = ts::paper_config();
   s.drive = fc::TimeDrive{std::make_shared<fw::Triangular>(10e3, 0.02), 0.0,
                           0.04, 4000};
   const auto result = fc::run_scenario(s);
@@ -175,8 +175,8 @@ TEST(BatchRunner, TimeDrivenScenarioRuns) {
 TEST(BatchRunner, DirectSweepScenarioKeepsStats) {
   fc::Scenario s;
   s.name = "stats";
-  s.params = fm::paper_parameters();
-  s.config = ts::paper_config();
+  s.ja().params = fm::paper_parameters();
+  s.ja().config = ts::paper_config();
   s.drive = ts::major_loop(10.0, 2);
   const auto result = fc::run_scenario(s);
   ASSERT_TRUE(result.ok()) << result.error;
@@ -187,8 +187,8 @@ TEST(BatchRunner, DirectSweepScenarioKeepsStats) {
 TEST(BatchRunner, FrontendsAgreeThroughTheBatchPath) {
   fc::Scenario direct;
   direct.name = "direct";
-  direct.params = fm::paper_parameters();
-  direct.config = ts::paper_config();
+  direct.ja().params = fm::paper_parameters();
+  direct.ja().config = ts::paper_config();
   direct.drive = ts::major_loop(20.0, 1);
 
   fc::Scenario systemc = direct;
@@ -208,18 +208,18 @@ TEST(BatchRunner, RunPackedExactMatchesRunBitwise) {
   // are planned onto the frontend's own uniform grid and pack too — plus
   // scenarios the planner must refuse (kSystemC with a clamp the process
   // network hard-codes differently, extension schemes, sub-stepping on a
-  // sweep frontend, bad parameters). run_packed(kExact) must reproduce
+  // sweep frontend, bad parameters). a packed run (kExact) must reproduce
   // run() bit-for-bit on all of them.
   auto scenarios = material_workload(10);
   scenarios[2].frontend = fc::Frontend::kSystemC;
-  scenarios[3].config.scheme = fm::HIntegrator::kHeun;
-  scenarios[4].config.substep_max = 50.0;
-  scenarios[5].params.c = 1.5;  // invalid -> per-job error via the fallback
+  scenarios[3].ja().config.scheme = fm::HIntegrator::kHeun;
+  scenarios[4].ja().config.substep_max = 50.0;
+  scenarios[5].ja().params.c = 1.5;  // invalid -> per-job error via the fallback
   scenarios[6].drive = fc::TimeDrive{std::make_shared<fw::Triangular>(10e3, 0.02),
                                      0.0, 0.04, 2000};
   scenarios[6].metrics_window.reset();
   scenarios[7].frontend = fc::Frontend::kSystemC;
-  scenarios[7].config.clamp_negative_slope = false;  // network clamps anyway
+  scenarios[7].ja().config.clamp_negative_slope = false;  // network clamps anyway
 
   EXPECT_TRUE(fc::BatchRunner::packable(scenarios[0]));
   EXPECT_TRUE(fc::BatchRunner::packable(scenarios[2]));
@@ -232,7 +232,8 @@ TEST(BatchRunner, RunPackedExactMatchesRunBitwise) {
   for (const unsigned threads : {1u, 3u}) {
     const fc::BatchRunner runner({.threads = threads});
     const auto plain = runner.run(scenarios);
-    const auto packed = runner.run_packed(scenarios);
+    const auto packed =
+        runner.run(scenarios, {.packing = fc::Packing::kExact});
     expect_identical(plain, packed);
     for (std::size_t i = 0; i < plain.size(); ++i) {
       EXPECT_EQ(plain[i].stats.field_events, packed[i].stats.field_events);
@@ -244,7 +245,7 @@ TEST(BatchRunner, RunPackedExactMatchesRunBitwise) {
 TEST(BatchRunner, RunPackedAllFallbackMatchesRunBitwise) {
   // A scenario list with NO packable lanes (kSystemC outside the kernel's
   // clamp subset, kAms with an extension integration scheme the trace
-  // planner cannot express): run_packed must take the pure fallback path
+  // planner cannot express): the packed path must take the pure fallback path
   // for everything and still reproduce run() bit-for-bit — previously this
   // shape was only exercised implicitly through mixed workloads.
   auto scenarios = material_workload(6);
@@ -253,11 +254,11 @@ TEST(BatchRunner, RunPackedAllFallbackMatchesRunBitwise) {
       scenarios[i].frontend = fc::Frontend::kSystemC;
       // The network hard-codes the direction clamp; a config that says
       // otherwise is not routable (run() ignores the flag either way).
-      scenarios[i].config.clamp_direction = false;
+      scenarios[i].ja().config.clamp_direction = false;
     } else {
-      const double amp = ts::saturation_amplitude(scenarios[i].params);
+      const double amp = ts::saturation_amplitude(scenarios[i].ja().params);
       scenarios[i].frontend = fc::Frontend::kAms;
-      scenarios[i].config.scheme = fm::HIntegrator::kHeun;
+      scenarios[i].ja().config.scheme = fm::HIntegrator::kHeun;
       scenarios[i].drive = fc::TimeDrive{
           std::make_shared<fw::Triangular>(amp, 0.02), 0.0, 0.04, 200};
       scenarios[i].metrics_window.reset();  // kAms places its own steps
@@ -270,7 +271,8 @@ TEST(BatchRunner, RunPackedAllFallbackMatchesRunBitwise) {
   for (const unsigned threads : {1u, 3u}) {
     const fc::BatchRunner runner({.threads = threads});
     const auto plain = runner.run(scenarios);
-    const auto packed = runner.run_packed(scenarios);
+    const auto packed =
+        runner.run(scenarios, {.packing = fc::Packing::kExact});
     expect_identical(plain, packed);
     for (const auto& r : plain) {
       EXPECT_TRUE(r.ok()) << r.name << ": " << r.error;
@@ -309,7 +311,8 @@ TEST(BatchRunner, RunPackedMixedDirectAndSystemCMatchesRunBitwise) {
   for (const unsigned threads : {1u, 3u}) {
     const fc::BatchRunner runner({.threads = threads});
     const auto plain = runner.run(scenarios);
-    const auto packed = runner.run_packed(scenarios);
+    const auto packed =
+        runner.run(scenarios, {.packing = fc::Packing::kExact});
     expect_identical(plain, packed);
     expect_stats_identical(plain, packed);
     for (std::size_t i = 0; i < plain.size(); ++i) {
@@ -324,7 +327,7 @@ TEST(BatchRunner, RunPackedMixedDirectAndSystemCMatchesRunBitwise) {
 
 TEST(BatchRunner, RunPackedMixedAllThreeFrontendsMatchesRunBitwise) {
   // The acceptance workload: kDirect, kSystemC, and kAms interleaved —
-  // sweep drives and time drives — through run_packed(kExact). The kAms
+  // sweep drives and time drives — through a packed run (kExact). The kAms
   // lanes take the plan/execute pipeline (shared JA-free trajectory solve,
   // planner-trace replay with sub-steps unrolled) and everything must
   // reproduce run() bit-for-bit: curves, metrics, AND stats.
@@ -339,7 +342,7 @@ TEST(BatchRunner, RunPackedMixedAllThreeFrontendsMatchesRunBitwise) {
         scenarios[i].frontend = fc::Frontend::kAms;
         if (i % 2 == 0) {
           // Time drive: the analogue solver places its own steps.
-          const double amp = ts::saturation_amplitude(scenarios[i].params);
+          const double amp = ts::saturation_amplitude(scenarios[i].ja().params);
           scenarios[i].drive = fc::TimeDrive{
               std::make_shared<fw::Triangular>(amp, 0.02), 0.0, 0.04, 200};
         }
@@ -353,7 +356,8 @@ TEST(BatchRunner, RunPackedMixedAllThreeFrontendsMatchesRunBitwise) {
   for (const unsigned threads : {1u, 2u, 3u, 8u}) {
     const fc::BatchRunner runner({.threads = threads});
     const auto plain = runner.run(scenarios);
-    const auto packed = runner.run_packed(scenarios);
+    const auto packed =
+        runner.run(scenarios, {.packing = fc::Packing::kExact});
     expect_identical(plain, packed);
     expect_stats_identical(plain, packed);
     for (const auto& r : plain) {
@@ -375,8 +379,8 @@ TEST(BatchRunner, RunPackedAmsSharesTrajectoryAcrossMaterials) {
   for (std::size_t i = 0; i < 8; ++i) {
     fc::Scenario s;
     s.name = "ams#" + std::to_string(i);
-    s.params = library[i % library.size()].params;
-    s.config.dhmax = 20.0 + 5.0 * static_cast<double>(i % 3);
+    s.ja().params = library[i % library.size()].params;
+    s.ja().config.dhmax = 20.0 + 5.0 * static_cast<double>(i % 3);
     s.frontend = fc::Frontend::kAms;
     s.drive = sweep;
     scenarios.push_back(std::move(s));
@@ -384,7 +388,8 @@ TEST(BatchRunner, RunPackedAmsSharesTrajectoryAcrossMaterials) {
   for (const unsigned threads : {1u, 3u}) {
     const fc::BatchRunner runner({.threads = threads});
     const auto plain = runner.run(scenarios);
-    const auto packed = runner.run_packed(scenarios);
+    const auto packed =
+        runner.run(scenarios, {.packing = fc::Packing::kExact});
     expect_identical(plain, packed);
     expect_stats_identical(plain, packed);
     for (const auto& r : plain) {
@@ -409,11 +414,12 @@ TEST(BatchRunner, RunPackedIsThreadCountInvariant) {
     }
   }
   for (const auto math : {fm::BatchMath::kExact, fm::BatchMath::kFast}) {
-    const auto serial =
-        fc::BatchRunner({.threads = 1}).run_packed(scenarios, math);
+    const auto serial = fc::BatchRunner({.threads = 1})
+                            .run(scenarios, {.packing = fc::packing_for(math)});
     for (const unsigned threads : {2u, 3u, 8u, 0u}) {
       const auto parallel =
-          fc::BatchRunner({.threads = threads}).run_packed(scenarios, math);
+          fc::BatchRunner({.threads = threads})
+              .run(scenarios, {.packing = fc::packing_for(math)});
       expect_identical(serial, parallel);
     }
   }
@@ -421,9 +427,10 @@ TEST(BatchRunner, RunPackedIsThreadCountInvariant) {
 
 TEST(BatchRunner, RunPackedFastMathStaysNearExact) {
   const auto scenarios = material_workload(6);
-  const auto exact = fc::BatchRunner({.threads = 2}).run_packed(scenarios);
+  const auto exact = fc::BatchRunner({.threads = 2})
+                         .run(scenarios, {.packing = fc::Packing::kExact});
   const auto fast = fc::BatchRunner({.threads = 2})
-                        .run_packed(scenarios, fm::BatchMath::kFast);
+                        .run(scenarios, {.packing = fc::Packing::kFast});
   ASSERT_EQ(exact.size(), fast.size());
   for (std::size_t i = 0; i < exact.size(); ++i) {
     ASSERT_TRUE(fast[i].ok()) << fast[i].error;
@@ -450,14 +457,15 @@ TEST(BatchRunner, PersistentPoolSurvivesManyTinyBatches) {
   std::vector<fc::Scenario> tiny = material_workload(8);
   for (auto& s : tiny) {
     // Shrink each job to a handful of samples so dispatch overhead dominates.
-    const double amp = ts::saturation_amplitude(s.params);
+    const double amp = ts::saturation_amplitude(s.ja().params);
     s.drive = fw::SweepBuilder(amp / 8.0).cycles(amp, 1).build();
     s.metrics_window.reset();
   }
   const auto reference = serial.run(tiny);
   for (int round = 0; round < 25; ++round) {
     expect_identical(reference, pooled.run(tiny));
-    expect_identical(reference, pooled.run_packed(tiny));
+    expect_identical(reference,
+                     pooled.run(tiny, {.packing = fc::Packing::kExact}));
   }
 }
 
@@ -492,12 +500,12 @@ class NanWaveform final : public fw::Waveform {
 fc::Scenario bracket_failure_scenario() {
   fc::Scenario s;
   s.name = "unbracketable";
-  s.params = fm::paper_parameters();
-  s.params.k = 2000.0;  // coupling_field() = alpha*ms = 4800 > k
-  s.config.dhmax = 10.0;
-  s.config.substep_max = 25.0;
-  s.config.clamp_negative_slope = false;
-  s.config.clamp_direction = false;
+  s.ja().params = fm::paper_parameters();
+  s.ja().params.k = 2000.0;  // coupling_field() = alpha*ms = 4800 > k
+  s.ja().config.dhmax = 10.0;
+  s.ja().config.substep_max = 25.0;
+  s.ja().config.clamp_negative_slope = false;
+  s.ja().config.clamp_direction = false;
   fc::FluxDrive drive;
   for (double b = 0.1; b <= 1.3 + 1e-12; b += 0.1) drive.b.push_back(b);
   drive.b.push_back(1.35);
@@ -512,7 +520,8 @@ TEST(BatchRunner, RunWithEmptyLimitsMatchesPlainRun) {
   const auto scenarios = material_workload(6);
   const fc::BatchRunner runner({.threads = 2});
   fc::BatchReport report;
-  const auto limited = runner.run(scenarios, fc::RunLimits{}, &report);
+  const auto limited =
+      runner.run(scenarios, fc::RunOptions{}, &report);
   expect_identical(runner.run(scenarios), limited);
   EXPECT_TRUE(report.completed());
   EXPECT_EQ(report.jobs, scenarios.size());
@@ -526,8 +535,8 @@ TEST(BatchRunner, PreCancelledTokenCancelsEveryScenario) {
   fc::RunLimits limits;
   limits.cancel.cancel();
   fc::BatchReport report;
-  const auto results =
-      fc::BatchRunner({.threads = 2}).run(scenarios, limits, &report);
+  const auto results = fc::BatchRunner({.threads = 2})
+                           .run(scenarios, {.limits = limits}, &report);
   ASSERT_EQ(results.size(), scenarios.size());
   for (std::size_t i = 0; i < results.size(); ++i) {
     EXPECT_EQ(results[i].error.code, fc::ErrorCode::kCancelled) << i;
@@ -553,7 +562,7 @@ TEST(BatchRunner, CancellationMidBatchDeliversPartialResults) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
     limits.cancel.cancel();
   });
-  const auto results = runner.run(scenarios, limits, &report);
+  const auto results = runner.run(scenarios, {.limits = limits}, &report);
   canceller.join();
 
   ASSERT_EQ(results.size(), scenarios.size());
@@ -580,8 +589,8 @@ TEST(BatchRunner, ExpiredDeadlineStampsDeadlineExceeded) {
   fc::RunLimits limits;
   limits.deadline_s = 1e-9;  // expired by the first poll
   fc::BatchReport report;
-  const auto results =
-      fc::BatchRunner({.threads = 1}).run(scenarios, limits, &report);
+  const auto results = fc::BatchRunner({.threads = 1})
+                           .run(scenarios, {.limits = limits}, &report);
   for (const auto& r : results) {
     EXPECT_EQ(r.error.code, fc::ErrorCode::kDeadlineExceeded) << r.name;
   }
@@ -594,12 +603,12 @@ TEST(BatchRunner, ErrorBudgetStopsTheBatch) {
   // tripping max_errors=1, so every later scenario is cancelled rather
   // than computed.
   auto scenarios = material_workload(4);
-  scenarios[0].params.c = 1.5;  // invalid
+  scenarios[0].ja().params.c = 1.5;  // invalid
   fc::RunLimits limits;
   limits.max_errors = 1;
   fc::BatchReport report;
-  const auto results =
-      fc::BatchRunner({.threads = 1}).run(scenarios, limits, &report);
+  const auto results = fc::BatchRunner({.threads = 1})
+                           .run(scenarios, {.limits = limits}, &report);
   EXPECT_EQ(results[0].error.code, fc::ErrorCode::kInvalidScenario);
   for (std::size_t i = 1; i < results.size(); ++i) {
     EXPECT_EQ(results[i].error.code, fc::ErrorCode::kCancelled) << i;
@@ -616,9 +625,10 @@ TEST(BatchRunner, RunPackedHonoursLimits) {
   fc::RunLimits limits;
   limits.cancel.cancel();
   fc::BatchReport report;
-  const auto results = fc::BatchRunner({.threads = 2})
-                           .run_packed(scenarios, fm::BatchMath::kExact,
-                                       limits, &report);
+  const auto results =
+      fc::BatchRunner({.threads = 2})
+          .run(scenarios, {.packing = fc::Packing::kExact, .limits = limits},
+               &report);
   ASSERT_EQ(results.size(), scenarios.size());
   for (const auto& r : results) {
     EXPECT_EQ(r.error.code, fc::ErrorCode::kCancelled) << r.name;
@@ -641,8 +651,8 @@ TEST(BatchRunner, PackedNanScenarioQuarantinesWithoutPoisoningNeighbours) {
   for (const auto math : {fm::BatchMath::kExact, fm::BatchMath::kFast}) {
     fc::BatchReport report;
     const fc::BatchRunner runner({.threads = 2});
-    const auto packed =
-        runner.run_packed(scenarios, math, fc::RunLimits{}, &report);
+    const auto packed = runner.run(
+        scenarios, {.packing = fc::packing_for(math)}, &report);
     ASSERT_EQ(packed.size(), scenarios.size());
 
     // The poisoned lane: quarantined, retried through the scalar exact
@@ -662,7 +672,8 @@ TEST(BatchRunner, PackedNanScenarioQuarantinesWithoutPoisoningNeighbours) {
     healthy.erase(healthy.begin() + static_cast<std::ptrdiff_t>(nan_at));
     const auto baseline = math == fm::BatchMath::kExact
                               ? runner.run(healthy)
-                              : runner.run_packed(healthy, math);
+                              : runner.run(healthy,
+                                                 {.packing = fc::packing_for(math)});
     for (std::size_t i = 0, j = 0; i < packed.size(); ++i) {
       if (i == nan_at) continue;
       ASSERT_TRUE(packed[i].ok()) << packed[i].name << ": " << packed[i].error;
@@ -679,8 +690,8 @@ TEST(BatchRunner, PackedNanScenarioQuarantinesWithoutPoisoningNeighbours) {
 TEST(BatchRunner, FluxDriveScenarioRunsThroughInverseSolver) {
   fc::Scenario s;
   s.name = "flux-driven";
-  s.params = fm::paper_parameters();
-  s.config = ts::paper_config();
+  s.ja().params = fm::paper_parameters();
+  s.ja().config = ts::paper_config();
   fc::FluxDrive drive;
   for (double b = 0.1; b <= 1.2 + 1e-12; b += 0.1) drive.b.push_back(b);
   s.drive = std::move(drive);
@@ -708,11 +719,11 @@ TEST(BatchRunner, FluxDriveBracketFailureSurfacesAsStructuredError) {
   // 14 targets converged before the downward one failed.
   EXPECT_EQ(result.curve.size(), 14u);
 
-  // Through the batch (run_packed routes FluxDrive to the fallback path).
+  // Through the batch (a packed run routes FluxDrive to the fallback path).
   fc::BatchReport report;
-  const auto batch = fc::BatchRunner({.threads = 2})
-                         .run_packed({s}, fm::BatchMath::kExact,
-                                     fc::RunLimits{}, &report);
+  const auto batch =
+      fc::BatchRunner({.threads = 2})
+          .run({s}, {.packing = fc::Packing::kExact}, &report);
   EXPECT_EQ(batch[0].error.code, fc::ErrorCode::kBracketFailure);
   EXPECT_EQ(report.failed, 1u);
 }
@@ -722,11 +733,11 @@ TEST(BatchRunner, ValidateRejectsMalformedScenarios) {
   EXPECT_TRUE(fc::validate(good).ok());
 
   fc::Scenario bad_params = good;
-  bad_params.params.c = 1.5;
+  bad_params.ja().params.c = 1.5;
   EXPECT_EQ(fc::validate(bad_params).code, fc::ErrorCode::kInvalidScenario);
 
   fc::Scenario bad_config = good;
-  bad_config.config.dhmax = 0.0;
+  bad_config.ja().config.dhmax = 0.0;
   EXPECT_EQ(fc::validate(bad_config).code, fc::ErrorCode::kInvalidScenario);
 
   fc::Scenario bad_sweep = good;

@@ -1,0 +1,125 @@
+// The deprecated pre-RunOptions surface: run_packed / run_streaming /
+// run_packed_streaming / run(limits), the JaFacade alias and the
+// AmsJaResult::ja_stats() accessor survive as thin shims that forward to
+// the redesigned API with identical results. This file is the ONE place
+// that still calls them (everything else migrated in the redesign), so the
+// deprecation warnings are silenced locally — with FERRO_WERROR any new
+// caller elsewhere still breaks the build.
+#include <gtest/gtest.h>
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+#include <vector>
+
+#include "core/ams_ja.hpp"
+#include "core/batch_runner.hpp"
+#include "core/facade.hpp"
+#include "core/result_sink.hpp"
+#include "support/fixtures.hpp"
+#include "wave/standard.hpp"
+
+namespace fm = ferro::mag;
+namespace fc = ferro::core;
+namespace fw = ferro::wave;
+namespace ts = ferro::testsupport;
+
+namespace {
+
+std::vector<fc::Scenario> workload() {
+  std::vector<fc::Scenario> scenarios;
+  for (int i = 0; i < 4; ++i) {
+    fc::Scenario s;
+    s.name = "job/" + std::to_string(i);
+    fc::JaSpec spec;
+    spec.params = fm::paper_parameters();
+    spec.params.k = 3000.0 + 500.0 * i;
+    spec.config = ts::paper_config();
+    s.model = spec;
+    s.drive = ts::major_loop(25.0, 1);
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+void expect_same(const std::vector<fc::ScenarioResult>& a,
+                 const std::vector<fc::ScenarioResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].error.code, b[i].error.code);
+    ASSERT_EQ(a[i].curve.size(), b[i].curve.size());
+    for (std::size_t j = 0; j < a[i].curve.size(); ++j) {
+      EXPECT_EQ(a[i].curve.points()[j].b, b[i].curve.points()[j].b);
+    }
+    EXPECT_EQ(a[i].stats.field_events, b[i].stats.field_events);
+  }
+}
+
+}  // namespace
+
+TEST(CompatShims, RunPackedForwardsToPackingOption) {
+  const auto scenarios = workload();
+  const fc::BatchRunner runner({.threads = 2});
+  expect_same(runner.run_packed(scenarios),
+              runner.run(scenarios, {.packing = fc::Packing::kExact}));
+  expect_same(runner.run_packed(scenarios, fm::BatchMath::kFast),
+              runner.run(scenarios, {.packing = fc::Packing::kFast}));
+}
+
+TEST(CompatShims, RunWithLimitsForwardsToLimitsOption) {
+  const auto scenarios = workload();
+  const fc::BatchRunner runner({.threads = 2});
+  const fc::RunLimits limits;  // run to completion
+  fc::BatchReport shim_report;
+  fc::BatchReport new_report;
+  expect_same(runner.run(scenarios, limits, &shim_report),
+              runner.run(scenarios, fc::RunOptions{.limits = limits},
+                         &new_report));
+  EXPECT_EQ(shim_report.stop.code, new_report.stop.code);
+}
+
+TEST(CompatShims, StreamingShimsForwardToSinkOverload) {
+  const auto scenarios = workload();
+  const fc::BatchRunner runner({.threads = 2});
+
+  fc::CollectingSink shim_sink;
+  const auto shim_summary = runner.run_streaming(scenarios, shim_sink);
+  fc::CollectingSink new_sink;
+  const auto new_summary = runner.run(scenarios, new_sink);
+  EXPECT_TRUE(shim_summary.ok());
+  EXPECT_EQ(shim_summary.delivered, new_summary.delivered);
+  expect_same(shim_sink.results(), new_sink.results());
+
+  fc::CollectingSink packed_shim_sink;
+  const auto packed_summary =
+      runner.run_packed_streaming(scenarios, packed_shim_sink);
+  fc::CollectingSink packed_new_sink;
+  runner.run(scenarios, packed_new_sink, {.packing = fc::Packing::kExact});
+  EXPECT_EQ(packed_summary.delivered, scenarios.size());
+  expect_same(packed_shim_sink.results(), packed_new_sink.results());
+}
+
+TEST(CompatShims, JaFacadeAliasStillRuns) {
+  const fc::JaFacade facade(fm::paper_parameters(), ts::paper_config());
+  const fc::Facade replacement(fm::paper_parameters(), ts::paper_config());
+  const fw::HSweep sweep = ts::major_loop(20.0, 1);
+  const fm::BhCurve a = facade.run(sweep);
+  const fm::BhCurve b = replacement.run(sweep);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.points()[i].b, b.points()[i].b);
+  }
+}
+
+TEST(CompatShims, AmsResultJaStatsAliasesStats) {
+  const fw::Triangular tri(10e3, 0.02);
+  fc::AmsJaConfig config;
+  config.t_end = 0.04;
+  config.timeless.dhmax = 25.0;
+  const auto result = fc::run_ams_timeless(fm::paper_parameters(), tri, config);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(&result.ja_stats(), &result.stats);
+  EXPECT_EQ(result.ja_stats().field_events, result.stats.field_events);
+}
+
+#pragma GCC diagnostic pop

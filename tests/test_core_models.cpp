@@ -128,7 +128,7 @@ TEST(AmsModel, JaNeverEntersSolverResidual) {
   ASSERT_TRUE(result.completed);
   EXPECT_EQ(result.solver_stats.steps_rejected_newton, 0u);
   EXPECT_EQ(result.solver_stats.hard_failures, 0u);
-  EXPECT_GT(result.ja_stats.field_events, 0u);
+  EXPECT_GT(result.stats.field_events, 0u);
 }
 
 TEST(DcSweep, StatsAndContinuation) {
@@ -167,7 +167,7 @@ TEST(DcSweep, Fig1SweepShape) {
 }
 
 TEST(Facade, FrontendsAgreeOnSweep) {
-  const fc::JaFacade facade(fm::paper_parameters(), {kDhmax});
+  const fc::Facade facade(fm::paper_parameters(), {kDhmax});
   const fw::HSweep sweep = fw::SweepBuilder(25.0).cycles(8e3, 1).build();
 
   const fm::BhCurve direct = facade.run(sweep, fc::Frontend::kDirect);
@@ -183,7 +183,7 @@ TEST(Facade, FrontendsAgreeOnSweep) {
 }
 
 TEST(Facade, WaveformEntryPoint) {
-  const fc::JaFacade facade(fm::paper_parameters(), {kDhmax});
+  const fc::Facade facade(fm::paper_parameters(), {kDhmax});
   const fw::Triangular tri(10e3, 0.02);
   const fm::BhCurve curve =
       facade.run(tri, 0.0, 0.02, 2001, fc::Frontend::kDirect);

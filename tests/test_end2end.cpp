@@ -99,7 +99,7 @@ TEST(Claims, ThreeFrontendsVirtuallyIdentical) {
   // technique agree — SystemC vs direct exactly, AMS within tolerance.
   const fm::JaParameters params = fm::paper_parameters();
   const fw::HSweep sweep = major_loop(20.0, 1);
-  const fc::JaFacade facade(params, {25.0});
+  const fc::Facade facade(params, {25.0});
 
   const fm::BhCurve direct = facade.run(sweep, fc::Frontend::kDirect);
   const fm::BhCurve systemc = facade.run(sweep, fc::Frontend::kSystemC);

@@ -34,8 +34,8 @@ std::vector<fc::Scenario> sweep_batch(std::size_t count) {
     const auto& material = library[i % library.size()];
     const double amp = ts::saturation_amplitude(material.params);
     scenarios[i].name = material.name + "#" + std::to_string(i);
-    scenarios[i].params = material.params;
-    scenarios[i].config.dhmax = amp / 150.0;
+    scenarios[i].ja().params = material.params;
+    scenarios[i].ja().config.dhmax = amp / 150.0;
     scenarios[i].drive = fw::SweepBuilder(amp / 200.0).cycles(amp, 1).build();
   }
   return scenarios;
@@ -51,8 +51,8 @@ std::vector<fc::Scenario> ams_batch(std::size_t count) {
     const double amp =
         ts::saturation_amplitude(material.params) * (1.0 + 0.1 * i);
     scenarios[i].name = "ams#" + std::to_string(i);
-    scenarios[i].params = material.params;
-    scenarios[i].config.dhmax = amp / 150.0;
+    scenarios[i].ja().params = material.params;
+    scenarios[i].ja().config.dhmax = amp / 150.0;
     scenarios[i].frontend = fc::Frontend::kAms;
     scenarios[i].drive = fc::TimeDrive{
         std::make_shared<fw::Triangular>(amp, 0.02), 0.0, 0.04, 200};
@@ -136,14 +136,15 @@ TEST_F(FaultInjection, InjectedFaultNamesItsSite) {
 TEST_F(FaultInjection, ThrowAtLaneComputeFailsThatLaneOnly) {
   const auto scenarios = sweep_batch(6);
   fc::BatchRunner runner(fc::BatchOptions{1});
-  const auto reference = runner.run_packed(scenarios);
+  const auto reference =
+      runner.run(scenarios, {.packing = fc::Packing::kExact});
   for (const auto& r : reference) ASSERT_TRUE(r.ok()) << r.error;
 
   fc::FaultInjector::arm(fc::FaultSite::kLaneCompute,
                          {fc::FaultAction::kThrow, /*nth=*/3, /*count=*/1});
   fc::BatchReport report;
-  const auto results = runner.run_packed(scenarios, fm::BatchMath::kExact,
-                                         fc::RunLimits{}, &report);
+  const auto results =
+      runner.run(scenarios, {.packing = fc::Packing::kExact}, &report);
   ASSERT_EQ(results.size(), scenarios.size());
   EXPECT_EQ(fc::FaultInjector::hits(fc::FaultSite::kLaneCompute),
             scenarios.size());
@@ -173,13 +174,14 @@ TEST_F(FaultInjection, ThrowAtLaneComputeFailsThatLaneOnly) {
 TEST_F(FaultInjection, PoisonAtLaneComputeDrivesTheQuarantineRetry) {
   const auto scenarios = sweep_batch(6);
   fc::BatchRunner runner(fc::BatchOptions{1});
-  const auto reference = runner.run_packed(scenarios);
+  const auto reference =
+      runner.run(scenarios, {.packing = fc::Packing::kExact});
 
   fc::FaultInjector::arm(fc::FaultSite::kLaneCompute,
                          {fc::FaultAction::kPoison, /*nth=*/2, /*count=*/1});
   fc::BatchReport report;
-  const auto results = runner.run_packed(scenarios, fm::BatchMath::kExact,
-                                         fc::RunLimits{}, &report);
+  const auto results =
+      runner.run(scenarios, {.packing = fc::Packing::kExact}, &report);
   ASSERT_EQ(results.size(), scenarios.size());
   // The poisoned lane was retried through the scalar exact path, which for
   // a kExact packed batch reproduces the same bits — so EVERY result,
@@ -207,8 +209,8 @@ TEST_F(FaultInjection, ThrowAtTrajectorySolveReportsSolverDiverged) {
   fc::FaultInjector::arm(fc::FaultSite::kTrajectorySolve,
                          {fc::FaultAction::kThrow, /*nth=*/1, /*count=*/1});
   fc::BatchReport report;
-  const auto results = runner.run_packed(scenarios, fm::BatchMath::kExact,
-                                         fc::RunLimits{}, &report);
+  const auto results =
+      runner.run(scenarios, {.packing = fc::Packing::kExact}, &report);
   ASSERT_EQ(results.size(), scenarios.size());
   std::size_t injected = 0;
   for (const auto& r : results) {
@@ -229,7 +231,7 @@ TEST_F(FaultInjection, ThrowAtSinkDeliverLosesOneDeliveryAndContinues) {
   fc::FaultInjector::arm(fc::FaultSite::kSinkDeliver,
                          {fc::FaultAction::kThrow, /*nth=*/2, /*count=*/1});
   RecordingSink sink;
-  const auto summary = runner.run_streaming(scenarios, sink);
+  const auto summary = runner.run(scenarios, sink);
   EXPECT_EQ(summary.sink_error_count, 1u);
   EXPECT_EQ(summary.sink_error.code, fc::ErrorCode::kSinkError);
   EXPECT_NE(summary.sink_error.detail.find("injected fault at sink-deliver"),
@@ -250,7 +252,8 @@ TEST_F(FaultInjection, ThrowAtQueuePushKeepsTheAccountingClosed) {
   fc::FaultInjector::arm(fc::FaultSite::kQueuePush,
                          {fc::FaultAction::kThrow, /*nth=*/3, /*count=*/1});
   RecordingSink sink;
-  const auto summary = runner.run_packed_streaming(scenarios, sink);
+  const auto summary =
+      runner.run(scenarios, sink, {.packing = fc::Packing::kExact});
   // The lost hand-off is counted, never silently dropped, and the batch
   // neither deadlocks nor unwinds a worker.
   EXPECT_EQ(summary.discarded_deliveries, 1u);
@@ -275,9 +278,8 @@ TEST_F(FaultInjection, StallAtLaneComputeWidensTheCancellationWindow) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
     limits.cancel.cancel();
   });
-  const auto summary =
-      runner.run_packed_streaming(scenarios, sink, fm::BatchMath::kExact,
-                                  fc::StreamOptions{}, limits);
+  const auto summary = runner.run(
+      scenarios, sink, {.packing = fc::Packing::kExact, .limits = limits});
   canceller.join();
   // Graceful drain: every index delivered exactly once, computed or not.
   EXPECT_EQ(summary.delivered, scenarios.size());

@@ -45,7 +45,7 @@ fm::BhCurve simulate(const fm::JaParameters& params,
   const auto scenarios = fc::scenarios_for_parameters(
       {&params, 1}, fm::TimelessConfig{}, measurement_sweep(), "truth/");
   const fc::BatchRunner runner(fc::BatchOptions{1});
-  auto results = runner.run_packed(scenarios, math);
+  auto results = runner.run(scenarios, {.packing = fc::packing_for(math)});
   EXPECT_TRUE(results[0].ok()) << results[0].error;
   return std::move(results[0].curve);
 }

@@ -57,7 +57,7 @@ class FrontendParity : public ::testing::TestWithParam<ParityCase> {};
 
 TEST_P(FrontendParity, SystemCMatchesDirectExactly) {
   const ParityCase& c = GetParam();
-  const fc::JaFacade facade(fm::paper_parameters(), ts::paper_config());
+  const fc::Facade facade(fm::paper_parameters(), ts::paper_config());
   const fm::BhCurve direct = facade.run(c.sweep, fc::Frontend::kDirect);
   const fm::BhCurve systemc = facade.run(c.sweep, fc::Frontend::kSystemC);
 
@@ -70,7 +70,7 @@ TEST_P(FrontendParity, SystemCMatchesDirectExactly) {
 
 TEST_P(FrontendParity, AmsMatchesDirectWithinTolerance) {
   const ParityCase& c = GetParam();
-  const fc::JaFacade facade(fm::paper_parameters(), ts::paper_config());
+  const fc::Facade facade(fm::paper_parameters(), ts::paper_config());
   const fm::BhCurve direct = facade.run(c.sweep, fc::Frontend::kDirect);
   const fm::BhCurve ams = facade.run(c.sweep, fc::Frontend::kAms);
 

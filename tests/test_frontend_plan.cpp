@@ -26,8 +26,8 @@ namespace {
 fc::Scenario base_scenario(fc::Frontend frontend) {
   fc::Scenario s;
   s.name = "plan";
-  s.params = fm::paper_parameters();
-  s.config = ts::paper_config();
+  s.ja().params = fm::paper_parameters();
+  s.ja().config = ts::paper_config();
   s.frontend = frontend;
   s.drive = ts::major_loop(10.0, 1);
   return s;
@@ -59,7 +59,7 @@ TEST(FrontendPlan, RoutesEveryFrontendAndRefusesWhatItCannotReproduce) {
   // The kernel's lockstep subset gates the sweep frontends; the trace
   // planner unrolls sub-steps, so only the extension schemes gate kAms.
   fc::Scenario substep = base_scenario(fc::Frontend::kDirect);
-  substep.config.substep_max = 50.0;
+  substep.ja().config.substep_max = 50.0;
   EXPECT_EQ(fc::plan_route(substep), fc::PlanRoute::kFallback);
   substep.frontend = fc::Frontend::kAms;
   EXPECT_EQ(fc::plan_route(substep), fc::PlanRoute::kPackedTrace);
@@ -67,20 +67,20 @@ TEST(FrontendPlan, RoutesEveryFrontendAndRefusesWhatItCannotReproduce) {
   for (const auto frontend : {fc::Frontend::kDirect, fc::Frontend::kSystemC,
                               fc::Frontend::kAms}) {
     fc::Scenario heun = base_scenario(frontend);
-    heun.config.scheme = fm::HIntegrator::kHeun;
+    heun.ja().config.scheme = fm::HIntegrator::kHeun;
     EXPECT_EQ(fc::plan_route(heun), fc::PlanRoute::kFallback);
   }
 
   // kSystemC routability is the clamp pair the process network hard-codes.
   fc::Scenario clamps = base_scenario(fc::Frontend::kSystemC);
-  clamps.config.clamp_direction = false;
+  clamps.ja().config.clamp_direction = false;
   EXPECT_EQ(fc::plan_route(clamps), fc::PlanRoute::kFallback);
   clamps.frontend = fc::Frontend::kAms;  // the trace honours any clamp flags
   EXPECT_EQ(fc::plan_route(clamps), fc::PlanRoute::kPackedTrace);
 
   // Invalid parameters always fall back (run_scenario owns the error text).
   fc::Scenario invalid = base_scenario(fc::Frontend::kDirect);
-  invalid.params.c = 1.5;
+  invalid.ja().params.c = 1.5;
   EXPECT_EQ(fc::plan_route(invalid), fc::PlanRoute::kFallback);
 }
 
@@ -91,8 +91,8 @@ TEST(FrontendPlan, SharesTrajectorySolvesAcrossMaterialsAndWindows) {
   std::vector<fc::Scenario> scenarios;
   for (int i = 0; i < 4; ++i) {
     fc::Scenario s = base_scenario(fc::Frontend::kAms);
-    s.params = fm::material_library()[i % fm::material_library().size()].params;
-    s.config.dhmax = 20.0 + 5.0 * i;
+    s.ja().params = fm::material_library()[i % fm::material_library().size()].params;
+    s.ja().config.dhmax = 20.0 + 5.0 * i;
     s.drive = fc::TimeDrive{waveform, 0.0, 0.04, 100};
     scenarios.push_back(std::move(s));
   }
@@ -165,10 +165,10 @@ TEST(FrontendPlan, AmsMetricsWindowThatFitsIsHonouredInBothPaths) {
   // The solver places its own steps, so a valid window must be sized from
   // the curve kAms actually produces. Plan the trajectory first to learn
   // that length, then run with a window over its second half — run() and
-  // run_packed() must agree on the metrics exactly.
+  // the packed path must agree on the metrics exactly.
   fc::Scenario s = base_scenario(fc::Frontend::kAms);
   const fc::AmsSweepDrive drive =
-      fc::ams_drive_for_sweep(std::get<fw::HSweep>(s.drive), s.config);
+      fc::ams_drive_for_sweep(std::get<fw::HSweep>(s.drive), s.ja().config);
   const std::size_t curve_len =
       fc::plan_ams_trajectory(drive.pwl, drive.config).h.size();
   ASSERT_GT(curve_len, 4u);
@@ -179,7 +179,8 @@ TEST(FrontendPlan, AmsMetricsWindowThatFitsIsHonouredInBothPaths) {
   EXPECT_EQ(serial.curve.size(), curve_len);
   EXPECT_NE(serial.metrics.b_peak, 0.0);
 
-  const auto packed = fc::BatchRunner({.threads = 1}).run_packed({s});
+  const auto packed = fc::BatchRunner({.threads = 1})
+                          .run({s}, {.packing = fc::Packing::kExact});
   ASSERT_TRUE(packed[0].ok()) << packed[0].error;
   EXPECT_EQ(packed[0].metrics.area, serial.metrics.area);
   EXPECT_EQ(packed[0].metrics.b_peak, serial.metrics.b_peak);
@@ -189,7 +190,7 @@ TEST(FrontendPlan, AmsMetricsWindowThatFitsIsHonouredInBothPaths) {
 TEST(FrontendPlan, AmsMetricsWindowOverrunIsRejectedInBothPaths) {
   // The documented reject-don't-clamp contract: a window sized from the
   // input sweep overruns the solver-placed curve and must surface as a
-  // per-job error (identically through run() and run_packed()), never be
+  // per-job error (identically through run() and the packed path), never be
   // clamped to the curve that exists.
   fc::Scenario s = base_scenario(fc::Frontend::kAms);
   const std::size_t sweep_len = std::get<fw::HSweep>(s.drive).size();
@@ -202,7 +203,8 @@ TEST(FrontendPlan, AmsMetricsWindowOverrunIsRejectedInBothPaths) {
   // The curve itself completed before the metrics step failed.
   EXPECT_GT(serial.curve.size(), 0u);
 
-  const auto packed = fc::BatchRunner({.threads = 1}).run_packed({s});
+  const auto packed = fc::BatchRunner({.threads = 1})
+                          .run({s}, {.packing = fc::Packing::kExact});
   EXPECT_FALSE(packed[0].ok());
   EXPECT_EQ(packed[0].error, serial.error);
   EXPECT_EQ(packed[0].curve.size(), serial.curve.size());

@@ -44,8 +44,8 @@ std::vector<fc::Scenario> mixed_frontend_workload(std::size_t count) {
     const double amp = ts::saturation_amplitude(material.params);
     fc::Scenario s;
     s.name = material.name + "#" + std::to_string(i);
-    s.params = material.params;
-    s.config.dhmax = amp / (150.0 + 25.0 * static_cast<double>(i % 4));
+    s.ja().params = material.params;
+    s.ja().config.dhmax = amp / (150.0 + 25.0 * static_cast<double>(i % 4));
     s.drive = fw::SweepBuilder(amp / 200.0).cycles(amp, 1).build();
     switch (i % 5) {
       case 1:
@@ -66,7 +66,7 @@ std::vector<fc::Scenario> mixed_frontend_workload(std::size_t count) {
     scenarios.push_back(std::move(s));
   }
   if (count > 4) {
-    scenarios[4].params.c = 1.5;  // invalid: captured as a per-job error
+    scenarios[4].ja().params.c = 1.5;  // invalid: captured as a per-job error
     scenarios[4].name = "broken";
   }
   return scenarios;
@@ -170,7 +170,7 @@ TEST(ResultQueue, BackpressureBoundsOccupancy) {
 }
 
 // ---------------------------------------------------------------------------
-// run_streaming — parity with run()
+// streaming run(sink) — parity with run()
 // ---------------------------------------------------------------------------
 
 TEST(Streaming, CollectedStreamMatchesRunBitwiseAcrossThreadCounts) {
@@ -179,7 +179,7 @@ TEST(Streaming, CollectedStreamMatchesRunBitwiseAcrossThreadCounts) {
   for (const unsigned threads : {1u, 2u, 4u, 0u}) {
     const fc::BatchRunner runner({.threads = threads});
     fc::CollectingSink sink;
-    const auto summary = runner.run_streaming(scenarios, sink);
+    const auto summary = runner.run(scenarios, sink);
     EXPECT_TRUE(summary.ok()) << summary.sink_error;
     EXPECT_EQ(summary.delivered, scenarios.size());
     EXPECT_EQ(summary.discarded_deliveries, 0u);
@@ -192,8 +192,7 @@ TEST(Streaming, CollectedStreamMatchesRunBitwiseAcrossThreadCounts) {
 TEST(Streaming, EveryIndexArrivesExactlyOnce) {
   const auto scenarios = mixed_frontend_workload(12);
   RecordingSink sink;
-  const auto summary =
-      fc::BatchRunner({.threads = 4}).run_streaming(scenarios, sink);
+  const auto summary = fc::BatchRunner({.threads = 4}).run(scenarios, sink);
   EXPECT_TRUE(summary.ok());
   EXPECT_EQ(sink.starts, 1);
   EXPECT_EQ(sink.completes, 1);
@@ -215,9 +214,9 @@ TEST(Streaming, OrderedSinkReproducesRunOrderExactly) {
     RecordingSink inner;
     fc::OrderedSink ordered(inner);
     // A tiny queue keeps results trickling out while workers still compute.
-    const auto summary = fc::BatchRunner({.threads = threads})
-                             .run_streaming(scenarios, ordered,
-                                            {.queue_capacity = 2});
+    const auto summary =
+        fc::BatchRunner({.threads = threads})
+            .run(scenarios, ordered, {.stream = {.queue_capacity = 2}});
     EXPECT_TRUE(summary.ok());
     ASSERT_EQ(inner.received.size(), scenarios.size());
     std::vector<fc::ScenarioResult> in_order;
@@ -234,10 +233,11 @@ TEST(Streaming, PackedStreamingMatchesRunPackedBitwise) {
   for (const unsigned threads : {1u, 3u}) {
     const fc::BatchRunner runner({.threads = threads});
     for (const auto math : {fm::BatchMath::kExact, fm::BatchMath::kFast}) {
-      const auto reference = runner.run_packed(scenarios, math);
+      const auto reference =
+          runner.run(scenarios, {.packing = fc::packing_for(math)});
       fc::CollectingSink sink;
       const auto summary =
-          runner.run_packed_streaming(scenarios, sink, math);
+          runner.run(scenarios, sink, {.packing = fc::packing_for(math)});
       EXPECT_TRUE(summary.ok()) << summary.sink_error;
       expect_identical(reference, sink.results());
     }
@@ -246,7 +246,7 @@ TEST(Streaming, PackedStreamingMatchesRunPackedBitwise) {
 
 TEST(Streaming, EmptyBatchStillRunsTheSinkLifecycle) {
   RecordingSink sink;
-  const auto summary = fc::BatchRunner().run_streaming({}, sink);
+  const auto summary = fc::BatchRunner().run({}, sink);
   EXPECT_TRUE(summary.ok());
   EXPECT_EQ(summary.delivered, 0u);
   EXPECT_EQ(sink.starts, 1);
@@ -265,7 +265,7 @@ TEST(Streaming, SlowSinkNeitherDeadlocksNorDrops) {
   auto scenarios = mixed_frontend_workload(24);
   for (auto& s : scenarios) {
     if (!std::holds_alternative<fw::HSweep>(s.drive)) continue;
-    const double amp = ts::saturation_amplitude(s.params);
+    const double amp = ts::saturation_amplitude(s.ja().params);
     s.drive = fw::SweepBuilder(amp / 8.0).cycles(amp, 1).build();
   }
 
@@ -278,9 +278,9 @@ TEST(Streaming, SlowSinkNeitherDeadlocksNorDrops) {
     std::size_t count = 0;
   } sink;
 
-  const auto summary = fc::BatchRunner({.threads = 4})
-                           .run_streaming(scenarios, sink,
-                                          {.queue_capacity = 2});
+  const auto summary =
+      fc::BatchRunner({.threads = 4})
+          .run(scenarios, sink, {.stream = {.queue_capacity = 2}});
   EXPECT_TRUE(summary.ok());
   EXPECT_EQ(summary.delivered, scenarios.size());
   EXPECT_EQ(sink.count, scenarios.size());
@@ -300,7 +300,7 @@ TEST(Streaming, ThrowingSinkSurfacesErrorWithoutKillingTheBatch) {
   } sink;
 
   const fc::BatchRunner runner({.threads = 4});
-  const auto summary = runner.run_streaming(scenarios, sink);
+  const auto summary = runner.run(scenarios, sink);
   EXPECT_FALSE(summary.ok());
   EXPECT_EQ(summary.sink_error.code, fc::ErrorCode::kSinkError);
   EXPECT_NE(summary.sink_error.detail.find("sink exploded"), std::string::npos)
@@ -333,8 +333,7 @@ TEST(Streaming, ThrowingOnStartDiscardsEverythingButStillCompletes) {
     std::size_t count = 0;
   } sink;
 
-  const auto summary =
-      fc::BatchRunner({.threads = 2}).run_streaming(scenarios, sink);
+  const auto summary = fc::BatchRunner({.threads = 2}).run(scenarios, sink);
   EXPECT_FALSE(summary.ok());
   EXPECT_EQ(summary.sink_error.code, fc::ErrorCode::kSinkError);
   EXPECT_EQ(summary.delivered, 0u);
@@ -370,7 +369,7 @@ TEST(Streaming, SinkCancellationDrainsRemainderAsCancelled) {
   } sink(limits.cancel);
 
   const auto summary = fc::BatchRunner({.threads = 1})
-                           .run_streaming(scenarios, sink, {}, limits);
+                           .run(scenarios, sink, {.limits = limits});
   EXPECT_TRUE(summary.ok());  // cancellation is not a sink failure
   EXPECT_EQ(summary.stop.code, fc::ErrorCode::kCancelled);
   EXPECT_EQ(summary.delivered, scenarios.size());
@@ -391,7 +390,7 @@ TEST(Streaming, ParallelCancellationMidStreamStaysAccounted) {
     limits.cancel.cancel();
   });
   const auto summary = fc::BatchRunner({.threads = 4})
-                           .run_streaming(scenarios, sink, {}, limits);
+                           .run(scenarios, sink, {.limits = limits});
   canceller.join();
   EXPECT_TRUE(summary.ok());
   EXPECT_EQ(summary.delivered, scenarios.size());
@@ -448,7 +447,8 @@ TEST(Streaming, MixedOutcomeBatchKeepsHealthyLanesBitwise) {
   for (const unsigned threads : {1u, 4u}) {
     const fc::BatchRunner runner({.threads = threads});
     fc::CollectingSink sink;
-    const auto summary = runner.run_packed_streaming(scenarios, sink);
+    const auto summary =
+        runner.run(scenarios, sink, {.packing = fc::Packing::kExact});
     EXPECT_TRUE(summary.ok()) << summary.sink_error;
     EXPECT_EQ(summary.delivered, scenarios.size());
     EXPECT_EQ(summary.failed_jobs, 3u);  // throwing, nan, broken
@@ -497,8 +497,7 @@ TEST(Streaming, CallbackSinkReportsProgressAndErrors) {
         last_total = total;
       },
   });
-  const auto summary =
-      fc::BatchRunner({.threads = 3}).run_streaming(scenarios, sink);
+  const auto summary = fc::BatchRunner({.threads = 3}).run(scenarios, sink);
   EXPECT_TRUE(summary.ok());
   EXPECT_EQ(results_seen, scenarios.size());
   EXPECT_EQ(errors_seen, 1u);
@@ -511,8 +510,7 @@ TEST(Streaming, TeeSinkDeliversToEverySink) {
   fc::CollectingSink a;
   fc::CollectingSink b;
   fc::TeeSink tee({&a, &b});
-  const auto summary =
-      fc::BatchRunner({.threads = 2}).run_streaming(scenarios, tee);
+  const auto summary = fc::BatchRunner({.threads = 2}).run(scenarios, tee);
   EXPECT_TRUE(summary.ok());
   expect_identical(a.results(), b.results());
   ASSERT_EQ(a.results().size(), scenarios.size());
@@ -527,7 +525,7 @@ TEST(Streaming, CsvCurveSinkWritesEveryPointInScenarioOrder) {
     fc::CsvCurveSink csv(path);
     fc::OrderedSink ordered(csv);
     const auto summary =
-        fc::BatchRunner({.threads = 4}).run_streaming(scenarios, ordered);
+        fc::BatchRunner({.threads = 4}).run(scenarios, ordered);
     EXPECT_TRUE(summary.ok());
     EXPECT_TRUE(csv.ok());
   }
@@ -543,8 +541,10 @@ TEST(Streaming, CsvCurveSinkWritesEveryPointInScenarioOrder) {
   for (std::size_t i = 0; i < reference.size(); ++i) {
     for (std::size_t j = 0; j < reference[i].curve.size(); ++j, ++row) {
       EXPECT_EQ(table.rows[row][0], static_cast<double>(i));
-      EXPECT_EQ(table.rows[row][1], reference[i].curve.points()[j].h);
-      EXPECT_EQ(table.rows[row][3], reference[i].curve.points()[j].b);
+      // Column 1 is the numeric model tag (0 = ja for this workload).
+      EXPECT_EQ(table.rows[row][1], 0.0);
+      EXPECT_EQ(table.rows[row][2], reference[i].curve.points()[j].h);
+      EXPECT_EQ(table.rows[row][4], reference[i].curve.points()[j].b);
     }
   }
   std::filesystem::remove(path);
@@ -556,7 +556,7 @@ TEST(Streaming, JsonlMetricsSinkWritesOneRecordPerScenario) {
   {
     fc::JsonlMetricsSink jsonl(path);
     const auto summary =
-        fc::BatchRunner({.threads = 2}).run_streaming(scenarios, jsonl);
+        fc::BatchRunner({.threads = 2}).run(scenarios, jsonl);
     EXPECT_TRUE(summary.ok());
     EXPECT_TRUE(jsonl.ok());
     EXPECT_EQ(jsonl.records_written(), scenarios.size());

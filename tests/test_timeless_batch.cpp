@@ -244,7 +244,7 @@ TEST(TimelessJaBatch, FastSimdPairAndScalarTailAgreeBitwise) {
   // the group cascades down to a two-lane vector tile for lanes {0, 1} and
   // the scalar tail for lane 2 — and the apply() path is scalar per lane.
   // Every route must produce bit-identical trajectories, for each
-  // anhysteretic kind; run_packed(kFast)'s partition invariance rests on
+  // anhysteretic kind; the packed kFast path's partition invariance rests on
   // exactly this property.
   std::vector<fm::JaParameters> kinds = {fm::paper_parameters(),
                                          fm::paper_parameters_dual()};

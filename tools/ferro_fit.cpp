@@ -5,7 +5,8 @@
 // select columns by name with --h-col/--b-col), searches for the
 // (Ms, a, k, c, alpha) set whose simulated loop matches, and prints the
 // fitted parameters plus a per-branch residual report. Every optimizer
-// generation is evaluated as one packed batch (BatchRunner::run_packed),
+// generation is evaluated as one packed batch (BatchRunner::run with
+// Packing::kExact),
 // so the fit scales across cores while staying bitwise reproducible in the
 // default exact mode whatever --threads is.
 //
