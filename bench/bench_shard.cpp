@@ -1,0 +1,210 @@
+// SHARD — process isolation overhead and crash-recovery latency.
+//
+// The report section measures what Isolation::kProcess costs on a healthy
+// batch (fork + wire serialization + pipe hand-off vs the in-process thread
+// pool) and how fast the supervision tree recovers from a worker death:
+// the recovery-latency row runs the same batch with one worker killed
+// mid-flight (SIGKILL from the outside — no fault-injection build needed)
+// and reports the extra wall time the retry machinery spent.
+//
+// Timing section: scenarios/second in-process vs N worker processes, and
+// the per-batch fixed cost at small batch sizes (fork + teardown floor).
+#include <signal.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/batch_runner.hpp"
+#include "core/cancel.hpp"
+#include "core/shard_executor.hpp"
+#include "mag/ja_params.hpp"
+#include "wave/sweep.hpp"
+
+namespace {
+
+using namespace ferro;
+
+std::vector<core::Scenario> workload(std::size_t count,
+                                     std::size_t samples_per_leg) {
+  const auto& library = mag::material_library();
+  std::vector<core::Scenario> scenarios;
+  scenarios.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& material = library[i % library.size()];
+    const double amp = 5.0 * (material.params.a + material.params.k);
+    core::Scenario s;
+    s.name = material.name + "#" + std::to_string(i);
+    core::JaSpec spec;
+    spec.params = material.params;
+    spec.config.dhmax = amp / (300.0 + 10.0 * static_cast<double>(i % 8));
+    s.model = spec;
+    s.drive = wave::SweepBuilder(amp / static_cast<double>(samples_per_leg))
+                  .cycles(amp, 2)
+                  .build();
+    scenarios.push_back(std::move(s));
+  }
+  return scenarios;
+}
+
+double run_isolated_seconds(const std::vector<core::Scenario>& scenarios,
+                            const core::ShardOptions& options,
+                            core::ShardStats* stats_out = nullptr) {
+  const core::ShardExecutor executor(options);
+  core::RunGate gate{core::RunLimits{}};
+  std::size_t delivered = 0;
+  const auto start = std::chrono::steady_clock::now();
+  const core::ShardStats stats = executor.run(
+      scenarios,
+      [&](std::size_t, core::ScenarioResult&& r) {
+        delivered += r.ok() ? 1 : 0;
+      },
+      gate);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (stats_out != nullptr) *stats_out = stats;
+  return seconds;
+}
+
+void report() {
+  benchutil::header("SHARD", "process isolation overhead and recovery");
+
+  const auto scenarios = workload(128, 800);
+  const core::BatchRunner runner;
+
+  // In-process baseline (thread pool, all cores).
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto collected = runner.run(scenarios);
+  const double in_process_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Healthy process-isolated run, default fleet.
+  core::ShardOptions options;
+  core::ShardStats healthy{};
+  const double isolated_s = run_isolated_seconds(scenarios, options, &healthy);
+
+  std::printf("  %-38s %10s %14s\n", "configuration", "seconds",
+              "scenarios/s");
+  std::printf("  %-38s %10.3f %14.1f\n", "in-process (thread pool)",
+              in_process_s,
+              static_cast<double>(scenarios.size()) / in_process_s);
+  std::printf("  %-38s %10.3f %14.1f   (%zu workers)\n",
+              "process-isolated (healthy)", isolated_s,
+              static_cast<double>(scenarios.size()) / isolated_s,
+              healthy.workers_spawned);
+
+  // Recovery latency: the same batch with a saboteur thread SIGKILLing one
+  // worker pid mid-run. The executor loses that worker's in-flight shard,
+  // respawns, and retries — the delta over the healthy run is the price of
+  // one crash.
+  core::ShardStats crashed{};
+  std::thread saboteur;
+  {
+    const core::ShardExecutor executor(options);
+    core::RunGate gate{core::RunLimits{}};
+    const pid_t self = ::getpid();
+    saboteur = std::thread([self] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      // Kill the youngest child of this process (racing the executor on
+      // purpose: this is exactly the arbitrary-moment crash production
+      // sees). Scanning /proc keeps this dependency-free.
+      char buf[64];
+      std::snprintf(buf, sizeof(buf),
+                    "pkill -KILL -P %d 2>/dev/null || true",
+                    static_cast<int>(self));
+      [[maybe_unused]] const int rc = std::system(buf);
+    });
+    std::size_t delivered = 0;
+    const auto start = std::chrono::steady_clock::now();
+    crashed = executor.run(
+        scenarios,
+        [&](std::size_t, core::ScenarioResult&& r) {
+          delivered += r.ok() ? 1 : 0;
+        },
+        gate);
+    const double recovery_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    std::printf("  %-38s %10.3f %14.1f   (%zu crashes, %zu retries)\n",
+                "process-isolated (1 worker killed)", recovery_s,
+                static_cast<double>(scenarios.size()) / recovery_s,
+                crashed.worker_crashes, crashed.shard_retries);
+    std::printf("  recovery overhead vs healthy: %+.3f s; delivered %zu/%zu "
+                "ok\n",
+                recovery_s - isolated_s, delivered, scenarios.size());
+  }
+  saboteur.join();
+
+  benchutil::footnote(
+      "pkill may hit a worker between shards or miss entirely on a fast "
+      "batch; crashes=0 means the batch outran the saboteur. Healthy "
+      "results are bitwise identical to in-process (see "
+      "test_shard_executor).");
+}
+
+void bm_in_process(benchmark::State& state) {
+  const auto scenarios = workload(64, 800);
+  const core::BatchRunner runner;
+  for (auto _ : state) {
+    auto results = runner.run(scenarios);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(scenarios.size()));
+}
+BENCHMARK(bm_in_process)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void bm_process_isolated(benchmark::State& state) {
+  const auto scenarios = workload(64, 800);
+  core::ShardOptions options;
+  options.workers = static_cast<unsigned>(state.range(0));
+  const core::ShardExecutor executor(options);
+  for (auto _ : state) {
+    core::RunGate gate{core::RunLimits{}};
+    auto stats = executor.run(
+        scenarios, [](std::size_t, core::ScenarioResult&&) {}, gate);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(scenarios.size()));
+}
+BENCHMARK(bm_process_isolated)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(0)  // 0 = hardware concurrency
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void bm_fork_floor(benchmark::State& state) {
+  // Per-batch fixed cost: a tiny batch is dominated by fork + wire + reap.
+  const auto scenarios = workload(4, 200);
+  core::ShardOptions options;
+  options.workers = 2;
+  const core::ShardExecutor executor(options);
+  for (auto _ : state) {
+    core::RunGate gate{core::RunLimits{}};
+    auto stats = executor.run(
+        scenarios, [](std::size_t, core::ScenarioResult&&) {}, gate);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(scenarios.size()));
+}
+BENCHMARK(bm_fork_floor)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+
+FERRO_BENCH_MAIN(report)

@@ -1,0 +1,45 @@
+#include "core/backoff.hpp"
+
+#include <algorithm>
+
+namespace ferro::core {
+
+Backoff::Backoff(const BackoffPolicy& policy, std::uint64_t seed)
+    : policy_(policy), state_(seed) {}
+
+double Backoff::next_unit() {
+  // splitmix64 (Steele/Lea/Flood); the top 53 bits make a uniform double in
+  // [0, 1).
+  state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+std::optional<double> Backoff::next_delay_ms() {
+  if (attempts_ >= policy_.max_retries) return std::nullopt;
+  ++attempts_;
+  if (policy_.base_ms <= 0.0) {
+    previous_ms_ = 0.0;
+    return 0.0;
+  }
+  double delay;
+  if (policy_.decorrelated_jitter) {
+    // Decorrelated jitter: uniform over [base, multiplier * previous], with
+    // the first draw spanning [base, multiplier * base].
+    const double prev = previous_ms_ > 0.0 ? previous_ms_ : policy_.base_ms;
+    const double hi = std::max(policy_.base_ms, policy_.multiplier * prev);
+    delay = policy_.base_ms + (hi - policy_.base_ms) * next_unit();
+  } else {
+    // Plain exponential: base * multiplier^(attempt-1).
+    delay = policy_.base_ms;
+    for (int i = 1; i < attempts_; ++i) delay *= policy_.multiplier;
+  }
+  delay = std::min(delay, policy_.cap_ms);
+  previous_ms_ = delay;
+  return delay;
+}
+
+}  // namespace ferro::core

@@ -172,7 +172,10 @@ std::vector<ScenarioResult> BatchRunner::run(
   const EmitFn emit = [&](std::size_t i, ScenarioResult&& r) {
     results[i] = std::move(r);
   };
-  if (options.packing == Packing::kNone) {
+  if (options.isolation == Isolation::kProcess) {
+    ShardExecutor executor(options.shard);
+    (void)executor.run(scenarios, emit, gate);
+  } else if (options.packing == Packing::kNone) {
     dispatch(scenarios, emit, gate);
   } else {
     dispatch_packed(scenarios,
@@ -349,8 +352,16 @@ void BatchRunner::dispatch_packed(const std::vector<Scenario>& scenarios,
       r.curve = mag::BhCurve(std::move(pts));
     }
     if (r.ok() && first_non_finite(r.curve) != r.curve.size()) {
-      gate.count_quarantined();
-      r = run_scenario(scenarios[i]);
+      // The quarantine schedule is the shared retry policy object
+      // (core/backoff.hpp): one immediate scalar retry. run_scenario
+      // diagnoses a persistent blow-up as kNonFinite itself, which ends
+      // the course through the r.ok() guard.
+      Backoff retry(quarantine_retry_policy());
+      while (r.ok() && first_non_finite(r.curve) != r.curve.size() &&
+             retry.next_delay_ms().has_value()) {
+        gate.count_quarantined();
+        r = run_scenario(scenarios[i]);
+      }
     } else if (r.ok()) {
       fill_metrics(r, scenarios[i].metrics_window);
     }
@@ -619,7 +630,10 @@ StreamSummary BatchRunner::run(const std::vector<Scenario>& scenarios,
   RunGate gate(options.limits);
   return stream_shell(scenarios.size(), sink, options.stream, gate,
                       [&](const EmitFn& emit) {
-                        if (options.packing == Packing::kNone) {
+                        if (options.isolation == Isolation::kProcess) {
+                          ShardExecutor executor(options.shard);
+                          (void)executor.run(scenarios, emit, gate);
+                        } else if (options.packing == Packing::kNone) {
                           dispatch(scenarios, emit, gate);
                         } else {
                           dispatch_packed(scenarios,

@@ -59,6 +59,7 @@
 #include "core/cancel.hpp"
 #include "core/error.hpp"
 #include "core/scenario.hpp"
+#include "core/shard_executor.hpp"
 #include "core/thread_pool.hpp"
 #include "mag/timeless_ja_batch.hpp"
 
@@ -134,6 +135,15 @@ struct RunOptions {
   RunLimits limits{};
   /// Streaming-only knobs; the collecting overload ignores them.
   StreamOptions stream{};
+  /// kProcess moves execution into forked worker processes supervised by
+  /// core::ShardExecutor (crash containment, heartbeats, shard retry with
+  /// backoff, poison bisection — see core/shard_executor.hpp). Healthy
+  /// scenarios produce bitwise identical results to kInProcess; `packing`
+  /// is ignored (workers run the per-scenario reference path, whose results
+  /// Packing::kExact matches bitwise anyway).
+  Isolation isolation = Isolation::kInProcess;
+  /// Supervision knobs, honoured only under Isolation::kProcess.
+  ShardOptions shard{};
 };
 
 class BatchRunner {

@@ -23,6 +23,8 @@ enum class ErrorCode {
   kCancelled,         ///< CancelToken fired or the error budget tripped
   kDeadlineExceeded,  ///< the RunLimits deadline expired
   kInternal,          ///< engine-side failure (allocation, injected fault)
+  kWireError,         ///< a shard-transport frame was truncated/corrupt/alien
+  kWorkerCrashed,     ///< a poison scenario kept killing worker processes
 };
 
 [[nodiscard]] constexpr std::string_view to_string(ErrorCode code) {
@@ -36,6 +38,8 @@ enum class ErrorCode {
     case ErrorCode::kCancelled: return "cancelled";
     case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kWireError: return "wire-error";
+    case ErrorCode::kWorkerCrashed: return "worker-crashed";
   }
   return "unknown";
 }

@@ -1,0 +1,135 @@
+// ShardExecutor — crash-resilient multi-process batch execution: the
+// engine behind RunOptions{.isolation = Isolation::kProcess}.
+//
+// A single-threaded supervisor forks N worker processes, partitions the
+// batch into scenario shards, and ships each shard to a worker over the
+// length-prefixed binary wire format (core/wire.hpp). Workers run their
+// scenarios through the same run_scenario() the in-process paths use and
+// stream back one result frame per scenario, so on healthy inputs the
+// emitted payloads are bitwise identical to an in-process run — process
+// isolation buys blast-radius containment, not different numbers.
+//
+// What the supervision tree adds over a thread pool:
+//
+//   crash detection    a worker death (signal or unexpected exit, observed
+//                      as pipe EOF + waitpid) loses only its in-flight
+//                      shard; everything already streamed back is kept
+//   heartbeats         workers announce each scenario before running it; a
+//                      worker silent past heartbeat_timeout_s is declared
+//                      wedged, SIGKILLed, and handled like a crash
+//   retry + backoff    a failed shard is re-dispatched to a fresh worker
+//                      under a capped, jittered core::Backoff schedule
+//   poison bisection   a shard that keeps killing workers is split in
+//                      half and the halves retried independently; repeated
+//                      splitting corners the poison scenario, which is
+//                      reported as kWorkerCrashed and never re-dispatched
+//   restart budget     worker respawns beyond the initial fleet are
+//                      bounded by max_worker_restarts; at the budget the
+//                      executor stops burning processes and reports the
+//                      remainder as kCancelled
+//   degradation        if no worker can be forked at all (resource
+//                      exhaustion, or the FERRO_SHARD_DISABLE kill-switch)
+//                      the batch runs in the supervisor process instead
+//
+// Scenarios outside the wire format (a TimeDrive with an unregistered
+// Waveform subclass) never leave the supervisor: they run in-process and
+// count as in_process_fallback. RunLimits propagate: the gate is polled in
+// the supervisor loop; on stop, workers get SIGTERM plus a drain window of
+// term_drain_s (results already computed still arrive), then SIGKILL, and
+// every unresolved scenario is emitted with the stop verdict — the
+// exactly-once emission contract of the in-process dispatchers holds on
+// every path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/backoff.hpp"
+#include "core/cancel.hpp"
+#include "core/scenario.hpp"
+
+namespace ferro::core {
+
+/// Where run() executes scenarios (RunOptions::isolation).
+enum class Isolation {
+  kInProcess,  ///< threads of this process (the classic dispatchers)
+  kProcess,    ///< forked worker processes under ShardExecutor supervision
+};
+
+struct ShardOptions {
+  /// Worker processes; 0 picks std::thread::hardware_concurrency() (capped
+  /// by the shard count — never more workers than shards).
+  unsigned workers = 0;
+  /// Scenarios per shard; 0 picks ~4 shards per worker, clamped to [1, 64].
+  /// Smaller shards lose less to a crash and bisect faster; larger shards
+  /// amortise the frame overhead.
+  std::size_t shard_size = 0;
+  /// Crash-retry schedule per shard unit. max_retries counts re-dispatches
+  /// of one unit before it is bisected (or, for a single scenario, declared
+  /// poison).
+  BackoffPolicy retry{/*max_retries=*/2, /*base_ms=*/1.0, /*cap_ms=*/250.0,
+                      /*multiplier=*/3.0, /*decorrelated_jitter=*/true};
+  /// Seed of the jitter PRNG — fixed so recovery schedules reproduce.
+  std::uint64_t backoff_seed = 0x5eedULL;
+  /// A worker with an assigned shard and no frame for this long is wedged:
+  /// SIGKILL + crash handling. Must exceed the slowest single scenario
+  /// (workers heartbeat per scenario, not during one).
+  double heartbeat_timeout_s = 30.0;
+  /// Respawns allowed beyond the initial fleet before the executor gives
+  /// up on process isolation for the remainder of the batch.
+  std::size_t max_worker_restarts = 32;
+  /// How long cancelled workers may drain already-computed results between
+  /// SIGTERM and SIGKILL.
+  double term_drain_s = 1.0;
+};
+
+/// What one shard-isolated run did — the supervision-side counters
+/// (per-scenario outcomes travel through the results themselves).
+struct ShardStats {
+  std::size_t workers_spawned = 0;  ///< forks that succeeded (fleet + respawns)
+  std::size_t worker_crashes = 0;   ///< deaths observed (signal/exit/EOF)
+  std::size_t worker_stalls = 0;    ///< heartbeat-timeout SIGKILLs
+  std::size_t worker_restarts = 0;  ///< respawns beyond the initial fleet
+  std::size_t shard_retries = 0;    ///< unit re-dispatches granted by Backoff
+  std::size_t bisections = 0;       ///< units split after exhausting retries
+  std::size_t poisoned = 0;         ///< scenarios isolated as kWorkerCrashed
+  std::size_t wire_errors = 0;      ///< corrupt/truncated frames from workers
+  /// Scenarios the wire cannot carry, run in the supervisor instead.
+  std::size_t in_process_fallback = 0;
+  /// True when no worker could be forked and the whole batch (or its
+  /// remainder) ran in the supervisor process.
+  bool degraded_in_process = false;
+};
+
+class ShardExecutor {
+ public:
+  /// Thread-safe result hand-off, same contract as BatchRunner's: receives
+  /// each scenario index exactly once (the supervisor calls it from its own
+  /// single thread, in arrival order).
+  using EmitFn = std::function<void(std::size_t, ScenarioResult&&)>;
+
+  explicit ShardExecutor(ShardOptions options = {});
+
+  /// Runs the batch across worker processes (see the header comment for
+  /// the full supervision contract). Blocks until every index has been
+  /// emitted and every worker reaped; no processes or descriptors outlive
+  /// the call. SIGPIPE is ignored for the duration (saved and restored) so
+  /// a dying worker surfaces as EPIPE, not a signal.
+  ShardStats run(const std::vector<Scenario>& scenarios, const EmitFn& emit,
+                 RunGate& gate) const;
+
+  [[nodiscard]] const ShardOptions& options() const { return options_; }
+
+  /// The worker count run() would fork for `n_jobs` jobs.
+  [[nodiscard]] unsigned resolved_workers(std::size_t n_jobs) const;
+
+  /// The shard size run() would partition `n_jobs` jobs into.
+  [[nodiscard]] std::size_t resolved_shard_size(std::size_t n_jobs) const;
+
+ private:
+  ShardOptions options_;
+};
+
+}  // namespace ferro::core

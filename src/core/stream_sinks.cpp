@@ -1,8 +1,28 @@
 #include "core/stream_sinks.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 namespace ferro::core {
+namespace {
+
+/// Converts a failed writer into the sink-error channel: the throw is
+/// caught by the streaming shell's SinkDriver, which records kSinkError
+/// (with this message as the detail) in the StreamSummary and counts the
+/// delivery as discarded.
+template <typename Writer>
+void throw_if_failed(const Writer& writer, const char* sink_name) {
+  if (!writer.ok()) {
+    std::string what(sink_name);
+    what += ": ";
+    what += writer.error_detail().empty() ? "stream failed"
+                                          : writer.error_detail().c_str();
+    throw std::runtime_error(what);
+  }
+}
+
+}  // namespace
 
 CsvCurveSink::CsvCurveSink(const std::string& path, std::size_t point_stride)
     // flush_every = 0: we flush once per scenario in on_result instead of
@@ -21,6 +41,12 @@ void CsvCurveSink::on_result(std::size_t index, ScenarioResult&& result) {
     writer_.row({idx, model, p.h, p.m, p.b});
   }
   writer_.flush();
+  throw_if_failed(writer_, "csv curve sink");
+}
+
+void CsvCurveSink::on_complete() {
+  writer_.flush();
+  throw_if_failed(writer_, "csv curve sink");
 }
 
 JsonlMetricsSink::JsonlMetricsSink(const std::string& path)
@@ -45,6 +71,12 @@ void JsonlMetricsSink::on_result(std::size_t index, ScenarioResult&& result) {
       {"error_code", to_string(result.error.code)},
       {"error", std::string_view(result.error.detail)},
   });
+  throw_if_failed(writer_, "jsonl metrics sink");
+}
+
+void JsonlMetricsSink::on_complete() {
+  writer_.flush();
+  throw_if_failed(writer_, "jsonl metrics sink");
 }
 
 }  // namespace ferro::core

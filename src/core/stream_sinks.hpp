@@ -13,6 +13,13 @@
 // Both honour the ResultSink threading contract (single-threaded delivery),
 // so they need no locks; wrap in OrderedSink when row order must equal
 // scenario order.
+//
+// IO failures are surfaced, not swallowed: when the underlying writer
+// reports an unhealthy stream (ENOSPC, closed descriptor, ...) after a
+// write or flush, the callback throws — which the streaming shell converts
+// into StreamSummary{sink_error = kSinkError with the errno detail,
+// discarded_deliveries counting every affected result}. A full disk ends
+// as a diagnosed error, never a silently truncated artefact.
 #pragma once
 
 #include <string>
@@ -30,7 +37,7 @@ class CsvCurveSink : public ResultSink {
   explicit CsvCurveSink(const std::string& path, std::size_t point_stride = 1);
 
   void on_result(std::size_t index, ScenarioResult&& result) override;
-  void on_complete() override { writer_.flush(); }
+  void on_complete() override;
 
   [[nodiscard]] bool ok() const { return writer_.ok(); }
   [[nodiscard]] std::size_t rows_written() const {
@@ -47,7 +54,7 @@ class JsonlMetricsSink : public ResultSink {
   explicit JsonlMetricsSink(const std::string& path);
 
   void on_result(std::size_t index, ScenarioResult&& result) override;
-  void on_complete() override { writer_.flush(); }
+  void on_complete() override;
 
   [[nodiscard]] bool ok() const { return writer_.ok(); }
   [[nodiscard]] std::size_t records_written() const {

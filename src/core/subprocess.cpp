@@ -1,0 +1,145 @@
+#include "core/subprocess.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace ferro::core {
+namespace {
+
+void close_quiet(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+WorkerProcess::ExitStatus classify(int status) {
+  WorkerProcess::ExitStatus out;
+  if (WIFSIGNALED(status)) {
+    out.signaled = true;
+    out.value = WTERMSIG(status);
+  } else {
+    out.signaled = false;
+    out.value = WIFEXITED(status) ? WEXITSTATUS(status) : 0;
+  }
+  return out;
+}
+
+}  // namespace
+
+WorkerProcess::WorkerProcess(WorkerProcess&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      read_fd_(std::exchange(other.read_fd_, -1)),
+      write_fd_(std::exchange(other.write_fd_, -1)) {}
+
+WorkerProcess& WorkerProcess::operator=(WorkerProcess&& other) noexcept {
+  if (this != &other) {
+    this->~WorkerProcess();
+    pid_ = std::exchange(other.pid_, -1);
+    read_fd_ = std::exchange(other.read_fd_, -1);
+    write_fd_ = std::exchange(other.write_fd_, -1);
+  }
+  return *this;
+}
+
+WorkerProcess::~WorkerProcess() {
+  close_pipes();
+  if (running()) {
+    kill(SIGKILL);
+    (void)wait_exit();
+  }
+}
+
+Error WorkerProcess::spawn(const ChildMain& child_main) {
+  if (const char* disable = std::getenv("FERRO_SHARD_DISABLE");
+      disable != nullptr && *disable != '\0') {
+    return {ErrorCode::kInternal,
+            "worker spawn disabled by FERRO_SHARD_DISABLE"};
+  }
+
+  int down[2];  // supervisor -> worker
+  int up[2];    // worker -> supervisor
+  if (::pipe(down) != 0) {
+    return {ErrorCode::kInternal,
+            std::string("pipe failed: ") + std::strerror(errno)};
+  }
+  if (::pipe(up) != 0) {
+    const int saved = errno;
+    ::close(down[0]);
+    ::close(down[1]);
+    return {ErrorCode::kInternal,
+            std::string("pipe failed: ") + std::strerror(saved)};
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const int saved = errno;
+    ::close(down[0]);
+    ::close(down[1]);
+    ::close(up[0]);
+    ::close(up[1]);
+    return {ErrorCode::kInternal,
+            std::string("fork failed: ") + std::strerror(saved)};
+  }
+
+  if (pid == 0) {
+    // Child: keep only its own ends, run the worker loop, leave via _exit
+    // so the parent's atexit handlers and stdio buffers stay untouched.
+    ::close(down[1]);
+    ::close(up[0]);
+    int rc = 127;
+    try {
+      rc = child_main(down[0], up[1]);
+    } catch (...) {
+      rc = 126;
+    }
+    ::_exit(rc);
+  }
+
+  ::close(down[0]);
+  ::close(up[1]);
+  pid_ = pid;
+  read_fd_ = up[0];
+  write_fd_ = down[1];
+  return {};
+}
+
+std::optional<WorkerProcess::ExitStatus> WorkerProcess::poll_exit() {
+  if (!running()) return std::nullopt;
+  int status = 0;
+  pid_t got;
+  do {
+    got = ::waitpid(pid_, &status, WNOHANG);
+  } while (got < 0 && errno == EINTR);
+  if (got != pid_) return std::nullopt;
+  pid_ = -1;
+  return classify(status);
+}
+
+WorkerProcess::ExitStatus WorkerProcess::wait_exit() {
+  int status = 0;
+  pid_t got;
+  do {
+    got = ::waitpid(pid_, &status, 0);
+  } while (got < 0 && errno == EINTR);
+  pid_ = -1;
+  if (got < 0) return {};
+  return classify(status);
+}
+
+void WorkerProcess::kill(int sig) const {
+  if (running()) ::kill(pid_, sig);
+}
+
+void WorkerProcess::close_pipes() {
+  close_quiet(read_fd_);
+  close_quiet(write_fd_);
+}
+
+}  // namespace ferro::core

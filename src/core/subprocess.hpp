@@ -1,0 +1,86 @@
+// WorkerProcess — a forked child connected to the parent by a pipe pair,
+// the process primitive under core::ShardExecutor.
+//
+// The wrapper owns exactly the POSIX mechanics the supervisor needs and
+// nothing more: fork + pipes on spawn, non-blocking waitpid classification
+// (exited vs signaled) for crash detection, signal delivery, and
+// guaranteed reaping on destruction so a supervisor bailing out on any
+// path leaves no zombies and no leaked descriptors.
+//
+// The child never returns from spawn(): it runs `child_main(in_fd, out_fd)`
+// and _exit()s with its return value — _exit, not exit, so a worker forked
+// from a test binary does not re-run the parent's atexit machinery or
+// flush its inherited stdio buffers.
+//
+// The environment variable FERRO_SHARD_DISABLE (any non-empty value) makes
+// every spawn fail cleanly. It exists as an operational kill-switch —
+// forcing ShardExecutor's graceful degradation to in-process execution —
+// and is how the degradation path is exercised in tests without exhausting
+// real process limits.
+#pragma once
+
+#include <sys/types.h>
+
+#include <functional>
+#include <optional>
+
+#include "core/error.hpp"
+
+namespace ferro::core {
+
+class WorkerProcess {
+ public:
+  /// Runs in the child with the child-side pipe ends; its return value is
+  /// the child's exit code. Anything the child should not inherit-use
+  /// (other workers' descriptors) is the caller's to close inside this.
+  using ChildMain = std::function<int(int in_fd, int out_fd)>;
+
+  /// How a child left, as classified by waitpid.
+  struct ExitStatus {
+    bool signaled = false;  ///< true: killed by `value` signal; false: exited
+    int value = 0;          ///< exit code or terminating signal number
+  };
+
+  WorkerProcess() = default;
+  WorkerProcess(const WorkerProcess&) = delete;
+  WorkerProcess& operator=(const WorkerProcess&) = delete;
+  WorkerProcess(WorkerProcess&& other) noexcept;
+  WorkerProcess& operator=(WorkerProcess&& other) noexcept;
+  /// SIGKILLs and reaps a still-running child — destruction is always safe,
+  /// whatever path dropped the handle.
+  ~WorkerProcess();
+
+  /// Forks a child running `child_main`. On success the parent-side ends
+  /// are open and running() is true. Fails (kInternal, nothing leaked) when
+  /// pipes or fork are unavailable or FERRO_SHARD_DISABLE is set.
+  [[nodiscard]] Error spawn(const ChildMain& child_main);
+
+  /// Parent-side read end: the worker's outbound frames arrive here.
+  [[nodiscard]] int read_fd() const { return read_fd_; }
+  /// Parent-side write end: shards are written here.
+  [[nodiscard]] int write_fd() const { return write_fd_; }
+  [[nodiscard]] pid_t pid() const { return pid_; }
+  /// True while the child has been spawned and not yet reaped.
+  [[nodiscard]] bool running() const { return pid_ > 0; }
+
+  /// Non-blocking reap: the exit status if the child has terminated (the
+  /// handle then stops running()), nullopt while it is still alive.
+  [[nodiscard]] std::optional<ExitStatus> poll_exit();
+
+  /// Blocking reap (EINTR-safe). Call only after running() was true.
+  ExitStatus wait_exit();
+
+  /// Delivers `sig` to the child; no-op once reaped.
+  void kill(int sig) const;
+
+  /// Closes the parent-side pipe ends (idempotent). A worker blocked on
+  /// read then sees EOF once no sibling holds the write end.
+  void close_pipes();
+
+ private:
+  pid_t pid_ = -1;
+  int read_fd_ = -1;
+  int write_fd_ = -1;
+};
+
+}  // namespace ferro::core

@@ -1,0 +1,625 @@
+#include "core/wire.hpp"
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <unistd.h>
+#include <utility>
+
+#include "wave/pwl.hpp"
+#include "wave/standard.hpp"
+
+namespace ferro::core::wire {
+namespace {
+
+/// Registry tags of the serializable waveform types. A new concrete type
+/// joins the wire by getting a tag here plus an encode/decode arm below;
+/// anything else makes its scenario non-serializable (supervisor-local).
+enum class WaveTag : std::uint8_t {
+  kConstant = 0,
+  kRamp = 1,
+  kStep = 2,
+  kSine = 3,
+  kDampedSine = 4,
+  kTriangular = 5,
+  kSawtooth = 6,
+  kPwl = 7,
+};
+
+enum class DriveTag : std::uint8_t {
+  kHSweep = 0,
+  kTimeDrive = 1,
+  kFluxDrive = 2,
+};
+
+[[noreturn]] void fail(const std::string& what) { throw DecodeError(what); }
+
+/// Decode-side enum guard: the wire peer is untrusted, so every enum byte
+/// is range-checked before the cast.
+template <typename Enum>
+Enum checked_enum(std::uint64_t raw, std::uint64_t max,
+                  const char* what) {
+  if (raw > max) {
+    fail(std::string("out-of-range ") + what + " (" + std::to_string(raw) +
+         ")");
+  }
+  return static_cast<Enum>(raw);
+}
+
+bool encode_waveform(const wave::Waveform& w, Writer& out) {
+  if (const auto* c = dynamic_cast<const wave::Constant*>(&w)) {
+    out.u8(static_cast<std::uint8_t>(WaveTag::kConstant));
+    out.f64(c->level());
+  } else if (const auto* r = dynamic_cast<const wave::Ramp*>(&w)) {
+    out.u8(static_cast<std::uint8_t>(WaveTag::kRamp));
+    out.f64(r->slope());
+    out.f64(r->offset());
+  } else if (const auto* s = dynamic_cast<const wave::Step*>(&w)) {
+    out.u8(static_cast<std::uint8_t>(WaveTag::kStep));
+    out.f64(s->before());
+    out.f64(s->after());
+    out.f64(s->t_step());
+  } else if (const auto* si = dynamic_cast<const wave::Sine*>(&w)) {
+    out.u8(static_cast<std::uint8_t>(WaveTag::kSine));
+    out.f64(si->amplitude());
+    out.f64(si->omega());
+    out.f64(si->phase());
+    out.f64(si->offset());
+  } else if (const auto* d = dynamic_cast<const wave::DampedSine*>(&w)) {
+    out.u8(static_cast<std::uint8_t>(WaveTag::kDampedSine));
+    out.f64(d->amplitude());
+    out.f64(d->omega());
+    out.f64(d->tau());
+    out.f64(d->phase());
+  } else if (const auto* t = dynamic_cast<const wave::Triangular*>(&w)) {
+    out.u8(static_cast<std::uint8_t>(WaveTag::kTriangular));
+    out.f64(t->amplitude());
+    out.f64(t->period());
+    out.f64(t->offset());
+  } else if (const auto* sa = dynamic_cast<const wave::Sawtooth*>(&w)) {
+    out.u8(static_cast<std::uint8_t>(WaveTag::kSawtooth));
+    out.f64(sa->amplitude());
+    out.f64(sa->period());
+    out.f64(sa->offset());
+  } else if (const auto* p = dynamic_cast<const wave::Pwl*>(&w)) {
+    out.u8(static_cast<std::uint8_t>(WaveTag::kPwl));
+    out.u64(p->points().size());
+    for (const wave::PwlPoint& pt : p->points()) {
+      out.f64(pt.t);
+      out.f64(pt.v);
+    }
+  } else {
+    return false;
+  }
+  return true;
+}
+
+wave::WaveformPtr decode_waveform(Reader& r) {
+  const auto tag = checked_enum<WaveTag>(
+      r.u8(), static_cast<std::uint64_t>(WaveTag::kPwl), "waveform tag");
+  switch (tag) {
+    case WaveTag::kConstant:
+      return std::make_shared<const wave::Constant>(r.f64());
+    case WaveTag::kRamp: {
+      const double slope = r.f64();
+      const double offset = r.f64();
+      return std::make_shared<const wave::Ramp>(slope, offset);
+    }
+    case WaveTag::kStep: {
+      const double before = r.f64();
+      const double after = r.f64();
+      const double t_step = r.f64();
+      return std::make_shared<const wave::Step>(before, after, t_step);
+    }
+    case WaveTag::kSine: {
+      const double amplitude = r.f64();
+      const double omega = r.f64();
+      const double phase = r.f64();
+      const double offset = r.f64();
+      return std::make_shared<const wave::Sine>(
+          wave::Sine::from_omega(amplitude, omega, phase, offset));
+    }
+    case WaveTag::kDampedSine: {
+      const double amplitude = r.f64();
+      const double omega = r.f64();
+      const double tau = r.f64();
+      const double phase = r.f64();
+      return std::make_shared<const wave::DampedSine>(
+          wave::DampedSine::from_omega(amplitude, omega, tau, phase));
+    }
+    case WaveTag::kTriangular: {
+      const double amplitude = r.f64();
+      const double period = r.f64();
+      const double offset = r.f64();
+      return std::make_shared<const wave::Triangular>(amplitude, period,
+                                                      offset);
+    }
+    case WaveTag::kSawtooth: {
+      const double amplitude = r.f64();
+      const double period = r.f64();
+      const double offset = r.f64();
+      return std::make_shared<const wave::Sawtooth>(amplitude, period, offset);
+    }
+    case WaveTag::kPwl: {
+      const std::uint64_t n = r.u64();
+      if (n == 0) fail("pwl with zero points");
+      if (n > r.remaining() / 16) fail("pwl point count exceeds payload");
+      std::vector<wave::PwlPoint> points;
+      points.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const double t = r.f64();
+        const double v = r.f64();
+        points.push_back({t, v});
+      }
+      return std::make_shared<const wave::Pwl>(std::move(points));
+    }
+  }
+  fail("unreachable waveform tag");
+}
+
+void encode_ja_spec(const JaSpec& spec, Writer& w) {
+  w.f64(spec.params.ms);
+  w.f64(spec.params.a);
+  w.f64(spec.params.k);
+  w.f64(spec.params.c);
+  w.f64(spec.params.alpha);
+  w.f64(spec.params.a2);
+  w.f64(spec.params.blend);
+  w.u8(static_cast<std::uint8_t>(spec.params.kind));
+  w.f64(spec.config.dhmax);
+  w.f64(spec.config.substep_max);
+  w.u8(static_cast<std::uint8_t>(spec.config.scheme));
+  w.u8(spec.config.clamp_negative_slope ? 1 : 0);
+  w.u8(spec.config.clamp_direction ? 1 : 0);
+}
+
+JaSpec decode_ja_spec(Reader& r) {
+  JaSpec spec;
+  spec.params.ms = r.f64();
+  spec.params.a = r.f64();
+  spec.params.k = r.f64();
+  spec.params.c = r.f64();
+  spec.params.alpha = r.f64();
+  spec.params.a2 = r.f64();
+  spec.params.blend = r.f64();
+  spec.params.kind = checked_enum<mag::AnhystereticKind>(
+      r.u8(), static_cast<std::uint64_t>(mag::AnhystereticKind::kDualAtan),
+      "anhysteretic kind");
+  spec.config.dhmax = r.f64();
+  spec.config.substep_max = r.f64();
+  spec.config.scheme = checked_enum<mag::HIntegrator>(
+      r.u8(), static_cast<std::uint64_t>(mag::HIntegrator::kRk4),
+      "integrator scheme");
+  spec.config.clamp_negative_slope = r.u8() != 0;
+  spec.config.clamp_direction = r.u8() != 0;
+  return spec;
+}
+
+void encode_energy_spec(const EnergySpec& spec, Writer& w) {
+  w.f64(spec.params.ms);
+  w.f64(spec.params.a);
+  w.f64(spec.params.a2);
+  w.f64(spec.params.blend);
+  w.u8(static_cast<std::uint8_t>(spec.params.kind));
+  w.i32(spec.params.cells);
+  w.f64(spec.params.kappa_max);
+  w.f64(spec.params.pinning_decay);
+  w.f64(spec.params.c_rev);
+  w.f64(spec.params.tau_dyn);
+}
+
+EnergySpec decode_energy_spec(Reader& r) {
+  EnergySpec spec;
+  spec.params.ms = r.f64();
+  spec.params.a = r.f64();
+  spec.params.a2 = r.f64();
+  spec.params.blend = r.f64();
+  spec.params.kind = checked_enum<mag::AnhystereticKind>(
+      r.u8(), static_cast<std::uint64_t>(mag::AnhystereticKind::kDualAtan),
+      "anhysteretic kind");
+  spec.params.cells = r.i32();
+  spec.params.kappa_max = r.f64();
+  spec.params.pinning_decay = r.f64();
+  spec.params.c_rev = r.f64();
+  spec.params.tau_dyn = r.f64();
+  return spec;
+}
+
+}  // namespace
+
+// -- Writer ------------------------------------------------------------------
+
+void Writer::u16(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v));
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void Writer::str(std::string_view s) {
+  u64(s.size());
+  out_.insert(out_.end(), s.begin(), s.end());
+}
+
+void Writer::vec_f64(std::span<const double> v) {
+  u64(v.size());
+  for (const double x : v) f64(x);
+}
+
+void Writer::vec_u64(std::span<const std::size_t> v) {
+  u64(v.size());
+  for (const std::size_t x : v) u64(x);
+}
+
+// -- Reader ------------------------------------------------------------------
+
+void Reader::need(std::size_t n) {
+  if (data_.size() - pos_ < n) {
+    fail("truncated payload: need " + std::to_string(n) + " bytes, have " +
+         std::to_string(data_.size() - pos_));
+  }
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  need(2);
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v = static_cast<std::uint16_t>(v | (std::uint16_t{data_[pos_++]} << (8 * i)));
+  }
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{data_[pos_++]} << (8 * i);
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{data_[pos_++]} << (8 * i);
+  return v;
+}
+
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string Reader::str() {
+  const std::uint64_t n = u64();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<double> Reader::vec_f64() {
+  const std::uint64_t n = u64();
+  if (n > remaining() / 8) fail("vector count exceeds payload");
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(f64());
+  return v;
+}
+
+std::vector<std::size_t> Reader::vec_u64() {
+  const std::uint64_t n = u64();
+  if (n > remaining() / 8) fail("vector count exceeds payload");
+  std::vector<std::size_t> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    v.push_back(static_cast<std::size_t>(u64()));
+  }
+  return v;
+}
+
+std::uint64_t checksum(std::span<const std::uint8_t> data) {
+  // FNV-1a 64: cheap, order-sensitive, and a single flipped bit anywhere
+  // changes the digest — all this needs to catch is accidental corruption,
+  // not an adversary.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// -- Scenario ----------------------------------------------------------------
+
+bool serializable(const Scenario& scenario) {
+  if (const auto* td = std::get_if<TimeDrive>(&scenario.drive)) {
+    if (!td->waveform) return false;
+    Buffer scratch;
+    Writer w(scratch);
+    return encode_waveform(*td->waveform, w);
+  }
+  return true;
+}
+
+bool encode_scenario(const Scenario& scenario, Writer& w) {
+  w.str(scenario.name);
+  if (const auto* ja = std::get_if<JaSpec>(&scenario.model)) {
+    w.u8(0);
+    encode_ja_spec(*ja, w);
+  } else {
+    w.u8(1);
+    encode_energy_spec(std::get<EnergySpec>(scenario.model), w);
+  }
+  if (const auto* sweep = std::get_if<wave::HSweep>(&scenario.drive)) {
+    w.u8(static_cast<std::uint8_t>(DriveTag::kHSweep));
+    w.vec_f64(sweep->h);
+    w.vec_u64(sweep->turning_points);
+  } else if (const auto* td = std::get_if<TimeDrive>(&scenario.drive)) {
+    w.u8(static_cast<std::uint8_t>(DriveTag::kTimeDrive));
+    if (!td->waveform || !encode_waveform(*td->waveform, w)) return false;
+    w.f64(td->t0);
+    w.f64(td->t1);
+    w.u64(td->n_samples);
+  } else {
+    const auto& flux = std::get<FluxDrive>(scenario.drive);
+    w.u8(static_cast<std::uint8_t>(DriveTag::kFluxDrive));
+    w.vec_f64(flux.b);
+    w.f64(flux.tolerance_b);
+    w.i32(flux.max_iterations);
+  }
+  w.u8(static_cast<std::uint8_t>(scenario.frontend));
+  if (scenario.metrics_window) {
+    w.u8(1);
+    w.u64(scenario.metrics_window->begin);
+    w.u64(scenario.metrics_window->end);
+  } else {
+    w.u8(0);
+  }
+  return true;
+}
+
+Scenario decode_scenario(Reader& r) {
+  Scenario s;
+  s.name = r.str();
+  const std::uint8_t model_tag = r.u8();
+  if (model_tag == 0) {
+    s.model = decode_ja_spec(r);
+  } else if (model_tag == 1) {
+    s.model = decode_energy_spec(r);
+  } else {
+    fail("out-of-range model tag (" + std::to_string(model_tag) + ")");
+  }
+  const auto drive_tag = checked_enum<DriveTag>(
+      r.u8(), static_cast<std::uint64_t>(DriveTag::kFluxDrive), "drive tag");
+  switch (drive_tag) {
+    case DriveTag::kHSweep: {
+      wave::HSweep sweep;
+      sweep.h = r.vec_f64();
+      sweep.turning_points = r.vec_u64();
+      s.drive = std::move(sweep);
+      break;
+    }
+    case DriveTag::kTimeDrive: {
+      TimeDrive td;
+      td.waveform = decode_waveform(r);
+      td.t0 = r.f64();
+      td.t1 = r.f64();
+      td.n_samples = static_cast<std::size_t>(r.u64());
+      s.drive = std::move(td);
+      break;
+    }
+    case DriveTag::kFluxDrive: {
+      FluxDrive flux;
+      flux.b = r.vec_f64();
+      flux.tolerance_b = r.f64();
+      flux.max_iterations = r.i32();
+      s.drive = std::move(flux);
+      break;
+    }
+  }
+  s.frontend = checked_enum<Frontend>(
+      r.u8(), static_cast<std::uint64_t>(Frontend::kAms), "frontend");
+  const std::uint8_t has_window = r.u8();
+  if (has_window > 1) fail("out-of-range metrics-window flag");
+  if (has_window == 1) {
+    MetricsWindow window;
+    window.begin = static_cast<std::size_t>(r.u64());
+    window.end = static_cast<std::size_t>(r.u64());
+    s.metrics_window = window;
+  }
+  return s;
+}
+
+// -- ScenarioResult ----------------------------------------------------------
+
+void encode_result(const ScenarioResult& result, Writer& w) {
+  w.str(result.name);
+  w.u8(static_cast<std::uint8_t>(result.model));
+  w.u64(result.curve.size());
+  for (const mag::BhPoint& p : result.curve.points()) {
+    w.f64(p.h);
+    w.f64(p.m);
+    w.f64(p.b);
+  }
+  w.f64(result.metrics.h_peak);
+  w.f64(result.metrics.b_peak);
+  w.f64(result.metrics.remanence);
+  w.f64(result.metrics.coercivity);
+  w.f64(result.metrics.area);
+  w.u64(result.metrics.points);
+  w.u64(result.stats.samples);
+  w.u64(result.stats.field_events);
+  w.u64(result.stats.integration_steps);
+  w.u64(result.stats.slope_clamps);
+  w.u64(result.stats.direction_clamps);
+  w.u64(result.energy_stats.samples);
+  w.u64(result.energy_stats.cell_updates);
+  w.u64(result.energy_stats.pinned_samples);
+  w.f64(result.energy_stats.dissipated_energy);
+  w.u16(static_cast<std::uint16_t>(result.error.code));
+  w.str(result.error.detail);
+}
+
+ScenarioResult decode_result(Reader& r) {
+  ScenarioResult result;
+  result.name = r.str();
+  result.model = checked_enum<mag::ModelKind>(
+      r.u8(), static_cast<std::uint64_t>(mag::ModelKind::kEnergyBased),
+      "model kind");
+  const std::uint64_t n = r.u64();
+  if (n > r.remaining() / 24) fail("curve point count exceeds payload");
+  std::vector<mag::BhPoint> points;
+  points.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    mag::BhPoint p;
+    p.h = r.f64();
+    p.m = r.f64();
+    p.b = r.f64();
+    points.push_back(p);
+  }
+  result.curve = mag::BhCurve(std::move(points));
+  result.metrics.h_peak = r.f64();
+  result.metrics.b_peak = r.f64();
+  result.metrics.remanence = r.f64();
+  result.metrics.coercivity = r.f64();
+  result.metrics.area = r.f64();
+  result.metrics.points = static_cast<std::size_t>(r.u64());
+  result.stats.samples = r.u64();
+  result.stats.field_events = r.u64();
+  result.stats.integration_steps = r.u64();
+  result.stats.slope_clamps = r.u64();
+  result.stats.direction_clamps = r.u64();
+  result.energy_stats.samples = r.u64();
+  result.energy_stats.cell_updates = r.u64();
+  result.energy_stats.pinned_samples = r.u64();
+  result.energy_stats.dissipated_energy = r.f64();
+  result.error.code = checked_enum<ErrorCode>(
+      r.u16(), static_cast<std::uint64_t>(ErrorCode::kWorkerCrashed),
+      "error code");
+  result.error.detail = r.str();
+  return result;
+}
+
+// -- Framing -----------------------------------------------------------------
+
+Buffer encode_frame(FrameType type, const Buffer& payload) {
+  Buffer out;
+  out.reserve(kHeaderSize + payload.size());
+  Writer w(out);
+  w.u32(kMagic);
+  w.u16(kVersion);
+  w.u16(static_cast<std::uint16_t>(type));
+  w.u64(payload.size());
+  w.u64(checksum(payload));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Error write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t wrote = ::write(fd, data + off, n - off);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return {ErrorCode::kWireError,
+              std::string("write failed: ") + std::strerror(errno)};
+    }
+    off += static_cast<std::size_t>(wrote);
+  }
+  return {};
+}
+
+Error write_frame(int fd, FrameType type, const Buffer& payload) {
+  const Buffer bytes = encode_frame(type, payload);
+  return write_all(fd, bytes.data(), bytes.size());
+}
+
+namespace {
+
+/// EINTR-safe full read. Returns 0 on success, 1 on clean EOF with zero
+/// bytes read, -1 on error/truncation (errno preserved in `detail`).
+int read_all(int fd, std::uint8_t* data, std::size_t n, std::string& detail) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t got = ::read(fd, data + off, n - off);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      detail = std::string("read failed: ") + std::strerror(errno);
+      return -1;
+    }
+    if (got == 0) {
+      if (off == 0) return 1;
+      detail = "truncated read: got " + std::to_string(off) + " of " +
+               std::to_string(n) + " bytes";
+      return -1;
+    }
+    off += static_cast<std::size_t>(got);
+  }
+  return 0;
+}
+
+}  // namespace
+
+Error read_frame(int fd, Frame& out) {
+  std::uint8_t header[kHeaderSize];
+  std::string detail;
+  const int rc = read_all(fd, header, kHeaderSize, detail);
+  if (rc == 1) return {ErrorCode::kWireError, "eof at frame boundary"};
+  if (rc != 0) return {ErrorCode::kWireError, std::move(detail)};
+
+  Reader r(std::span<const std::uint8_t>(header, kHeaderSize));
+  const std::uint32_t magic = r.u32();
+  if (magic != kMagic) {
+    return {ErrorCode::kWireError, "bad frame magic (stream desync?)"};
+  }
+  const std::uint16_t version = r.u16();
+  if (version != kVersion) {
+    return {ErrorCode::kWireError,
+            "cross-version frame: peer speaks v" + std::to_string(version) +
+                ", this build speaks v" + std::to_string(kVersion)};
+  }
+  const std::uint16_t type = r.u16();
+  if (type < static_cast<std::uint16_t>(FrameType::kShard) ||
+      type > static_cast<std::uint16_t>(FrameType::kShardDone)) {
+    return {ErrorCode::kWireError,
+            "unknown frame type " + std::to_string(type)};
+  }
+  const std::uint64_t length = r.u64();
+  if (length > kMaxPayload) {
+    return {ErrorCode::kWireError,
+            "frame payload length " + std::to_string(length) +
+                " exceeds cap"};
+  }
+  const std::uint64_t expect = r.u64();
+
+  Buffer payload(length);
+  if (length != 0) {
+    const int prc = read_all(fd, payload.data(), length, detail);
+    if (prc != 0) {
+      return {ErrorCode::kWireError,
+              prc == 1 ? "eof inside frame payload" : std::move(detail)};
+    }
+  }
+  if (checksum(payload) != expect) {
+    return {ErrorCode::kWireError, "frame checksum mismatch"};
+  }
+  out.type = static_cast<FrameType>(type);
+  out.payload = std::move(payload);
+  return {};
+}
+
+}  // namespace ferro::core::wire

@@ -1,0 +1,165 @@
+// wire — the length-prefixed binary frame format of the shard transport.
+//
+// This is the serialization layer under core::ShardExecutor (supervisor <->
+// forked workers over pipes) and the groundwork for the ferro_serve daemon's
+// socket protocol: Scenario/ModelSpec travel down as frames, ScenarioResult/
+// Error travel back, and both sides treat anything malformed as a structured
+// kWireError instead of trusting the peer.
+//
+// Frame layout (all integers little-endian, doubles as IEEE-754 bit images):
+//
+//   u32 magic     "FWR1" — rejects garbage and mid-stream desync
+//   u16 version   kVersion — a peer speaking another revision is rejected
+//                 cleanly (no payload parse is attempted)
+//   u16 type      FrameType
+//   u64 length    payload byte count (sanity-capped at kMaxPayload)
+//   u64 checksum  FNV-1a over the payload — a flipped bit anywhere in the
+//                 payload is detected before any field is decoded
+//   ...payload...
+//
+// Payload scalars are fixed-width little-endian; strings and vectors are
+// u64-count-prefixed. Doubles are transported as raw bit patterns, so every
+// value — including NaN payload bits — round-trips bitwise: a worker-side
+// run_scenario over a decoded Scenario is bit-identical to an in-process
+// run, which is what licenses Isolation::kProcess's parity contract.
+//
+// The fd helpers are EINTR-safe (short reads/writes are resumed) and report
+// EPIPE/EOF as errors rather than raising SIGPIPE (the executor masks the
+// signal; see shard_executor.cpp).
+//
+// TimeDrive waveforms serialize through a closed registry of the concrete
+// wave:: types (standard shapes + Pwl), reconstructed from their *stored*
+// state so value(t) is bit-identical on the far side. A scenario driven by
+// an unregistered Waveform subclass is not serializable — serializable()
+// reports it and the executor runs that scenario in the supervisor process
+// instead of shipping it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/scenario.hpp"
+
+namespace ferro::core::wire {
+
+using Buffer = std::vector<std::uint8_t>;
+
+inline constexpr std::uint32_t kMagic = 0x31525746;  // "FWR1" little-endian
+inline constexpr std::uint16_t kVersion = 1;
+/// Sanity cap on a frame's declared payload length: rejects a corrupt
+/// header before it turns into a multi-gigabyte allocation.
+inline constexpr std::uint64_t kMaxPayload = 1ull << 30;
+inline constexpr std::size_t kHeaderSize = 4 + 2 + 2 + 8 + 8;
+
+enum class FrameType : std::uint16_t {
+  kShard = 1,      ///< supervisor -> worker: a shard of indexed scenarios
+  kShutdown = 2,   ///< supervisor -> worker: finish up and exit
+  kResult = 3,     ///< worker -> supervisor: one scenario's indexed result
+  kHeartbeat = 4,  ///< worker -> supervisor: alive, starting scenario i
+  kShardDone = 5,  ///< worker -> supervisor: shard fully processed
+};
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  Buffer payload;
+};
+
+/// Decode-side failure: thrown by Reader and the decode_* functions, caught
+/// at the protocol boundary and converted to Error{kWireError, what()}.
+struct DecodeError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Appends fixed-width little-endian primitives to a Buffer.
+class Writer {
+ public:
+  explicit Writer(Buffer& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f64(double v);
+  void str(std::string_view s);
+  void vec_f64(std::span<const double> v);
+  void vec_u64(std::span<const std::size_t> v);
+
+ private:
+  Buffer& out_;
+};
+
+/// Bounds-checked cursor over a payload; throws DecodeError on underrun so
+/// truncation anywhere inside a structure surfaces as one structured error.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+  [[nodiscard]] std::vector<double> vec_f64();
+  [[nodiscard]] std::vector<std::size_t> vec_u64();
+
+  /// True when every payload byte has been consumed — decoders check this
+  /// so trailing garbage is rejected, not silently ignored.
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// FNV-1a 64 over a byte span — the frame checksum.
+[[nodiscard]] std::uint64_t checksum(std::span<const std::uint8_t> data);
+
+// -- Scenario / result codecs ------------------------------------------------
+
+/// True when every part of `scenario` has a wire encoding (the only
+/// non-serializable part is a TimeDrive waveform outside the registry).
+[[nodiscard]] bool serializable(const Scenario& scenario);
+
+/// Appends the scenario; returns false (leaving partial bytes — use
+/// serializable() first on untrusted input) when the waveform is alien.
+bool encode_scenario(const Scenario& scenario, Writer& w);
+
+/// Throws DecodeError on malformed input (truncation, out-of-range enums).
+[[nodiscard]] Scenario decode_scenario(Reader& r);
+
+void encode_result(const ScenarioResult& result, Writer& w);
+[[nodiscard]] ScenarioResult decode_result(Reader& r);
+
+// -- Framing -----------------------------------------------------------------
+
+/// Assembles header + payload into one contiguous byte string.
+[[nodiscard]] Buffer encode_frame(FrameType type, const Buffer& payload);
+
+/// EINTR-safe full write; kWireError on EPIPE/short write.
+[[nodiscard]] Error write_all(int fd, const std::uint8_t* data, std::size_t n);
+
+[[nodiscard]] Error write_frame(int fd, FrameType type, const Buffer& payload);
+
+/// Reads and validates one frame. kWireError on bad magic, alien version,
+/// oversize length, checksum mismatch, or truncation; EOF cleanly at a
+/// frame boundary yields kWireError with detail starting "eof" (the
+/// is_eof() predicate below) so callers can tell shutdown from corruption.
+[[nodiscard]] Error read_frame(int fd, Frame& out);
+
+[[nodiscard]] inline bool is_eof(const Error& e) {
+  return e.code == ErrorCode::kWireError && e.detail.rfind("eof", 0) == 0;
+}
+
+}  // namespace ferro::core::wire

@@ -1,13 +1,30 @@
 #include "util/stream_writer.hpp"
 
+#include <cerrno>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <limits>
 
 namespace ferro::util {
 
 namespace {
+
+/// Failure description for a stream gone bad: the failed operation plus
+/// errno where the OS left one (iostreams don't guarantee it, but glibc
+/// filebuf preserves the write()'s errno — ENOSPC, EBADF, ... — which is
+/// exactly the detail worth surfacing).
+std::string stream_failure_detail(const char* op) {
+  const int err = errno;
+  std::string detail(op);
+  detail += " failed";
+  if (err != 0) {
+    detail += ": ";
+    detail += std::strerror(err);
+  }
+  return detail;
+}
 
 std::vector<std::string> to_vector(std::initializer_list<std::string> items) {
   return std::vector<std::string>(items.begin(), items.end());
@@ -84,7 +101,9 @@ void CsvStreamWriter::row(std::span<const double> values) {
     append_number(line, values[i]);
   }
   line += '\n';
+  errno = 0;
   stream_ << line;
+  check_stream("csv row write");
   ++rows_;
   if (flush_every_ != 0 && ++unflushed_ >= flush_every_) flush();
 }
@@ -94,8 +113,17 @@ void CsvStreamWriter::row(std::initializer_list<double> values) {
 }
 
 void CsvStreamWriter::flush() {
+  errno = 0;
   stream_.flush();
+  check_stream("csv flush");
   unflushed_ = 0;
+}
+
+void CsvStreamWriter::check_stream(const char* op) {
+  if (ok_ && !stream_.good()) {
+    ok_ = false;
+    error_detail_ = stream_failure_detail(op);
+  }
 }
 
 JsonLinesWriter::JsonLinesWriter(const std::string& path,
@@ -130,7 +158,9 @@ void JsonLinesWriter::record(std::span<const JsonField> fields) {
     }
   }
   line += "}\n";
+  errno = 0;
   stream_ << line;
+  check_stream("jsonl record write");
   ++records_;
   if (flush_every_ != 0 && ++unflushed_ >= flush_every_) flush();
 }
@@ -140,8 +170,17 @@ void JsonLinesWriter::record(std::initializer_list<JsonField> fields) {
 }
 
 void JsonLinesWriter::flush() {
+  errno = 0;
   stream_.flush();
+  check_stream("jsonl flush");
   unflushed_ = 0;
+}
+
+void JsonLinesWriter::check_stream(const char* op) {
+  if (ok_ && !stream_.good()) {
+    ok_ = false;
+    error_detail_ = stream_failure_detail(op);
+  }
 }
 
 }  // namespace ferro::util

@@ -41,20 +41,31 @@ class CsvStreamWriter {
   void row(std::span<const double> values);
   void row(std::initializer_list<double> values);
 
-  /// Pushes everything written so far to the OS.
+  /// Pushes everything written so far to the OS. Write/flush failures
+  /// (ENOSPC, a closed descriptor, ...) latch ok() false and are described
+  /// by error_detail() — a full disk must not masquerade as a clean file.
   void flush();
 
   /// True while the underlying stream is healthy and row widths matched.
   [[nodiscard]] bool ok() const { return ok_ && stream_.good(); }
   [[nodiscard]] std::size_t rows_written() const { return rows_; }
+  /// Why ok() went false: the failed operation plus errno where the OS
+  /// provided one (best effort — iostreams do not guarantee errno). Empty
+  /// while healthy.
+  [[nodiscard]] const std::string& error_detail() const {
+    return error_detail_;
+  }
 
  private:
+  void check_stream(const char* op);
+
   std::ofstream stream_;
   std::size_t width_ = 0;
   std::size_t rows_ = 0;
   std::size_t flush_every_;
   std::size_t unflushed_ = 0;
   bool ok_ = true;
+  std::string error_detail_;
 };
 
 /// One key/value of a JSONL record. Numbers, strings, and booleans cover
@@ -75,17 +86,24 @@ class JsonLinesWriter {
   void record(std::span<const JsonField> fields);
   void record(std::initializer_list<JsonField> fields);
 
+  /// See CsvStreamWriter::flush — failures latch ok() and error_detail().
   void flush();
 
   [[nodiscard]] bool ok() const { return ok_ && stream_.good(); }
   [[nodiscard]] std::size_t records_written() const { return records_; }
+  [[nodiscard]] const std::string& error_detail() const {
+    return error_detail_;
+  }
 
  private:
+  void check_stream(const char* op);
+
   std::ofstream stream_;
   std::size_t records_ = 0;
   std::size_t flush_every_;
   std::size_t unflushed_ = 0;
   bool ok_ = true;
+  std::string error_detail_;
 };
 
 /// JSON string escaping (quotes, backslashes, control characters) — exposed

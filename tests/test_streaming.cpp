@@ -21,6 +21,7 @@
 #include "mag/ja_params.hpp"
 #include "support/fixtures.hpp"
 #include "util/csv.hpp"
+#include "util/stream_writer.hpp"
 #include "wave/standard.hpp"
 #include "wave/sweep.hpp"
 
@@ -576,4 +577,60 @@ TEST(Streaming, JsonlMetricsSinkWritesOneRecordPerScenario) {
   }
   EXPECT_EQ(broken_lines, 1u);  // exactly the invalid-parameter job
   std::filesystem::remove(path);
+}
+
+TEST(Streaming, StreamWritersLatchFailedWritesWithErrnoDetail) {
+  // /dev/full accepts the open but fails every flushed write with ENOSPC —
+  // the canonical full-disk stand-in. (Linux-specific; skip elsewhere.)
+  if (!std::filesystem::exists("/dev/full")) {
+    GTEST_SKIP() << "no /dev/full on this platform";
+  }
+
+  fu::CsvStreamWriter csv("/dev/full", {"a", "b"}, /*flush_every=*/0);
+  csv.row({1.0, 2.0});
+  csv.flush();
+  EXPECT_FALSE(csv.ok());
+  EXPECT_NE(csv.error_detail().find("flush failed"), std::string::npos)
+      << csv.error_detail();
+  EXPECT_NE(csv.error_detail().find("No space left"), std::string::npos)
+      << csv.error_detail();
+  // The latch is sticky: later writes don't clear the diagnosis.
+  const std::string detail = csv.error_detail();
+  csv.row({3.0, 4.0});
+  EXPECT_EQ(csv.error_detail(), detail);
+
+  fu::JsonLinesWriter jsonl("/dev/full", /*flush_every=*/1);
+  jsonl.record({{"k", 1.0}});
+  jsonl.flush();
+  EXPECT_FALSE(jsonl.ok());
+  EXPECT_NE(jsonl.error_detail().find("failed"), std::string::npos)
+      << jsonl.error_detail();
+}
+
+TEST(Streaming, FullDiskSurfacesAsSinkErrorNotATruncatedFile) {
+  // Regression: the file sinks used to swallow write/flush failures — a
+  // full disk produced a clean-looking summary over a truncated artefact.
+  // Now the first failed flush throws from the sink, the stream shell
+  // converts it to kSinkError with the errno detail, and the accounting
+  // invariant (delivered + discarded == total) still holds.
+  if (!std::filesystem::exists("/dev/full")) {
+    GTEST_SKIP() << "no /dev/full on this platform";
+  }
+
+  const auto scenarios = mixed_frontend_workload(6);
+  fc::CsvCurveSink csv("/dev/full");
+  const auto summary = fc::BatchRunner({.threads = 2}).run(scenarios, csv);
+
+  EXPECT_FALSE(summary.ok());
+  EXPECT_EQ(summary.sink_error.code, fc::ErrorCode::kSinkError);
+  EXPECT_NE(summary.sink_error.detail.find("csv curve sink"),
+            std::string::npos)
+      << summary.sink_error;
+  EXPECT_NE(summary.sink_error.detail.find("No space left"),
+            std::string::npos)
+      << summary.sink_error;
+  EXPECT_FALSE(csv.ok());
+  EXPECT_GE(summary.discarded_deliveries, 1u);
+  EXPECT_EQ(summary.delivered + summary.discarded_deliveries,
+            scenarios.size());
 }
