@@ -8,8 +8,10 @@
 #include "bench_common.hpp"
 #include "ckt/engine.hpp"
 #include "ckt/ja_inductor.hpp"
+#include "ckt/monte_carlo.hpp"
 #include "ckt/netlist.hpp"
 #include "ckt/rlc.hpp"
+#include "ckt/scatter.hpp"
 #include "ckt/sources.hpp"
 #include "ckt/transformer.hpp"
 #include "wave/standard.hpp"
@@ -77,7 +79,7 @@ void report() {
     options.dt_initial = 1e-6;
     options.dt_max = 2e-5;
     ckt::CircuitStats stats;
-    ckt::transient(c, options, {}, &stats);
+    (void)ckt::run_transient(c, options, {}, &stats);
     std::printf("  %-24s %10llu %10llu %10llu %12.2f\n",
                 "sine + R + JA inductor",
                 static_cast<unsigned long long>(stats.steps_accepted),
@@ -94,7 +96,7 @@ void report() {
     options.dt_initial = 1e-6;
     options.dt_max = 2e-5;
     ckt::CircuitStats stats;
-    ckt::transient(c, options, {}, &stats);
+    (void)ckt::run_transient(c, options, {}, &stats);
     std::printf("  %-24s %10llu %10llu %10llu %12.2f\n",
                 "JA transformer + load",
                 static_cast<unsigned long long>(stats.steps_accepted),
@@ -111,7 +113,7 @@ void report() {
     options.dt_initial = 1e-7;
     options.dt_max = 2e-6;
     ckt::CircuitStats stats;
-    ckt::transient(c, options, {}, &stats);
+    (void)ckt::run_transient(c, options, {}, &stats);
     std::printf("  %-24s %10llu %10llu %10llu %12.2f\n", "16-stage RC ladder",
                 static_cast<unsigned long long>(stats.steps_accepted),
                 static_cast<unsigned long long>(stats.steps_rejected),
@@ -132,7 +134,7 @@ void bm_ja_inductor_cycle(benchmark::State& state) {
     options.t_end = 0.02;
     options.dt_initial = 1e-6;
     options.dt_max = 2e-5;
-    ckt::transient(c, options, {});
+    (void)ckt::run_transient(c, options, {});
   }
 }
 BENCHMARK(bm_ja_inductor_cycle)->Unit(benchmark::kMillisecond);
@@ -145,7 +147,7 @@ void bm_transformer_cycle(benchmark::State& state) {
     options.t_end = 0.02;
     options.dt_initial = 1e-6;
     options.dt_max = 2e-5;
-    ckt::transient(c, options, {});
+    (void)ckt::run_transient(c, options, {});
   }
 }
 BENCHMARK(bm_transformer_cycle)->Unit(benchmark::kMillisecond);
@@ -159,7 +161,7 @@ void bm_rc_ladder(benchmark::State& state) {
     options.t_end = 1e-3;
     options.dt_initial = 1e-7;
     options.dt_max = 2e-6;
-    ckt::transient(c, options, {});
+    (void)ckt::run_transient(c, options, {});
   }
 }
 BENCHMARK(bm_rc_ladder)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
@@ -169,11 +171,94 @@ void bm_dc_operating_point(benchmark::State& state) {
   build_transformer_circuit(c);
   std::vector<double> x;
   for (auto _ : state) {
-    ckt::dc_operating_point(c, x);
+    (void)ckt::solve_dc(c, x);
     benchmark::DoNotOptimize(x);
   }
 }
 BENCHMARK(bm_dc_operating_point);
+
+// --- Monte-Carlo corner sweeps -------------------------------------------
+//
+// The same JA-inductor circuit swept over component/core tolerances, 256
+// corners, half a mains cycle each: serial reference vs ThreadPool fan-out
+// vs fan-out + SoA-packed cores. corners_per_s is the headline counter
+// (real-time rate: the fanned variants run worker threads internally).
+// Corner results are bitwise identical across all three variants — the
+// packing and the fan-out are pure throughput decisions.
+
+ckt::MonteCarlo make_inrush_mc() {
+  ckt::ScatterSpec spec;
+  spec.params = {
+      {"r.value", 0.05, ckt::ScatterKind::kUniform},
+      {"lcore.area", 0.02, ckt::ScatterKind::kUniform},
+      {"lcore.ms", 0.10, ckt::ScatterKind::kNormal},
+      {"lcore.k", 0.05, ckt::ScatterKind::kNormal},
+  };
+  return ckt::MonteCarlo(
+      ckt::CornerSampler(std::move(spec), 42),
+      [](const ckt::CornerView& view, ckt::Circuit& c) {
+        const auto in = c.node("in");
+        const auto out = c.node("out");
+        c.add<ckt::VoltageSource>("V", in, ckt::kGround,
+                                  std::make_shared<wave::Sine>(7.0, 50.0));
+        c.add<ckt::Resistor>("R", in, out, view.value("r.value", 1.0));
+        mag::CoreGeometry geom = demo_core();
+        geom.area = view.value("lcore.area", geom.area);
+        mag::JaParameters params = mag::paper_parameters();
+        params.ms = view.value("lcore.ms", params.ms);
+        params.k = view.value("lcore.k", params.k);
+        mag::TimelessConfig cfg;
+        cfg.dhmax = 5.0;
+        c.add<ckt::JaInductor>("Lcore", out, ckt::kGround, geom, params, cfg);
+      });
+}
+
+ckt::MonteCarloOptions mc_options(std::size_t corners, unsigned threads,
+                                  ckt::McPacking packing) {
+  ckt::MonteCarloOptions options;
+  options.corners = corners;
+  options.threads = threads;
+  options.packing = packing;
+  options.transient.t_end = 0.01;  // half a 50 Hz cycle: the inrush peak
+  options.transient.dt_initial = 1e-6;
+  options.transient.dt_max = 2e-5;
+  options.probes = {{ckt::Probe::Kind::kBranchCurrent, "Lcore"}};
+  return options;
+}
+
+void run_mc_bench(benchmark::State& state, unsigned threads,
+                  ckt::McPacking packing) {
+  constexpr std::size_t kCorners = 256;
+  const ckt::MonteCarlo mc = make_inrush_mc();
+  const ckt::MonteCarloOptions options = mc_options(kCorners, threads, packing);
+  std::size_t failed = 0;
+  for (auto _ : state) {
+    core::BatchReport report;
+    const auto results = mc.run(options, &report);
+    benchmark::DoNotOptimize(results.data());
+    failed += report.failed;
+  }
+  state.counters["corners_per_s"] = benchmark::Counter(
+      static_cast<double>(kCorners * state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["failed"] = static_cast<double>(failed);
+}
+
+void bm_mc_inrush_serial(benchmark::State& state) {
+  run_mc_bench(state, 1, ckt::McPacking::kScalar);
+}
+BENCHMARK(bm_mc_inrush_serial)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void bm_mc_inrush_fanned(benchmark::State& state) {
+  run_mc_bench(state, 8, ckt::McPacking::kScalar);
+}
+BENCHMARK(bm_mc_inrush_fanned)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void bm_mc_inrush_packed(benchmark::State& state) {
+  run_mc_bench(state, 8, ckt::McPacking::kPackedExact);
+}
+BENCHMARK(bm_mc_inrush_packed)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 

@@ -46,7 +46,7 @@ R2 out 0 200
   util::CsvWriter csv("rectifier.csv", {"t", "v_ac", "v_out", "i_core"});
   double v_final = 0.0, ripple_min = 1e30, ripple_max = -1e30;
   ckt::CircuitStats stats;
-  const bool ok = ckt::transient(
+  const bool ok = ckt::run_transient(
       circuit, options,
       [&](const ckt::Solution& sol) {
         const double i = sol.branch_current(1);
@@ -57,7 +57,7 @@ R2 out 0 200
           ripple_max = std::max(ripple_max, sol.v(out));
         }
       },
-      &stats);
+      &stats).ok();
 
   std::printf("spice-deck rectifier (%s, %llu steps)\n",
               ok ? "completed" : "with warnings",

@@ -45,7 +45,7 @@ int main() {
                       {"t", "v_p", "v_s", "i_p", "i_s", "h", "b"});
   double vp_peak = 0.0, vs_peak = 0.0, ip_peak = 0.0, is_peak = 0.0;
   ckt::CircuitStats stats;
-  const bool ok = ckt::transient(
+  const bool ok = ckt::run_transient(
       circuit, options,
       [&](const ckt::Solution& sol) {
         const double ip = sol.branch_current(1);
@@ -59,7 +59,7 @@ int main() {
           is_peak = std::max(is_peak, std::fabs(is));
         }
       },
-      &stats);
+      &stats).ok();
 
   std::printf("transformer demo (%s, %llu steps)\n",
               ok ? "completed" : "with warnings",

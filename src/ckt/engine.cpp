@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <utility>
 
-#include "ams/matrix.hpp"
 #include "util/log.hpp"
 
 namespace ferro::ckt {
@@ -28,7 +29,9 @@ std::size_t layout_unknowns(Circuit& circuit) {
 }
 
 /// One Newton (successive-linearisation) solve at fixed (t, dt).
-/// `x` carries the initial iterate in and the solution out.
+/// `x` carries the initial iterate in and the solution out. Used whole for
+/// the DC analyses; the transient path runs the identical per-iteration body
+/// inside TransientMachine::advance() so corners can interleave.
 bool solve_point(Circuit& circuit, EvalContext ctx, const EngineOptions& options,
                  std::vector<double>& x, CircuitStats* stats) {
   const std::size_t n = x.size();
@@ -79,10 +82,36 @@ bool solve_point(Circuit& circuit, EvalContext ctx, const EngineOptions& options
   return !needs_iteration;
 }
 
+[[nodiscard]] core::Error invalid(std::string detail) {
+  return core::make_error(core::ErrorCode::kInvalidScenario, std::move(detail));
+}
+
 }  // namespace
 
-bool dc_operating_point(Circuit& circuit, std::vector<double>& x,
-                        const EngineOptions& options, CircuitStats* stats) {
+core::Error validate(const TransientOptions& o) {
+  // Negated comparisons so NaN options fail too.
+  if (!(o.dt_initial > 0.0)) return invalid("dt_initial must be > 0");
+  if (!(o.dt_min > 0.0)) return invalid("dt_min must be > 0");
+  if (!(o.dt_min <= o.dt_initial)) {
+    return invalid("dt_min must not exceed dt_initial");
+  }
+  if (!(o.dt_max >= 0.0)) {
+    return invalid("dt_max must be >= 0 (0 = horizon/100)");
+  }
+  if (o.dt_max > 0.0 && o.dt_max < o.dt_initial) {
+    return invalid("explicit dt_max is below dt_initial; raise dt_max or "
+                   "lower dt_initial (dt_max = 0 derives horizon/100)");
+  }
+  if (!(o.t_end > o.t_start)) return invalid("t_end must exceed t_start");
+  if (!(o.dt_growth >= 1.0)) return invalid("dt_growth must be >= 1");
+  if (o.engine.max_newton_iterations < 1) {
+    return invalid("max_newton_iterations must be >= 1");
+  }
+  return {};
+}
+
+core::Error solve_dc(Circuit& circuit, std::vector<double>& x,
+                     const EngineOptions& options, CircuitStats* stats) {
   const std::size_t n = layout_unknowns(circuit);
   x.assign(n, 0.0);
 
@@ -91,85 +120,198 @@ bool dc_operating_point(Circuit& circuit, std::vector<double>& x,
   ctx.t = 0.0;
   ctx.dt = 0.0;
   ctx.node_count = circuit.node_count();
-  return solve_point(circuit, ctx, options, x, stats);
+  if (!solve_point(circuit, ctx, options, x, stats)) {
+    return core::make_error(core::ErrorCode::kSolverDiverged,
+                            "DC operating point did not converge");
+  }
+  return {};
 }
 
-bool transient(Circuit& circuit, const TransientOptions& options,
-               const SolutionCallback& on_accept, CircuitStats* stats) {
-  CircuitStats local_stats;
-  CircuitStats* st = stats ? stats : &local_stats;
+TransientMachine::TransientMachine(Circuit& circuit,
+                                   const TransientOptions& options,
+                                   SolutionCallback on_accept,
+                                   CircuitStats* stats, core::RunGate* gate)
+    : circuit_(circuit),
+      options_(options),
+      on_accept_(std::move(on_accept)),
+      stats_(stats ? stats : &stats_local_),
+      gate_(gate) {
+  const std::size_t n = layout_unknowns(circuit_);
+  nodes_ = circuit_.node_count();
+  x_.assign(n, 0.0);
+  x_trial_.assign(n, 0.0);
+  x_new_.assign(n, 0.0);
+  z_.assign(n, 0.0);
+  a_.resize(n, n);
 
-  const std::size_t n = layout_unknowns(circuit);
-  std::vector<double> x(n, 0.0);
+  needs_iteration_ = any_nonlinear(circuit_);
+  max_iters_ = needs_iteration_ ? options_.engine.max_newton_iterations : 1;
 
   // Initial condition: DC operating point at t_start.
   EvalContext dc_ctx;
   dc_ctx.dc = true;
-  dc_ctx.node_count = circuit.node_count();
-  if (!solve_point(circuit, dc_ctx, options.engine, x, st)) {
-    ++st->hard_failures;
-    std::fill(x.begin(), x.end(), 0.0);
+  dc_ctx.node_count = nodes_;
+  if (!solve_point(circuit_, dc_ctx, options_.engine, x_, stats_)) {
+    ++stats_->hard_failures;
+    if (error_.ok()) {
+      error_ = core::make_error(core::ErrorCode::kSolverDiverged,
+                                "DC operating point did not converge");
+    }
+    std::fill(x_.begin(), x_.end(), 0.0);
   } else {
     // Let devices latch their DC state as the t_start history.
-    dc_ctx.x = x;
-    for (const auto& device : circuit.devices()) {
-      device->commit(dc_ctx, x);
+    dc_ctx.x = x_;
+    for (const auto& device : circuit_.devices()) {
+      device->commit(dc_ctx, x_);
     }
   }
 
-  if (on_accept) {
-    on_accept(Solution{options.t_start, circuit.node_count(), x});
+  if (on_accept_) {
+    on_accept_(Solution{options_.t_start, nodes_, x_});
   }
 
-  const double horizon = options.t_end - options.t_start;
-  const double dt_max = options.dt_max > 0.0 ? options.dt_max : horizon / 100.0;
-  double t = options.t_start;
-  double dt = std::min(options.dt_initial, dt_max);
-  std::vector<double> x_trial(n);
+  const double horizon = options_.t_end - options_.t_start;
+  dt_max_ = options_.dt_max > 0.0 ? options_.dt_max : horizon / 100.0;
+  t_ = options_.t_start;
+  dt_ = std::min(options_.dt_initial, dt_max_);
+  t_eps_ = 1e-12 * std::max(1.0, std::fabs(options_.t_end));
 
-  const double t_eps = 1e-12 * std::max(1.0, std::fabs(options.t_end));
-  while (t < options.t_end - t_eps) {
-    dt = std::min({dt, dt_max, options.t_end - t});
+  prepare_step();
+}
 
-    EvalContext ctx;
-    ctx.dc = false;
-    ctx.t = t + dt;
-    ctx.dt = dt;
-    // Gear2 reduces to BE in the circuit engine (two-step history is kept
-    // per device only for trapezoidal).
-    ctx.method = options.method == ams::IntegrationMethod::kTrapezoidal
-                     ? ams::IntegrationMethod::kTrapezoidal
-                     : ams::IntegrationMethod::kBackwardEuler;
-    ctx.node_count = circuit.node_count();
-
-    x_trial = x;  // previous solution as the iterate seed
-    if (!solve_point(circuit, ctx, options.engine, x_trial, st)) {
-      ++st->steps_rejected;
-      if (dt <= options.dt_min * 4.0) {
-        ++st->hard_failures;
-        // Force-accept to make progress (after logging), as commercial
-        // solvers do following a convergence warning.
-        util::log_warning("ckt.engine", "forced acceptance at dt_min");
-      } else {
-        dt *= 0.25;
-        continue;
-      }
-    }
-
-    // Accept.
-    x = x_trial;
-    t += dt;
-    ++st->steps_accepted;
-    ctx.x = x;
-    for (const auto& device : circuit.devices()) {
-      device->commit(ctx, x);
-    }
-    if (on_accept) {
-      on_accept(Solution{t, circuit.node_count(), x});
-    }
-    dt *= options.dt_growth;
+void TransientMachine::prepare_step() {
+  if (!(t_ < options_.t_end - t_eps_)) {
+    done_ = true;
+    return;
   }
-  return st->hard_failures == 0;
+  if (gate_ != nullptr && gate_->stopped()) {
+    if (error_.ok()) error_ = gate_->stop_error();
+    done_ = true;
+    return;
+  }
+  dt_ = std::min({dt_, dt_max_, options_.t_end - t_});
+
+  ctx_.dc = false;
+  ctx_.t = t_ + dt_;
+  ctx_.dt = dt_;
+  // Gear2 reduces to BE in the circuit engine (two-step history is kept
+  // per device only for trapezoidal).
+  ctx_.method = options_.method == ams::IntegrationMethod::kTrapezoidal
+                    ? ams::IntegrationMethod::kTrapezoidal
+                    : ams::IntegrationMethod::kBackwardEuler;
+  ctx_.node_count = nodes_;
+
+  std::copy(x_.begin(), x_.end(), x_trial_.begin());  // iterate seed
+  iter_ = 0;
+}
+
+void TransientMachine::accept_step() {
+  std::copy(x_trial_.begin(), x_trial_.end(), x_.begin());
+  t_ += dt_;
+  ++stats_->steps_accepted;
+  ctx_.x = x_;
+  for (const auto& device : circuit_.devices()) {
+    device->commit(ctx_, x_);
+  }
+  if (on_accept_) {
+    on_accept_(Solution{t_, nodes_, x_});
+  }
+  dt_ *= options_.dt_growth;
+  prepare_step();
+}
+
+void TransientMachine::reject_step() {
+  ++stats_->steps_rejected;
+  if (dt_ <= options_.dt_min * 4.0) {
+    ++stats_->hard_failures;
+    if (error_.ok()) {
+      error_ = core::make_error(
+          core::ErrorCode::kSolverDiverged,
+          "transient step failed to converge at dt_min (t = " +
+              std::to_string(ctx_.t) + " s); forced acceptance");
+    }
+    // Force-accept to make progress (after logging), as commercial
+    // solvers do following a convergence warning.
+    util::log_warning("ckt.engine", "forced acceptance at dt_min");
+    accept_step();
+  } else {
+    dt_ *= 0.25;
+    prepare_step();
+  }
+}
+
+void TransientMachine::advance() {
+  if (done_) return;
+
+  // One Newton iteration at the pending iterate — the exact per-iteration
+  // body of solve_point() above (same operations, same order, so the
+  // machine-driven transient is bitwise identical to the one-shot solve).
+  a_.fill(0.0);
+  std::fill(z_.begin(), z_.end(), 0.0);
+  ctx_.x = x_trial_;
+
+  Stamper stamper(a_, z_, x_trial_, nodes_);
+  for (const auto& device : circuit_.devices()) {
+    device->stamp(stamper, ctx_);
+  }
+  for (std::size_t i = 0; i < nodes_; ++i) {
+    a_.at(i, i) += options_.engine.gmin;
+  }
+
+  if (!lu_.factor(a_)) {
+    util::log_warning("ckt.engine", "singular MNA matrix");
+    reject_step();
+    return;
+  }
+  lu_.solve(z_, x_new_);
+  ++stats_->newton_iterations;
+
+  bool converged = true;
+  for (std::size_t i = 0; i < x_new_.size(); ++i) {
+    const double tol = i < nodes_ ? options_.engine.v_tolerance
+                                  : options_.engine.i_tolerance;
+    const double scale = 1.0 + std::fabs(x_new_[i]) * 1e-3 / tol;
+    if (std::fabs(x_new_[i] - x_trial_[i]) > tol * scale) {
+      converged = false;
+      break;
+    }
+  }
+  std::copy(x_new_.begin(), x_new_.end(), x_trial_.begin());
+
+  if (converged && (needs_iteration_ ? iter_ > 0 : true)) {
+    accept_step();
+    return;
+  }
+  ++iter_;
+  if (iter_ >= max_iters_) {
+    // A linear circuit is accepted after its single solve either way
+    // (solve_point's `return !needs_iteration` fall-through).
+    if (needs_iteration_) {
+      reject_step();
+    } else {
+      accept_step();
+    }
+  }
+}
+
+core::Error run_transient(Circuit& circuit, const TransientOptions& options,
+                          const SolutionCallback& on_accept,
+                          CircuitStats* stats, const core::RunLimits& limits) {
+  if (core::Error err = validate(options); !err.ok()) return err;
+  core::RunGate gate(limits);
+  TransientMachine machine(circuit, options, on_accept, stats, &gate);
+  while (!machine.done()) machine.advance();
+  return machine.error();
+}
+
+bool dc_operating_point(Circuit& circuit, std::vector<double>& x,
+                        const EngineOptions& options, CircuitStats* stats) {
+  return solve_dc(circuit, x, options, stats).ok();
+}
+
+bool transient(Circuit& circuit, const TransientOptions& options,
+               const SolutionCallback& on_accept, CircuitStats* stats) {
+  return run_transient(circuit, options, on_accept, stats).ok();
 }
 
 }  // namespace ferro::ckt

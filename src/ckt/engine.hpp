@@ -4,14 +4,30 @@
 // (rebuild companion stamps at the iterate, LU-solve, repeat until the
 // iterate settles). Non-convergence shrinks the step; devices only commit
 // state on acceptance.
+//
+// Two layers:
+//   * run_transient()/solve_dc() — the structured API: options validated up
+//     front (core::ErrorCode::kInvalidScenario), Newton non-convergence and
+//     dt-collapse latched as kSolverDiverged, RunLimits honoured as
+//     kCancelled/kDeadlineExceeded. The legacy bool entry points remain as
+//     deprecated shims.
+//   * TransientMachine — the same transient loop decomposed into one Newton
+//     iteration per advance() call, bitwise identical to run_transient()
+//     (which is implemented on top of it). This is the seam the circuit
+//     Monte-Carlo uses to step many corners in lockstep and evaluate their
+//     JaInductor cores as one SoA batch per iteration.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "ams/integrator.hpp"
+#include "ams/matrix.hpp"
 #include "ckt/netlist.hpp"
+#include "core/cancel.hpp"
+#include "core/error.hpp"
 
 namespace ferro::ckt {
 
@@ -27,7 +43,8 @@ struct TransientOptions {
   double t_end = 0.1;
   double dt_initial = 1e-6;
   double dt_min = 1e-12;
-  double dt_max = 0.0;  ///< 0 = (t_end - t_start)/100
+  double dt_max = 0.0;  ///< 0 = (t_end - t_start)/100; an explicit value must
+                        ///< be >= dt_initial (validate() rejects it otherwise)
   ams::IntegrationMethod method = ams::IntegrationMethod::kTrapezoidal;
   EngineOptions engine;
   /// Grow factor applied to dt after an accepted step (shrink on rejection
@@ -58,13 +75,124 @@ struct Solution {
 
 using SolutionCallback = std::function<void(const Solution&)>;
 
-/// Computes the DC operating point into `x` (resized). Returns convergence.
+/// Checks a transient configuration before any device is touched. Rejects
+/// non-positive or inconsistent step bounds — in particular an explicit
+/// dt_max below dt_initial, which the engine used to clamp silently — with
+/// kInvalidScenario; Error{} (ok) when the options are runnable.
+[[nodiscard]] core::Error validate(const TransientOptions& options);
+
+/// Computes the DC operating point into `x` (resized). kSolverDiverged when
+/// the Newton iteration does not settle or the MNA matrix is singular.
+[[nodiscard]] core::Error solve_dc(Circuit& circuit, std::vector<double>& x,
+                                   const EngineOptions& options = {},
+                                   CircuitStats* stats = nullptr);
+
+/// Adaptive transient from a DC operating point (or zero state when DC does
+/// not converge — the run continues, the DC failure is the latched error).
+///
+/// The returned Error is the FIRST structured failure of the run:
+///   * kInvalidScenario — options rejected by validate(); nothing ran;
+///   * kSolverDiverged  — the DC point failed, or a trial step collapsed to
+///     dt_min and was force-accepted (the waveform still completes, exactly
+///     as before — the error reports that its accuracy is compromised);
+///   * kCancelled / kDeadlineExceeded — `limits` stopped the run at a step
+///     boundary; the waveform up to that point was delivered;
+///   * Error{} (ok) — clean run. stats->hard_failures mirrors the
+///     kSolverDiverged cases for callers migrating off the bool API.
+[[nodiscard]] core::Error run_transient(Circuit& circuit,
+                                        const TransientOptions& options,
+                                        const SolutionCallback& on_accept,
+                                        CircuitStats* stats = nullptr,
+                                        const core::RunLimits& limits = {});
+
+/// The adaptive transient loop as an externally-stepped state machine: the
+/// constructor performs unknown layout, the DC solve, the DC commit, and the
+/// t_start callback; each advance() then runs exactly ONE Newton iteration
+/// of the current trial step, plus whatever step control it triggers
+/// (acceptance + device commit + callback, rejection + dt shrink, dt_min
+/// force-accept, RunLimits stop). Driving advance() to done() reproduces
+/// run_transient() bitwise — run_transient() IS this loop.
+///
+/// The point of the decomposition is cross-instance batching: a caller
+/// holding N machines over a shared topology can, before each round of
+/// advance() calls, read every machine's iterate(), evaluate all their
+/// JaInductor cores as one TimelessJaBatch block, and arm the inductors with
+/// the batched trial evaluations (JaInductor::arm_trial) so the iteration's
+/// stamps consume SoA results instead of three scalar model copies each.
+///
+/// `options` must satisfy validate() (run_transient enforces it; direct
+/// constructions assert via the DC solve behaving as documented only then).
+/// `gate` (optional, non-owning) is polled at trial-step boundaries.
+class TransientMachine {
+ public:
+  TransientMachine(Circuit& circuit, const TransientOptions& options,
+                   SolutionCallback on_accept, CircuitStats* stats = nullptr,
+                   core::RunGate* gate = nullptr);
+
+  TransientMachine(const TransientMachine&) = delete;
+  TransientMachine& operator=(const TransientMachine&) = delete;
+
+  /// True once t_end was reached or the gate stopped the run; advance() is
+  /// a no-op afterwards.
+  [[nodiscard]] bool done() const { return done_; }
+
+  /// First structured failure latched so far (ok while the run is clean).
+  /// A kSolverDiverged latch does NOT stop the machine — the waveform
+  /// continues under force-accept, matching the serial engine.
+  [[nodiscard]] const core::Error& error() const { return error_; }
+
+  /// The pending iteration's iterate (node voltages then branch currents):
+  /// what the next advance() will stamp devices at. Valid while !done().
+  [[nodiscard]] std::span<const double> iterate() const { return x_trial_; }
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_; }
+  [[nodiscard]] const CircuitStats& stats() const { return *stats_; }
+
+  /// One Newton iteration of the current trial step, plus step control.
+  void advance();
+
+ private:
+  void prepare_step();
+  void accept_step();
+  void reject_step();
+
+  Circuit& circuit_;
+  TransientOptions options_;
+  SolutionCallback on_accept_;
+  CircuitStats stats_local_;
+  CircuitStats* stats_;
+  core::RunGate* gate_;
+
+  std::size_t nodes_ = 0;
+  bool needs_iteration_ = false;
+  int max_iters_ = 1;
+  double dt_max_ = 0.0;
+  double t_eps_ = 0.0;
+
+  double t_ = 0.0;
+  double dt_ = 0.0;
+  int iter_ = 0;
+  bool done_ = false;
+  core::Error error_;
+
+  EvalContext ctx_;
+  std::vector<double> x_;        ///< last accepted solution
+  std::vector<double> x_trial_;  ///< current Newton iterate
+  std::vector<double> x_new_;
+  std::vector<double> z_;
+  ams::Matrix a_;
+  ams::LuSolver lu_;
+};
+
+/// Deprecated bool shims (pre-PR-10 API). They now route through the
+/// structured entry points, so invalid options return false without running
+/// (previously they ran with silently clamped values).
+[[deprecated("use solve_dc(), which reports a structured core::Error")]]
 bool dc_operating_point(Circuit& circuit, std::vector<double>& x,
                         const EngineOptions& options = {},
                         CircuitStats* stats = nullptr);
 
-/// Adaptive transient from a DC operating point (or zero state if DC does
-/// not converge — reported through stats.hard_failures).
+[[deprecated("use run_transient(), which reports a structured core::Error")]]
 bool transient(Circuit& circuit, const TransientOptions& options,
                const SolutionCallback& on_accept, CircuitStats* stats = nullptr);
 

@@ -22,6 +22,23 @@ double JaInductor::linkage_at(double i) const {
   return geometry_.linkage_from_b(trial.flux_density());
 }
 
+double JaInductor::trial_di(double i_k) const {
+  // Differential inductance perturbation: spans at least one event
+  // threshold so the irreversible branch is represented, not just the
+  // reversible slope.
+  return std::max(geometry_.current_from_field(1.5 * model_.config().dhmax),
+                  1e-9 + 1e-6 * std::fabs(i_k));
+}
+
+void JaInductor::arm_trial(double b_at, double b_plus, double b_minus,
+                           double di) {
+  armed_ = true;
+  armed_b_at_ = b_at;
+  armed_b_plus_ = b_plus;
+  armed_b_minus_ = b_minus;
+  armed_di_ = di;
+}
+
 void JaInductor::stamp(Stamper& s, const EvalContext& ctx) {
   const std::size_t br = first_branch();
   s.node_branch(a_, br, +1.0);
@@ -36,16 +53,23 @@ void JaInductor::stamp(Stamper& s, const EvalContext& ctx) {
   }
 
   const double i_k = s.i(br);
-  const double lambda_k = linkage_at(i_k);
 
   // Differential inductance by central difference across the committed
-  // state; the perturbation spans at least one event threshold so the
-  // irreversible branch is represented, not just the reversible slope.
-  const double di = std::max(
-      geometry_.current_from_field(1.5 * model_.config().dhmax),
-      1e-9 + 1e-6 * std::fabs(i_k));
-  const double l_eff =
-      (linkage_at(i_k + di) - linkage_at(i_k - di)) / (2.0 * di);
+  // state. Armed: the three trial flux densities were batch-evaluated by
+  // the Monte-Carlo packer (same expressions, SoA lanes); unarmed: three
+  // scalar model copies.
+  double lambda_k, l_eff;
+  if (armed_) {
+    armed_ = false;
+    lambda_k = geometry_.linkage_from_b(armed_b_at_);
+    l_eff = (geometry_.linkage_from_b(armed_b_plus_) -
+             geometry_.linkage_from_b(armed_b_minus_)) /
+            (2.0 * armed_di_);
+  } else {
+    lambda_k = linkage_at(i_k);
+    const double di = trial_di(i_k);
+    l_eff = (linkage_at(i_k + di) - linkage_at(i_k - di)) / (2.0 * di);
+  }
 
   // Trapezoidal: v = (2/dt)(lambda - lambda_prev) - v_prev
   // Backward Euler: v = (lambda - lambda_prev)/dt
@@ -65,6 +89,7 @@ void JaInductor::commit(const EvalContext& ctx, std::span<const double> x) {
   const double va = a_ == kGround ? 0.0 : x[static_cast<std::size_t>(a_)];
   const double vb = b_ == kGround ? 0.0 : x[static_cast<std::size_t>(b_)];
 
+  armed_ = false;  // a pending arming must never outlive its iteration
   model_.apply(geometry_.field_from_current(i));
   lambda_prev_ = geometry_.linkage_from_b(model_.flux_density());
   i_prev_ = i;

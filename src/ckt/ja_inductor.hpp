@@ -34,6 +34,21 @@ class JaInductor final : public Device {
   [[nodiscard]] const mag::TimelessJa& model() const { return model_; }
   [[nodiscard]] const mag::CoreGeometry& geometry() const { return geometry_; }
 
+  /// The central-difference current perturbation stamp() uses around the
+  /// iterate current `i_k` — exposed so the Monte-Carlo packer evaluates the
+  /// identical three trial points the scalar path would.
+  [[nodiscard]] double trial_di(double i_k) const;
+
+  /// Pre-arms the next (non-DC) stamp() with externally evaluated trial
+  /// flux densities from the COMMITTED magnetic state: `b_at` at the iterate
+  /// current i_k, `b_plus`/`b_minus` at i_k +/- `di` (di from trial_di(i_k)).
+  /// The armed stamp skips its three scalar model copies and consumes these
+  /// instead — arithmetically identical when the caller computed them with
+  /// the exact SoA lanes (TimelessJaBatch kExact is bitwise-equal to the
+  /// scalar model). One-shot: consumed by the next stamp(), so the packer
+  /// re-arms before every Newton iteration.
+  void arm_trial(double b_at, double b_plus, double b_minus, double di);
+
  private:
   /// lambda(i) evaluated from the committed state (trial, non-committing).
   [[nodiscard]] double linkage_at(double i) const;
@@ -44,6 +59,12 @@ class JaInductor final : public Device {
   double i_prev_ = 0.0;
   double v_prev_ = 0.0;
   double lambda_prev_;
+
+  bool armed_ = false;
+  double armed_b_at_ = 0.0;
+  double armed_b_plus_ = 0.0;
+  double armed_b_minus_ = 0.0;
+  double armed_di_ = 0.0;
 };
 
 }  // namespace ferro::ckt

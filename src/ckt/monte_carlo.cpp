@@ -1,0 +1,602 @@
+#include "ckt/monte_carlo.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "ckt/ja_inductor.hpp"
+#include "core/thread_pool.hpp"
+#include "mag/timeless_ja_batch.hpp"
+
+namespace ferro::ckt {
+namespace {
+
+using core::Error;
+using core::ErrorCode;
+
+using EmitFn = std::function<void(std::size_t, CornerResult&&)>;
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// A probe resolved against one corner's circuit. The JaInductor pointer is
+/// only dereferenced while the corner is alive (same group iteration).
+struct ProbeRef {
+  Probe::Kind kind = Probe::Kind::kNodeVoltage;
+  NodeId node = kGround;
+  std::size_t branch = 0;
+  const JaInductor* core = nullptr;
+};
+
+Device* find_device(Circuit& circuit, std::string_view name) {
+  for (const auto& device : circuit.devices()) {
+    if (iequals(device->name(), name)) return device.get();
+  }
+  return nullptr;
+}
+
+/// Resolves one probe WITHOUT mutating the circuit: node lookup scans the
+/// existing names (Circuit::node() would create the node and change the MNA
+/// layout, breaking bitwise identity with a probe-less run).
+Error resolve_probe(const Probe& probe, Circuit& circuit, ProbeRef& out) {
+  out.kind = probe.kind;
+  switch (probe.kind) {
+    case Probe::Kind::kNodeVoltage: {
+      if (iequals(probe.target, "0") || iequals(probe.target, "gnd")) {
+        out.node = kGround;
+        return {};
+      }
+      for (std::size_t id = 0; id < circuit.node_count(); ++id) {
+        if (iequals(circuit.node_name(static_cast<NodeId>(id)), probe.target)) {
+          out.node = static_cast<NodeId>(id);
+          return {};
+        }
+      }
+      return {ErrorCode::kInvalidScenario,
+              "probe v(" + probe.target + "): no such node"};
+    }
+    case Probe::Kind::kBranchCurrent: {
+      // Resolution runs before the engine lays out unknowns, so
+      // first_branch() is not assigned yet; recompute the offset the same
+      // way the layout will (device order, branch_count prefix sum).
+      std::size_t branch = 0;
+      for (const auto& device : circuit.devices()) {
+        if (iequals(device->name(), probe.target)) {
+          if (device->branch_count() == 0) {
+            return {ErrorCode::kInvalidScenario,
+                    "probe i(" + probe.target +
+                        "): device has no branch current"};
+          }
+          out.branch = branch;
+          return {};
+        }
+        branch += device->branch_count();
+      }
+      return {ErrorCode::kInvalidScenario,
+              "probe i(" + probe.target + "): no such device"};
+    }
+    case Probe::Kind::kCoreFluxDensity:
+    case Probe::Kind::kCoreField: {
+      Device* device = find_device(circuit, probe.target);
+      auto* core = dynamic_cast<JaInductor*>(device);
+      if (core == nullptr) {
+        return {ErrorCode::kInvalidScenario,
+                "probe " +
+                    std::string(probe.kind == Probe::Kind::kCoreFluxDensity
+                                    ? "b("
+                                    : "h(") +
+                    probe.target + "): no such JA inductor"};
+      }
+      out.core = core;
+      return {};
+    }
+  }
+  return {ErrorCode::kInternal, "unhandled probe kind"};
+}
+
+double probe_value(const ProbeRef& ref, const Solution& sol) {
+  switch (ref.kind) {
+    case Probe::Kind::kNodeVoltage:
+      return sol.v(ref.node);
+    case Probe::Kind::kBranchCurrent:
+      return sol.branch_current(ref.branch);
+    case Probe::Kind::kCoreFluxDensity:
+      return ref.core->flux_density();  // committed before the callback
+    case Probe::Kind::kCoreField:
+      return ref.core->field();
+  }
+  return 0.0;
+}
+
+/// One corner mid-flight inside a lockstep group. Heap-allocated so the
+/// machine's accept callback can capture a stable pointer.
+struct CornerState {
+  Circuit circuit;
+  std::vector<ProbeRef> probes;
+  CornerResult result;
+  bool has_sample = false;
+  std::unique_ptr<TransientMachine> machine;
+
+  // Packing: cores the SoA kernel covers, parallel to their lane indices.
+  std::vector<JaInductor*> packed_cores;
+  std::vector<std::size_t> lane_of_core;
+};
+
+void record_sample(CornerState& st, bool record_waveforms,
+                   const Solution& sol) {
+  if (record_waveforms) st.result.t.push_back(sol.t);
+  for (std::size_t p = 0; p < st.probes.size(); ++p) {
+    const double v = probe_value(st.probes[p], sol);
+    if (record_waveforms) st.result.waveforms[p].push_back(v);
+    ProbeSummary& s = st.result.probes[p];
+    if (!st.has_sample) {
+      s.min = s.max = s.final = v;
+      s.abs_peak = std::fabs(v);
+      s.t_abs_peak = sol.t;
+      continue;
+    }
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    if (std::fabs(v) > s.abs_peak) {
+      s.abs_peak = std::fabs(v);
+      s.t_abs_peak = sol.t;
+    }
+    s.final = v;
+  }
+  st.has_sample = true;
+}
+
+/// Read-only sweep configuration plus the shared stop/emit plumbing one
+/// parallel_for chunk needs.
+struct SweepContext {
+  const CornerSampler& sampler;
+  const CornerBuilder& builder;
+  const MonteCarloOptions& options;
+  core::RunGate& gate;
+  const EmitFn& emit;
+};
+
+/// Draws + builds + probe-resolves corner `index`. On failure the result
+/// carries the error and `machine` stays null.
+std::unique_ptr<CornerState> make_corner(const SweepContext& ctx,
+                                         std::size_t index) {
+  auto st = std::make_unique<CornerState>();
+  st->result.index = index;
+  st->result.draws = ctx.sampler.corner(index);
+  st->result.probes.resize(ctx.options.probes.size());
+  if (ctx.options.record_waveforms) {
+    st->result.waveforms.resize(ctx.options.probes.size());
+  }
+
+  const CornerView view(ctx.sampler.spec(), st->result.draws, index);
+  try {
+    ctx.builder(view, st->circuit);
+  } catch (const std::exception& e) {
+    st->result.error = {ErrorCode::kInvalidScenario,
+                        std::string("corner builder threw: ") + e.what()};
+    return st;
+  } catch (...) {
+    st->result.error = {ErrorCode::kInvalidScenario, "corner builder threw"};
+    return st;
+  }
+
+  st->probes.resize(ctx.options.probes.size());
+  for (std::size_t p = 0; p < ctx.options.probes.size(); ++p) {
+    Error err = resolve_probe(ctx.options.probes[p], st->circuit, st->probes[p]);
+    if (!err.ok()) {
+      st->result.error = std::move(err);
+      return st;
+    }
+  }
+
+  CornerState* raw = st.get();
+  st->machine = std::make_unique<TransientMachine>(
+      st->circuit, ctx.options.transient,
+      [raw, rec = ctx.options.record_waveforms](const Solution& sol) {
+        record_sample(*raw, rec, sol);
+      },
+      &st->result.stats, &ctx.gate);
+  return st;
+}
+
+/// Books the corner's verdict into the gate counters and hands the result
+/// off. The machine's latched error (if any) wins over a clean corner-layer
+/// state; corner-layer failures never built a machine.
+void finalize_emit(const SweepContext& ctx, std::unique_ptr<CornerState> st) {
+  if (st->machine) st->result.error = st->machine->error();
+  const Error& e = st->result.error;
+  if (!e.ok()) {
+    if (e.code == ErrorCode::kCancelled ||
+        e.code == ErrorCode::kDeadlineExceeded) {
+      ctx.gate.count_cancelled();
+    } else {
+      ctx.gate.count_failure();
+    }
+  }
+  ctx.emit(st->result.index, std::move(st->result));
+}
+
+/// Emits kCancelled/kDeadlineExceeded markers for a range the sweep no
+/// longer computes (chunk claimed after the gate stopped). Draws are still
+/// included — they are a pure function of (seed, index) and let a caller
+/// resume or reproduce the skipped corners.
+void emit_cancelled(const SweepContext& ctx, std::size_t begin,
+                    std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    CornerResult r;
+    r.index = i;
+    r.draws = ctx.sampler.corner(i);
+    r.error = ctx.gate.stop_error();
+    ctx.gate.count_cancelled();
+    ctx.emit(i, std::move(r));
+  }
+}
+
+/// Runs corners [begin, end) as one lockstep group. kScalar: each corner's
+/// machine is driven to completion on its own (the serial reference).
+/// Packed: all machines of the group step together, and before every round
+/// of Newton iterations the JA cores' three trial points are evaluated as
+/// one TimelessJaBatch block and armed into the inductors.
+void run_group(const SweepContext& ctx, std::size_t begin, std::size_t end) {
+  const bool packed = ctx.options.packing != McPacking::kScalar;
+
+  std::vector<std::unique_ptr<CornerState>> group;
+  group.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    auto st = make_corner(ctx, i);
+    if (!st->machine) {  // builder/probe failure: emit, isolate, move on
+      finalize_emit(ctx, std::move(st));
+      continue;
+    }
+    if (!packed) {
+      while (!st->machine->done()) st->machine->advance();
+      finalize_emit(ctx, std::move(st));
+      continue;
+    }
+    group.push_back(std::move(st));
+  }
+  if (group.empty()) return;
+
+  // Lane assembly: one SoA batch for the whole group, one lane per
+  // packable core. Cores outside the kernel's subset (and every other
+  // device) keep their scalar stamp path inside the same lockstep loop.
+  mag::TimelessJaBatch batch(ctx.options.packing == McPacking::kPackedFast
+                                 ? mag::BatchMath::kFast
+                                 : mag::BatchMath::kExact);
+  for (auto& st : group) {
+    for (const auto& device : st->circuit.devices()) {
+      auto* core = dynamic_cast<JaInductor*>(device.get());
+      if (core == nullptr) continue;
+      if (!mag::TimelessJaBatch::supports(core->model().config())) continue;
+      st->packed_cores.push_back(core);
+      st->lane_of_core.push_back(
+          batch.add_lane(core->model().params(), core->model().config()));
+    }
+  }
+
+  const std::size_t lanes = batch.lanes();
+  std::vector<double> h_at(lanes), h_plus(lanes), h_minus(lanes), di(lanes);
+  std::vector<double> b_at(lanes), b_plus(lanes), b_minus(lanes);
+
+  // Rewinds every lane to its core's committed state — run before each of
+  // the three trial passes, exactly as the scalar stamp copies the
+  // committed model for each trial evaluation.
+  const auto rewind = [&] {
+    for (const auto& st : group) {
+      for (std::size_t j = 0; j < st->packed_cores.size(); ++j) {
+        batch.set_state(st->lane_of_core[j],
+                        st->packed_cores[j]->model().state());
+      }
+    }
+  };
+  const auto trial_pass = [&](const std::vector<double>& h,
+                              std::vector<double>& b) {
+    rewind();
+    batch.apply(h.data());
+    for (std::size_t l = 0; l < lanes; ++l) b[l] = batch.flux_density(l);
+  };
+
+  const auto any_active = [&] {
+    return std::any_of(group.begin(), group.end(),
+                       [](const auto& st) { return !st->machine->done(); });
+  };
+
+  while (any_active()) {
+    // Phase 1: each active corner's trial field points, one lane per core.
+    // Done corners park their lanes at the committed field (a dh = 0
+    // refresh), so the lockstep apply stays well-defined for every lane.
+    for (const auto& st : group) {
+      const bool active = !st->machine->done();
+      const std::span<const double> x = st->machine->iterate();
+      const std::size_t nodes = st->machine->node_count();
+      for (std::size_t j = 0; j < st->packed_cores.size(); ++j) {
+        const JaInductor* core = st->packed_cores[j];
+        const std::size_t l = st->lane_of_core[j];
+        if (!active) {
+          h_at[l] = h_plus[l] = h_minus[l] = core->model().state().present_h;
+          di[l] = 1.0;
+          continue;
+        }
+        const double i_k = x[nodes + core->first_branch()];
+        const mag::CoreGeometry& geom = core->geometry();
+        di[l] = core->trial_di(i_k);
+        h_at[l] = geom.field_from_current(i_k);
+        h_plus[l] = geom.field_from_current(i_k + di[l]);
+        h_minus[l] = geom.field_from_current(i_k - di[l]);
+      }
+    }
+
+    // Phase 2: the three batched trial evaluations, all lanes in lockstep.
+    trial_pass(h_at, b_at);
+    trial_pass(h_plus, b_plus);
+    trial_pass(h_minus, b_minus);
+
+    // Phase 3: arm and take one Newton iteration per active corner.
+    for (const auto& st : group) {
+      if (st->machine->done()) continue;
+      for (std::size_t j = 0; j < st->packed_cores.size(); ++j) {
+        const std::size_t l = st->lane_of_core[j];
+        st->packed_cores[j]->arm_trial(b_at[l], b_plus[l], b_minus[l], di[l]);
+      }
+      st->machine->advance();
+    }
+  }
+
+  for (auto& st : group) finalize_emit(ctx, std::move(st));
+}
+
+unsigned resolve_threads(const MonteCarloOptions& options) {
+  unsigned threads =
+      options.threads != 0 ? options.threads : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  if (options.corners != 0 &&
+      static_cast<std::size_t>(threads) > options.corners) {
+    threads = static_cast<unsigned>(options.corners);
+  }
+  return threads;
+}
+
+/// The sweep body shared by the collect and streaming overloads: validate
+/// once, then fan the corner groups across the pool. Every index reaches
+/// `emit` exactly once.
+void dispatch_sweep(const CornerSampler& sampler, const CornerBuilder& builder,
+                    const MonteCarloOptions& options, core::RunGate& gate,
+                    const EmitFn& emit) {
+  const std::size_t n = options.corners;
+  if (n == 0) return;
+
+  if (const Error invalid = validate(options.transient); !invalid.ok()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      CornerResult r;
+      r.index = i;
+      r.error = invalid;
+      gate.count_failure();
+      emit(i, std::move(r));
+    }
+    return;
+  }
+
+  const SweepContext ctx{sampler, builder, options, gate, emit};
+  const unsigned threads = resolve_threads(options);
+  const std::size_t chunk =
+      options.chunk != 0 ? options.chunk
+                         : core::ThreadPool::default_chunk(n, threads);
+
+  core::ThreadPool pool(threads);
+  pool.parallel_for(
+      n, chunk,
+      [&](std::size_t begin, std::size_t end, bool stopped) {
+        if (stopped) {
+          emit_cancelled(ctx, begin, end);
+        } else {
+          run_group(ctx, begin, end);
+        }
+      },
+      [&] { return gate.stopped(); });
+}
+
+/// Serialises sink callbacks behind try/catch (the CornerResult twin of the
+/// scenario SinkDriver): an on_result that throws loses that delivery only;
+/// an on_start that throws withholds every delivery. Driven from exactly
+/// one thread.
+class CornerSinkDriver {
+ public:
+  CornerSinkDriver(CornerSink& sink, McStreamSummary& summary)
+      : sink_(sink), summary_(summary) {}
+
+  void start(std::size_t total) {
+    try {
+      sink_.on_start(total);
+      started_ = true;
+    } catch (const std::exception& e) {
+      note(std::string("sink on_start threw: ") + e.what());
+    } catch (...) {
+      note("sink on_start threw");
+    }
+  }
+
+  void deliver(std::size_t index, CornerResult&& result) {
+    if (!started_) {
+      ++summary_.discarded_deliveries;
+      return;
+    }
+    try {
+      sink_.on_result(index, std::move(result));
+      ++summary_.delivered;
+    } catch (const std::exception& e) {
+      ++summary_.discarded_deliveries;
+      note(std::string("sink on_result threw: ") + e.what());
+    } catch (...) {
+      ++summary_.discarded_deliveries;
+      note("sink on_result threw");
+    }
+  }
+
+  void complete() {
+    if (!started_) return;
+    try {
+      sink_.on_complete();
+    } catch (const std::exception& e) {
+      note(std::string("sink on_complete threw: ") + e.what());
+    } catch (...) {
+      note("sink on_complete threw");
+    }
+  }
+
+ private:
+  void note(std::string detail) {
+    ++summary_.sink_error_count;
+    if (summary_.sink_error.ok()) {
+      summary_.sink_error = {ErrorCode::kSinkError, std::move(detail)};
+    }
+  }
+
+  CornerSink& sink_;
+  McStreamSummary& summary_;
+  bool started_ = false;
+};
+
+}  // namespace
+
+std::string_view to_string(McPacking packing) {
+  switch (packing) {
+    case McPacking::kScalar:
+      return "scalar";
+    case McPacking::kPackedExact:
+      return "packed-exact";
+    case McPacking::kPackedFast:
+      return "packed-fast";
+  }
+  return "?";
+}
+
+std::string_view to_string(Probe::Kind kind) {
+  switch (kind) {
+    case Probe::Kind::kNodeVoltage:
+      return "v";
+    case Probe::Kind::kBranchCurrent:
+      return "i";
+    case Probe::Kind::kCoreFluxDensity:
+      return "b";
+    case Probe::Kind::kCoreField:
+      return "h";
+  }
+  return "?";
+}
+
+MonteCarlo::MonteCarlo(CornerSampler sampler, CornerBuilder builder)
+    : sampler_(std::move(sampler)), builder_(std::move(builder)) {}
+
+std::vector<CornerResult> MonteCarlo::run(const MonteCarloOptions& options,
+                                          core::BatchReport* report) const {
+  core::RunGate gate(options.limits);
+  std::vector<CornerResult> results(options.corners);
+  // Disjoint slot writes: no synchronisation needed, no queue overhead.
+  dispatch_sweep(sampler_, builder_, options, gate,
+                 [&](std::size_t i, CornerResult&& r) {
+                   results[i] = std::move(r);
+                 });
+  if (report != nullptr) {
+    gate.fill(*report);
+    report->jobs = options.corners;
+  }
+  return results;
+}
+
+McStreamSummary MonteCarlo::run(const MonteCarloOptions& options,
+                                CornerSink& sink) const {
+  core::RunGate gate(options.limits);
+  McStreamSummary summary;
+  CornerSinkDriver driver(sink, summary);
+  driver.start(options.corners);
+
+  if (resolve_threads(options) <= 1) {
+    // Serial sweep: the dispatch runs in this thread, so the sink can be
+    // driven inline — no queue, no consumer thread, same contract.
+    dispatch_sweep(sampler_, builder_, options, gate,
+                   [&](std::size_t i, CornerResult&& r) {
+                     driver.deliver(i, std::move(r));
+                   });
+  } else {
+    const std::size_t capacity =
+        options.queue_capacity != 0
+            ? options.queue_capacity
+            : static_cast<std::size_t>(resolve_threads(options)) * 2;
+    core::BasicResultQueue<CornerResult> queue(capacity);
+
+    // A failed hand-off loses that result but must not unwind a pool
+    // worker: count it so delivered + discarded still covers every corner.
+    std::atomic<std::size_t> lost_pushes{0};
+    std::mutex lost_mutex;
+    Error first_lost;
+
+    // One consumer drains the queue for the whole sweep, so the sink sees
+    // a single-threaded, serialised call sequence.
+    std::thread consumer([&] {
+      core::BasicStreamItem<CornerResult> item;
+      while (queue.pop(item)) {
+        driver.deliver(item.index, std::move(item.result));
+      }
+    });
+
+    // Closed-and-joined even if dispatch throws — letting a joinable
+    // std::thread unwind calls std::terminate.
+    try {
+      dispatch_sweep(sampler_, builder_, options, gate,
+                     [&](std::size_t i, CornerResult&& r) {
+                       try {
+                         queue.push(
+                             core::BasicStreamItem<CornerResult>{i, std::move(r)});
+                       } catch (const std::exception& e) {
+                         lost_pushes.fetch_add(1, std::memory_order_relaxed);
+                         std::lock_guard<std::mutex> lk(lost_mutex);
+                         if (first_lost.ok()) {
+                           first_lost = {
+                               ErrorCode::kInternal,
+                               std::string("result hand-off failed: ") +
+                                   e.what()};
+                         }
+                       } catch (...) {
+                         lost_pushes.fetch_add(1, std::memory_order_relaxed);
+                         std::lock_guard<std::mutex> lk(lost_mutex);
+                         if (first_lost.ok()) {
+                           first_lost = {ErrorCode::kInternal,
+                                         "result hand-off failed"};
+                         }
+                       }
+                     });
+    } catch (...) {
+      queue.close();
+      consumer.join();
+      throw;
+    }
+
+    queue.close();
+    consumer.join();
+    summary.discarded_deliveries += lost_pushes.load(std::memory_order_relaxed);
+    if (!first_lost.ok() && summary.sink_error.ok()) {
+      summary.sink_error = std::move(first_lost);
+    }
+  }
+
+  driver.complete();
+  gate.fill(summary.batch);
+  summary.batch.jobs = options.corners;
+  return summary;
+}
+
+}  // namespace ferro::ckt

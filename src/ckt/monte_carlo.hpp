@@ -1,0 +1,167 @@
+// ckt::MonteCarlo — tolerance corner sweeps over one circuit topology,
+// fanned across core::ThreadPool and (optionally) SoA-packed.
+//
+// A sweep is: a CornerSampler (which quantities scatter, under which seed)
+// plus a CornerBuilder (how one corner's factors become a Circuit). Each
+// corner is an independent transient run; the runner executes them with the
+// same discipline the scenario BatchRunner established —
+//
+//   * deterministic: corner i's result is a pure function of (seed, i) and
+//     the transient options. Thread count, chunk size, and scheduling order
+//     never touch the bits (property-tested).
+//   * fault-isolated: a corner whose builder throws, whose probes don't
+//     resolve, or whose Newton iteration collapses reports a structured
+//     core::Error in ITS CornerResult; the other corners are unaffected.
+//   * bounded: RunLimits (cancel token / deadline / error budget) stop the
+//     sweep at step boundaries; unfinished corners are emitted as
+//     kCancelled / kDeadlineExceeded markers, every index exactly once.
+//   * streaming: the sink overload delivers per-corner results through a
+//     bounded queue as they finish — a 10k-corner sweep never materialises
+//     all waveforms at once (leave record_waveforms off and each corner
+//     carries only its probe summaries and stats).
+//
+// Packing (the perf tentpole): corners share a topology, so the lockstep
+// group inside one chunk steps together — before every Newton iteration the
+// runner reads each machine's iterate, evaluates ALL their JaInductor trial
+// points (3 per core: at, +di, -di) as one mag::TimelessJaBatch block, and
+// arms the inductors so their stamps consume the batched flux densities.
+// With BatchMath::kExact the SoA lanes are bitwise-identical to the scalar
+// model, so kPackedExact equals kScalar equals a direct ckt::run_transient —
+// verified down to the last waveform bit by the tests. Cores whose config
+// the batch kernel does not cover (and every non-JaInductor device) simply
+// keep their scalar stamp path inside the same lockstep loop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ckt/engine.hpp"
+#include "ckt/netlist.hpp"
+#include "ckt/scatter.hpp"
+#include "core/cancel.hpp"
+#include "core/error.hpp"
+#include "core/stream.hpp"
+
+namespace ferro::ckt {
+
+/// How the corners of one lockstep group evaluate their JA cores.
+enum class McPacking {
+  kScalar,       ///< one plain run_transient per corner (the reference)
+  kPackedExact,  ///< SoA TimelessJaBatch lanes, bitwise-equal to kScalar
+  kPackedFast,   ///< SoA lanes with FastMath arithmetic (bounded deviation)
+};
+
+[[nodiscard]] std::string_view to_string(McPacking packing);
+
+/// One observable recorded per accepted step of every corner.
+struct Probe {
+  enum class Kind {
+    kNodeVoltage,      ///< target = node name ("0"/"gnd" probe the reference)
+    kBranchCurrent,    ///< target = device name (its first branch current)
+    kCoreFluxDensity,  ///< target = JaInductor name (committed B) [T]
+    kCoreField,        ///< target = JaInductor name (committed H) [A/m]
+  };
+
+  Kind kind = Kind::kNodeVoltage;
+  std::string target;
+};
+
+[[nodiscard]] std::string_view to_string(Probe::Kind kind);
+
+/// Per-corner reduction of one probe over the whole waveform — the metrics
+/// a sweep keeps when full waveforms would not fit.
+struct ProbeSummary {
+  double min = 0.0;
+  double max = 0.0;
+  double abs_peak = 0.0;    ///< max |value| over the run
+  double t_abs_peak = 0.0;  ///< time of the first |value| == abs_peak sample
+  double final = 0.0;       ///< value at the last accepted step
+};
+
+/// Everything one corner produces. Default-constructed + moved through the
+/// streaming queue; self-contained (no references into the runner).
+struct CornerResult {
+  std::size_t index = 0;
+  CornerValues draws;  ///< the factors this corner was built from
+  CircuitStats stats;
+  std::vector<ProbeSummary> probes;  ///< parallel to MonteCarloOptions::probes
+
+  /// Waveforms, recorded only when MonteCarloOptions::record_waveforms:
+  /// t[k] is accepted-step k's time, waveforms[p][k] probe p's value there.
+  std::vector<double> t;
+  std::vector<std::vector<double>> waveforms;
+
+  /// First structured failure of this corner (see run_transient), plus the
+  /// corner-layer cases: a throwing builder or an unresolvable probe target
+  /// (both kInvalidScenario).
+  core::Error error;
+
+  [[nodiscard]] bool ok() const { return error.ok(); }
+};
+
+/// Streaming sink family over CornerResult (delivery contract as for
+/// scenario streaming: on_start once, every index exactly once in any
+/// order, on_complete always, single-threaded calls).
+using CornerSink = core::BasicResultSink<CornerResult>;
+using CornerOrderedSink = core::BasicOrderedSink<CornerResult>;
+using CornerCollectingSink = core::BasicCollectingSink<CornerResult>;
+
+/// Builds one corner's circuit: read scattered values off the view
+/// (`view.value("r1.value", 10.0)`), populate the empty `circuit`. Called
+/// concurrently for different corners — must not touch shared mutable
+/// state. A thrown exception fails that corner only (kInvalidScenario).
+using CornerBuilder = std::function<void(const CornerView& view, Circuit& circuit)>;
+
+struct MonteCarloOptions {
+  std::size_t corners = 0;
+  unsigned threads = 1;  ///< total workers; 0 = hardware concurrency
+  /// Corners per dispatch chunk — which is also the lockstep SoA group
+  /// size. 0 = ThreadPool::default_chunk. Results never depend on it.
+  std::size_t chunk = 0;
+  McPacking packing = McPacking::kPackedExact;
+  bool record_waveforms = false;
+  TransientOptions transient;
+  std::vector<Probe> probes;
+  core::RunLimits limits;
+  /// Streaming overload only: bounded hand-off queue depth (0 = 2x threads).
+  std::size_t queue_capacity = 0;
+};
+
+/// Outcome of a streaming sweep: the batch verdict plus sink accounting,
+/// mirroring core::StreamSummary. delivered + discarded covers every corner.
+struct McStreamSummary {
+  core::BatchReport batch;
+  std::size_t delivered = 0;
+  std::size_t discarded_deliveries = 0;
+  std::size_t sink_error_count = 0;
+  core::Error sink_error;  ///< first sink/hand-off failure; kOk when clean
+
+  [[nodiscard]] bool ok() const { return sink_error.ok(); }
+};
+
+class MonteCarlo {
+ public:
+  MonteCarlo(CornerSampler sampler, CornerBuilder builder);
+
+  [[nodiscard]] const CornerSampler& sampler() const { return sampler_; }
+
+  /// Collect path: all corner results, indexed by corner. `report` (optional)
+  /// receives the batch verdict.
+  [[nodiscard]] std::vector<CornerResult> run(
+      const MonteCarloOptions& options, core::BatchReport* report = nullptr) const;
+
+  /// Streaming path: results are delivered to `sink` as corners finish
+  /// (bounded memory). Serial sweeps drive the sink inline; parallel sweeps
+  /// hand results to one consumer thread through a bounded queue.
+  McStreamSummary run(const MonteCarloOptions& options, CornerSink& sink) const;
+
+ private:
+  CornerSampler sampler_;
+  CornerBuilder builder_;
+};
+
+}  // namespace ferro::ckt

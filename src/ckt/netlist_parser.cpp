@@ -224,6 +224,10 @@ bool parse_core_options(const std::map<std::string, std::string>& kv,
 }  // namespace
 
 ParseResult parse_netlist(std::string_view text) {
+  return parse_netlist(text, ScatterHook{});
+}
+
+ParseResult parse_netlist(std::string_view text, const ScatterHook& hook) {
   ParseResult result;
   ParsedNetlist netlist;
 
@@ -277,6 +281,32 @@ ParseResult parse_netlist(std::string_view text) {
       return netlist.circuit.node(tokens[i]);
     };
 
+    // Routes one scatterable quantity through the corner hook (identity
+    // when no hook is set). Keyed by the lowercased device name.
+    const auto scattered = [&](std::string_view param, double nominal) {
+      return hook ? hook(card, param, nominal) : nominal;
+    };
+    // Scatters geometry + JA parameters of a core card and re-validates:
+    // a corner can push a parameter set out of the model's valid region.
+    const auto scatter_core = [&](mag::CoreGeometry& geom,
+                                  mag::JaParameters& params,
+                                  mag::TimelessConfig& config) {
+      if (!hook) return true;
+      geom.area = scattered("area", geom.area);
+      geom.path_length = scattered("path", geom.path_length);
+      params.ms = scattered("ms", params.ms);
+      params.a = scattered("a", params.a);
+      params.k = scattered("k", params.k);
+      params.c = scattered("c", params.c);
+      params.alpha = scattered("alpha", params.alpha);
+      config.dhmax = scattered("dhmax", config.dhmax);
+      if (!params.is_valid()) {
+        fail(name + ": scattered JA parameters are invalid");
+        return false;
+      }
+      return true;
+    };
+
     switch (kind) {
       case 'v':
       case 'i': {
@@ -307,7 +337,8 @@ ParseResult parse_netlist(std::string_view text) {
           fail(name + ": bad resistance '" + tokens[3] + "'");
           break;
         }
-        netlist.circuit.add<Resistor>(name, node(1), node(2), *ohms);
+        netlist.circuit.add<Resistor>(name, node(1), node(2),
+                                      scattered("value", *ohms));
         netlist.device_names.push_back(name);
         break;
       }
@@ -325,9 +356,11 @@ ParseResult parse_netlist(std::string_view text) {
         parse_options(tokens, 4, kv, flags, error);
         const auto ic = option_value(kv, "ic");
         if (kind == 'c') {
-          netlist.circuit.add<Capacitor>(name, node(1), node(2), *value, ic);
+          netlist.circuit.add<Capacitor>(name, node(1), node(2),
+                                         scattered("value", *value), ic);
         } else {
-          netlist.circuit.add<Inductor>(name, node(1), node(2), *value, ic);
+          netlist.circuit.add<Inductor>(name, node(1), node(2),
+                                        scattered("value", *value), ic);
         }
         netlist.device_names.push_back(name);
         break;
@@ -338,8 +371,10 @@ ParseResult parse_netlist(std::string_view text) {
           break;
         }
         parse_options(tokens, 3, kv, flags, error);
-        const double i_sat = option_value(kv, "is").value_or(1e-14);
-        const double emission = option_value(kv, "n").value_or(1.0);
+        const double i_sat =
+            scattered("is", option_value(kv, "is").value_or(1e-14));
+        const double emission =
+            scattered("n", option_value(kv, "n").value_or(1.0));
         netlist.circuit.add<Diode>(name, node(1), node(2), i_sat, emission);
         netlist.device_names.push_back(name);
         break;
@@ -375,6 +410,7 @@ ParseResult parse_netlist(std::string_view text) {
           fail(name + ": " + error);
           break;
         }
+        if (!scatter_core(geom, params, config)) break;
         netlist.circuit.add<JaInductor>(name, node(1), node(2), geom, params,
                                         config);
         netlist.device_names.push_back(name);
@@ -397,8 +433,9 @@ ParseResult parse_netlist(std::string_view text) {
           fail(name + ": coupling k must be in [0, 1)");
           break;
         }
-        netlist.circuit.add<MutualInductor>(name, node(1), node(2), node(3),
-                                            node(4), *l1, *l2, *coupling);
+        netlist.circuit.add<MutualInductor>(
+            name, node(1), node(2), node(3), node(4), scattered("l1", *l1),
+            scattered("l2", *l2), scattered("k", *coupling));
         netlist.device_names.push_back(name);
         break;
       }
@@ -420,6 +457,7 @@ ParseResult parse_netlist(std::string_view text) {
           fail(name + ": missing ns=<secondary turns>");
           break;
         }
+        if (!scatter_core(geom, params, config)) break;
         netlist.circuit.add<JaTransformer>(name, node(1), node(2), node(3),
                                            node(4), geom,
                                            static_cast<int>(*ns), params,

@@ -29,6 +29,7 @@
 // reported with line numbers; parsing is all-or-nothing.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -68,6 +69,24 @@ struct ParseResult {
 
 /// Parses a complete deck from text.
 [[nodiscard]] ParseResult parse_netlist(std::string_view text);
+
+/// Value interception for Monte-Carlo corner builds: called for every
+/// scatterable quantity as the deck is parsed — `device` is the card name
+/// lowercased ("r1", "lcore"), `param` the quantity ("value", "ms",
+/// "area", ...) — and returns the value the device is built with. The
+/// identity hook reproduces parse_netlist(text) exactly; a corner hook maps
+/// (device, param) to `nominal * factor` via ckt::CornerView. Scatterable:
+/// R/C/L "value"; D "is"/"n"; K "l1"/"l2"/"k"; Y/T "area"/"path" and the JA
+/// parameters "ms"/"a"/"k"/"c"/"alpha" plus "dhmax".
+using ScatterHook = std::function<double(
+    std::string_view device, std::string_view param, double nominal)>;
+
+/// Parses a deck with every scatterable value routed through `hook` (empty
+/// hook = plain parse). Scattered JA parameter sets are re-validated; a
+/// corner that scatters a core into an invalid region fails the parse like
+/// any other malformed card.
+[[nodiscard]] ParseResult parse_netlist(std::string_view text,
+                                        const ScatterHook& hook);
 
 /// Parses a SPICE-style number with optional suffix: "4.7k" -> 4700,
 /// "1meg" -> 1e6, "10u" -> 1e-5. Returns nullopt on malformed input.

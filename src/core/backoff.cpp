@@ -5,18 +5,9 @@
 namespace ferro::core {
 
 Backoff::Backoff(const BackoffPolicy& policy, std::uint64_t seed)
-    : policy_(policy), state_(seed) {}
+    : policy_(policy), rng_(seed) {}
 
-double Backoff::next_unit() {
-  // splitmix64 (Steele/Lea/Flood); the top 53 bits make a uniform double in
-  // [0, 1).
-  state_ += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = state_;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  z ^= z >> 31;
-  return static_cast<double>(z >> 11) * 0x1.0p-53;
-}
+double Backoff::next_unit() { return rng_.next_unit(); }
 
 std::optional<double> Backoff::next_delay_ms() {
   if (attempts_ >= policy_.max_retries) return std::nullopt;

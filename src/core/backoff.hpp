@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <optional>
 
+#include "util/rng.hpp"
+
 namespace ferro::core {
 
 struct BackoffPolicy {
@@ -64,12 +66,13 @@ class Backoff {
   }
 
  private:
-  /// splitmix64 — tiny, seedable, identical everywhere (unlike
-  /// std::uniform_real_distribution, whose draws are implementation-defined).
+  /// Uniform [0, 1) draw from the shared splitmix64 engine (util::SplitMix64
+  /// — seedable, identical everywhere, unlike std::uniform_real_distribution
+  /// whose draws are implementation-defined).
   [[nodiscard]] double next_unit();
 
   BackoffPolicy policy_;
-  std::uint64_t state_;
+  util::SplitMix64 rng_;
   int attempts_ = 0;
   double previous_ms_ = 0.0;
 };

@@ -58,14 +58,13 @@
 
 #include "core/cancel.hpp"
 #include "core/error.hpp"
+#include "core/result_sink.hpp"
 #include "core/scenario.hpp"
 #include "core/shard_executor.hpp"
 #include "core/thread_pool.hpp"
 #include "mag/timeless_ja_batch.hpp"
 
 namespace ferro::core {
-
-class ResultSink;
 
 struct BatchOptions {
   /// Worker count: 0 picks std::thread::hardware_concurrency(); 1 runs every

@@ -1,71 +1,16 @@
 // ResultQueue — the bounded MPSC hand-off between BatchRunner's workers and
-// the single consumer thread that drives a ResultSink.
-//
-// Many producers (pool workers) push finished ScenarioResults; exactly one
-// consumer pops them. The queue is bounded: push() blocks while the queue is
-// full, so a slow sink applies backpressure to the workers instead of letting
-// results buffer unboundedly — peak memory in flight is capacity() results,
-// whatever the batch size. Condition-variable based on purpose: the producers
-// are coarse-grained simulation jobs, so a blocking queue costs nothing
-// measurable and keeps the code obviously correct under TSan.
-//
-// Shutdown: close() marks the stream finished. Pops drain whatever is still
-// queued and then return false; pushes after close() are refused (returns
-// false, item dropped) — that only happens if a producer outlives the batch,
-// which BatchRunner's structure prevents.
+// the single consumer thread that drives a ResultSink: the ScenarioResult
+// instantiation of core/stream.hpp's BasicResultQueue (semantics — bounded
+// capacity, blocking push backpressure, close/drain shutdown — documented
+// on the template).
 #pragma once
 
-#include <condition_variable>
-#include <cstddef>
-#include <deque>
-#include <mutex>
-
 #include "core/scenario.hpp"
+#include "core/stream.hpp"
 
 namespace ferro::core {
 
-/// One in-flight result: the scenario index names the job, because arrival
-/// order is scheduling-dependent by design.
-struct StreamItem {
-  std::size_t index = 0;
-  ScenarioResult result;
-};
-
-class ResultQueue {
- public:
-  /// `capacity` is clamped to at least 1 (a zero-capacity queue could never
-  /// transfer anything).
-  explicit ResultQueue(std::size_t capacity);
-
-  ResultQueue(const ResultQueue&) = delete;
-  ResultQueue& operator=(const ResultQueue&) = delete;
-
-  /// Blocks while the queue is full. Returns false (dropping `item`) only if
-  /// the queue was closed.
-  bool push(StreamItem&& item);
-
-  /// Blocks while the queue is empty and not closed. Returns false once the
-  /// queue is closed *and* drained; true with `out` filled otherwise.
-  bool pop(StreamItem& out);
-
-  /// No more pushes; pending items stay poppable. Idempotent.
-  void close();
-
-  [[nodiscard]] std::size_t capacity() const { return capacity_; }
-
-  /// Highest occupancy ever observed — lets tests and benches check that
-  /// backpressure actually bounded the buffer. Racy only in the benign
-  /// "read while producing" sense; read it after the batch for exact values.
-  [[nodiscard]] std::size_t high_water() const;
-
- private:
-  mutable std::mutex mutex_;
-  std::condition_variable can_push_;
-  std::condition_variable can_pop_;
-  std::deque<StreamItem> items_;
-  std::size_t capacity_;
-  std::size_t high_water_ = 0;
-  bool closed_ = false;
-};
+using StreamItem = BasicStreamItem<ScenarioResult>;
+using ResultQueue = BasicResultQueue<ScenarioResult>;
 
 }  // namespace ferro::core

@@ -1,136 +1,24 @@
 // ResultSink — the consumer side of BatchRunner's streaming path, plus the
 // stock adapters most callers compose from.
 //
-// Contract (what BatchRunner::run(scenarios, sink) guarantees a sink):
-//   * on_start(total) once, then zero or more on_result calls, then
-//     on_complete() once — all from ONE thread, never concurrently, so sinks
-//     need no locking of their own;
-//   * on_result(index, result) may arrive in ANY order; `index` is the
-//     position in the scenario list, and every index in [0, total) arrives
-//     exactly once (wrap in OrderedSink for in-order delivery);
-//   * a sink callback may throw: the batch still runs to completion and a
-//     broken consumer never tears down the pool. A throw from on_result
-//     loses THAT delivery only — later results are still offered, the first
-//     error plus sink_error_count/discarded_deliveries land in the returned
-//     StreamSummary (delivered + discarded_deliveries == total always). A
-//     throw from on_start withholds every delivery (the sink was never
-//     initialised); on_complete still runs either way;
-//   * under RunLimits cancellation/deadline, unfinished scenarios are still
-//     delivered — exactly once per index — carrying their kCancelled /
-//     kDeadlineExceeded verdict in ScenarioResult::error;
-//   * results are delivered while workers are still computing; a slow sink
-//     backpressures the workers through the bounded ResultQueue rather than
-//     buffering unboundedly.
+// These are the ScenarioResult instantiations of the generic streaming
+// machinery in core/stream.hpp (ckt::MonteCarlo instantiates the same
+// templates over its CornerResult). The sink contract — on_start once, every
+// index exactly once in any order, on_complete even after sink throws,
+// single-threaded delivery, backpressure through the bounded queue — is
+// documented on the templates.
 #pragma once
 
-#include <cstddef>
-#include <functional>
-#include <map>
-#include <vector>
-
 #include "core/scenario.hpp"
+#include "core/stream.hpp"
 
 namespace ferro::core {
 
-class ResultSink {
- public:
-  virtual ~ResultSink() = default;
-
-  /// Called once, before any result, with the batch size.
-  virtual void on_start(std::size_t total) { (void)total; }
-
-  /// Called once per scenario, in arrival (NOT scenario) order, from a
-  /// single thread. The sink owns `result` after the call.
-  virtual void on_result(std::size_t index, ScenarioResult&& result) = 0;
-
-  /// Called once after the last delivery attempt, even when an earlier sink
-  /// callback threw.
-  virtual void on_complete() {}
-};
-
-/// Re-sequencing adapter: buffers out-of-order arrivals and forwards to the
-/// inner sink strictly by ascending scenario index, so the inner sink sees
-/// exactly the order run() would have returned. The price of ordering is
-/// buffering — worst case (index 0 finishes last) it holds the whole batch,
-/// so callers who only need "which job is this" should consume unordered.
-class OrderedSink : public ResultSink {
- public:
-  explicit OrderedSink(ResultSink& inner) : inner_(inner) {}
-
-  void on_start(std::size_t total) override;
-  void on_result(std::size_t index, ScenarioResult&& result) override;
-  void on_complete() override;
-
-  /// Largest buffer the adapter ever held — observability for tests/benches.
-  [[nodiscard]] std::size_t max_buffered() const { return max_buffered_; }
-
- private:
-  ResultSink& inner_;
-  std::map<std::size_t, ScenarioResult> pending_;
-  std::size_t next_ = 0;
-  std::size_t max_buffered_ = 0;
-};
-
-/// Collects results into a vector indexed by scenario — the streaming
-/// equivalent of run()'s return value, mostly for tests and migration.
-class CollectingSink : public ResultSink {
- public:
-  void on_start(std::size_t total) override { results_.resize(total); }
-  void on_result(std::size_t index, ScenarioResult&& result) override {
-    results_[index] = std::move(result);
-  }
-
-  [[nodiscard]] std::vector<ScenarioResult>& results() { return results_; }
-  [[nodiscard]] const std::vector<ScenarioResult>& results() const {
-    return results_;
-  }
-
- private:
-  std::vector<ScenarioResult> results_;
-};
-
-/// Live progress/error hooks without writing a sink class. Any callback may
-/// be empty. on_error fires (before on_result) for results carrying a
-/// per-job error; on_progress fires after every delivery with the running
-/// count, for progress bars.
-struct StreamCallbacks {
-  std::function<void(std::size_t index, const ScenarioResult& result)>
-      on_result;
-  std::function<void(std::size_t index, const ScenarioResult& result)>
-      on_error;
-  std::function<void(std::size_t done, std::size_t total)> on_progress;
-};
-
-class CallbackSink : public ResultSink {
- public:
-  explicit CallbackSink(StreamCallbacks callbacks)
-      : callbacks_(std::move(callbacks)) {}
-
-  void on_start(std::size_t total) override {
-    total_ = total;
-    done_ = 0;  // the sink is reusable across batches, like OrderedSink
-  }
-  void on_result(std::size_t index, ScenarioResult&& result) override;
-
- private:
-  StreamCallbacks callbacks_;
-  std::size_t total_ = 0;
-  std::size_t done_ = 0;
-};
-
-/// Fans every delivery out to several sinks (e.g. a CSV writer plus a
-/// progress printer). Downstream sinks receive the result by const reference
-/// copy, so they are independent owners. Pointers are non-owning.
-class TeeSink : public ResultSink {
- public:
-  explicit TeeSink(std::vector<ResultSink*> sinks) : sinks_(std::move(sinks)) {}
-
-  void on_start(std::size_t total) override;
-  void on_result(std::size_t index, ScenarioResult&& result) override;
-  void on_complete() override;
-
- private:
-  std::vector<ResultSink*> sinks_;
-};
+using ResultSink = BasicResultSink<ScenarioResult>;
+using OrderedSink = BasicOrderedSink<ScenarioResult>;
+using CollectingSink = BasicCollectingSink<ScenarioResult>;
+using StreamCallbacks = BasicStreamCallbacks<ScenarioResult>;
+using CallbackSink = BasicCallbackSink<ScenarioResult>;
+using TeeSink = BasicTeeSink<ScenarioResult>;
 
 }  // namespace ferro::core

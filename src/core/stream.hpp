@@ -1,0 +1,291 @@
+// Generic streaming result machinery: the sink contract, the stock sink
+// adapters, and the bounded MPSC hand-off queue, templated on the result
+// type so every batch engine in the repo delivers through the same
+// plumbing. `core::ResultSink`/`core::ResultQueue` (result_sink.hpp /
+// result_queue.hpp) are the ScenarioResult instantiations BatchRunner
+// speaks; ckt::MonteCarlo instantiates the same templates over its
+// CornerResult so a 10k-corner sweep streams with identical semantics.
+//
+// Sink contract (what every streaming driver guarantees a sink):
+//   * on_start(total) once, then zero or more on_result calls, then
+//     on_complete() once — all from ONE thread, never concurrently, so
+//     sinks need no locking of their own;
+//   * on_result(index, result) may arrive in ANY order; `index` is the
+//     position in the job list, and every index in [0, total) arrives
+//     exactly once (wrap in BasicOrderedSink for in-order delivery);
+//   * a sink callback may throw: the batch still runs to completion and a
+//     broken consumer never tears down the pool. A throw from on_result
+//     loses THAT delivery only; a throw from on_start withholds every
+//     delivery; on_complete still runs either way;
+//   * under RunLimits cancellation/deadline, unfinished jobs are still
+//     delivered — exactly once per index — carrying their kCancelled /
+//     kDeadlineExceeded verdict;
+//   * results are delivered while workers are still computing; a slow sink
+//     backpressures the workers through the bounded queue rather than
+//     buffering unboundedly.
+//
+// The result type R must be movable; BasicCallbackSink additionally wants
+// an `ok()` member for its on_error hook, and BasicTeeSink wants copyability.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/fault_injection.hpp"
+
+namespace ferro::core {
+
+template <typename R>
+class BasicResultSink {
+ public:
+  virtual ~BasicResultSink() = default;
+
+  /// Called once, before any result, with the batch size.
+  virtual void on_start(std::size_t total) { (void)total; }
+
+  /// Called once per job, in arrival (NOT job) order, from a single thread.
+  /// The sink owns `result` after the call.
+  virtual void on_result(std::size_t index, R&& result) = 0;
+
+  /// Called once after the last delivery attempt, even when an earlier sink
+  /// callback threw.
+  virtual void on_complete() {}
+};
+
+/// Re-sequencing adapter: buffers out-of-order arrivals and forwards to the
+/// inner sink strictly by ascending index, so the inner sink sees exactly
+/// the order a collecting run would have returned. The price of ordering is
+/// buffering — worst case (index 0 finishes last) it holds the whole batch,
+/// so callers who only need "which job is this" should consume unordered.
+template <typename R>
+class BasicOrderedSink : public BasicResultSink<R> {
+ public:
+  explicit BasicOrderedSink(BasicResultSink<R>& inner) : inner_(inner) {}
+
+  void on_start(std::size_t total) override {
+    next_ = 0;
+    max_buffered_ = 0;
+    pending_.clear();
+    inner_.on_start(total);
+  }
+
+  void on_result(std::size_t index, R&& result) override {
+    if (index != next_) {
+      pending_.emplace(index, std::move(result));
+      max_buffered_ = std::max(max_buffered_, pending_.size());
+      return;
+    }
+    inner_.on_result(next_++, std::move(result));
+    // Flush the contiguous run this arrival unblocked. Each entry is erased
+    // BEFORE its delivery: if the inner sink throws mid-flush, on_complete
+    // must not re-forward a moved-from duplicate.
+    while (!pending_.empty() && pending_.begin()->first == next_) {
+      R next_result = std::move(pending_.begin()->second);
+      pending_.erase(pending_.begin());
+      inner_.on_result(next_++, std::move(next_result));
+    }
+  }
+
+  void on_complete() override {
+    // Every index arrives exactly once, so nothing can still be pending
+    // unless deliveries were cut short by a sink error; forward what we have
+    // in order rather than dropping it silently.
+    for (auto& [index, result] : pending_) {
+      inner_.on_result(index, std::move(result));
+    }
+    pending_.clear();
+    inner_.on_complete();
+  }
+
+  /// Largest buffer the adapter ever held — observability for tests/benches.
+  [[nodiscard]] std::size_t max_buffered() const { return max_buffered_; }
+
+ private:
+  BasicResultSink<R>& inner_;
+  std::map<std::size_t, R> pending_;
+  std::size_t next_ = 0;
+  std::size_t max_buffered_ = 0;
+};
+
+/// Collects results into a vector indexed by job — the streaming equivalent
+/// of a collecting run's return value, mostly for tests and migration.
+template <typename R>
+class BasicCollectingSink : public BasicResultSink<R> {
+ public:
+  void on_start(std::size_t total) override { results_.resize(total); }
+  void on_result(std::size_t index, R&& result) override {
+    results_[index] = std::move(result);
+  }
+
+  [[nodiscard]] std::vector<R>& results() { return results_; }
+  [[nodiscard]] const std::vector<R>& results() const { return results_; }
+
+ private:
+  std::vector<R> results_;
+};
+
+/// Live progress/error hooks without writing a sink class. Any callback may
+/// be empty. on_error fires (before on_result) for results carrying a
+/// per-job error (R::ok() false); on_progress fires after every delivery
+/// with the running count, for progress bars.
+template <typename R>
+struct BasicStreamCallbacks {
+  std::function<void(std::size_t index, const R& result)> on_result;
+  std::function<void(std::size_t index, const R& result)> on_error;
+  std::function<void(std::size_t done, std::size_t total)> on_progress;
+};
+
+template <typename R>
+class BasicCallbackSink : public BasicResultSink<R> {
+ public:
+  explicit BasicCallbackSink(BasicStreamCallbacks<R> callbacks)
+      : callbacks_(std::move(callbacks)) {}
+
+  void on_start(std::size_t total) override {
+    total_ = total;
+    done_ = 0;  // the sink is reusable across batches, like BasicOrderedSink
+  }
+
+  void on_result(std::size_t index, R&& result) override {
+    if (!result.ok() && callbacks_.on_error) callbacks_.on_error(index, result);
+    if (callbacks_.on_result) callbacks_.on_result(index, result);
+    ++done_;
+    if (callbacks_.on_progress) callbacks_.on_progress(done_, total_);
+  }
+
+ private:
+  BasicStreamCallbacks<R> callbacks_;
+  std::size_t total_ = 0;
+  std::size_t done_ = 0;
+};
+
+/// Fans every delivery out to several sinks (e.g. a CSV writer plus a
+/// progress printer). Downstream sinks receive the result by const reference
+/// copy, so they are independent owners. Pointers are non-owning.
+template <typename R>
+class BasicTeeSink : public BasicResultSink<R> {
+ public:
+  explicit BasicTeeSink(std::vector<BasicResultSink<R>*> sinks)
+      : sinks_(std::move(sinks)) {}
+
+  void on_start(std::size_t total) override {
+    for (BasicResultSink<R>* s : sinks_) s->on_start(total);
+  }
+
+  void on_result(std::size_t index, R&& result) override {
+    for (std::size_t i = 0; i + 1 < sinks_.size(); ++i) {
+      R copy = result;
+      sinks_[i]->on_result(index, std::move(copy));
+    }
+    if (!sinks_.empty()) sinks_.back()->on_result(index, std::move(result));
+  }
+
+  void on_complete() override {
+    for (BasicResultSink<R>* s : sinks_) s->on_complete();
+  }
+
+ private:
+  std::vector<BasicResultSink<R>*> sinks_;
+};
+
+/// One in-flight result: the index names the job, because arrival order is
+/// scheduling-dependent by design.
+template <typename R>
+struct BasicStreamItem {
+  std::size_t index = 0;
+  R result;
+};
+
+/// The bounded MPSC hand-off between a batch engine's workers and the
+/// single consumer thread that drives a sink.
+///
+/// Many producers (pool workers) push finished results; exactly one consumer
+/// pops them. The queue is bounded: push() blocks while the queue is full,
+/// so a slow sink applies backpressure to the workers instead of letting
+/// results buffer unboundedly — peak memory in flight is capacity() results,
+/// whatever the batch size. Condition-variable based on purpose: the
+/// producers are coarse-grained simulation jobs, so a blocking queue costs
+/// nothing measurable and keeps the code obviously correct under TSan.
+///
+/// Shutdown: close() marks the stream finished. Pops drain whatever is still
+/// queued and then return false; pushes after close() are refused (returns
+/// false, item dropped) — that only happens if a producer outlives the
+/// batch, which the drivers' structure prevents.
+template <typename R>
+class BasicResultQueue {
+ public:
+  /// `capacity` is clamped to at least 1 (a zero-capacity queue could never
+  /// transfer anything).
+  explicit BasicResultQueue(std::size_t capacity)
+      : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+  BasicResultQueue(const BasicResultQueue&) = delete;
+  BasicResultQueue& operator=(const BasicResultQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false (dropping `item`) only if
+  /// the queue was closed.
+  bool push(BasicStreamItem<R>&& item) {
+    // Fault site BEFORE the lock: an injected throw or stall here models a
+    // producer dying in the hand-off, never a producer unwinding mid-queue.
+    (void)FERRO_FAULT_HIT(FaultSite::kQueuePush);
+    std::unique_lock<std::mutex> lk(mutex_);
+    can_push_.wait(lk, [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    high_water_ = std::max(high_water_, items_.size());
+    lk.unlock();
+    can_pop_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty and not closed. Returns false once the
+  /// queue is closed *and* drained; true with `out` filled otherwise.
+  bool pop(BasicStreamItem<R>& out) {
+    std::unique_lock<std::mutex> lk(mutex_);
+    can_pop_.wait(lk, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    out = std::move(items_.front());
+    items_.pop_front();
+    lk.unlock();
+    can_push_.notify_one();
+    return true;
+  }
+
+  /// No more pushes; pending items stay poppable. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      closed_ = true;
+    }
+    can_push_.notify_all();
+    can_pop_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Highest occupancy ever observed — lets tests and benches check that
+  /// backpressure actually bounded the buffer. Racy only in the benign
+  /// "read while producing" sense; read it after the batch for exact values.
+  [[nodiscard]] std::size_t high_water() const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return high_water_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable can_push_;
+  std::condition_variable can_pop_;
+  std::deque<BasicStreamItem<R>> items_;
+  std::size_t capacity_;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace ferro::core

@@ -206,6 +206,13 @@ TimelessState TimelessJaBatch::state(std::size_t lane) const {
   return s;
 }
 
+void TimelessJaBatch::set_state(std::size_t lane, const TimelessState& s) {
+  m_irr_[lane] = s.m_irr;
+  m_total_[lane] = s.m_total;
+  anchor_h_[lane] = s.anchor_h;
+  present_h_[lane] = s.present_h;
+}
+
 void TimelessJaBatch::dispatch_fast_rect(AnhystereticKind kind,
                                          std::size_t begin, std::size_t end,
                                          std::size_t j0, std::size_t j1,

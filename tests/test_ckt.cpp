@@ -38,7 +38,7 @@ TEST(Dc, VoltageDivider) {
   ckt.add<fk::Resistor>("R2", mid, fk::kGround, 1000.0);
 
   std::vector<double> x;
-  ASSERT_TRUE(fk::dc_operating_point(ckt, x));
+  ASSERT_TRUE(fk::solve_dc(ckt, x).ok());
   // Tolerances admit the gmin (1e-12 S) leak every SPICE-class engine adds.
   EXPECT_NEAR(x[static_cast<std::size_t>(in)], 10.0, 1e-6);
   EXPECT_NEAR(x[static_cast<std::size_t>(mid)], 5.0, 1e-6);
@@ -54,7 +54,7 @@ TEST(Dc, CurrentSourceIntoResistor) {
   ckt.add<fk::Resistor>("R1", n, fk::kGround, 1000.0);
 
   std::vector<double> x;
-  ASSERT_TRUE(fk::dc_operating_point(ckt, x));
+  ASSERT_TRUE(fk::solve_dc(ckt, x).ok());
   EXPECT_NEAR(x[static_cast<std::size_t>(n)], 2.0, 1e-6);
 }
 
@@ -72,7 +72,7 @@ TEST(Dc, ResistorLadder) {
   ckt.add<fk::Resistor>("R5", prev, fk::kGround, 100.0);
 
   std::vector<double> x;
-  ASSERT_TRUE(fk::dc_operating_point(ckt, x));
+  ASSERT_TRUE(fk::solve_dc(ckt, x).ok());
   for (int i = 0; i < 5; ++i) {
     EXPECT_NEAR(x[static_cast<std::size_t>(i)], 5.0 - static_cast<double>(i),
                 1e-6)
@@ -89,7 +89,7 @@ TEST(Dc, InductorIsShort) {
   ckt.add<fk::Inductor>("L", out, fk::kGround, 1e-3);
 
   std::vector<double> x;
-  ASSERT_TRUE(fk::dc_operating_point(ckt, x));
+  ASSERT_TRUE(fk::solve_dc(ckt, x).ok());
   // Quasi-short: the milliohm DC resistance leaves i*r_eps ~ 30 uV.
   EXPECT_NEAR(x[static_cast<std::size_t>(out)], 0.0, 1e-4);
   // Inductor branch current = 30 mA.
@@ -105,7 +105,7 @@ TEST(Dc, CapacitorIsOpen) {
   ckt.add<fk::Capacitor>("C", out, fk::kGround, 1e-6);
 
   std::vector<double> x;
-  ASSERT_TRUE(fk::dc_operating_point(ckt, x));
+  ASSERT_TRUE(fk::solve_dc(ckt, x).ok());
   EXPECT_NEAR(x[static_cast<std::size_t>(out)], 3.0, 1e-6);  // no DC current
 }
 
@@ -118,7 +118,7 @@ TEST(Dc, DiodeForwardDrop) {
   auto& diode = ckt.add<fk::Diode>("D", d, fk::kGround);
 
   std::vector<double> x;
-  ASSERT_TRUE(fk::dc_operating_point(ckt, x));
+  ASSERT_TRUE(fk::solve_dc(ckt, x).ok());
   const double vd = x[static_cast<std::size_t>(d)];
   EXPECT_GT(vd, 0.4);
   EXPECT_LT(vd, 0.8);
@@ -136,7 +136,7 @@ TEST(Dc, DiodeReverseBlocks) {
   ckt.add<fk::Diode>("D", d, fk::kGround);
 
   std::vector<double> x;
-  ASSERT_TRUE(fk::dc_operating_point(ckt, x));
+  ASSERT_TRUE(fk::solve_dc(ckt, x).ok());
   // Nearly no current: node d sits at the source potential.
   EXPECT_NEAR(x[static_cast<std::size_t>(d)], -5.0, 1e-2);
 }
@@ -157,11 +157,11 @@ TEST(Transient, RcChargingMatchesClosedForm) {
   options.dt_max = 2e-5;
 
   double worst = 0.0;
-  ASSERT_TRUE(fk::transient(ckt, options, [&](const fk::Solution& sol) {
+  ASSERT_TRUE(fk::run_transient(ckt, options, [&](const fk::Solution& sol) {
     if (sol.t <= 0.0) return;
     const double expected = 1.0 - std::exp(-sol.t / 1e-3);
     worst = std::max(worst, std::fabs(sol.v(out) - expected));
-  }));
+  }).ok());
   EXPECT_LT(worst, 5e-3);
 }
 
@@ -181,12 +181,12 @@ TEST(Transient, RlCurrentRise) {
   options.dt_max = 2e-5;
 
   double worst = 0.0;
-  ASSERT_TRUE(fk::transient(ckt, options, [&](const fk::Solution& sol) {
+  ASSERT_TRUE(fk::run_transient(ckt, options, [&](const fk::Solution& sol) {
     if (sol.t <= 0.0) return;
     const double expected = 0.1 * (1.0 - std::exp(-sol.t / 1e-3));
     const double i_l = sol.branch_current(1);  // branch 0 = source, 1 = L
     worst = std::max(worst, std::fabs(i_l - expected));
-  }));
+  }).ok());
   EXPECT_LT(worst, 1e-3);
 }
 
@@ -203,9 +203,9 @@ TEST(Transient, RcDischargeBackwardEuler) {
   options.method = ferro::ams::IntegrationMethod::kBackwardEuler;
 
   double v_end = 1.0;
-  ASSERT_TRUE(fk::transient(ckt, options, [&](const fk::Solution& sol) {
+  ASSERT_TRUE(fk::run_transient(ckt, options, [&](const fk::Solution& sol) {
     v_end = sol.v(out);
-  }));
+  }).ok());
   EXPECT_NEAR(v_end, std::exp(-3.0), 2e-2);
 }
 
@@ -230,11 +230,11 @@ TEST(Transient, RlcRingingFrequency) {
   // Count rising zero crossings of (v_out - 1) to estimate the frequency.
   int crossings = 0;
   double prev = -1.0;
-  ASSERT_TRUE(fk::transient(ckt, options, [&](const fk::Solution& sol) {
+  ASSERT_TRUE(fk::run_transient(ckt, options, [&](const fk::Solution& sol) {
     const double v = sol.v(out) - 1.0;
     if (prev < 0.0 && v >= 0.0) ++crossings;
     prev = v;
-  }));
+  }).ok());
   const double freq = static_cast<double>(crossings) / 2e-3;
   EXPECT_NEAR(freq, 5033.0, 600.0);
 }
@@ -253,10 +253,10 @@ TEST(Transient, SwitchChangesTopology) {
   options.dt_max = 2e-5;
 
   double v_early = -1.0, v_late = -1.0;
-  ASSERT_TRUE(fk::transient(ckt, options, [&](const fk::Solution& sol) {
+  ASSERT_TRUE(fk::run_transient(ckt, options, [&](const fk::Solution& sol) {
     if (sol.t > 0.4e-3 && sol.t < 0.9e-3 && v_early < 0.0) v_early = sol.v(out);
     if (sol.t > 1.5e-3) v_late = sol.v(out);
-  }));
+  }).ok());
   EXPECT_NEAR(v_early, 1.0, 1e-3);  // switch open: no load current
   EXPECT_NEAR(v_late, 0.0, 1e-2);   // switch closed: pulled to ground
 }
@@ -277,9 +277,9 @@ TEST(Transient, SineSteadyStateAmplitude) {
   options.dt_max = 5e-5;
 
   double peak = 0.0;
-  ASSERT_TRUE(fk::transient(ckt, options, [&](const fk::Solution& sol) {
+  ASSERT_TRUE(fk::run_transient(ckt, options, [&](const fk::Solution& sol) {
     if (sol.t > 0.02) peak = std::max(peak, std::fabs(sol.v(out)));
-  }));
+  }).ok());
   EXPECT_NEAR(peak, 1.0, 0.02);
 }
 
@@ -292,8 +292,123 @@ TEST(Transient, StatsPopulated) {
   fk::TransientOptions options;
   options.t_end = 1e-3;
   fk::CircuitStats stats;
-  ASSERT_TRUE(fk::transient(ckt, options, {}, &stats));
+  ASSERT_TRUE(fk::run_transient(ckt, options, {}, &stats).ok());
   EXPECT_GT(stats.steps_accepted, 10u);
   EXPECT_GT(stats.newton_iterations, 0u);
   EXPECT_EQ(stats.hard_failures, 0u);
 }
+
+// --- Structured errors and option validation (PR 10) ----------------------
+
+namespace {
+
+fk::Circuit make_rc() {
+  fk::Circuit ckt;
+  const auto out = ckt.node("out");
+  ckt.add<fk::Capacitor>("C", out, fk::kGround, 1e-6, 1.0);
+  ckt.add<fk::Resistor>("R", out, fk::kGround, 1000.0);
+  return ckt;
+}
+
+}  // namespace
+
+TEST(Validate, AcceptsDefaultsAndRejectsEachBadField) {
+  EXPECT_TRUE(fk::validate(fk::TransientOptions{}).ok());
+
+  const auto expect_invalid = [](fk::TransientOptions options) {
+    const auto error = fk::validate(options);
+    EXPECT_EQ(error.code, ferro::core::ErrorCode::kInvalidScenario);
+  };
+
+  fk::TransientOptions o;
+  o.dt_initial = 0.0;
+  expect_invalid(o);
+
+  o = {};
+  o.dt_initial = std::nan("");
+  expect_invalid(o);
+
+  o = {};
+  o.dt_min = 2.0 * o.dt_initial;  // dt_min above dt_initial
+  expect_invalid(o);
+
+  o = {};
+  o.t_end = o.t_start;
+  expect_invalid(o);
+
+  o = {};
+  o.dt_growth = 0.5;
+  expect_invalid(o);
+
+  o = {};
+  o.engine.max_newton_iterations = 0;
+  expect_invalid(o);
+}
+
+TEST(Validate, ExplicitDtMaxBelowDtInitialIsRejectedNotClamped) {
+  // The pre-PR-10 engine silently clamped this; now it is a configuration
+  // error, while dt_max = 0 stays the documented horizon/100 sentinel.
+  fk::TransientOptions o;
+  o.dt_initial = 1e-6;
+  o.dt_max = 1e-7;
+  EXPECT_EQ(fk::validate(o).code, ferro::core::ErrorCode::kInvalidScenario);
+
+  o.dt_max = 0.0;
+  EXPECT_TRUE(fk::validate(o).ok());
+  o.dt_max = 1e-6;  // equal to dt_initial is fine
+  EXPECT_TRUE(fk::validate(o).ok());
+}
+
+TEST(Transient, InvalidOptionsReportInvalidScenario) {
+  auto ckt = make_rc();
+  fk::TransientOptions options;
+  options.dt_max = options.dt_initial / 10.0;
+  std::size_t callbacks = 0;
+  const auto error = fk::run_transient(
+      ckt, options, [&](const fk::Solution&) { ++callbacks; });
+  EXPECT_EQ(error.code, ferro::core::ErrorCode::kInvalidScenario);
+  EXPECT_EQ(callbacks, 0u);  // rejected before any device is touched
+}
+
+TEST(Transient, PreCancelledLimitsReportCancelled) {
+  auto ckt = make_rc();
+  fk::TransientOptions options;
+  options.t_end = 1e-3;
+  ferro::core::RunLimits limits;
+  limits.cancel.cancel();
+  fk::CircuitStats stats;
+  const auto error = fk::run_transient(ckt, options, {}, &stats, limits);
+  EXPECT_EQ(error.code, ferro::core::ErrorCode::kCancelled);
+}
+
+TEST(Transient, TinyDeadlineReportsDeadlineExceeded) {
+  auto ckt = make_rc();
+  fk::TransientOptions options;
+  options.t_end = 10.0;  // far more work than the budget allows
+  options.dt_max = 1e-6;
+  ferro::core::RunLimits limits;
+  limits.deadline_s = 1e-9;
+  const auto error = fk::run_transient(ckt, options, {}, nullptr, limits);
+  EXPECT_EQ(error.code, ferro::core::ErrorCode::kDeadlineExceeded);
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Transient, DeprecatedBoolShimsStillWork) {
+  // The bool API must keep returning the old true/false contract until its
+  // callers are gone; success here means the structured path succeeded too.
+  auto ckt = make_rc();
+  std::vector<double> x;
+  EXPECT_TRUE(fk::dc_operating_point(ckt, x));
+  EXPECT_FALSE(x.empty());
+
+  auto ckt2 = make_rc();
+  fk::TransientOptions options;
+  options.t_end = 1e-3;
+  EXPECT_TRUE(fk::transient(ckt2, options, {}));
+
+  auto ckt3 = make_rc();
+  options.dt_max = options.dt_initial / 10.0;  // invalid → false, not throw
+  EXPECT_FALSE(fk::transient(ckt3, options, {}));
+}
+#pragma GCC diagnostic pop

@@ -48,7 +48,7 @@ TEST(JaInductor, DcBehavesAsShort) {
                           fm::paper_parameters(), core_config());
 
   std::vector<double> x;
-  ASSERT_TRUE(fk::dc_operating_point(ckt, x));
+  ASSERT_TRUE(fk::solve_dc(ckt, x).ok());
   EXPECT_NEAR(x[static_cast<std::size_t>(out)], 0.0, 1e-4);  // quasi-short
 }
 
@@ -70,14 +70,14 @@ TEST(JaInductor, SineDriveMagnetisesCore) {
 
   double max_b = 0.0, max_h = 0.0, max_i = 0.0;
   fk::CircuitStats stats;
-  ASSERT_TRUE(fk::transient(
+  ASSERT_TRUE(fk::run_transient(
       ckt, options,
       [&](const fk::Solution& sol) {
         max_b = std::max(max_b, std::fabs(core.flux_density()));
         max_h = std::max(max_h, std::fabs(core.field()));
         max_i = std::max(max_i, std::fabs(sol.branch_current(1)));
       },
-      &stats));
+      &stats).ok());
 
   EXPECT_GT(max_b, 0.2);   // core actually magnetised
   EXPECT_GT(max_h, 100.0); // field well past dhmax
@@ -107,7 +107,7 @@ TEST(JaInductor, VoltSecondBalance) {
   double prev_t = 0.0, prev_v = 0.0;
   bool first = true;
   double lambda_start = 0.0;
-  ASSERT_TRUE(fk::transient(ckt, options, [&](const fk::Solution& sol) {
+  ASSERT_TRUE(fk::run_transient(ckt, options, [&](const fk::Solution& sol) {
     const double v = sol.v(out);
     if (first) {
       lambda_start = geom.linkage_from_b(core.flux_density());
@@ -117,7 +117,7 @@ TEST(JaInductor, VoltSecondBalance) {
     }
     prev_t = sol.t;
     prev_v = v;
-  }));
+  }).ok());
   const double lambda_end = geom.linkage_from_b(core.flux_density());
   const double swing = lambda_end - lambda_start;
   EXPECT_NEAR(volt_seconds, swing, 0.05 * std::max(1e-3, std::fabs(swing)));
@@ -143,12 +143,12 @@ TEST(JaInductor, CoreSaturationClampsFluxNotCurrent) {
     options.dt_max = 2e-5;
     double peak_i = 0.0;
     *peak_b = 0.0;
-    EXPECT_TRUE(fk::transient(ckt, options, [&](const fk::Solution& sol) {
+    EXPECT_TRUE(fk::run_transient(ckt, options, [&](const fk::Solution& sol) {
       if (sol.t > 0.02) {
         peak_i = std::max(peak_i, std::fabs(sol.branch_current(1)));
         *peak_b = std::max(*peak_b, std::fabs(core.flux_density()));
       }
-    }));
+    }).ok());
     return peak_i;
   };
 
@@ -185,7 +185,7 @@ TEST(JaInductor, StateRewindOnRejectedStepsIsClean) {
     options.t_end = 0.01;
     options.dt_initial = 1e-6;
     options.dt_max = dt_max;
-    EXPECT_TRUE(fk::transient(ckt, options, {}));
+    EXPECT_TRUE(fk::run_transient(ckt, options, {}).ok());
     return core.flux_density();
   };
   const double b_coarse = run_with(1e-4);
@@ -227,11 +227,11 @@ TEST(Transformer, TurnsRatioWithLightLoad) {
   options.dt_max = 2e-5;
 
   double peak_p = 0.0, peak_s = 0.0;
-  ASSERT_TRUE(fk::transient(ckt, options, [&](const fk::Solution& sol) {
+  ASSERT_TRUE(fk::run_transient(ckt, options, [&](const fk::Solution& sol) {
     if (sol.t < 0.02) return;  // settle first
     peak_p = std::max(peak_p, std::fabs(sol.v(p)));
     peak_s = std::max(peak_s, std::fabs(sol.v(s)));
-  }));
+  }).ok());
   EXPECT_NEAR(peak_s / peak_p, 0.5, 0.06);  // Ns/Np = 50/100
 }
 
@@ -254,11 +254,11 @@ TEST(Transformer, LoadCurrentReflectsToPrimary) {
     options.dt_initial = 1e-6;
     options.dt_max = 2e-5;
     double peak_ip = 0.0;
-    EXPECT_TRUE(fk::transient(ckt, options, [&](const fk::Solution& sol) {
+    EXPECT_TRUE(fk::run_transient(ckt, options, [&](const fk::Solution& sol) {
       if (sol.t > 0.02) {
         peak_ip = std::max(peak_ip, std::fabs(sol.branch_current(1)));
       }
-    }));
+    }).ok());
     return peak_ip;
   };
 
@@ -284,7 +284,7 @@ TEST(Transformer, CoreStateExposed) {
   options.t_end = 0.01;
   options.dt_initial = 1e-6;
   options.dt_max = 2e-5;
-  ASSERT_TRUE(fk::transient(ckt, options, {}));
+  ASSERT_TRUE(fk::run_transient(ckt, options, {}).ok());
   EXPECT_NE(xfmr.flux_density(), 0.0);
   EXPECT_NE(xfmr.field(), 0.0);
   EXPECT_NE(xfmr.primary_current(), 0.0);

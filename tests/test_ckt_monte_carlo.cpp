@@ -1,0 +1,398 @@
+// ckt::MonteCarlo tests: scatter determinism, thread-count and partition
+// bitwise invariance, packed-vs-scalar identity (down to the waveforms),
+// poison-corner isolation, RunLimits, and the streaming delivery contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "ckt/engine.hpp"
+#include "ckt/ja_inductor.hpp"
+#include "ckt/monte_carlo.hpp"
+#include "ckt/netlist.hpp"
+#include "ckt/rlc.hpp"
+#include "ckt/scatter.hpp"
+#include "ckt/sources.hpp"
+#include "wave/standard.hpp"
+
+namespace fk = ferro::ckt;
+namespace fe = ferro::core;
+namespace fm = ferro::mag;
+namespace fw = ferro::wave;
+
+namespace {
+
+/// The inrush demo circuit scaled down to a fast test transient.
+void build_corner(const fk::CornerView& view, fk::Circuit& circuit) {
+  const auto in = circuit.node("in");
+  const auto out = circuit.node("out");
+  circuit.add<fk::VoltageSource>("V", in, fk::kGround,
+                                 std::make_shared<fw::Sine>(8.0, 50.0));
+  circuit.add<fk::Resistor>("R", in, out, view.value("r.value", 0.8));
+  fm::CoreGeometry geom;
+  geom.area = view.value("lcore.area", 1e-4);
+  geom.path_length = 0.1;
+  geom.turns = 100;
+  fm::TimelessConfig config;
+  config.dhmax = 5.0;
+  fm::JaParameters params = fm::paper_parameters();
+  params.ms = view.value("lcore.ms", params.ms);
+  circuit.add<fk::JaInductor>("Lcore", out, fk::kGround, geom, params, config);
+}
+
+fk::ScatterSpec demo_spec() {
+  fk::ScatterSpec spec;
+  spec.params = {
+      {"r.value", 0.05, fk::ScatterKind::kUniform},
+      {"lcore.area", 0.02, fk::ScatterKind::kUniform},
+      {"lcore.ms", 0.10, fk::ScatterKind::kNormal},
+  };
+  return spec;
+}
+
+fk::MonteCarloOptions demo_options(std::size_t corners) {
+  fk::MonteCarloOptions options;
+  options.corners = corners;
+  options.transient.t_end = 2e-3;  // a tenth of a cycle: fast but nontrivial
+  options.transient.dt_initial = 1e-6;
+  options.transient.dt_max = 2e-5;
+  options.probes = {{fk::Probe::Kind::kBranchCurrent, "Lcore"},
+                    {fk::Probe::Kind::kCoreFluxDensity, "Lcore"}};
+  return options;
+}
+
+fk::MonteCarlo demo_mc(std::uint64_t seed = 7) {
+  return fk::MonteCarlo(fk::CornerSampler(demo_spec(), seed), build_corner);
+}
+
+bool bitwise_equal(const fk::CornerResult& a, const fk::CornerResult& b) {
+  if (a.index != b.index || a.error.code != b.error.code) return false;
+  if (std::memcmp(&a.stats, &b.stats, sizeof(a.stats)) != 0) return false;
+  if (a.draws.factors.size() != b.draws.factors.size()) return false;
+  for (std::size_t i = 0; i < a.draws.factors.size(); ++i) {
+    if (std::memcmp(&a.draws.factors[i], &b.draws.factors[i],
+                    sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  if (a.probes.size() != b.probes.size()) return false;
+  for (std::size_t i = 0; i < a.probes.size(); ++i) {
+    if (std::memcmp(&a.probes[i], &b.probes[i], sizeof(fk::ProbeSummary)) !=
+        0) {
+      return false;
+    }
+  }
+  if (a.t.size() != b.t.size() || a.waveforms.size() != b.waveforms.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.t.size(); ++i) {
+    if (std::memcmp(&a.t[i], &b.t[i], sizeof(double)) != 0) return false;
+  }
+  for (std::size_t p = 0; p < a.waveforms.size(); ++p) {
+    if (a.waveforms[p].size() != b.waveforms[p].size()) return false;
+    for (std::size_t i = 0; i < a.waveforms[p].size(); ++i) {
+      if (std::memcmp(&a.waveforms[p][i], &b.waveforms[p][i],
+                      sizeof(double)) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TEST(Scatter, ParseSpecAndDiagnostics) {
+  const auto parsed = fk::parse_scatter_spec(
+      "# tolerances\n"
+      "r1.value 0.05\n"
+      "y1.ms    0.10 normal   * trailing comment\n"
+      "\n"
+      "y1.area  0.02 uniform\n");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.spec->size(), 3u);
+  EXPECT_EQ(parsed.spec->params[0].key, "r1.value");
+  EXPECT_EQ(parsed.spec->params[0].kind, fk::ScatterKind::kUniform);
+  EXPECT_EQ(parsed.spec->params[1].kind, fk::ScatterKind::kNormal);
+  EXPECT_TRUE(parsed.spec->find("y1.ms").has_value());
+  EXPECT_FALSE(parsed.spec->find("nope.value").has_value());
+
+  const auto bad = fk::parse_scatter_spec(
+      "novalue\n"
+      "nodot 0.1\n"
+      "r1.value nan-ish\n"
+      "r1.value 1.5\n"
+      "dup.x 0.1\ndup.x 0.2\n"
+      "d.k 0.1 cauchy\n");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.errors.size(), 6u);
+}
+
+TEST(Scatter, DrawsAreDeterministicAndBounded) {
+  const fk::CornerSampler sampler(demo_spec(), 123);
+  const fk::CornerSampler same(demo_spec(), 123);
+  const fk::CornerSampler other(demo_spec(), 124);
+
+  for (std::size_t i = 0; i < 64; ++i) {
+    const auto a = sampler.corner(i);
+    const auto b = same.corner(i);
+    ASSERT_EQ(a.factors.size(), 3u);
+    for (std::size_t p = 0; p < a.factors.size(); ++p) {
+      EXPECT_EQ(a.factors[p], b.factors[p]);  // pure function of (seed, i)
+    }
+    // Uniform draws live in [1 - tol, 1 + tol); normal draws are truncated
+    // at 3 sigma, so the same bound holds for them too.
+    const double tolerances[3] = {0.05, 0.02, 0.10};
+    for (std::size_t p = 0; p < 3; ++p) {
+      EXPECT_GE(a.factors[p], 1.0 - tolerances[p]);
+      EXPECT_LE(a.factors[p], 1.0 + tolerances[p]);
+    }
+  }
+  // Different seeds decorrelate (astronomically unlikely to collide).
+  EXPECT_NE(sampler.corner(0).factors[0], other.corner(0).factors[0]);
+}
+
+TEST(MonteCarlo, MatchesDirectTransientAtCorner) {
+  // Corner i of the sweep must be bit-for-bit the run you get by building
+  // the same circuit by hand and calling run_transient — packing included.
+  const std::size_t kCorner = 3;
+  const fk::CornerSampler sampler(demo_spec(), 7);
+
+  auto options = demo_options(8);
+  options.record_waveforms = true;
+  options.packing = fk::McPacking::kPackedExact;
+  const auto results = demo_mc().run(options);
+  ASSERT_EQ(results.size(), 8u);
+  const fk::CornerResult& mc = results[kCorner];
+  ASSERT_TRUE(mc.ok()) << mc.error;
+
+  fk::Circuit circuit;
+  const auto draws = sampler.corner(kCorner);
+  build_corner(fk::CornerView(sampler.spec(), draws, kCorner), circuit);
+  std::vector<double> i_wave, b_wave, t_wave;
+  const fk::JaInductor* core = nullptr;
+  for (const auto& d : circuit.devices()) {
+    if ((core = dynamic_cast<const fk::JaInductor*>(d.get()))) break;
+  }
+  fk::CircuitStats stats;
+  const fe::Error error = fk::run_transient(
+      circuit, options.transient,
+      [&](const fk::Solution& sol) {
+        t_wave.push_back(sol.t);
+        i_wave.push_back(sol.branch_current(1));
+        b_wave.push_back(core->flux_density());
+      },
+      &stats);
+  ASSERT_TRUE(error.ok()) << error;
+
+  EXPECT_EQ(mc.stats.steps_accepted, stats.steps_accepted);
+  EXPECT_EQ(mc.stats.newton_iterations, stats.newton_iterations);
+  ASSERT_EQ(mc.t.size(), t_wave.size());
+  for (std::size_t k = 0; k < t_wave.size(); ++k) {
+    ASSERT_EQ(mc.t[k], t_wave[k]);
+    ASSERT_EQ(mc.waveforms[0][k], i_wave[k]);  // bitwise: == on doubles
+    ASSERT_EQ(mc.waveforms[1][k], b_wave[k]);
+  }
+}
+
+TEST(MonteCarlo, ThreadCountAndPartitionInvariance) {
+  // The property the scatter header promises: results are a pure function
+  // of (seed, index) — never of the parallel schedule. Sweep thread counts
+  // and chunk sizes (which are also the lockstep group sizes) and compare
+  // everything bitwise, waveforms included.
+  auto options = demo_options(12);
+  options.record_waveforms = true;
+  options.packing = fk::McPacking::kPackedExact;
+  options.threads = 1;
+  options.chunk = 12;  // one group: the whole sweep in lockstep
+  const auto reference = demo_mc().run(options);
+  ASSERT_EQ(reference.size(), 12u);
+  for (const auto& r : reference) ASSERT_TRUE(r.ok()) << r.error;
+
+  const struct {
+    unsigned threads;
+    std::size_t chunk;
+  } schedules[] = {{1, 1}, {1, 5}, {2, 3}, {4, 1}, {4, 4}, {3, 7}};
+  for (const auto& schedule : schedules) {
+    options.threads = schedule.threads;
+    options.chunk = schedule.chunk;
+    const auto results = demo_mc().run(options);
+    ASSERT_EQ(results.size(), reference.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_TRUE(bitwise_equal(results[i], reference[i]))
+          << "corner " << i << " diverged at threads=" << schedule.threads
+          << " chunk=" << schedule.chunk;
+    }
+  }
+}
+
+TEST(MonteCarlo, PackedMatchesScalarBitwise) {
+  auto options = demo_options(10);
+  options.record_waveforms = true;
+  options.packing = fk::McPacking::kScalar;
+  const auto scalar = demo_mc().run(options);
+
+  options.packing = fk::McPacking::kPackedExact;
+  options.threads = 2;
+  options.chunk = 5;
+  const auto packed = demo_mc().run(options);
+
+  ASSERT_EQ(scalar.size(), packed.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    ASSERT_TRUE(scalar[i].ok()) << scalar[i].error;
+    EXPECT_TRUE(bitwise_equal(scalar[i], packed[i])) << "corner " << i;
+  }
+}
+
+TEST(MonteCarlo, SeedReproducibilityAndDivergence) {
+  const auto options = demo_options(6);
+  const auto a = demo_mc(99).run(options);
+  const auto b = demo_mc(99).run(options);
+  const auto c = demo_mc(100).run(options);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(bitwise_equal(a[i], b[i])) << "corner " << i;
+    EXPECT_NE(a[i].probes[0].abs_peak, c[i].probes[0].abs_peak)
+        << "seed change did not move corner " << i;
+  }
+}
+
+TEST(MonteCarlo, PoisonCornerIsIsolated) {
+  // One corner's builder throws; the neighbours in the same lockstep group
+  // must come out bit-identical to a sweep where every corner is healthy.
+  const fk::MonteCarlo healthy = demo_mc();
+  const fk::MonteCarlo poisoned(
+      fk::CornerSampler(demo_spec(), 7),
+      [](const fk::CornerView& view, fk::Circuit& circuit) {
+        if (view.index() == 2) throw std::runtime_error("poison corner");
+        build_corner(view, circuit);
+      });
+
+  auto options = demo_options(6);
+  options.record_waveforms = true;
+  options.chunk = 6;  // everything in one group with the poison corner
+  const auto good = healthy.run(options);
+  fe::BatchReport report;
+  const auto mixed = poisoned.run(options, &report);
+
+  ASSERT_EQ(mixed.size(), 6u);
+  EXPECT_EQ(mixed[2].error.code, fe::ErrorCode::kInvalidScenario);
+  EXPECT_NE(mixed[2].error.detail.find("poison corner"), std::string::npos);
+  EXPECT_EQ(report.failed, 1u);
+  EXPECT_TRUE(report.completed());
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (i == 2) continue;
+    EXPECT_TRUE(bitwise_equal(mixed[i], good[i])) << "corner " << i;
+  }
+}
+
+TEST(MonteCarlo, UnresolvableProbeFailsTheCornerOnly) {
+  auto options = demo_options(3);
+  options.probes.push_back({fk::Probe::Kind::kNodeVoltage, "no-such-node"});
+  fe::BatchReport report;
+  const auto results = demo_mc().run(options, &report);
+  EXPECT_EQ(report.failed, 3u);  // every corner names the same bad probe
+  for (const auto& r : results) {
+    EXPECT_EQ(r.error.code, fe::ErrorCode::kInvalidScenario);
+  }
+}
+
+TEST(MonteCarlo, InvalidTransientOptionsRejectEveryCorner) {
+  auto options = demo_options(4);
+  options.transient.dt_max = options.transient.dt_initial / 2.0;  // < initial
+  fe::BatchReport report;
+  const auto results = demo_mc().run(options, &report);
+  EXPECT_EQ(report.failed, 4u);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.error.code, fe::ErrorCode::kInvalidScenario);
+  }
+}
+
+TEST(MonteCarlo, CancellationDrainsWithMarkers) {
+  auto options = demo_options(32);
+  options.chunk = 1;
+  options.limits.cancel.cancel();  // cancelled before the sweep starts
+  fe::BatchReport report;
+  const auto results = demo_mc().run(options, &report);
+  ASSERT_EQ(results.size(), 32u);
+  EXPECT_EQ(report.cancelled, 32u);
+  EXPECT_EQ(report.stop.code, fe::ErrorCode::kCancelled);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.error.code, fe::ErrorCode::kCancelled);
+    EXPECT_EQ(r.draws.factors.size(), 3u);  // markers still carry the draws
+  }
+}
+
+TEST(MonteCarlo, StreamingDeliversEveryCornerOnce) {
+  class CountingSink final : public fk::CornerSink {
+   public:
+    std::size_t started = 0, completed = 0;
+    std::vector<int> seen;
+    void on_start(std::size_t total) override {
+      ++started;
+      seen.assign(total, 0);
+    }
+    void on_result(std::size_t index, fk::CornerResult&& result) override {
+      ++seen.at(index);
+      EXPECT_EQ(result.index, index);
+    }
+    void on_complete() override { ++completed; }
+  };
+
+  auto options = demo_options(9);
+  options.threads = 3;
+  options.chunk = 2;
+  CountingSink sink;
+  const fk::McStreamSummary summary = demo_mc().run(options, sink);
+  EXPECT_EQ(sink.started, 1u);
+  EXPECT_EQ(sink.completed, 1u);
+  for (std::size_t i = 0; i < sink.seen.size(); ++i) {
+    EXPECT_EQ(sink.seen[i], 1) << "corner " << i;
+  }
+  EXPECT_EQ(summary.delivered, 9u);
+  EXPECT_EQ(summary.discarded_deliveries, 0u);
+  EXPECT_TRUE(summary.ok());
+  EXPECT_EQ(summary.batch.jobs, 9u);
+}
+
+TEST(MonteCarlo, OrderedStreamingMatchesCollect) {
+  auto options = demo_options(8);
+  options.threads = 4;
+  options.chunk = 1;
+  const auto collected = demo_mc().run(options);
+
+  fk::CornerCollectingSink collecting;
+  fk::CornerOrderedSink ordered(collecting);
+  const auto summary = demo_mc().run(options, ordered);
+  ASSERT_TRUE(summary.ok());
+  ASSERT_EQ(collecting.results().size(), collected.size());
+  for (std::size_t i = 0; i < collected.size(); ++i) {
+    EXPECT_TRUE(bitwise_equal(collecting.results()[i], collected[i]))
+        << "corner " << i;
+  }
+}
+
+TEST(MonteCarlo, ProbeSummariesMatchWaveforms) {
+  auto options = demo_options(2);
+  options.record_waveforms = true;
+  const auto results = demo_mc().run(options);
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok());
+    for (std::size_t p = 0; p < r.probes.size(); ++p) {
+      const auto& wave = r.waveforms[p];
+      ASSERT_FALSE(wave.empty());
+      double lo = wave[0], hi = wave[0], peak = 0.0;
+      for (const double v : wave) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+        peak = std::max(peak, std::fabs(v));
+      }
+      EXPECT_EQ(r.probes[p].min, lo);
+      EXPECT_EQ(r.probes[p].max, hi);
+      EXPECT_EQ(r.probes[p].abs_peak, peak);
+      EXPECT_EQ(r.probes[p].final, wave.back());
+    }
+  }
+}

@@ -110,9 +110,9 @@ TEST(PulseInCircuit, BreakpointsMakeCornersExact) {
   options.dt_max = 1e-5;
 
   fa::Trace v_out;
-  ASSERT_TRUE(fk::transient(ckt, options, [&](const fk::Solution& sol) {
+  ASSERT_TRUE(fk::run_transient(ckt, options, [&](const fk::Solution& sol) {
     v_out.append(sol.t, sol.v(out));
-  }));
+  }).ok());
   // The pulse is ~20 tau wide: the capacitor fully charges.
   EXPECT_NEAR(fa::peak(v_out, 0.0, 5e-3), 1.0, 5e-3);
   // And fully discharges after the pulse ends at 3.02 ms.
@@ -138,9 +138,9 @@ TEST(MeasureInCircuit, RectifierThdAndAverage) {
   options.dt_max = 5e-5;
 
   fa::Trace v_out;
-  ASSERT_TRUE(fk::transient(ckt, options, [&](const fk::Solution& sol) {
+  ASSERT_TRUE(fk::run_transient(ckt, options, [&](const fk::Solution& sol) {
     v_out.append(sol.t, sol.v(out));
-  }));
+  }).ok());
 
   // Positive average (rectified), ideal half-wave mean = Vp/pi with the
   // diode drop knocked off.
@@ -175,9 +175,9 @@ TEST(MeasureInCircuit, RlRiseTime) {
   options.dt_max = 1e-5;
 
   fa::Trace i_l;
-  ASSERT_TRUE(fk::transient(ckt, options, [&](const fk::Solution& sol) {
+  ASSERT_TRUE(fk::run_transient(ckt, options, [&](const fk::Solution& sol) {
     i_l.append(sol.t, sol.branch_current(1));
-  }));
+  }).ok());
   // First-order rise time = tau * ln(9) ~ 2.197 ms.
   const double tr = fa::rise_time(i_l, 0.1);
   EXPECT_NEAR(tr, 2.197e-3, 0.1e-3);

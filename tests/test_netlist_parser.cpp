@@ -58,7 +58,7 @@ R2 mid 0 1k
   EXPECT_EQ(result.netlist->circuit.node_count(), 2u);
 
   std::vector<double> x;
-  ASSERT_TRUE(fk::dc_operating_point(result.netlist->circuit, x));
+  ASSERT_TRUE(fk::solve_dc(result.netlist->circuit, x).ok());
   const auto mid = result.netlist->circuit.node("mid");
   EXPECT_NEAR(x[static_cast<std::size_t>(mid)], 5.0, 1e-6);
 }
@@ -183,10 +183,10 @@ C1 out 0 1u ic=0
 
   const auto out = result.netlist->circuit.node("out");
   double v_end = 0.0;
-  ASSERT_TRUE(fk::transient(result.netlist->circuit, options,
+  ASSERT_TRUE(fk::run_transient(result.netlist->circuit, options,
                             [&](const fk::Solution& sol) {
                               v_end = sol.v(out);
-                            }));
+                            }).ok());
   EXPECT_NEAR(v_end, 1.0 - std::exp(-5.0), 2e-2);
 }
 
@@ -204,10 +204,10 @@ Y1 out 0 area=1e-4 path=0.1 turns=100 material=paper-2006 dhmax=5
   options.dt_initial = 1e-6;
 
   double peak_i = 0.0;
-  ASSERT_TRUE(fk::transient(result.netlist->circuit, options,
+  ASSERT_TRUE(fk::run_transient(result.netlist->circuit, options,
                             [&](const fk::Solution& sol) {
                               peak_i = std::max(peak_i,
                                                 std::fabs(sol.branch_current(1)));
-                            }));
+                            }).ok());
   EXPECT_GT(peak_i, 0.5);  // the core draws real magnetising current
 }

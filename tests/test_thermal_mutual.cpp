@@ -129,12 +129,12 @@ TEST(MutualInductor, VoltageRatioFollowsSqrtInductanceRatio) {
   options.dt_max = 2e-5;
 
   double vp = 0.0, vs = 0.0;
-  ASSERT_TRUE(fk::transient(bench.circuit, options,
+  ASSERT_TRUE(fk::run_transient(bench.circuit, options,
                             [&](const fk::Solution& sol) {
                               if (sol.t < 0.02) return;
                               vp = std::max(vp, std::fabs(sol.v(bench.p)));
                               vs = std::max(vs, std::fabs(sol.v(bench.s)));
-                            }));
+                            }).ok());
   EXPECT_NEAR(vs / vp, 0.5, 0.03);
 }
 
@@ -147,10 +147,10 @@ TEST(MutualInductor, ZeroCouplingIsolatesSecondary) {
   options.dt_max = 2e-5;
 
   double vs = 0.0;
-  ASSERT_TRUE(fk::transient(bench.circuit, options,
+  ASSERT_TRUE(fk::run_transient(bench.circuit, options,
                             [&](const fk::Solution& sol) {
                               vs = std::max(vs, std::fabs(sol.v(bench.s)));
-                            }));
+                            }).ok());
   EXPECT_LT(vs, 1e-6);
 }
 
@@ -164,7 +164,7 @@ TEST(MutualInductor, DcIsQuasiShort) {
   circuit.add<fk::Resistor>("R", s, fk::kGround, 100.0);
 
   std::vector<double> x;
-  ASSERT_TRUE(fk::dc_operating_point(circuit, x));
+  ASSERT_TRUE(fk::solve_dc(circuit, x).ok());
   EXPECT_NEAR(x[static_cast<std::size_t>(s)], 0.0, 1e-3);
 }
 
@@ -177,13 +177,13 @@ TEST(MutualInductor, EnergyFlowsToLoad) {
     options.dt_initial = 1e-6;
     options.dt_max = 2e-5;
     double peak = 0.0;
-    EXPECT_TRUE(fk::transient(bench.circuit, options,
+    EXPECT_TRUE(fk::run_transient(bench.circuit, options,
                               [&](const fk::Solution& sol) {
                                 if (sol.t > 0.02) {
                                   peak = std::max(
                                       peak, std::fabs(sol.branch_current(1)));
                                 }
-                              }));
+                              }).ok());
     return peak;
   };
   EXPECT_GT(peak_ip(1.0), 2.0 * peak_ip(10e3));
